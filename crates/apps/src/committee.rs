@@ -1,0 +1,214 @@
+//! Committee election for Byzantine agreement (§1, Lewis–Saia \[8\]).
+//!
+//! Scalable Byzantine agreement protocols elect a small committee by
+//! random sampling and require that Byzantine peers not reach a committee
+//! majority. With *uniform* sampling and a Byzantine population fraction
+//! `b < 1/2`, a committee of size `c` has a Byzantine majority with
+//! probability `exp(−Θ(c))` (Chernoff). A *biased* sampler is strictly
+//! worse: the adversary corrupts the peers the sampler likes best, and the
+//! effective Byzantine sampling probability becomes the *mass* of that
+//! set, which for the naive heuristic approaches 1 with even a small
+//! corrupted fraction. Experiment E12 quantifies the gap.
+
+use baselines::IndexSampler;
+use rand::RngCore;
+
+/// Marks the `⌈fraction·n⌉` peers an *adaptive* adversary corrupts: those
+/// with the highest selection probability under the sampler being
+/// attacked.
+///
+/// Pass the true per-peer selection probabilities (e.g.
+/// [`NaiveSampler::selection_probabilities`]); for a uniform sampler any
+/// set of the same size is equivalent, so ties are broken by index.
+///
+/// # Panics
+///
+/// Panics if `probabilities` is empty or `fraction` is outside `[0, 1]`.
+///
+/// [`NaiveSampler::selection_probabilities`]: baselines::NaiveSampler::selection_probabilities
+pub fn adaptive_byzantine_set(probabilities: &[f64], fraction: f64) -> Vec<bool> {
+    assert!(!probabilities.is_empty(), "no peers to corrupt");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0, 1]"
+    );
+    let n = probabilities.len();
+    let count = (fraction * n as f64).ceil() as usize;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        probabilities[b]
+            .partial_cmp(&probabilities[a])
+            .expect("finite probabilities")
+            .then(a.cmp(&b))
+    });
+    let mut byzantine = vec![false; n];
+    for &i in order.iter().take(count.min(n)) {
+        byzantine[i] = true;
+    }
+    byzantine
+}
+
+/// Outcome of repeated committee elections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommitteeReport {
+    /// Fraction of elections where Byzantine members reached a majority.
+    pub capture_rate: f64,
+    /// Mean Byzantine fraction per committee.
+    pub mean_byzantine_fraction: f64,
+    /// Committee size used.
+    pub committee_size: usize,
+    /// Elections simulated.
+    pub elections: u32,
+}
+
+/// Elects `elections` committees of `committee_size` sampler-chosen peers
+/// and reports how often the Byzantine set captured a majority.
+///
+/// Committee members are drawn with replacement (matching the sampling
+/// primitive the paper provides; the distinction is negligible for
+/// `c ≪ n`).
+///
+/// # Panics
+///
+/// Panics if sizes are zero or `byzantine.len() != sampler.len()`.
+pub fn simulate_elections(
+    sampler: &dyn IndexSampler,
+    byzantine: &[bool],
+    committee_size: usize,
+    elections: u32,
+    rng: &mut dyn RngCore,
+) -> CommitteeReport {
+    assert_eq!(
+        byzantine.len(),
+        sampler.len(),
+        "byzantine vector must cover every peer"
+    );
+    assert!(committee_size > 0, "committee must have members");
+    assert!(elections > 0, "need at least one election");
+    let mut captures = 0u32;
+    let mut byz_total = 0u64;
+    for _ in 0..elections {
+        let mut byz = 0usize;
+        for _ in 0..committee_size {
+            if byzantine[sampler.sample_index(rng)] {
+                byz += 1;
+            }
+        }
+        byz_total += byz as u64;
+        if 2 * byz > committee_size {
+            captures += 1;
+        }
+    }
+    CommitteeReport {
+        capture_rate: captures as f64 / elections as f64,
+        mean_byzantine_fraction: byz_total as f64
+            / (elections as u64 * committee_size as u64) as f64,
+        committee_size,
+        elections,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{NaiveSampler, TrueUniform};
+    use keyspace::{KeySpace, SortedRing};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn uniform_committees_resist_one_third_adversary() {
+        let mut r = rng();
+        let n = 600;
+        let byz = adaptive_byzantine_set(&vec![1.0 / n as f64; n], 1.0 / 3.0);
+        let report = simulate_elections(&TrueUniform::new(n), &byz, 61, 2000, &mut r);
+        assert!(
+            report.capture_rate < 0.02,
+            "uniform capture rate {}",
+            report.capture_rate
+        );
+        assert!((report.mean_byzantine_fraction - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn naive_committees_fall_to_the_same_adversary() {
+        let mut r = rng();
+        let space = KeySpace::full();
+        let n = 600;
+        let ring = SortedRing::new(space, space.random_points(&mut r, n));
+        let naive = NaiveSampler::new(ring);
+        // Adversary corrupts the third of peers the heuristic likes best.
+        let byz = adaptive_byzantine_set(&naive.selection_probabilities(), 1.0 / 3.0);
+        let report = simulate_elections(&naive, &byz, 61, 2000, &mut r);
+        // The top third by arc mass carries well over half the measure.
+        assert!(
+            report.capture_rate > 0.5,
+            "naive capture rate {} should be catastrophic",
+            report.capture_rate
+        );
+        assert!(report.mean_byzantine_fraction > 0.5);
+    }
+
+    #[test]
+    fn larger_committees_are_safer_under_uniform_sampling() {
+        let mut r = rng();
+        let n = 300;
+        let byz = adaptive_byzantine_set(&vec![1.0 / n as f64; n], 0.4);
+        let small = simulate_elections(&TrueUniform::new(n), &byz, 5, 4000, &mut r);
+        let large = simulate_elections(&TrueUniform::new(n), &byz, 101, 4000, &mut r);
+        assert!(
+            large.capture_rate < small.capture_rate,
+            "large {} vs small {}",
+            large.capture_rate,
+            small.capture_rate
+        );
+    }
+
+    #[test]
+    fn adaptive_set_targets_high_probability_peers() {
+        let probs = [0.1, 0.5, 0.05, 0.35];
+        let byz = adaptive_byzantine_set(&probs, 0.5);
+        assert_eq!(byz, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn fraction_boundaries() {
+        let probs = [0.25; 4];
+        assert_eq!(
+            adaptive_byzantine_set(&probs, 0.0),
+            vec![false, false, false, false]
+        );
+        assert_eq!(
+            adaptive_byzantine_set(&probs, 1.0),
+            vec![true, true, true, true]
+        );
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let mut r = rng();
+        let byz = vec![true; 10];
+        let report = simulate_elections(&TrueUniform::new(10), &byz, 3, 100, &mut r);
+        assert_eq!(report.capture_rate, 1.0);
+        assert_eq!(report.mean_byzantine_fraction, 1.0);
+        assert_eq!(report.committee_size, 3);
+        assert_eq!(report.elections, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every peer")]
+    fn mismatched_byzantine_vector_panics() {
+        let mut r = rng();
+        let _ = simulate_elections(&TrueUniform::new(5), &[true; 4], 3, 10, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have members")]
+    fn empty_committee_panics() {
+        let mut r = rng();
+        let _ = simulate_elections(&TrueUniform::new(5), &[false; 5], 0, 10, &mut r);
+    }
+}

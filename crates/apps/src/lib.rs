@@ -1,0 +1,29 @@
+//! Applications of uniform peer sampling — the paper's §1 motivations.
+//!
+//! King & Saia motivate exact uniform sampling with three application
+//! classes; each is implemented here against the swappable
+//! [`IndexSampler`](baselines::IndexSampler) interface so experiments can
+//! quantify what the naive/biased alternatives actually cost downstream:
+//!
+//! * [`polling`] — **data collection**: estimate a population proportion by
+//!   sampling peers. With a biased sampler, any attribute correlated with
+//!   ring-arc length (e.g. anything correlated with the hash of long-lived
+//!   identifiers) is systematically over/under-counted.
+//! * [`links`] — **random links**: build an overlay where every node links
+//!   to sampler-chosen peers; such graphs stay connected under massive
+//!   adversarial deletion *if* the links are uniform \[11\]. Bias
+//!   concentrates links on few peers, whose removal shatters the graph.
+//! * [`load`] — **load balancing** \[7\]: throw `m` tasks at sampler-chosen
+//!   peers; uniform sampling gives the classic balls-in-bins maximum load,
+//!   bias multiplies it.
+//! * [`committee`] — **Byzantine agreement** \[8\]: elect a committee by
+//!   sampling; a biased sampler lets an adversary corrupt the most-likely
+//!   peers and capture committee majorities far more often.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod committee;
+pub mod links;
+pub mod load;
+pub mod polling;

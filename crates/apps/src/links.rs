@@ -1,0 +1,265 @@
+//! Random-link overlays and their fault tolerance (§1 "Create Random
+//! Links").
+//!
+//! A graph where every node holds a few links to *uniformly* random peers
+//! stays connected under a sudden massive adversarial deletion \[11\]
+//! (Motwani–Raghavan §5.3: random `d`-regular-ish graphs are expanders).
+//! If the links come from a *biased* sampler, they concentrate on the
+//! high-probability peers; deleting that small set shatters the overlay.
+//! Experiment E9 draws the robustness curves side by side.
+
+use std::collections::HashSet;
+
+use baselines::{IndexSampler, OverlayGraph};
+use rand::{Rng, RngCore};
+
+/// How the adversary picks deletion victims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeletionStrategy {
+    /// Uniform random victims (benign failures).
+    Random,
+    /// Highest-degree victims first — the worst case the paper's
+    /// motivation cites, and the one that exposes biased link building.
+    HighestDegree,
+}
+
+/// Builds an overlay where every node draws `links_per_node` outgoing
+/// links from `sampler` (self-links redrawn up to a bounded number of
+/// times, then skipped).
+///
+/// # Panics
+///
+/// Panics if the sampler is empty or `links_per_node == 0`.
+pub fn build_overlay(
+    sampler: &dyn IndexSampler,
+    links_per_node: usize,
+    rng: &mut dyn RngCore,
+) -> OverlayGraph {
+    assert!(!sampler.is_empty(), "cannot build an overlay over no peers");
+    assert!(links_per_node > 0, "need at least one link per node");
+    let n = sampler.len();
+    let mut edges = Vec::with_capacity(n * links_per_node);
+    for v in 0..n {
+        for _ in 0..links_per_node {
+            // Redraw self-links a few times; a sampler so biased that it
+            // keeps returning v is itself the phenomenon under study.
+            let mut target = sampler.sample_index(rng);
+            for _ in 0..4 {
+                if target != v {
+                    break;
+                }
+                target = sampler.sample_index(rng);
+            }
+            if target != v {
+                edges.push((v, target));
+            }
+        }
+    }
+    OverlayGraph::from_edges(n, &edges)
+}
+
+/// Size of the largest connected component after deleting `deleted`.
+pub fn largest_component(graph: &OverlayGraph, deleted: &HashSet<usize>) -> usize {
+    let n = graph.len();
+    let mut seen = vec![false; n];
+    let mut best = 0;
+    for root in 0..n {
+        if seen[root] || deleted.contains(&root) {
+            continue;
+        }
+        let mut size = 0;
+        let mut stack = vec![root];
+        seen[root] = true;
+        while let Some(v) = stack.pop() {
+            size += 1;
+            for &u in graph.neighbors(v) {
+                if !seen[u] && !deleted.contains(&u) {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        best = best.max(size);
+    }
+    best
+}
+
+/// Picks deletion victims for a fraction `f` of the nodes.
+///
+/// # Panics
+///
+/// Panics if `f` is outside `[0, 1]`.
+pub fn pick_victims<R: Rng + ?Sized>(
+    graph: &OverlayGraph,
+    fraction: f64,
+    strategy: DeletionStrategy,
+    rng: &mut R,
+) -> HashSet<usize> {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction {fraction} outside [0, 1]"
+    );
+    let n = graph.len();
+    let count = (fraction * n as f64).round() as usize;
+    match strategy {
+        DeletionStrategy::Random => {
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            order.into_iter().take(count).collect()
+        }
+        DeletionStrategy::HighestDegree => {
+            let mut by_degree: Vec<usize> = (0..n).collect();
+            by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.degree(v)));
+            by_degree.into_iter().take(count).collect()
+        }
+    }
+}
+
+/// One point of a robustness curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessPoint {
+    /// Fraction of nodes the adversary deleted.
+    pub deleted_fraction: f64,
+    /// Largest surviving component as a fraction of the surviving nodes.
+    pub survivor_connectivity: f64,
+}
+
+/// Sweeps deletion fractions and reports the surviving connectivity.
+pub fn robustness_curve<R: Rng + ?Sized>(
+    graph: &OverlayGraph,
+    fractions: &[f64],
+    strategy: DeletionStrategy,
+    rng: &mut R,
+) -> Vec<RobustnessPoint> {
+    fractions
+        .iter()
+        .map(|&f| {
+            let victims = pick_victims(graph, f, strategy, rng);
+            let survivors = graph.len() - victims.len();
+            let component = largest_component(graph, &victims);
+            RobustnessPoint {
+                deleted_fraction: f,
+                survivor_connectivity: if survivors == 0 {
+                    0.0
+                } else {
+                    component as f64 / survivors as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baselines::{NaiveSampler, TrueUniform};
+    use keyspace::{KeySpace, SortedRing};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(13)
+    }
+
+    #[test]
+    fn uniform_overlay_is_connected_and_near_regular() {
+        let mut r = rng();
+        let g = build_overlay(&TrueUniform::new(300), 5, &mut r);
+        assert_eq!(g.len(), 300);
+        assert!(g.is_connected());
+        // Out-degree 5 symmetrized → mean degree just under 10.
+        let mean: f64 =
+            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        assert!((8.0..11.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn uniform_overlay_survives_adversarial_deletion() {
+        let mut r = rng();
+        let g = build_overlay(&TrueUniform::new(400), 6, &mut r);
+        let points = robustness_curve(&g, &[0.3], DeletionStrategy::HighestDegree, &mut r);
+        assert!(
+            points[0].survivor_connectivity > 0.9,
+            "uniform links should survive 30% adversarial deletion, got {}",
+            points[0].survivor_connectivity
+        );
+    }
+
+    #[test]
+    fn biased_overlay_shatters_under_adversarial_deletion() {
+        let mut r = rng();
+        let space = KeySpace::full();
+        let ring = SortedRing::new(space, space.random_points(&mut r, 400));
+        let naive = NaiveSampler::new(ring);
+        let g = build_overlay(&naive, 6, &mut r);
+        let uniform_g = build_overlay(&TrueUniform::new(400), 6, &mut r);
+        let biased =
+            robustness_curve(&g, &[0.3], DeletionStrategy::HighestDegree, &mut r)[0];
+        let uniform =
+            robustness_curve(&uniform_g, &[0.3], DeletionStrategy::HighestDegree, &mut r)[0];
+        assert!(
+            biased.survivor_connectivity < uniform.survivor_connectivity,
+            "bias must hurt robustness: biased {} vs uniform {}",
+            biased.survivor_connectivity,
+            uniform.survivor_connectivity
+        );
+    }
+
+    #[test]
+    fn largest_component_counts_correctly() {
+        // Path 0-1-2, isolated 3.
+        let g = OverlayGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_eq!(largest_component(&g, &HashSet::new()), 3);
+        let mut deleted = HashSet::new();
+        deleted.insert(1);
+        assert_eq!(largest_component(&g, &deleted), 1);
+        deleted.extend([0, 2, 3]);
+        assert_eq!(largest_component(&g, &deleted), 0);
+    }
+
+    #[test]
+    fn victim_counts_match_fraction() {
+        let mut r = rng();
+        let g = OverlayGraph::random_regular(100, 4, &mut r);
+        for strategy in [DeletionStrategy::Random, DeletionStrategy::HighestDegree] {
+            let victims = pick_victims(&g, 0.25, strategy, &mut r);
+            assert_eq!(victims.len(), 25, "{strategy:?}");
+        }
+        assert!(pick_victims(&g, 0.0, DeletionStrategy::Random, &mut r).is_empty());
+    }
+
+    #[test]
+    fn highest_degree_victims_have_highest_degrees() {
+        let mut r = rng();
+        let g = OverlayGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let victims = pick_victims(&g, 0.2, DeletionStrategy::HighestDegree, &mut r);
+        assert!(victims.contains(&0), "vertex 0 has max degree 4");
+    }
+
+    #[test]
+    fn curve_is_evaluated_at_all_fractions() {
+        let mut r = rng();
+        let g = OverlayGraph::random_regular(64, 4, &mut r);
+        let curve =
+            robustness_curve(&g, &[0.0, 0.5, 1.0], DeletionStrategy::Random, &mut r);
+        assert_eq!(curve.len(), 3);
+        assert!((curve[0].survivor_connectivity - 1.0).abs() < 1e-9);
+        assert_eq!(curve[2].survivor_connectivity, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_links_panics() {
+        let mut r = rng();
+        let _ = build_overlay(&TrueUniform::new(4), 0, &mut r);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fraction_panics() {
+        let mut r = rng();
+        let g = OverlayGraph::random_regular(10, 2, &mut r);
+        let _ = pick_victims(&g, 2.0, DeletionStrategy::Random, &mut r);
+    }
+}

@@ -1,0 +1,225 @@
+use keyspace::SortedRing;
+use rand::Rng;
+
+/// An undirected overlay graph for random-walk sampling.
+///
+/// Gkantsidis et al. analyze walks on the P2P overlay (their \[5\]); this type
+/// provides the two overlay families the experiments walk on:
+///
+/// * [`OverlayGraph::ring_with_fingers`] — the Chord graph: successor edges
+///   plus finger edges at doubling distances, symmetrized (degrees
+///   `Θ(log n)`, irregular — the plain walk is visibly biased here).
+/// * [`OverlayGraph::random_regular`] — a `d`-regular graph from the
+///   configuration model (the plain walk's stationary distribution is
+///   already uniform; isolates walk-length effects from degree bias).
+///
+/// # Example
+///
+/// ```
+/// use baselines::OverlayGraph;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let g = OverlayGraph::random_regular(100, 6, &mut rng);
+/// assert_eq!(g.len(), 100);
+/// assert!(g.degree(0) <= 6);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayGraph {
+    adj: Vec<Vec<usize>>,
+}
+
+impl OverlayGraph {
+    /// Builds a graph from an explicit adjacency list, deduplicating and
+    /// symmetrizing edges and dropping self-loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> OverlayGraph {
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n = {n}");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        OverlayGraph { adj }
+    }
+
+    /// The Chord overlay graph of a ring: each peer links to its successor
+    /// and to `h(point + 2^i)` for every finger bit, symmetrized.
+    pub fn ring_with_fingers(ring: &SortedRing) -> OverlayGraph {
+        let n = ring.len();
+        let space = ring.space();
+        let bits = (128 - (space.modulus() - 1).leading_zeros()) as usize;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            edges.push((i, ring.next_index(i)));
+            for bit in 0..bits {
+                let offset = (1u128 << bit) % space.modulus();
+                let target = space.add(ring.point(i), keyspace::Distance::new(offset as u64));
+                let f = ring.successor_of(target);
+                if f != i {
+                    edges.push((i, f));
+                }
+            }
+        }
+        OverlayGraph::from_edges(n, &edges)
+    }
+
+    /// A random (near-)`d`-regular graph via the configuration model:
+    /// half-edges are paired uniformly; self-loops and duplicate edges are
+    /// dropped, so a few vertices may have degree slightly below `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ d < n`.
+    pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> OverlayGraph {
+        assert!(d >= 2, "walks need degree at least 2");
+        assert!(d < n, "degree {d} must be below n = {n}");
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
+        // Fisher–Yates shuffle, then pair consecutive stubs.
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            stubs.swap(i, j);
+        }
+        let edges: Vec<(usize, usize)> = stubs
+            .chunks_exact(2)
+            .map(|pair| (pair[0], pair[1]))
+            .collect();
+        OverlayGraph::from_edges(n, &edges)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The largest degree in the graph (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether the graph is connected (vacuously true when empty).
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(v) = stack.pop() {
+            for &u in &self.adj[v] {
+                if !seen[u] {
+                    seen[u] = true;
+                    visited += 1;
+                    stack.push(u);
+                }
+            }
+        }
+        visited == self.adj.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyspace::KeySpace;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn from_edges_symmetrizes_and_dedups() {
+        let g = OverlayGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]); // self-loop dropped
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = OverlayGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn chord_graph_has_log_degrees_and_connectivity() {
+        let space = KeySpace::full();
+        let mut r = rng();
+        let ring = SortedRing::new(space, space.random_points(&mut r, 256));
+        let g = OverlayGraph::ring_with_fingers(&ring);
+        assert_eq!(g.len(), 256);
+        assert!(g.is_connected());
+        // Successor + distinct fingers ≈ log2 n out-edges, symmetrized:
+        // degrees land in a band around 2 log2 n = 16.
+        let mean: f64 =
+            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        assert!((8.0..32.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn random_regular_degrees_near_d() {
+        let g = OverlayGraph::random_regular(200, 8, &mut rng());
+        assert!(g.is_connected(), "8-regular on 200 vertices is connected whp");
+        let mean: f64 =
+            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        assert!((7.0..=8.0).contains(&mean), "mean degree {mean}");
+        assert!(g.max_degree() <= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let _ = OverlayGraph::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree at least 2")]
+    fn degree_one_panics() {
+        let _ = OverlayGraph::random_regular(10, 1, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn degree_too_large_panics() {
+        let _ = OverlayGraph::random_regular(4, 4, &mut rng());
+    }
+}

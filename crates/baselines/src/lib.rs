@@ -1,0 +1,39 @@
+//! Comparator samplers for King & Saia's uniform peer selection.
+//!
+//! The paper motivates its algorithm against two families of alternatives:
+//!
+//! * **The naive heuristic** (§1): pick a random ring point `s`, return
+//!   `h(s)`. Simple and cheap, but biased — each peer is chosen with
+//!   probability proportional to its preceding arc, and the longest arc is
+//!   `Θ(n log n)` times the shortest (Theorem 8), so the bias is severe.
+//!   Implemented by [`NaiveSampler`]; measured in experiment E8.
+//! * **Random walks** (Gkantsidis, Mihail & Saberi, INFOCOM 2004 — the
+//!   paper's only direct related work \[5\]): walk the overlay graph and
+//!   return the endpoint. Only *approximately* uniform, at a message cost
+//!   that buys closeness. Implemented by [`RandomWalkSampler`] with three
+//!   variants ([`WalkKind`]): the plain walk (degree-biased stationary
+//!   distribution), the max-degree lazy walk, and the Metropolis–Hastings
+//!   walk (both exactly uniform in the *limit* but never at finite length).
+//!   Measured in experiment E7.
+//! * **Virtual nodes** (§1.2, \[16\]): give each peer `k` ring points and run
+//!   the naive heuristic over the virtual ring; bias shrinks with `k` but
+//!   never vanishes. Implemented by [`VirtualNodeSampler`]; experiment E10.
+//!
+//! All samplers (plus [`TrueUniform`], the RNG-backed ideal, and the
+//! King–Saia sampler itself via [`KingSaiaIndexSampler`]) implement
+//! [`IndexSampler`], so the application crate can swap them freely.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod naive;
+mod sampler_trait;
+mod virtual_nodes;
+mod walk;
+
+pub use graph::OverlayGraph;
+pub use naive::NaiveSampler;
+pub use sampler_trait::{IndexSampler, KingSaiaIndexSampler, TrueUniform};
+pub use virtual_nodes::VirtualNodeSampler;
+pub use walk::{RandomWalkSampler, WalkKind};

@@ -1,0 +1,182 @@
+use rand::{Rng, RngCore};
+
+use keyspace::{KeySpace, Point, SortedRing};
+
+use crate::IndexSampler;
+
+/// The virtual-nodes load-balancing extension (§1.2, Chord \[16\]) used as a
+/// sampling baseline: every real peer owns `k` ring points, and the naive
+/// heuristic runs over the virtual ring.
+///
+/// Each real peer's selection probability is the *sum* of its `k` virtual
+/// arcs, which concentrates as `k` grows (relative spread `~1/√k`) but
+/// never reaches exact uniformity — and maintaining `k = Θ(log n)` virtual
+/// points multiplies the DHT's maintenance bandwidth, the drawback the
+/// paper cites for rejecting this approach. Experiment E10 sweeps `k`.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{IndexSampler, VirtualNodeSampler};
+/// use keyspace::KeySpace;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = VirtualNodeSampler::random(KeySpace::full(), 50, 8, &mut rng);
+/// assert_eq!(s.len(), 50);
+/// assert!(s.sample_index(&mut rng) < 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualNodeSampler {
+    virtual_ring: SortedRing,
+    /// `owner[rank]` is the real peer owning virtual point `rank`.
+    owner: Vec<usize>,
+    real_len: usize,
+}
+
+impl VirtualNodeSampler {
+    /// Places `peers × replicas` i.i.d. uniform virtual points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers == 0` or `replicas == 0`.
+    pub fn random<R: Rng + ?Sized>(
+        space: KeySpace,
+        peers: usize,
+        replicas: usize,
+        rng: &mut R,
+    ) -> VirtualNodeSampler {
+        assert!(peers > 0, "need at least one peer");
+        assert!(replicas > 0, "need at least one replica per peer");
+        let mut tagged: Vec<(Point, usize)> = Vec::with_capacity(peers * replicas);
+        for peer in 0..peers {
+            for _ in 0..replicas {
+                tagged.push((space.random_point(rng), peer));
+            }
+        }
+        tagged.sort_unstable_by_key(|&(p, _)| p);
+        tagged.dedup_by_key(|&mut (p, _)| p);
+        let points: Vec<Point> = tagged.iter().map(|&(p, _)| p).collect();
+        let owner: Vec<usize> = tagged.iter().map(|&(_, peer)| peer).collect();
+        VirtualNodeSampler {
+            virtual_ring: SortedRing::new(space, points),
+            owner,
+            real_len: peers,
+        }
+    }
+
+    /// Number of virtual points actually on the ring.
+    pub fn virtual_len(&self) -> usize {
+        self.virtual_ring.len()
+    }
+
+    /// The exact selection probability of each real peer: the sum of its
+    /// virtual arcs over `M`.
+    pub fn selection_probabilities(&self) -> Vec<f64> {
+        let space = self.virtual_ring.space();
+        let mut probs = vec![0.0; self.real_len];
+        for rank in 0..self.virtual_ring.len() {
+            probs[self.owner[rank]] += space.fraction(self.virtual_ring.arc_before(rank));
+        }
+        probs
+    }
+}
+
+impl IndexSampler for VirtualNodeSampler {
+    fn len(&self) -> usize {
+        self.real_len
+    }
+
+    fn sample_index(&self, rng: &mut dyn RngCore) -> usize {
+        let s = self.virtual_ring.space().random_point(rng);
+        self.owner[self.virtual_ring.successor_of(s)]
+    }
+
+    fn cost_per_sample_hint(&self) -> f64 {
+        (self.virtual_ring.len().max(2) as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_cover_all_peers() {
+        let s = VirtualNodeSampler::random(KeySpace::full(), 40, 8, &mut rng());
+        let probs = s.selection_probabilities();
+        assert_eq!(probs.len(), 40);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(probs.iter().all(|&p| p > 0.0));
+        assert_eq!(s.virtual_len(), 320);
+    }
+
+    #[test]
+    fn more_replicas_reduce_spread() {
+        let mut r = rng();
+        let spread = |k: usize, r: &mut rand::rngs::StdRng| {
+            // Average max/min probability ratio across seeds.
+            let mut total = 0.0;
+            for _ in 0..5 {
+                let s = VirtualNodeSampler::random(KeySpace::full(), 64, k, r);
+                let probs = s.selection_probabilities();
+                let max = probs.iter().cloned().fold(0.0, f64::max);
+                let min = probs.iter().cloned().fold(f64::INFINITY, f64::min);
+                total += max / min;
+            }
+            total / 5.0
+        };
+        let coarse = spread(1, &mut r);
+        let fine = spread(32, &mut r);
+        assert!(
+            fine < coarse / 3.0,
+            "k=32 spread {fine} not much better than k=1 spread {coarse}"
+        );
+        // But never exactly uniform.
+        assert!(fine > 1.0 + 1e-6);
+    }
+
+    #[test]
+    fn sampling_matches_model_probabilities() {
+        let mut r = rng();
+        let s = VirtualNodeSampler::random(KeySpace::full(), 10, 16, &mut r);
+        let probs = s.selection_probabilities();
+        let draws = 40_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..draws {
+            counts[s.sample_index(&mut r)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / draws as f64;
+            assert!(
+                (freq - probs[i]).abs() < 0.02,
+                "peer {i}: freq {freq} vs model {}",
+                probs[i]
+            );
+        }
+    }
+
+    #[test]
+    fn k_one_degenerates_to_naive() {
+        let s = VirtualNodeSampler::random(KeySpace::full(), 20, 1, &mut rng());
+        assert_eq!(s.virtual_len(), 20);
+        assert_eq!(s.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let _ = VirtualNodeSampler::random(KeySpace::full(), 5, 0, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn zero_peers_panics() {
+        let _ = VirtualNodeSampler::random(KeySpace::full(), 0, 5, &mut rng());
+    }
+}

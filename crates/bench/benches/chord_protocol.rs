@@ -1,0 +1,64 @@
+//! Criterion benches for the Chord substrate.
+//!
+//! These calibrate the simulator itself: lookup routing (the `h` the
+//! sampler pays for), one full maintenance round, and ring bootstrap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chord::{ChordConfig, ChordNetwork};
+use keyspace::KeySpace;
+use rand::SeedableRng;
+
+fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+    let space = KeySpace::full();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    ChordNetwork::bootstrap(space, space.random_points(&mut rng, n), ChordConfig::default())
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord/find_successor");
+    for n in [1_000usize, 8_000, 32_000] {
+        let net = bootstrap(n, 50);
+        let start = net.live_ids()[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let target = net.space().random_point(&mut rng);
+                black_box(net.find_successor(start, target, &mut rng).expect("healthy"));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_maintenance_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord/maintenance_round");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut net = bootstrap(n, 52);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+            let mut round = 0usize;
+            b.iter(|| {
+                net.maintenance_round(round, &mut rng);
+                round += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chord/bootstrap");
+    group.sample_size(10);
+    for n in [1_000usize, 8_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(bootstrap(n, 54)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_maintenance_round, bench_bootstrap);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion micro-benches for the substrates: ring arithmetic, successor
+//! search, statistical tests, and random-walk steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use baselines::{OverlayGraph, RandomWalkSampler, WalkKind};
+use keyspace::{KeySpace, SortedRing};
+use rand::SeedableRng;
+use stats::ChiSquare;
+
+fn bench_keyspace_ops(c: &mut Criterion) {
+    let space = KeySpace::full();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+    let a = space.random_point(&mut rng);
+    let b = space.random_point(&mut rng);
+    c.bench_function("keyspace/distance", |bch| {
+        bch.iter(|| black_box(space.distance(black_box(a), black_box(b))));
+    });
+    let interval = space.interval(a, b);
+    let x = space.random_point(&mut rng);
+    c.bench_function("keyspace/interval_contains", |bch| {
+        bch.iter(|| black_box(space.interval_contains(black_box(interval), black_box(x))));
+    });
+}
+
+fn bench_successor_search(c: &mut Criterion) {
+    let space = KeySpace::full();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+    let ring = SortedRing::new(space, space.random_points(&mut rng, 100_000));
+    c.bench_function("sorted_ring/successor_of/100k", |bch| {
+        bch.iter(|| {
+            let x = space.random_point(&mut rng);
+            black_box(ring.successor_of(x));
+        });
+    });
+}
+
+fn bench_chi_square(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(62);
+    use rand::Rng;
+    let counts: Vec<u64> = (0..4096).map(|_| rng.gen_range(200..300)).collect();
+    c.bench_function("stats/chi_square/4096_categories", |bch| {
+        bch.iter(|| black_box(ChiSquare::uniform(black_box(&counts)).expect("valid")));
+    });
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(63);
+    let graph = OverlayGraph::random_regular(10_000, 8, &mut rng);
+    let walk = RandomWalkSampler::new(graph, 0, 64, WalkKind::MetropolisHastings);
+    c.bench_function("walk/metropolis_64_steps/10k_vertices", |bch| {
+        bch.iter(|| black_box(walk.walk(&mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_keyspace_ops,
+    bench_successor_search,
+    bench_chi_square,
+    bench_walk
+);
+criterion_main!(benches);

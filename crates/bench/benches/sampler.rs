@@ -1,0 +1,83 @@
+//! Criterion benches for the paper's two algorithms.
+//!
+//! Wall-clock companions to experiment E6: `choose_peer` over the oracle
+//! backend isolates algorithm cost; over Chord it includes routing.
+//! `estimate_n` benches §2. The naive heuristic is included as the cost
+//! floor the paper's §1 trade-off is about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use baselines::{IndexSampler, NaiveSampler};
+use chord::{ChordConfig, ChordDht, ChordNetwork};
+use keyspace::{KeySpace, SortedRing};
+use peer_sampling::{NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
+use rand::SeedableRng;
+
+fn make_ring(n: usize, seed: u64) -> SortedRing {
+    let space = KeySpace::full();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    SortedRing::new(space, space.random_points(&mut rng, n))
+}
+
+fn bench_choose_peer_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choose_peer/oracle");
+    for n in [1_000usize, 16_000, 64_000] {
+        let dht = OracleDht::new(make_ring(n, 42));
+        let sampler = Sampler::new(SamplerConfig::new(n as u64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sampler.sample(&dht, &mut rng).expect("oracle")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_choose_peer_chord(c: &mut Criterion) {
+    let mut group = c.benchmark_group("choose_peer/chord");
+    for n in [1_000usize, 8_000] {
+        let space = KeySpace::full();
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(43);
+        let net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut seed_rng, n),
+            ChordConfig::default(),
+        );
+        let dht = ChordDht::new(&net, net.live_ids()[0], 44);
+        let sampler = Sampler::new(SamplerConfig::new(n as u64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sampler.sample(&dht, &mut rng).expect("chord")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_estimate_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimate_n/oracle");
+    for n in [1_000usize, 16_000] {
+        let dht = OracleDht::new(make_ring(n, 45));
+        let estimator = NetworkSizeEstimator::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(estimator.estimate(&dht, 0).expect("oracle")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_baseline(c: &mut Criterion) {
+    let naive = NaiveSampler::new(make_ring(16_000, 46));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    c.bench_function("naive_h_of_s/16000", |b| {
+        b.iter(|| black_box(naive.sample_index(&mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_choose_peer_oracle,
+    bench_choose_peer_chord,
+    bench_estimate_n,
+    bench_naive_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Experiment runner: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release -p bench --bin exp -- all          # every experiment
+//! cargo run --release -p bench --bin exp -- e5 e6        # a subset
+//! cargo run --release -p bench --bin exp -- --md all     # markdown output
+//! RP_QUICK=1 cargo run -p bench --bin exp -- all         # fast smoke run
+//! RP_SEED=42 cargo run --release -p bench --bin exp -- e5  # different seed
+//! ```
+
+use bench::{experiments, ExpContext};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let markdown = args.iter().any(|a| a == "--md");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--md").collect();
+    if ids.is_empty() {
+        eprintln!("usage: exp [--md] <e1..e12 | all>...");
+        eprintln!("experiments: {}", experiments::ALL.join(", "));
+        std::process::exit(2);
+    }
+
+    let ctx = ExpContext::from_env();
+    eprintln!(
+        "# master seed {:#x}{}",
+        ctx.seed,
+        if ctx.quick { " (quick mode)" } else { "" }
+    );
+
+    let selected: Vec<&str> = if ids.iter().any(|i| i == "all") {
+        experiments::ALL.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+
+    let mut failed = false;
+    for id in selected {
+        let started = std::time::Instant::now();
+        match experiments::run(id, &ctx) {
+            Some(tables) => {
+                for table in tables {
+                    if markdown {
+                        println!("{}", table.to_markdown());
+                    } else {
+                        println!("{}", table.render());
+                    }
+                }
+                eprintln!("# {id} finished in {:.1?}", started.elapsed());
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

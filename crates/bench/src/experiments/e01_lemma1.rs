@@ -1,0 +1,88 @@
+//! E1 — Lemma 1: successor-arc bounds.
+//!
+//! Claim: w.h.p. (≥ 1 − 1/n), every peer's successor arc `d` satisfies
+//! `ln n − ln ln n − 2 ≤ ln(1/d) ≤ 3 ln n`.
+
+use peer_sampling::theory;
+
+use super::{make_ring, size_sweep};
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpContext) -> Table {
+    let seeds = if ctx.quick { 10 } else { 50 };
+    let mut table = Table::new(
+        "E1: Lemma 1 successor-arc bounds",
+        "for every peer, ln(1/d) in [ln n - ln ln n - 2, 3 ln n] w.p. >= 1 - 1/n",
+        &[
+            "n",
+            "rings",
+            "rings_ok",
+            "bound_lo",
+            "obs_min",
+            "obs_max",
+            "bound_hi",
+            "viol_rate",
+        ],
+    );
+    let mut all_ok = true;
+    for n in size_sweep(ctx.quick) {
+        let mut rings_ok = 0u32;
+        let mut obs_min = f64::INFINITY;
+        let mut obs_max = f64::NEG_INFINITY;
+        let mut violations = 0u64;
+        let mut peers = 0u64;
+        let mut bounds = (0.0, 0.0);
+        for s in 0..seeds {
+            let ring = make_ring(n, ctx.stream(1, (n as u64) << 8 | s as u64));
+            let report = theory::lemma1(&ring);
+            bounds = (report.lower, report.upper);
+            if report.holds() {
+                rings_ok += 1;
+            }
+            violations += report.violations as u64;
+            peers += report.values.len() as u64;
+            for &v in &report.values {
+                obs_min = obs_min.min(v);
+                obs_max = obs_max.max(v);
+            }
+        }
+        let viol_rate = violations as f64 / peers as f64;
+        // "w.h.p." at these n: allow a small number of failing rings.
+        if (rings_ok as f64) < seeds as f64 * 0.9 {
+            all_ok = false;
+        }
+        table.push_row(vec![
+            n.to_string(),
+            seeds.to_string(),
+            rings_ok.to_string(),
+            fmt_f(bounds.0),
+            fmt_f(obs_min),
+            fmt_f(obs_max),
+            fmt_f(bounds.1),
+            fmt_f(viol_rate),
+        ]);
+    }
+    table.set_verdict(if all_ok {
+        "HOLDS: >=90% of rings satisfy both bounds at every n".to_string()
+    } else {
+        "VIOLATED: bound failure rate exceeds the w.h.p. allowance".to_string()
+    });
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_rows_and_holds() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+}

@@ -1,0 +1,73 @@
+//! E2 — Theorem 8: the minimum arc is `Θ(1/n²)`.
+//!
+//! Claim: the shortest arc between adjacent peers scales as `1/n²`; we fit
+//! the log–log slope of mean min-arc vs `n` (expect ≈ −2) and check the
+//! normalized statistic `min_arc · n²` stays in a constant band.
+
+use peer_sampling::theory;
+use stats::fit;
+
+use super::{make_ring, size_sweep};
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpContext) -> Table {
+    let seeds = if ctx.quick { 10 } else { 50 };
+    let mut table = Table::new(
+        "E2: Theorem 8 minimum-arc scaling",
+        "min adjacent-peer arc = Theta(1/n^2): log-log slope ~ -2, min_arc*n^2 = Theta(1)",
+        &["n", "mean_min_arc", "normalized(n^2)", "norm_p10", "norm_p90"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut norm_means = Vec::new();
+    for n in size_sweep(ctx.quick) {
+        let mut arcs = Vec::with_capacity(seeds);
+        let mut norms = Vec::with_capacity(seeds);
+        for s in 0..seeds {
+            let ring = make_ring(n, ctx.stream(2, (n as u64) << 8 | s as u64));
+            let report = theory::min_arc(&ring);
+            arcs.push(report.min_arc_fraction);
+            norms.push(report.normalized);
+        }
+        let mean_arc = arcs.iter().sum::<f64>() / arcs.len() as f64;
+        let summary = stats::Summary::from_samples(norms).expect("non-empty");
+        xs.push(n as f64);
+        ys.push(mean_arc);
+        norm_means.push(summary.mean());
+        table.push_row(vec![
+            n.to_string(),
+            fmt_f(mean_arc),
+            fmt_f(summary.mean()),
+            fmt_f(summary.percentile(10.0)),
+            fmt_f(summary.percentile(90.0)),
+        ]);
+    }
+    let fit = fit::log_log_fit(&xs, &ys);
+    let band = norm_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / norm_means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ok = (-2.4..=-1.6).contains(&fit.slope) && band < 4.0;
+    table.set_verdict(format!(
+        "{}: log-log slope {:.3} (expect -2, R^2 {:.4}); normalized band ratio {:.2}",
+        if ok { "HOLDS" } else { "VIOLATED" },
+        fit.slope,
+        fit.r_squared,
+        band
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_finds_inverse_square_scaling() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+}

@@ -1,0 +1,99 @@
+//! E3 — Lemma 3: *Estimate n* is a `(2/7 − ε, 6 + ε)`-approximation.
+//!
+//! Claim: w.h.p. every peer's estimate `n̂` satisfies
+//! `(2/7 − ε) n ≤ n̂ ≤ (6 + ε) n`. We sweep `n` and the probe multiplier
+//! `c₁`, reporting the ratio distribution and the band-violation rate.
+
+use peer_sampling::{NetworkSizeEstimator, OracleDht};
+
+use super::{make_ring, size_sweep};
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpContext) -> Table {
+    let seeds = if ctx.quick { 5 } else { 20 };
+    let peers_per_ring = if ctx.quick { 10 } else { 40 };
+    let c1_sweep = [4.0, 8.0, 16.0, 32.0];
+    let mut table = Table::new(
+        "E3: Lemma 3 Estimate-n approximation",
+        "(2/7 - eps, 6 + eps)-approximation of n w.p. >= 1 - 2/n; probes = c1 ln n",
+        &[
+            "n", "c1", "ratio_mean", "ratio_min", "ratio_max", "viol_rate", "mean_probes",
+        ],
+    );
+    let mut worst_violation_rate: f64 = 0.0;
+    for n in size_sweep(ctx.quick) {
+        for &c1 in &c1_sweep {
+            let estimator = NetworkSizeEstimator::new(c1);
+            let mut ratios = Vec::new();
+            let mut probes = 0u64;
+            let mut violations = 0u64;
+            for s in 0..seeds {
+                let ring = make_ring(n, ctx.stream(3, (n as u64) << 8 | s as u64));
+                let dht = OracleDht::new(ring);
+                for origin in sample_origins(n, peers_per_ring) {
+                    let est = estimator.estimate(&dht, origin).expect("oracle");
+                    let ratio = est.n_hat / n as f64;
+                    // Lemma 3 band with epsilon = 0.05 of slack.
+                    if !(2.0 / 7.0 - 0.05..=6.05).contains(&ratio) {
+                        violations += 1;
+                    }
+                    probes += est.probes;
+                    ratios.push(ratio);
+                }
+            }
+            let count = ratios.len() as f64;
+            let mean = ratios.iter().sum::<f64>() / count;
+            let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let viol_rate = violations as f64 / count;
+            worst_violation_rate = worst_violation_rate.max(viol_rate);
+            table.push_row(vec![
+                n.to_string(),
+                fmt_f(c1),
+                fmt_f(mean),
+                fmt_f(min),
+                fmt_f(max),
+                fmt_f(viol_rate),
+                fmt_f(probes as f64 / count),
+            ]);
+        }
+    }
+    let ok = worst_violation_rate < 0.02;
+    table.set_verdict(format!(
+        "{}: worst per-cell violation rate {:.4} (w.h.p. allowance 0.02)",
+        if ok { "HOLDS" } else { "VIOLATED" },
+        worst_violation_rate
+    ));
+    table
+}
+
+/// Evenly spread origin ranks so estimates come from distinct peers.
+fn sample_origins(n: usize, count: usize) -> impl Iterator<Item = usize> {
+    let step = (n / count.max(1)).max(1);
+    (0..n).step_by(step).take(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_stays_in_band() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+        assert_eq!(t.rows.len(), 2 * 4);
+    }
+
+    #[test]
+    fn origins_are_distinct() {
+        let origins: Vec<usize> = sample_origins(100, 10).collect();
+        assert_eq!(origins.len(), 10);
+        let set: std::collections::HashSet<_> = origins.iter().collect();
+        assert_eq!(set.len(), 10);
+    }
+}

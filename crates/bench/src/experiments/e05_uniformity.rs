@@ -1,0 +1,142 @@
+//! E5 — Theorem 6: exact uniformity.
+//!
+//! Two tables:
+//!
+//! * **E5a (exhaustive)** — on a small ring every start point `s` is
+//!   enumerated; Theorem 6's discrete form says every peer owns *exactly*
+//!   `λ` points. The measured max deviation must be zero.
+//! * **E5b (sampled)** — on the full 2⁶⁴ ring, millions of sampler draws
+//!   are chi-square-tested against uniform and compared with the naive
+//!   heuristic under identical conditions.
+
+use keyspace::KeySpace;
+use peer_sampling::{assignment, OracleDht, Sampler, SamplerConfig};
+use rand::SeedableRng;
+use stats::{divergence, ChiSquare};
+
+use super::make_ring;
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs both sub-experiments.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    vec![exhaustive(ctx), sampled(ctx)]
+}
+
+fn exhaustive(ctx: &ExpContext) -> Table {
+    let mut table = Table::new(
+        "E5a: Theorem 6 exact uniformity (exhaustive enumeration)",
+        "every peer owns exactly lambda ring points under the Figure-1 scan",
+        &["modulus", "n", "lambda", "min_owned", "max_owned", "max_deviation"],
+    );
+    let mut exact = true;
+    let cases: &[(u128, usize)] = &[(1 << 16, 10), (1 << 18, 100), (1 << 20, 1000)];
+    let cases = if ctx.quick { &cases[..2] } else { cases };
+    for &(modulus, n) in cases {
+        let space = KeySpace::with_modulus(modulus).expect("valid modulus");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(5, n as u64));
+        let ring = keyspace::SortedRing::new(space, space.random_distinct_points(&mut rng, n));
+        let lambda = (modulus / (7 * n as u128)) as u64;
+        // Untruncated scan (step limit n+1): the pure partition property.
+        let counts = assignment::measure_per_peer(&ring, lambda, n as u32 + 1);
+        let min = *counts.iter().min().expect("peers");
+        let max = *counts.iter().max().expect("peers");
+        let deviation = (max - lambda).max(lambda - min);
+        if deviation != 0 {
+            exact = false;
+        }
+        table.push_row(vec![
+            format!("2^{}", modulus.trailing_zeros()),
+            n.to_string(),
+            lambda.to_string(),
+            min.to_string(),
+            max.to_string(),
+            deviation.to_string(),
+        ]);
+    }
+    table.set_verdict(if exact {
+        "HOLDS EXACTLY: zero deviation — every peer owns exactly lambda points".to_string()
+    } else {
+        "VIOLATED: some peer's measure differs from lambda".to_string()
+    });
+    table
+}
+
+fn sampled(ctx: &ExpContext) -> Table {
+    let n = if ctx.quick { 512 } else { 4096 };
+    let draws = if ctx.quick { 100_000 } else { 1_000_000 };
+    let mut table = Table::new(
+        "E5b: Theorem 6 sampled uniformity vs the naive heuristic",
+        "sampler draws pass chi-square GOF vs uniform; naive h(s) fails catastrophically",
+        &["sampler", "draws", "chi2_p", "tv_dist", "max/min_freq", "never_chosen"],
+    );
+    let ring = make_ring(n, ctx.stream(5, 0xB0B));
+    let dht = OracleDht::new(ring.clone());
+    let sampler = Sampler::new(SamplerConfig::new(n as u64));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(5, 0xD1CE));
+
+    let mut ks_counts = vec![0u64; n];
+    for _ in 0..draws {
+        let s = sampler.sample(&dht, &mut rng).expect("oracle sampling");
+        ks_counts[s.peer] += 1;
+    }
+    let mut naive_counts = vec![0u64; n];
+    let naive = baselines::NaiveSampler::new(ring);
+    for _ in 0..draws {
+        naive_counts[baselines::IndexSampler::sample_index(&naive, &mut rng)] += 1;
+    }
+
+    let ks_chi = ChiSquare::uniform(&ks_counts).expect("categories");
+    let naive_chi = ChiSquare::uniform(&naive_counts).expect("categories");
+    for (name, counts, chi) in [
+        ("king-saia", &ks_counts, &ks_chi),
+        ("naive h(s)", &naive_counts, &naive_chi),
+    ] {
+        let ratio = divergence::max_min_ratio(counts);
+        table.push_row(vec![
+            name.to_string(),
+            draws.to_string(),
+            fmt_f(chi.p_value()),
+            fmt_f(divergence::tv_from_uniform(counts)),
+            if ratio.is_finite() {
+                fmt_f(ratio)
+            } else {
+                "inf".to_string()
+            },
+            counts.iter().filter(|&&c| c == 0).count().to_string(),
+        ]);
+    }
+    let ok = ks_chi.p_value() > 0.001 && naive_chi.p_value() < 1e-10;
+    table.set_verdict(format!(
+        "{}: king-saia p = {:.4} (uniform not rejected), naive p = {:.2e} (rejected)",
+        if ok { "HOLDS" } else { "VIOLATED" },
+        ks_chi.p_value(),
+        naive_chi.p_value()
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_exhaustive_is_exact() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = exhaustive(&ctx);
+        assert!(t.verdict.starts_with("HOLDS EXACTLY"), "{}", t.verdict);
+        assert!(t.rows.iter().all(|r| r[5] == "0"));
+    }
+
+    #[test]
+    fn quick_sampled_separates_sampler_from_naive() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = sampled(&ctx);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+}

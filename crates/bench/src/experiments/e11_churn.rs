@@ -1,0 +1,136 @@
+//! E11 — the paper's §4 open problem: behaviour under churn.
+//!
+//! The paper proves its guarantees on a static ring and asks how the
+//! algorithm fares "in practice". We run the sampler against a Chord
+//! overlay under M/M/∞ churn at several intensities, measuring the sample
+//! failure rate, cost inflation, and the uniformity of successful samples
+//! over the live population at the end of the run.
+
+use chord::{ChordConfig, ChordDht, ChurnSimulation};
+use peer_sampling::{Sampler, SamplerConfig};
+use rand::SeedableRng;
+use simnet::churn::ChurnConfig;
+use simnet::{SimDuration, SimTime};
+use stats::divergence;
+
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpContext) -> Table {
+    let initial = if ctx.quick { 128 } else { 512 };
+    let probes_during = if ctx.quick { 200 } else { 1000 };
+    let draws_after = if ctx.quick { 20_000 } else { 100_000 };
+    let mut table = Table::new(
+        "E11: sampling under churn (open problem, paper section 4)",
+        "failure rate and uniformity drift stay small while stabilization keeps pace with churn",
+        &[
+            "churn/1k_ticks",
+            "live_end",
+            "fail_rate",
+            "mean_msgs",
+            "tv_after",
+            "max/min_freq",
+        ],
+    );
+    let mut fail_rates = Vec::new();
+    for (i, &rate) in [2.0f64, 10.0, 50.0].iter().enumerate() {
+        let churn = ChurnConfig {
+            arrivals_per_1000_ticks: rate,
+            mean_lifetime: SimDuration::from_ticks((initial as u64) * 1000 / rate as u64),
+            crash_fraction: 0.5,
+            horizon: SimDuration::from_ticks(30_000),
+        };
+        let mut sim = ChurnSimulation::new(
+            initial,
+            ChordConfig::default(),
+            churn,
+            SimDuration::from_ticks(250),
+            ctx.stream(11, i as u64),
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(11, 100 + i as u64));
+
+        // Phase 1: probe during churn — interleave sampling with events.
+        let mut failures = 0u64;
+        let mut msgs = 0u64;
+        let mut successes = 0u64;
+        for p in 0..probes_during {
+            let t = SimTime::from_ticks(30_000 * (p as u64 + 1) / probes_during as u64);
+            sim.run_until(t);
+            let net = sim.network();
+            let live = net.live_ids();
+            let anchor = live[p % live.len()];
+            let dht = ChordDht::new(net, anchor, ctx.stream(11, 200 + p as u64));
+            let sampler = Sampler::new(
+                SamplerConfig::new(live.len() as u64).with_max_trials(64),
+            );
+            match sampler.sample(&dht, &mut rng) {
+                Ok(s) => {
+                    successes += 1;
+                    msgs += s.cost.messages;
+                }
+                Err(_) => failures += 1,
+            }
+        }
+        let fail_rate = failures as f64 / probes_during as f64;
+        fail_rates.push(fail_rate);
+
+        // Phase 2: churn has ended; measure uniformity over the final
+        // live population (stale routing state included — no extra
+        // convergence rounds beyond the schedule's own ticks).
+        sim.run_to_end();
+        let net = sim.network();
+        let live = net.live_ids();
+        let index_of: std::collections::HashMap<_, _> =
+            live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+        let anchor = live[0];
+        let dht = ChordDht::new(net, anchor, ctx.stream(11, 999 + i as u64));
+        let sampler =
+            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        let mut counts = vec![0u64; live.len()];
+        let mut post_failures = 0u64;
+        for _ in 0..draws_after {
+            match sampler.sample(&dht, &mut rng) {
+                Ok(s) => counts[index_of[&s.peer]] += 1,
+                Err(_) => post_failures += 1,
+            }
+        }
+        let tv = divergence::tv_from_uniform(&counts);
+        let ratio = divergence::max_min_ratio(&counts);
+        table.push_row(vec![
+            fmt_f(rate),
+            live.len().to_string(),
+            fmt_f(fail_rate),
+            fmt_f(msgs as f64 / successes.max(1) as f64),
+            fmt_f(tv),
+            if ratio.is_finite() {
+                fmt_f(ratio)
+            } else {
+                "inf".to_string()
+            },
+        ]);
+        let _ = post_failures;
+    }
+    let ok = fail_rates.iter().all(|&f| f < 0.05);
+    table.set_verdict(format!(
+        "{}: sample failure rate stays below 5% at every churn intensity ({:?})",
+        if ok { "HOLDS" } else { "CHECK" },
+        fail_rates.iter().map(|f| (f * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_survives_churn() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 3);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+}

@@ -1,0 +1,101 @@
+//! E14 — biased selection (the paper's open problem 3, implemented).
+//!
+//! §4: *"we may want to choose a peer with probability that is inversely
+//! proportional to its distance from us"*. Our weighted generalization of
+//! Figure 1 assigns each peer a locally computable measure `λ(p)`; this
+//! experiment draws from the inverse-distance distribution and compares
+//! empirical frequencies against the exact model `λ(p)/Σλ` per
+//! distance-decile.
+
+use keyspace::KeySpace;
+use peer_sampling::weighted::{InverseDistanceWeight, PeerWeight, WeightedSampler};
+use peer_sampling::OracleDht;
+use rand::SeedableRng;
+use stats::divergence;
+
+use super::make_ring;
+use crate::{fmt_f, ExpContext, Table};
+
+/// Runs the experiment.
+pub fn run(ctx: &ExpContext) -> Table {
+    let n = if ctx.quick { 128 } else { 512 };
+    let draws = if ctx.quick { 20_000 } else { 100_000 };
+    let mut table = Table::new(
+        "E14: inverse-distance biased sampling (open problem 3)",
+        "weighted Figure-1 scan matches the target distribution lambda(p)/sum(lambda) exactly",
+        &[
+            "distance_decile",
+            "model_prob",
+            "empirical_prob",
+            "abs_err",
+        ],
+    );
+    let space = KeySpace::full();
+    let ring = make_ring(n, ctx.stream(14, 1));
+    let origin = ring.point(0);
+    let scale = InverseDistanceWeight::suggested_scale(space, n as u64);
+    let weight = InverseDistanceWeight::new(space, origin, scale);
+
+    // Exact model distribution.
+    let lambdas: Vec<f64> = (0..n).map(|r| weight.lambda(ring.point(r)) as f64).collect();
+    let total: f64 = lambdas.iter().sum();
+    let model: Vec<f64> = lambdas.iter().map(|l| l / total).collect();
+
+    // Empirical draws.
+    let dht = OracleDht::new(ring.clone());
+    let sampler = WeightedSampler::new(256, 8192);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(14, 2));
+    let mut counts = vec![0u64; n];
+    for _ in 0..draws {
+        let s = sampler.sample(&dht, &weight, &mut rng).expect("oracle");
+        counts[ring.index_of(s.point).expect("peer point")] += 1;
+    }
+    let empirical: Vec<f64> = counts.iter().map(|&c| c as f64 / draws as f64).collect();
+
+    // Aggregate by distance decile from the origin for the table.
+    let mut decile_model = [0.0; 10];
+    let mut decile_emp = [0.0; 10];
+    for rank in 0..n {
+        let d = space.distance(origin, ring.point(rank)).to_u128();
+        let decile = ((d * 10) / space.modulus()).min(9) as usize;
+        decile_model[decile] += model[rank];
+        decile_emp[decile] += empirical[rank];
+    }
+    for dec in 0..10 {
+        table.push_row(vec![
+            format!("{}0-{}0%", dec, dec + 1),
+            fmt_f(decile_model[dec]),
+            fmt_f(decile_emp[dec]),
+            fmt_f((decile_model[dec] - decile_emp[dec]).abs()),
+        ]);
+    }
+
+    let tv = divergence::total_variation(&empirical, &model);
+    // Noise floor for n categories and `draws` samples is ~sqrt(n/(2*pi*draws)).
+    let floor = (n as f64 / (2.0 * std::f64::consts::PI * draws as f64)).sqrt();
+    let ok = tv < 4.0 * floor && decile_model[0] > 5.0 * decile_model[9].max(1e-9);
+    table.set_verdict(format!(
+        "{}: per-peer TV(empirical, model) = {:.4} (noise floor {:.4}); nearest decile carries {:.0}x the farthest's mass",
+        if ok { "HOLDS" } else { "CHECK" },
+        tv,
+        floor,
+        decile_model[0] / decile_model[9].max(1e-9)
+    ));
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_matches_model() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 10);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+}

@@ -1,0 +1,140 @@
+use core::fmt;
+
+use simnet::LatencyModel;
+
+/// Tuning parameters of the Chord protocol.
+///
+/// Defaults follow the SIGCOMM paper's recommendations scaled to
+/// simulation: a successor list of `O(log n)` entries (8 covers the sizes
+/// used in the experiments) and unit message delays.
+///
+/// # Example
+///
+/// ```
+/// use chord::ChordConfig;
+///
+/// let config = ChordConfig::default().with_successor_list_len(16);
+/// assert_eq!(config.successor_list_len(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChordConfig {
+    successor_list_len: usize,
+    max_hops: u32,
+    latency: LatencyModel,
+}
+
+impl ChordConfig {
+    /// Creates the default configuration (successor list 8, hop cap 256,
+    /// unit latency).
+    pub fn new() -> ChordConfig {
+        ChordConfig {
+            successor_list_len: 8,
+            max_hops: 256,
+            latency: LatencyModel::UNIT,
+        }
+    }
+
+    /// Sets the successor-list length `r`.
+    ///
+    /// Chord tolerates up to `r − 1` consecutive successor failures; the
+    /// SIGCOMM paper recommends `r = Θ(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn with_successor_list_len(mut self, len: usize) -> ChordConfig {
+        assert!(len > 0, "successor list needs at least one entry");
+        self.successor_list_len = len;
+        self
+    }
+
+    /// Sets the routing hop cap (fail-safe against routing loops in
+    /// heavily churned rings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_hops == 0`.
+    pub fn with_max_hops(mut self, max_hops: u32) -> ChordConfig {
+        assert!(max_hops > 0, "hop cap must be positive");
+        self.max_hops = max_hops;
+        self
+    }
+
+    /// Sets the per-message latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> ChordConfig {
+        self.latency = latency;
+        self
+    }
+
+    /// The successor-list length `r`.
+    pub fn successor_list_len(&self) -> usize {
+        self.successor_list_len
+    }
+
+    /// The routing hop cap.
+    pub fn max_hops(&self) -> u32 {
+        self.max_hops
+    }
+
+    /// The per-message latency model.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+}
+
+impl Default for ChordConfig {
+    fn default() -> ChordConfig {
+        ChordConfig::new()
+    }
+}
+
+impl fmt::Display for ChordConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ChordConfig(r = {}, max_hops = {}, latency = {})",
+            self.successor_list_len, self.max_hops, self.latency
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ChordConfig::default();
+        assert_eq!(c.successor_list_len(), 8);
+        assert_eq!(c.max_hops(), 256);
+        assert_eq!(c.latency(), LatencyModel::UNIT);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = ChordConfig::new()
+            .with_successor_list_len(3)
+            .with_max_hops(10)
+            .with_latency(LatencyModel::Constant(5));
+        assert_eq!(c.successor_list_len(), 3);
+        assert_eq!(c.max_hops(), 10);
+        assert_eq!(c.latency(), LatencyModel::Constant(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_successors_panics() {
+        let _ = ChordConfig::new().with_successor_list_len(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_hops_panics() {
+        let _ = ChordConfig::new().with_max_hops(0);
+    }
+
+    #[test]
+    fn display_mentions_r() {
+        assert!(ChordConfig::default().to_string().contains("r = 8"));
+    }
+}

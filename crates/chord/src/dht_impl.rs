@@ -1,0 +1,253 @@
+use std::cell::RefCell;
+
+use keyspace::{KeySpace, Point};
+use peer_sampling::{Cost, Dht, DhtError, Resolved};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::network::{ChordNetwork, NodeId};
+use crate::LookupError;
+
+/// Adapter exposing a [`ChordNetwork`] as the paper's DHT interface.
+///
+/// The view is anchored at a `start` node — the peer "running" the
+/// algorithm: `h(x)` is a routed [`find_successor`] *from that node* (so
+/// its cost is the real hop count), and `next(p)` is one successor-pointer
+/// query at `p`.
+///
+/// The adapter holds its own latency RNG behind a `RefCell` because the
+/// [`Dht`] trait takes `&self` (the sampler must not be able to mutate the
+/// network) while latency sampling needs mutable RNG state.
+///
+/// # Example
+///
+/// ```
+/// use chord::{ChordConfig, ChordDht, ChordNetwork};
+/// use keyspace::KeySpace;
+/// use peer_sampling::{Sampler, SamplerConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let space = KeySpace::full();
+/// let net = ChordNetwork::bootstrap(
+///     space,
+///     space.random_points(&mut rng, 200),
+///     ChordConfig::default(),
+/// );
+/// let dht = ChordDht::new(&net, net.live_ids()[0], 42);
+/// let sampler = Sampler::new(SamplerConfig::new(200));
+/// let sample = sampler.sample(&dht, &mut rng)?;
+/// assert!(net.node(sample.peer).is_alive());
+/// # Ok::<(), peer_sampling::SampleError>(())
+/// ```
+///
+/// [`find_successor`]: ChordNetwork::find_successor
+#[derive(Debug)]
+pub struct ChordDht<'a> {
+    net: &'a ChordNetwork,
+    start: NodeId,
+    rng: RefCell<StdRng>,
+}
+
+impl<'a> ChordDht<'a> {
+    /// Anchors a DHT view at `start` with a dedicated latency-RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is dead — a dead peer cannot run the algorithm.
+    pub fn new(net: &'a ChordNetwork, start: NodeId, latency_seed: u64) -> ChordDht<'a> {
+        assert!(
+            net.node(start).is_alive(),
+            "anchor node {start} must be alive"
+        );
+        ChordDht {
+            net,
+            start,
+            rng: RefCell::new(StdRng::seed_from_u64(latency_seed)),
+        }
+    }
+
+    /// The anchor node.
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &ChordNetwork {
+        self.net
+    }
+}
+
+impl Dht for ChordDht<'_> {
+    type Peer = NodeId;
+
+    fn space(&self) -> KeySpace {
+        self.net.space()
+    }
+
+    fn h(&self, x: Point) -> Result<Resolved<NodeId>, DhtError> {
+        let mut rng = self.rng.borrow_mut();
+        match self.net.find_successor(self.start, x, &mut *rng) {
+            Ok(hit) => Ok(Resolved {
+                peer: hit.node,
+                point: hit.point,
+                cost: hit.cost,
+            }),
+            Err(e) => Err(lookup_to_dht_error(e)),
+        }
+    }
+
+    fn next(&self, p: NodeId) -> Result<Resolved<NodeId>, DhtError> {
+        if !self.net.node(p).is_alive() {
+            return Err(DhtError::PeerUnavailable);
+        }
+        let latency = self.net.config().latency();
+        let mut rng = self.rng.borrow_mut();
+        let mut cost = Cost::FREE;
+        // Probe the successor list in order; each probe is one message.
+        for &cand in self.net.node(p).successors() {
+            cost.messages += 1;
+            cost.latency += latency.sample(&mut *rng).ticks();
+            if self.net.node(cand).is_alive() {
+                return Ok(Resolved {
+                    peer: cand,
+                    point: self.net.node(cand).point(),
+                    cost,
+                });
+            }
+        }
+        Err(DhtError::RoutingFailed {
+            hops: cost.messages,
+        })
+    }
+
+    fn point_of(&self, p: NodeId) -> Result<Point, DhtError> {
+        if !self.net.node(p).is_alive() {
+            return Err(DhtError::PeerUnavailable);
+        }
+        Ok(self.net.node(p).point())
+    }
+}
+
+fn lookup_to_dht_error(e: LookupError) -> DhtError {
+    match e {
+        LookupError::StartDead => DhtError::PeerUnavailable,
+        LookupError::HopLimitExceeded { max_hops } => DhtError::RoutingFailed {
+            hops: max_hops as u64,
+        },
+        LookupError::SuccessorsAllDead => DhtError::RoutingFailed { hops: 0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChordConfig;
+    use peer_sampling::{NetworkSizeEstimator, Sampler};
+
+    fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+        let space = KeySpace::full();
+        let mut r = StdRng::seed_from_u64(seed);
+        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+    }
+
+    #[test]
+    fn h_matches_oracle() {
+        let net = bootstrap(128, 1);
+        let dht = ChordDht::new(&net, net.live_ids()[0], 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let x = net.space().random_point(&mut rng);
+            let hit = dht.h(x).unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(x));
+            assert!(hit.cost.messages > 0, "routed lookups cost messages");
+        }
+    }
+
+    #[test]
+    fn next_walks_the_ring_in_order() {
+        let net = bootstrap(64, 2);
+        let dht = ChordDht::new(&net, net.live_ids()[0], 3);
+        // Walk the full ring via next: must visit all 64 nodes.
+        let start = net.live_ids()[0];
+        let mut seen = std::collections::HashSet::new();
+        let mut cur = start;
+        loop {
+            let nxt = dht.next(cur).unwrap();
+            assert_eq!(nxt.cost.messages, 1, "healthy next is one message");
+            cur = nxt.peer;
+            if cur == start {
+                break;
+            }
+            assert!(seen.insert(cur), "ring walk revisited {cur} early");
+        }
+        assert_eq!(seen.len(), 63);
+    }
+
+    #[test]
+    fn next_skips_crashed_successor_at_extra_cost() {
+        let mut net = bootstrap(64, 3);
+        let ids = net.live_ids();
+        let anchor = ids[0];
+        let succ = net.first_live_successor(anchor).unwrap();
+        net.crash(succ);
+        let dht = ChordDht::new(&net, anchor, 4);
+        let nxt = dht.next(anchor).unwrap();
+        assert!(net.node(nxt.peer).is_alive());
+        assert!(nxt.cost.messages >= 2, "dead probe must be paid for");
+    }
+
+    #[test]
+    fn dead_peer_operations_error() {
+        let mut net = bootstrap(16, 4);
+        let ids = net.live_ids();
+        let victim = ids[5];
+        net.crash(victim);
+        let dht = ChordDht::new(&net, ids[0], 5);
+        assert_eq!(dht.next(victim).unwrap_err(), DhtError::PeerUnavailable);
+        assert_eq!(dht.point_of(victim).unwrap_err(), DhtError::PeerUnavailable);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be alive")]
+    fn anchoring_at_dead_node_panics() {
+        let mut net = bootstrap(8, 5);
+        let id = net.live_ids()[0];
+        net.crash(id);
+        let _ = ChordDht::new(&net, id, 6);
+    }
+
+    #[test]
+    fn full_sampler_stack_runs_on_chord() {
+        let net = bootstrap(300, 6);
+        let dht = ChordDht::new(&net, net.live_ids()[0], 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Estimate n through the real protocol, then sample with it.
+        let est = NetworkSizeEstimator::default()
+            .estimate(&dht, dht.start())
+            .unwrap();
+        assert!(est.n_hat > 40.0 && est.n_hat < 2100.0, "n_hat {}", est.n_hat);
+        let sampler = Sampler::new(est.to_sampler_config());
+        let mut total_messages = 0u64;
+        let draws = 20;
+        for _ in 0..draws {
+            let s = sampler.sample(&dht, &mut rng).unwrap();
+            assert!(net.node(s.peer).is_alive());
+            total_messages += s.cost.messages;
+        }
+        // Theorem 7 shape: expected messages are O(m_h + log n) per trial
+        // with O(1) expected trials — far below n per sample on average
+        // (individual samples have geometric tails).
+        let mean = total_messages as f64 / draws as f64;
+        assert!(mean < 300.0, "mean cost {mean} too high for n = 300");
+    }
+
+    #[test]
+    fn accessors() {
+        let net = bootstrap(8, 7);
+        let dht = ChordDht::new(&net, net.live_ids()[2], 9);
+        assert_eq!(dht.start(), net.live_ids()[2]);
+        assert_eq!(dht.network().live_len(), 8);
+        assert_eq!(dht.space().modulus(), net.space().modulus());
+    }
+}

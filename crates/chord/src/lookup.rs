@@ -1,0 +1,354 @@
+use core::fmt;
+
+use keyspace::Point;
+use peer_sampling::Cost;
+use rand::Rng;
+
+use crate::network::{ChordNetwork, NodeId};
+
+/// Error from a routed Chord lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupError {
+    /// The starting node is dead.
+    StartDead,
+    /// The hop cap was exceeded (routing loop or pathological churn).
+    HopLimitExceeded {
+        /// Configured cap that was hit.
+        max_hops: u32,
+    },
+    /// A hop's entire successor list was dead — the ring is partitioned
+    /// from this node's perspective.
+    SuccessorsAllDead,
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::StartDead => write!(f, "lookup started at a dead node"),
+            LookupError::HopLimitExceeded { max_hops } => {
+                write!(f, "lookup exceeded the {max_hops}-hop cap")
+            }
+            LookupError::SuccessorsAllDead => {
+                write!(f, "every successor of a hop was dead (ring partition)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// A successful routed lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// The node owning the target point (its successor on the ring).
+    pub node: NodeId,
+    /// That node's point.
+    pub point: Point,
+    /// Routing hops taken (nodes traversed).
+    pub hops: u32,
+    /// Messages and latency spent, **including** probes of dead nodes
+    /// (failure detection is not free).
+    pub cost: Cost,
+}
+
+impl ChordNetwork {
+    /// Routes a lookup for `target` starting at node `from`, returning the
+    /// live node whose point is the clockwise successor of `target`.
+    ///
+    /// This is the iterative Chord algorithm (SIGCOMM Fig. 5): at each hop
+    /// the current node either answers from its successor list (when the
+    /// target falls between itself and a live successor) or forwards to
+    /// the closest preceding finger. Each contacted node costs one message
+    /// and one latency sample; contacting a dead node costs the same (a
+    /// timed-out probe) and the router falls back to the next candidate.
+    ///
+    /// # Errors
+    ///
+    /// * [`LookupError::StartDead`] — `from` is dead.
+    /// * [`LookupError::SuccessorsAllDead`] — some hop lost its entire
+    ///   successor list (only possible when churn outpaces stabilization).
+    /// * [`LookupError::HopLimitExceeded`] — the configured cap was hit.
+    pub fn find_successor<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        rng: &mut R,
+    ) -> Result<LookupResult, LookupError> {
+        if !self.node(from).is_alive() {
+            return Err(LookupError::StartDead);
+        }
+        let latency_model = self.config().latency();
+        let mut cost = Cost::FREE;
+        let send = |cost: &mut Cost, rng: &mut R| {
+            cost.messages += 1;
+            cost.latency += latency_model.sample(rng).ticks();
+        };
+
+        let mut current = from;
+        let mut hops = 0u32;
+        loop {
+            if hops > self.config().max_hops() {
+                return Err(LookupError::HopLimitExceeded {
+                    max_hops: self.config().max_hops(),
+                });
+            }
+            let cur_point = self.node(current).point();
+
+            // Singleton special case: a node that is its own successor
+            // owns the whole ring.
+            let successors = self.node(current).successors();
+            if successors.len() == 1 && successors[0] == current {
+                self.metrics().add("lookup.hops", hops as u64);
+                return Ok(LookupResult {
+                    node: current,
+                    point: cur_point,
+                    hops,
+                    cost,
+                });
+            }
+
+            // Case 1: the target falls between us and some successor-list
+            // entry. The first such entry is the locally-believed answer;
+            // if it turns out dead, the next live list entry is the true
+            // successor (list entries are consecutive ring nodes), at the
+            // price of one timed-out probe per dead entry.
+            if successors.is_empty() {
+                return Err(LookupError::SuccessorsAllDead);
+            }
+            let answer_rank = successors.iter().position(|&e| {
+                self.between_open_closed(cur_point, target, self.node(e).point())
+            });
+            if let Some(rank) = answer_rank {
+                let mut found = None;
+                for &cand in &successors[rank..] {
+                    send(&mut cost, rng); // probe / handoff message
+                    if self.node(cand).is_alive() {
+                        found = Some(cand);
+                        break;
+                    }
+                    self.metrics().incr("lookup.dead_probe");
+                }
+                if let Some(cand) = found {
+                    self.metrics().add("lookup.hops", (hops + 1) as u64);
+                    return Ok(LookupResult {
+                        node: cand,
+                        point: self.node(cand).point(),
+                        hops: hops + 1,
+                        cost,
+                    });
+                }
+                // The whole tail of the list was dead: fall through to
+                // finger routing, which forwards to a live node *before*
+                // the target; that node's (fresher) list resolves it.
+            }
+
+            // Case 2: forward to the closest preceding live candidate
+            // (fingers first, then the successor list).
+            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, rng)
+            else {
+                return Err(LookupError::SuccessorsAllDead);
+            };
+            current = next_hop;
+            hops += 1;
+        }
+    }
+
+    /// The closest node preceding `target` among `at`'s fingers and
+    /// successor list, probing candidates from closest-preceding downward
+    /// and skipping dead ones (each probe costs a message).
+    fn closest_preceding<R: Rng + ?Sized>(
+        &self,
+        at: NodeId,
+        target: Point,
+        cost: &mut Cost,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let at_point = self.node(at).point();
+        let latency_model = self.config().latency();
+
+        // Collect candidates strictly inside (at, target), dedup, order by
+        // distance from `at` descending (closest to target first).
+        let node = self.node(at);
+        let mut candidates: Vec<NodeId> = node
+            .fingers()
+            .iter()
+            .flatten()
+            .copied()
+            .chain(node.successors().iter().copied())
+            .filter(|&c| {
+                c != at && self.between_open(at_point, self.node(c).point(), target)
+            })
+            .collect();
+        candidates.sort_by_key(|&c| self.space().distance(at_point, self.node(c).point()));
+        candidates.dedup();
+
+        for &cand in candidates.iter().rev() {
+            cost.messages += 1;
+            cost.latency += latency_model.sample(rng).ticks();
+            if self.node(cand).is_alive() {
+                return Some(cand);
+            }
+            self.metrics().incr("lookup.dead_probe");
+        }
+        // No usable finger: fall back to the first live successor, which
+        // always makes clockwise progress.
+        self.first_live_successor(at).filter(|&s| s != at).inspect(|_s| {
+            cost.messages += 1;
+            cost.latency += latency_model.sample(rng).ticks();
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChordConfig;
+    use keyspace::KeySpace;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+        let space = KeySpace::full();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+    }
+
+    #[test]
+    fn lookup_matches_ground_truth() {
+        let net = bootstrap(256, 1);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        for _ in 0..200 {
+            let target = net.space().random_point(&mut r);
+            let hit = net.find_successor(start, target, &mut r).unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(target));
+        }
+    }
+
+    #[test]
+    fn lookup_from_every_start_matches() {
+        let net = bootstrap(64, 2);
+        let mut r = rng();
+        let target = net.space().random_point(&mut r);
+        let truth = net.ground_truth_successor(target);
+        for start in net.live_ids() {
+            let hit = net.find_successor(start, target, &mut r).unwrap();
+            assert_eq!(hit.point, truth, "start {start}");
+        }
+    }
+
+    #[test]
+    fn hops_are_logarithmic() {
+        let net = bootstrap(1024, 3);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        let mut total_hops = 0u64;
+        let lookups = 300;
+        for _ in 0..lookups {
+            let target = net.space().random_point(&mut r);
+            let hit = net.find_successor(start, target, &mut r).unwrap();
+            total_hops += hit.hops as u64;
+            assert!(hit.hops <= 30, "hop count {} too high for n=1024", hit.hops);
+        }
+        let mean = total_hops as f64 / lookups as f64;
+        // Chord's expected path length is ~½ log2 n = 5; allow slack.
+        assert!((2.0..10.0).contains(&mean), "mean hops {mean}");
+    }
+
+    #[test]
+    fn messages_track_hops_on_healthy_ring() {
+        let net = bootstrap(128, 4);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        let target = net.space().random_point(&mut r);
+        let hit = net.find_successor(start, target, &mut r).unwrap();
+        // On a fault-free ring: one message per forwarding step plus the
+        // final handoff; no dead probes.
+        assert!(hit.cost.messages >= hit.hops as u64);
+        assert!(hit.cost.messages <= hit.hops as u64 + 2);
+        assert_eq!(net.metrics().get("lookup.dead_probe"), 0);
+    }
+
+    #[test]
+    fn lookup_self_point_returns_self() {
+        let net = bootstrap(32, 5);
+        let mut r = rng();
+        let start = net.live_ids()[7];
+        let hit = net
+            .find_successor(start, net.node(start).point(), &mut r)
+            .unwrap();
+        assert_eq!(hit.node, start);
+    }
+
+    #[test]
+    fn lookup_routes_around_crashes() {
+        let mut net = bootstrap(128, 6);
+        let mut r = rng();
+        // Crash 20 nodes without any repair rounds.
+        let victims: Vec<NodeId> = net.live_ids().into_iter().step_by(6).take(20).collect();
+        for v in &victims {
+            net.crash(*v);
+        }
+        let start = net.live_ids()[0];
+        for _ in 0..100 {
+            let target = net.space().random_point(&mut r);
+            let hit = net.find_successor(start, target, &mut r).unwrap();
+            assert!(net.node(hit.node).is_alive());
+            assert_eq!(hit.point, net.ground_truth_successor(target));
+        }
+        // Dead fingers cost extra probe messages.
+        assert!(net.metrics().get("lookup.dead_probe") > 0);
+    }
+
+    #[test]
+    fn start_dead_is_an_error() {
+        let mut net = bootstrap(8, 7);
+        let mut r = rng();
+        let id = net.live_ids()[0];
+        net.crash(id);
+        assert_eq!(
+            net.find_successor(id, Point::new(1), &mut r).unwrap_err(),
+            LookupError::StartDead
+        );
+    }
+
+    #[test]
+    fn singleton_owns_everything() {
+        let space = KeySpace::full();
+        let mut net = ChordNetwork::new(space, ChordConfig::default());
+        let id = net.create(Point::new(99));
+        let mut r = rng();
+        let hit = net.find_successor(id, Point::new(5), &mut r).unwrap();
+        assert_eq!(hit.node, id);
+        assert_eq!(hit.hops, 0);
+    }
+
+    #[test]
+    fn latency_accumulates_per_message() {
+        let space = KeySpace::full();
+        let mut r = rng();
+        let net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, 64),
+            ChordConfig::default().with_latency(simnet::LatencyModel::Constant(10)),
+        );
+        let start = net.live_ids()[0];
+        let target = net.space().random_point(&mut r);
+        let hit = net.find_successor(start, target, &mut r).unwrap();
+        assert_eq!(hit.cost.latency, hit.cost.messages * 10);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(LookupError::StartDead.to_string().contains("dead"));
+        assert!(LookupError::HopLimitExceeded { max_hops: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(LookupError::SuccessorsAllDead
+            .to_string()
+            .contains("partition"));
+    }
+}

@@ -1,0 +1,774 @@
+use core::fmt;
+
+use keyspace::{KeySpace, Point};
+use rand::Rng;
+use simnet::Metrics;
+
+use crate::{ChordConfig, NodeState};
+
+/// Stable handle of a node in a [`ChordNetwork`].
+///
+/// Ids index an arena and are never reused; a crashed or departed node
+/// keeps its id (with `is_alive() == false`), so experiment histograms can
+/// be keyed by `NodeId` across churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a handle from a raw arena index.
+    pub const fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The raw arena index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Snapshot of ring-consistency checks, produced by
+/// [`ChordNetwork::verify_ring`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RingReport {
+    /// Live nodes whose first successor matches the ground truth.
+    pub correct_successors: usize,
+    /// Live nodes whose predecessor matches the ground truth.
+    pub correct_predecessors: usize,
+    /// Fraction of finger-table entries pointing at the true successor of
+    /// their target (over live nodes' populated fingers).
+    pub finger_accuracy: f64,
+    /// Number of live nodes.
+    pub live: usize,
+}
+
+impl RingReport {
+    /// Whether every live node has the correct successor and predecessor —
+    /// the invariant Chord's stabilization converges to.
+    pub fn is_converged(&self) -> bool {
+        self.correct_successors == self.live && self.correct_predecessors == self.live
+    }
+}
+
+/// A simulated Chord overlay.
+///
+/// Nodes live in an arena indexed by [`NodeId`]; all protocol logic
+/// (routing in `lookup.rs`, membership and maintenance here) goes through
+/// this type so message accounting lands in one [`Metrics`] registry.
+///
+/// Two construction modes:
+///
+/// * [`ChordNetwork::bootstrap`] — a fully converged ring (correct
+///   successor lists, predecessors and fingers), for static experiments
+///   where only lookup costs matter.
+/// * [`ChordNetwork::new`] + [`join`](ChordNetwork::join) — protocol-built
+///   rings, converged by repeated
+///   [`maintenance_round`](ChordNetwork::maintenance_round)s, for churn
+///   experiments.
+pub struct ChordNetwork {
+    space: KeySpace,
+    config: ChordConfig,
+    nodes: Vec<NodeState>,
+    metrics: Metrics,
+    finger_bits: usize,
+}
+
+impl ChordNetwork {
+    /// Creates an empty overlay on `space`.
+    pub fn new(space: KeySpace, config: ChordConfig) -> ChordNetwork {
+        let finger_bits = (128 - (space.modulus() - 1).leading_zeros()) as usize;
+        ChordNetwork {
+            space,
+            config,
+            nodes: Vec::new(),
+            metrics: Metrics::new(),
+            finger_bits: finger_bits.max(1),
+        }
+    }
+
+    /// Builds a fully converged ring over the given points (duplicates
+    /// removed).
+    pub fn bootstrap(space: KeySpace, points: Vec<Point>, config: ChordConfig) -> ChordNetwork {
+        let mut net = ChordNetwork::new(space, config);
+        let mut points = points;
+        points.sort_unstable();
+        points.dedup();
+        for &p in &points {
+            net.nodes.push(NodeState::new(p, net.finger_bits));
+        }
+        let n = net.nodes.len();
+        if n == 0 {
+            return net;
+        }
+        // Successor lists and predecessors directly from ring order.
+        let r = net.config.successor_list_len();
+        for i in 0..n {
+            let succs: Vec<NodeId> = (1..=r.min(n.saturating_sub(1)).max(1))
+                .map(|k| NodeId((i + k) % n))
+                .collect();
+            *net.nodes[i].successors_mut() = succs;
+            let pred = NodeId((i + n - 1) % n);
+            net.nodes[i].set_predecessor(Some(pred));
+        }
+        // Fingers from ground truth. Points are sorted, so the successor
+        // of each finger target is a binary search (bootstrap would be
+        // O(n² log M) with linear scans).
+        for i in 0..n {
+            for bit in 0..net.finger_bits {
+                let target = net.finger_target(net.nodes[i].point(), bit);
+                let rank = match points.binary_search(&target) {
+                    Ok(r) => r,
+                    Err(r) if r == n => 0,
+                    Err(r) => r,
+                };
+                net.nodes[i].set_finger(bit, Some(NodeId(rank)));
+            }
+        }
+        net
+    }
+
+    /// The key space of the overlay.
+    pub fn space(&self) -> KeySpace {
+        self.space
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ChordConfig {
+        &self.config
+    }
+
+    /// The shared message-accounting registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Number of finger-table entries per node (`⌈log₂ M⌉`).
+    pub fn finger_bits(&self) -> usize {
+        self.finger_bits
+    }
+
+    /// All node ids ever created (including dead nodes).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len()).map(NodeId).collect()
+    }
+
+    /// Ids of currently live nodes, in arena order.
+    pub fn live_ids(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_alive())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Number of live nodes.
+    pub fn live_len(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_alive()).count()
+    }
+
+    /// Total arena size (live + dead).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Borrow a node's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.0]
+    }
+
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut NodeState {
+        &mut self.nodes[id.0]
+    }
+
+    /// The point `2^bit` clockwise of `origin` — finger `bit`'s target.
+    pub fn finger_target(&self, origin: Point, bit: usize) -> Point {
+        let offset = (1u128 << bit) % self.space.modulus();
+        self.space
+            .add(origin, keyspace::Distance::new(offset as u64))
+    }
+
+    // ---- ground truth (oracle views used by bootstrap, repair and tests)
+
+    /// The true successor point of `x` over live nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node is live.
+    pub fn ground_truth_successor(&self, x: Point) -> Point {
+        self.node(self.truth_successor_id(x).expect("no live nodes"))
+            .point()
+    }
+
+    /// The true successor id of `x` over live nodes, or `None` when the
+    /// overlay is empty.
+    pub(crate) fn truth_successor_id(&self, x: Point) -> Option<NodeId> {
+        let mut best: Option<(keyspace::Distance, NodeId)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.is_alive() {
+                continue;
+            }
+            let d = self.space.distance(x, node.point());
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, NodeId(i)));
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    // ---- interval helpers (Chord conventions: (a, a] and (a, a) denote
+    // the full ring, arising when a node is its own successor)
+
+    pub(crate) fn between_open_closed(&self, a: Point, x: Point, b: Point) -> bool {
+        if a == b {
+            return true;
+        }
+        let dx = self.space.distance(a, x);
+        !dx.is_zero() && dx <= self.space.distance(a, b)
+    }
+
+    pub(crate) fn between_open(&self, a: Point, x: Point, b: Point) -> bool {
+        if a == b {
+            return x != a;
+        }
+        let dx = self.space.distance(a, x);
+        !dx.is_zero() && dx < self.space.distance(a, b)
+    }
+
+    // ---- membership
+
+    /// Creates the overlay's first node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay already has live nodes (join via a gateway
+    /// instead).
+    pub fn create(&mut self, point: Point) -> NodeId {
+        assert_eq!(self.live_len(), 0, "use join() on a non-empty overlay");
+        let id = NodeId(self.nodes.len());
+        let mut node = NodeState::new(point, self.finger_bits);
+        // A lone node is its own successor (Chord's base case).
+        node.successors_mut().push(id);
+        node.set_predecessor(Some(id));
+        self.nodes.push(node);
+        id
+    }
+
+    /// Joins a new node at `point` through live gateway `via`, following
+    /// the Chord join protocol: route to the point's successor, adopt it,
+    /// and copy its successor list. The ring converges fully after
+    /// subsequent stabilization rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the routing error if the successor lookup fails.
+    pub fn join<R: Rng + ?Sized>(
+        &mut self,
+        point: Point,
+        via: NodeId,
+        rng: &mut R,
+    ) -> Result<NodeId, crate::LookupError> {
+        let found = self.find_successor(via, point, rng)?;
+        self.metrics.add("join.messages", found.cost.messages + 1);
+        let id = NodeId(self.nodes.len());
+        let mut node = NodeState::new(point, self.finger_bits);
+        // Adopt the successor and splice in its list (one message,
+        // included in the accounting above).
+        let mut list = vec![found.node];
+        list.extend_from_slice(self.node(found.node).successors());
+        list.truncate(self.config.successor_list_len());
+        *node.successors_mut() = list;
+        self.nodes.push(node);
+        Ok(id)
+    }
+
+    /// Gracefully removes a node: its predecessor and successor are
+    /// notified so the ring heals immediately (the paper's `next` pointer
+    /// stays correct without waiting for stabilization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already dead.
+    pub fn leave(&mut self, id: NodeId) {
+        assert!(self.node(id).is_alive(), "{id} is already dead");
+        let succ = self.first_live_successor(id);
+        let pred = self.node(id).predecessor().filter(|&p| {
+            p != id && self.node(p).is_alive()
+        });
+        self.metrics.add("leave.messages", 2);
+        // Departing nodes hand their stored data to their successor
+        // before breaking links (SIGCOMM §4's key transfer).
+        if let Some(succ) = succ.filter(|&s| s != id) {
+            self.hand_off_store(id, succ);
+        }
+        if let (Some(succ), Some(pred)) = (succ, pred) {
+            // Predecessor splices the departing node out of its list.
+            let r = self.config.successor_list_len();
+            let pred_state = self.node_mut(pred);
+            let list = pred_state.successors_mut();
+            list.retain(|&s| s != id);
+            if list.is_empty() {
+                list.push(succ);
+            }
+            list.truncate(r);
+            // Successor adopts the departing node's predecessor.
+            let succ_state = self.node_mut(succ);
+            if succ_state.predecessor() == Some(id) {
+                succ_state.set_predecessor(Some(pred));
+            }
+        }
+        let node = self.node_mut(id);
+        node.set_alive(false);
+        node.clear_routing();
+    }
+
+    /// Crashes a node silently: no notifications, neighbours discover the
+    /// failure through probes and stabilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already dead.
+    pub fn crash(&mut self, id: NodeId) {
+        assert!(self.node(id).is_alive(), "{id} is already dead");
+        let node = self.node_mut(id);
+        node.set_alive(false);
+        node.clear_routing();
+        // A crash loses the node's data copies; replicas must recover it.
+        node.store_mut().clear();
+    }
+
+    // ---- maintenance (stabilize / notify / fix fingers)
+
+    /// The first live entry of `id`'s successor list.
+    pub(crate) fn first_live_successor(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id)
+            .successors()
+            .iter()
+            .copied()
+            .find(|&s| self.node(s).is_alive() && s != id)
+            .or_else(|| {
+                // A node may legitimately be its own successor (singleton).
+                self.node(id)
+                    .successors()
+                    .iter()
+                    .copied()
+                    .find(|&s| self.node(s).is_alive())
+            })
+    }
+
+    /// One stabilization round at `id` (SIGCOMM Fig. 7): verify the
+    /// immediate successor, adopt its predecessor if closer, refresh the
+    /// successor list from it, and notify it.
+    ///
+    /// Dead nodes and empty rings are no-ops.
+    pub fn stabilize(&mut self, id: NodeId) {
+        if !self.node(id).is_alive() {
+            return;
+        }
+        // Drop dead entries from the successor list (each liveness probe
+        // costs a message).
+        let probes = self.node(id).successors().len() as u64;
+        self.metrics.add("stabilize.messages", probes.max(1));
+        let live: Vec<NodeId> = self
+            .node(id)
+            .successors()
+            .iter()
+            .copied()
+            .filter(|&s| self.node(s).is_alive())
+            .collect();
+        *self.node_mut(id).successors_mut() = live;
+
+        let Some(succ) = self.first_live_successor(id) else {
+            // Lost every successor: fall back to self (singleton behaviour)
+            // — under realistic churn the successor list makes this
+            // vanishingly rare (needs r simultaneous failures).
+            let me = self.node(id).point();
+            let sid = self.truth_fallback(id, me);
+            *self.node_mut(id).successors_mut() = vec![sid];
+            return;
+        };
+
+        // succ.predecessor may be a better (closer) successor for us.
+        let my_point = self.node(id).point();
+        let succ_point = self.node(succ).point();
+        let mut adopted = succ;
+        if let Some(cand) = self.node(succ).predecessor() {
+            if cand != id
+                && self.node(cand).is_alive()
+                && self.between_open(my_point, self.node(cand).point(), succ_point)
+            {
+                adopted = cand;
+            }
+        }
+
+        // Refresh our list as [adopted] + adopted's list.
+        let mut list = vec![adopted];
+        list.extend(
+            self.node(adopted)
+                .successors()
+                .iter()
+                .copied()
+                .filter(|&s| s != id && self.node(s).is_alive()),
+        );
+        list.dedup();
+        list.truncate(self.config.successor_list_len());
+        *self.node_mut(id).successors_mut() = list;
+
+        self.notify(adopted, id);
+    }
+
+    /// `notify(candidate)` at node `at` (SIGCOMM Fig. 7): adopt the
+    /// candidate as predecessor if it is closer than the current one.
+    pub fn notify(&mut self, at: NodeId, candidate: NodeId) {
+        if !self.node(at).is_alive() || !self.node(candidate).is_alive() {
+            return;
+        }
+        self.metrics.incr("notify.messages");
+        let at_point = self.node(at).point();
+        let cand_point = self.node(candidate).point();
+        let adopt = match self.node(at).predecessor() {
+            None => true,
+            Some(p) if !self.node(p).is_alive() => true,
+            Some(p) => {
+                let p_point = self.node(p).point();
+                p == at || self.between_open(p_point, cand_point, at_point)
+            }
+        };
+        if adopt && candidate != at {
+            self.node_mut(at).set_predecessor(Some(candidate));
+        }
+    }
+
+    /// Refreshes finger `bit` of node `id` by routing to its target.
+    /// Failed lookups clear the finger (it will be retried next round).
+    pub fn fix_finger<R: Rng + ?Sized>(&mut self, id: NodeId, bit: usize, rng: &mut R) {
+        if !self.node(id).is_alive() {
+            return;
+        }
+        let target = self.finger_target(self.node(id).point(), bit);
+        let entry = match self.find_successor(id, target, rng) {
+            Ok(found) => {
+                self.metrics.add("fix_finger.messages", found.cost.messages);
+                Some(found.node)
+            }
+            Err(_) => None,
+        };
+        self.node_mut(id).set_finger(bit, entry);
+    }
+
+    /// Clears the predecessor pointer if it stopped responding.
+    pub fn check_predecessor(&mut self, id: NodeId) {
+        if !self.node(id).is_alive() {
+            return;
+        }
+        self.metrics.incr("check_predecessor.messages");
+        if let Some(p) = self.node(id).predecessor() {
+            if !self.node(p).is_alive() {
+                self.node_mut(id).set_predecessor(None);
+            }
+        }
+    }
+
+    /// One full maintenance round: every live node checks its predecessor,
+    /// stabilizes, and fixes finger `round % finger_bits`.
+    ///
+    /// Repeated rounds converge a protocol-built or churned ring back to
+    /// the correct successor/predecessor structure (asserted by
+    /// [`verify_ring`](ChordNetwork::verify_ring) in tests).
+    pub fn maintenance_round<R: Rng + ?Sized>(&mut self, round: usize, rng: &mut R) {
+        let ids = self.live_ids();
+        let bit = round % self.finger_bits;
+        for id in ids {
+            self.check_predecessor(id);
+            self.stabilize(id);
+            self.fix_finger(id, bit, rng);
+        }
+    }
+
+    /// Runs enough maintenance rounds to refresh every finger once, then
+    /// returns the consistency report.
+    pub fn converge<R: Rng + ?Sized>(&mut self, rng: &mut R) -> RingReport {
+        for round in 0..self.finger_bits {
+            self.maintenance_round(round, rng);
+        }
+        self.verify_ring()
+    }
+
+    /// Checks every live node's routing state against the ground truth.
+    pub fn verify_ring(&self) -> RingReport {
+        let live = self.live_ids();
+        let mut correct_successors = 0;
+        let mut correct_predecessors = 0;
+        let mut fingers_total = 0usize;
+        let mut fingers_right = 0usize;
+        for &id in &live {
+            let me = self.node(id).point();
+            // True successor: closest live node strictly clockwise.
+            let truth_succ = self.truth_strict_successor(id);
+            if self.first_live_successor(id) == truth_succ {
+                correct_successors += 1;
+            }
+            let truth_pred = self.truth_strict_predecessor(id);
+            let pred = self
+                .node(id)
+                .predecessor()
+                .filter(|&p| self.node(p).is_alive());
+            if pred == truth_pred {
+                correct_predecessors += 1;
+            }
+            for bit in 0..self.finger_bits {
+                if let Some(f) = self.node(id).fingers()[bit] {
+                    fingers_total += 1;
+                    let target = self.finger_target(me, bit);
+                    if Some(f) == self.truth_successor_id(target) {
+                        fingers_right += 1;
+                    }
+                }
+            }
+        }
+        RingReport {
+            correct_successors,
+            correct_predecessors,
+            finger_accuracy: if fingers_total == 0 {
+                1.0
+            } else {
+                fingers_right as f64 / fingers_total as f64
+            },
+            live: live.len(),
+        }
+    }
+
+    fn truth_strict_successor(&self, id: NodeId) -> Option<NodeId> {
+        let me = self.node(id).point();
+        let mut best: Option<(keyspace::Distance, NodeId)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.is_alive() || NodeId(i) == id {
+                continue;
+            }
+            let d = self.space.distance(me, node.point());
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, NodeId(i)));
+            }
+        }
+        // A singleton ring node is its own successor.
+        best.map(|(_, nid)| nid).or(Some(id))
+    }
+
+    fn truth_strict_predecessor(&self, id: NodeId) -> Option<NodeId> {
+        let me = self.node(id).point();
+        let mut best: Option<(keyspace::Distance, NodeId)> = None;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !node.is_alive() || NodeId(i) == id {
+                continue;
+            }
+            let d = self.space.distance(node.point(), me);
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, NodeId(i)));
+            }
+        }
+        best.map(|(_, id)| id).or_else(|| {
+            if self.live_len() == 1 {
+                Some(id)
+            } else {
+                None
+            }
+        })
+    }
+
+    fn truth_fallback(&self, id: NodeId, _me: Point) -> NodeId {
+        // Last-resort repair when every successor died: in deployment the
+        // node would re-join through an out-of-band bootstrap server; we
+        // model that server with the ground truth.
+        self.truth_strict_successor(id).unwrap_or(id)
+    }
+}
+
+impl fmt::Debug for ChordNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChordNetwork")
+            .field("space", &self.space)
+            .field("live", &self.live_len())
+            .field("arena", &self.nodes.len())
+            .field("finger_bits", &self.finger_bits)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(7)
+    }
+
+    fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+        let space = KeySpace::full();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+    }
+
+    #[test]
+    fn bootstrap_ring_is_converged() {
+        let net = bootstrap(64, 1);
+        let report = net.verify_ring();
+        assert!(report.is_converged(), "{report:?}");
+        assert_eq!(report.live, 64);
+        assert!((report.finger_accuracy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_successor_lists_follow_ring_order() {
+        let net = bootstrap(16, 2);
+        for id in net.live_ids() {
+            let succ = net.first_live_successor(id).unwrap();
+            let truth = net.ground_truth_successor(
+                net.space()
+                    .add(net.node(id).point(), keyspace::Distance::new(1)),
+            );
+            assert_eq!(net.node(succ).point(), truth);
+            assert_eq!(net.node(id).successors().len(), 8);
+        }
+    }
+
+    #[test]
+    fn create_then_join_then_converge() {
+        let space = KeySpace::full();
+        let mut net = ChordNetwork::new(space, ChordConfig::default());
+        let mut r = rng();
+        let first = net.create(space.random_point(&mut r));
+        for _ in 0..31 {
+            let p = space.random_point(&mut r);
+            net.join(p, first, &mut r).unwrap();
+        }
+        assert_eq!(net.live_len(), 32);
+        // Joins leave the ring incoherent; maintenance converges it.
+        let mut report = net.verify_ring();
+        for _ in 0..80 {
+            if report.is_converged() {
+                break;
+            }
+            net.maintenance_round(0, &mut r);
+            report = net.verify_ring();
+        }
+        assert!(report.is_converged(), "never converged: {report:?}");
+        // Fingers converge once every bit has been refreshed.
+        let report = net.converge(&mut r);
+        assert!(report.finger_accuracy > 0.99, "{report:?}");
+    }
+
+    #[test]
+    fn graceful_leave_heals_immediately() {
+        let mut net = bootstrap(32, 3);
+        let victim = net.live_ids()[5];
+        let pred = net.node(victim).predecessor().unwrap();
+        net.leave(victim);
+        assert!(!net.node(victim).is_alive());
+        assert_eq!(net.live_len(), 31);
+        // The predecessor's successor pointer skips the departed node.
+        let succ_of_pred = net.first_live_successor(pred).unwrap();
+        assert_ne!(succ_of_pred, victim);
+        let report = net.verify_ring();
+        assert_eq!(report.correct_successors, 31, "{report:?}");
+    }
+
+    #[test]
+    fn crash_is_repaired_by_stabilization() {
+        let mut net = bootstrap(32, 4);
+        let mut r = rng();
+        let victim = net.live_ids()[10];
+        net.crash(victim);
+        // Immediately after the crash the predecessor's pointer is stale...
+        let report_before = net.verify_ring();
+        assert!(report_before.correct_successors <= 31);
+        // ...maintenance repairs it.
+        let report_after = net.converge(&mut r);
+        assert!(report_after.is_converged(), "{report_after:?}");
+    }
+
+    #[test]
+    fn mass_crash_survivable_with_successor_lists() {
+        let mut net = bootstrap(64, 5);
+        let mut r = rng();
+        // Crash 25% of nodes at once (fewer than r = 8 consecutive w.h.p.).
+        let victims: Vec<NodeId> = net.live_ids().into_iter().step_by(4).collect();
+        for v in victims {
+            net.crash(v);
+        }
+        assert_eq!(net.live_len(), 48);
+        for _ in 0..4 {
+            net.converge(&mut r);
+        }
+        let report = net.verify_ring();
+        assert!(report.is_converged(), "{report:?}");
+    }
+
+    #[test]
+    fn singleton_is_its_own_ring() {
+        let space = KeySpace::full();
+        let mut net = ChordNetwork::new(space, ChordConfig::default());
+        let id = net.create(Point::new(42));
+        assert_eq!(net.first_live_successor(id), Some(id));
+        let report = net.verify_ring();
+        assert!(report.is_converged(), "{report:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty overlay")]
+    fn create_twice_panics() {
+        let space = KeySpace::full();
+        let mut net = ChordNetwork::new(space, ChordConfig::default());
+        net.create(Point::new(1));
+        net.create(Point::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already dead")]
+    fn double_crash_panics() {
+        let mut net = bootstrap(4, 6);
+        let id = net.live_ids()[0];
+        net.crash(id);
+        net.crash(id);
+    }
+
+    #[test]
+    fn interval_helpers_follow_chord_conventions() {
+        let net = bootstrap(4, 7);
+        let (a, b, x) = (Point::new(10), Point::new(20), Point::new(15));
+        assert!(net.between_open(a, x, b));
+        assert!(net.between_open_closed(a, Point::new(20), b));
+        assert!(!net.between_open(a, Point::new(20), b));
+        assert!(!net.between_open_closed(a, Point::new(10), b));
+        // Degenerate (a, a] is the full ring; (a, a) excludes only a.
+        assert!(net.between_open_closed(a, x, a));
+        assert!(net.between_open(a, x, a));
+        assert!(!net.between_open(a, a, a));
+    }
+
+    #[test]
+    fn metrics_account_messages() {
+        let mut net = bootstrap(16, 8);
+        let mut r = rng();
+        net.maintenance_round(0, &mut r);
+        assert!(net.metrics().get("stabilize.messages") > 0);
+        assert!(net.metrics().get("notify.messages") > 0);
+        assert!(net.metrics().get("check_predecessor.messages") > 0);
+    }
+
+    #[test]
+    fn node_ids_and_display() {
+        let net = bootstrap(3, 9);
+        assert_eq!(net.node_ids().len(), 3);
+        assert_eq!(NodeId::from_index(2).to_string(), "n2");
+        assert_eq!(NodeId::from_index(2).index(), 2);
+        assert!(format!("{net:?}").contains("live"));
+    }
+}

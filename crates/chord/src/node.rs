@@ -1,0 +1,161 @@
+use core::fmt;
+use std::collections::BTreeMap;
+
+use keyspace::Point;
+
+use crate::network::NodeId;
+
+/// Protocol state of one Chord node.
+///
+/// Mirrors the SIGCOMM paper's per-node state: an identifier on the ring,
+/// a successor *list* (for fault tolerance), a predecessor pointer, and a
+/// finger table where entry `i` targets `point + 2^i`.
+///
+/// `NodeState` is a passive record; all protocol logic lives on
+/// [`ChordNetwork`](crate::ChordNetwork) so that message accounting happens
+/// in one place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeState {
+    point: Point,
+    alive: bool,
+    predecessor: Option<NodeId>,
+    successors: Vec<NodeId>,
+    fingers: Vec<Option<NodeId>>,
+    store: BTreeMap<Point, Vec<u8>>,
+}
+
+impl NodeState {
+    /// Creates a fresh, alive node with empty routing state.
+    pub(crate) fn new(point: Point, finger_bits: usize) -> NodeState {
+        NodeState {
+            point,
+            alive: true,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; finger_bits],
+            store: BTreeMap::new(),
+        }
+    }
+
+    /// The node's ring identifier.
+    pub fn point(&self) -> Point {
+        self.point
+    }
+
+    /// Whether the node is currently live.
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The predecessor pointer, if known.
+    pub fn predecessor(&self) -> Option<NodeId> {
+        self.predecessor
+    }
+
+    /// The successor list, nearest first. May transiently contain dead
+    /// nodes between failures and the next stabilization round.
+    pub fn successors(&self) -> &[NodeId] {
+        &self.successors
+    }
+
+    /// The first entry of the successor list, if any.
+    pub fn successor(&self) -> Option<NodeId> {
+        self.successors.first().copied()
+    }
+
+    /// The finger table; entry `i` is the believed successor of
+    /// `point + 2^i`.
+    pub fn fingers(&self) -> &[Option<NodeId>] {
+        &self.fingers
+    }
+
+    // Crate-internal mutators: protocol logic lives on ChordNetwork.
+
+    pub(crate) fn set_alive(&mut self, alive: bool) {
+        self.alive = alive;
+    }
+
+    pub(crate) fn set_predecessor(&mut self, pred: Option<NodeId>) {
+        self.predecessor = pred;
+    }
+
+    pub(crate) fn successors_mut(&mut self) -> &mut Vec<NodeId> {
+        &mut self.successors
+    }
+
+    pub(crate) fn set_finger(&mut self, i: usize, target: Option<NodeId>) {
+        self.fingers[i] = target;
+    }
+
+    pub(crate) fn clear_routing(&mut self) {
+        self.predecessor = None;
+        self.successors.clear();
+        for f in &mut self.fingers {
+            *f = None;
+        }
+    }
+
+    /// The key-value pairs this node currently holds (as owner or
+    /// replica).
+    pub fn store(&self) -> &BTreeMap<Point, Vec<u8>> {
+        &self.store
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut BTreeMap<Point, Vec<u8>> {
+        &mut self.store
+    }
+}
+
+impl fmt::Display for NodeState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Node@{} ({}, {} successors)",
+            self.point,
+            if self.alive { "alive" } else { "dead" },
+            self.successors.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_node_has_empty_routing() {
+        let n = NodeState::new(Point::new(5), 64);
+        assert_eq!(n.point(), Point::new(5));
+        assert!(n.is_alive());
+        assert_eq!(n.predecessor(), None);
+        assert_eq!(n.successor(), None);
+        assert!(n.successors().is_empty());
+        assert_eq!(n.fingers().len(), 64);
+        assert!(n.fingers().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn mutators_update_state() {
+        let mut n = NodeState::new(Point::new(5), 4);
+        n.set_alive(false);
+        assert!(!n.is_alive());
+        n.set_predecessor(Some(NodeId::from_index(3)));
+        assert_eq!(n.predecessor(), Some(NodeId::from_index(3)));
+        n.successors_mut().push(NodeId::from_index(7));
+        assert_eq!(n.successor(), Some(NodeId::from_index(7)));
+        n.set_finger(2, Some(NodeId::from_index(9)));
+        assert_eq!(n.fingers()[2], Some(NodeId::from_index(9)));
+        n.clear_routing();
+        assert_eq!(n.predecessor(), None);
+        assert!(n.successors().is_empty());
+        assert!(n.fingers().iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn display_mentions_liveness() {
+        let mut n = NodeState::new(Point::new(1), 1);
+        assert!(n.to_string().contains("alive"));
+        n.set_alive(false);
+        assert!(n.to_string().contains("dead"));
+    }
+}

@@ -1,0 +1,407 @@
+//! Key-value storage over the Chord overlay — the DHT's actual job.
+//!
+//! The paper treats the DHT as a lookup substrate; this module completes
+//! the substrate into the system Chord was built to be (SIGCOMM §4):
+//! values are stored at the key's successor and replicated across its
+//! successor list, so that data survives the node failures the sampling
+//! experiments inject.
+//!
+//! * [`ChordNetwork::put`] — route to the key's owner, write there and to
+//!   its `replicas − 1` successors.
+//! * [`ChordNetwork::get`] — route to the owner; on a miss (e.g. a node
+//!   joined between the key and the old owner moments ago) fall back to
+//!   the owner's successors, paying one message per probe.
+//! * [`ChordNetwork::replication_round`] — anti-entropy: each holder
+//!   pushes misplaced keys counter-clockwise toward the true owner and
+//!   re-replicates owned keys to its successor list. Run alongside
+//!   stabilization, it restores the replication invariant after churn.
+//! * Graceful [`leave`](ChordNetwork::leave) hands a node's data to its
+//!   successor; a crash loses the node's copies (replicas recover them).
+
+use keyspace::Point;
+use peer_sampling::Cost;
+use rand::Rng;
+
+use crate::network::{ChordNetwork, NodeId};
+use crate::LookupError;
+
+/// Receipt of a completed put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutReceipt {
+    /// The node that owns the key (head replica).
+    pub owner: NodeId,
+    /// Number of replicas actually written (≤ requested; bounded by the
+    /// live successor list).
+    pub replicas_written: usize,
+    /// Messages/latency spent (routing + one write per replica).
+    pub cost: Cost,
+}
+
+/// Result of a completed get.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetResult {
+    /// The value, if any replica held it.
+    pub value: Option<Vec<u8>>,
+    /// The node that answered.
+    pub answered_by: NodeId,
+    /// Messages/latency spent (routing + replica probes).
+    pub cost: Cost,
+}
+
+impl ChordNetwork {
+    /// Stores `value` under `key`, replicated `replicas` times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures from the owner lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0`.
+    pub fn put<R: Rng + ?Sized>(
+        &mut self,
+        from: NodeId,
+        key: Point,
+        value: Vec<u8>,
+        replicas: usize,
+        rng: &mut R,
+    ) -> Result<PutReceipt, LookupError> {
+        assert!(replicas > 0, "need at least one replica");
+        let hit = self.find_successor(from, key, rng)?;
+        let mut cost = hit.cost;
+        let latency = self.config().latency();
+
+        // Write to the owner, then walk its live successors.
+        let mut targets = vec![hit.node];
+        for &s in self.node(hit.node).successors() {
+            if targets.len() >= replicas {
+                break;
+            }
+            if self.node(s).is_alive() && !targets.contains(&s) {
+                targets.push(s);
+            }
+        }
+        for &t in &targets {
+            cost.messages += 1;
+            cost.latency += latency.sample(rng).ticks();
+            self.node_mut(t).store_mut().insert(key, value.clone());
+        }
+        self.metrics().add("storage.put", 1);
+        Ok(PutReceipt {
+            owner: hit.node,
+            replicas_written: targets.len(),
+            cost,
+        })
+    }
+
+    /// Retrieves the value under `key`.
+    ///
+    /// Routes to the current owner; if the owner misses (stale placement
+    /// after churn), probes its successor list — the replicas — before
+    /// reporting absence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing failures from the owner lookup.
+    pub fn get<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        key: Point,
+        rng: &mut R,
+    ) -> Result<GetResult, LookupError> {
+        let hit = self.find_successor(from, key, rng)?;
+        let mut cost = hit.cost;
+        let latency = self.config().latency();
+        self.metrics().add("storage.get", 1);
+
+        let mut candidates = vec![hit.node];
+        candidates.extend(self.node(hit.node).successors().iter().copied());
+        for &c in &candidates {
+            if !self.node(c).is_alive() {
+                continue;
+            }
+            cost.messages += 1;
+            cost.latency += latency.sample(rng).ticks();
+            if let Some(value) = self.node(c).store().get(&key) {
+                return Ok(GetResult {
+                    value: Some(value.clone()),
+                    answered_by: c,
+                    cost,
+                });
+            }
+        }
+        Ok(GetResult {
+            value: None,
+            answered_by: hit.node,
+            cost,
+        })
+    }
+
+    /// One anti-entropy round at node `id`:
+    ///
+    /// 1. keys this node holds but does not own migrate one step
+    ///    counter-clockwise (toward the true owner) via the predecessor;
+    /// 2. keys this node owns are re-pushed to its live successor list.
+    ///
+    /// Interleaved with stabilization, repeated rounds restore the
+    /// "owner + `r − 1` successors" replication invariant after joins,
+    /// leaves and crashes.
+    pub fn replication_round(&mut self, id: NodeId, replicas: usize) {
+        if !self.node(id).is_alive() {
+            return;
+        }
+        let my_point = self.node(id).point();
+        let pred = self
+            .node(id)
+            .predecessor()
+            .filter(|&p| p != id && self.node(p).is_alive());
+
+        // Partition held keys into owned and misplaced. A key k is owned
+        // by this node iff k ∈ (pred, me] (all keys owned if no pred).
+        let keys: Vec<Point> = self.node(id).store().keys().copied().collect();
+        let mut owned = Vec::new();
+        let mut misplaced = Vec::new();
+        for k in keys {
+            let is_owner = match pred {
+                Some(p) => self.between_open_closed(self.node(p).point(), k, my_point),
+                None => true,
+            };
+            if is_owner {
+                owned.push(k);
+            } else {
+                misplaced.push(k);
+            }
+        }
+
+        // (1) Migrate misplaced keys to the predecessor, which is strictly
+        // closer to (or is) the owner. Keep our copy: we may legitimately
+        // be a replica. One message per migrated key.
+        if let Some(p) = pred {
+            for k in &misplaced {
+                let value = self.node(id).store()[k].clone();
+                self.node_mut(p).store_mut().insert(*k, value);
+                self.metrics().add("storage.migrate", 1);
+            }
+        }
+
+        // (2) Re-replicate owned keys to the live successor list.
+        let succs: Vec<NodeId> = self
+            .node(id)
+            .successors()
+            .iter()
+            .copied()
+            .filter(|&s| s != id && self.node(s).is_alive())
+            .take(replicas.saturating_sub(1))
+            .collect();
+        for k in &owned {
+            let value = self.node(id).store()[k].clone();
+            for &s in &succs {
+                if !self.node(s).store().contains_key(k) {
+                    self.node_mut(s).store_mut().insert(*k, value.clone());
+                    self.metrics().add("storage.replicate", 1);
+                }
+            }
+        }
+    }
+
+    /// Total key copies held across live nodes (for replication-factor
+    /// assertions in tests).
+    pub fn stored_copies(&self, key: Point) -> usize {
+        self.live_ids()
+            .into_iter()
+            .filter(|&id| self.node(id).store().contains_key(&key))
+            .count()
+    }
+
+    /// Hands all of `id`'s data to `target` (used by graceful leave).
+    pub(crate) fn hand_off_store(&mut self, id: NodeId, target: NodeId) {
+        let data: Vec<(Point, Vec<u8>)> = self
+            .node(id)
+            .store()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let store = self.node_mut(target).store_mut();
+        for (k, v) in data {
+            store.entry(k).or_insert(v);
+        }
+        self.node_mut(id).store_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChordConfig;
+    use keyspace::KeySpace;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(71)
+    }
+
+    fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+        let space = KeySpace::full();
+        let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut net = bootstrap(64, 1);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        let receipt = net.put(from, key, b"hello".to_vec(), 3, &mut r).unwrap();
+        assert_eq!(receipt.replicas_written, 3);
+        assert_eq!(net.node(receipt.owner).point(), net.ground_truth_successor(key));
+        let got = net.get(from, key, &mut r).unwrap();
+        assert_eq!(got.value.as_deref(), Some(b"hello".as_ref()));
+        assert_eq!(got.answered_by, receipt.owner);
+        assert!(got.cost.messages > 0);
+    }
+
+    #[test]
+    fn missing_key_returns_none() {
+        let net = bootstrap(32, 2);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let got = net.get(from, Point::new(12345), &mut r).unwrap();
+        assert_eq!(got.value, None);
+    }
+
+    #[test]
+    fn value_survives_owner_crash_via_replicas() {
+        let mut net = bootstrap(64, 3);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        let receipt = net.put(from, key, b"durable".to_vec(), 4, &mut r).unwrap();
+        let survivor_from = net
+            .live_ids()
+            .into_iter()
+            .find(|&id| id != receipt.owner)
+            .unwrap();
+        net.crash(receipt.owner);
+        // Without any repair, the get must fall back to a replica.
+        let got = net.get(survivor_from, key, &mut r).unwrap();
+        assert_eq!(got.value.as_deref(), Some(b"durable".as_ref()));
+        assert_ne!(got.answered_by, receipt.owner);
+    }
+
+    #[test]
+    fn replication_round_restores_replica_count_after_crash() {
+        let mut net = bootstrap(64, 4);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        net.put(from, key, b"x".to_vec(), 3, &mut r).unwrap();
+        assert_eq!(net.stored_copies(key), 3);
+        // Crash one replica; repair restores the factor.
+        let owner = net.truth_successor_id(key).unwrap();
+        net.crash(owner);
+        assert_eq!(net.stored_copies(key), 2);
+        for _ in 0..3 {
+            net.converge(&mut r);
+            for id in net.live_ids() {
+                net.replication_round(id, 3);
+            }
+        }
+        assert!(
+            net.stored_copies(key) >= 3,
+            "replication not restored: {} copies",
+            net.stored_copies(key)
+        );
+        // And the new owner holds it.
+        let new_owner = net.truth_successor_id(key).unwrap();
+        assert!(net.node(new_owner).store().contains_key(&key));
+    }
+
+    #[test]
+    fn join_migrates_ownership_through_anti_entropy() {
+        let mut net = bootstrap(32, 5);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        net.put(from, key, b"moving".to_vec(), 3, &mut r).unwrap();
+        let old_owner = net.truth_successor_id(key).unwrap();
+
+        // Join a node whose point falls between the key and its owner, so
+        // ownership must transfer to the newcomer.
+        let space = net.space();
+        let owner_point = net.node(old_owner).point();
+        let mid = space.add(
+            key,
+            keyspace::Distance::new((space.distance(key, owner_point).get()) / 2),
+        );
+        let newcomer = net.join(mid, from, &mut r).unwrap();
+        for _ in 0..2 {
+            net.converge(&mut r);
+            for id in net.live_ids() {
+                net.replication_round(id, 3);
+            }
+        }
+        assert_eq!(net.truth_successor_id(key), Some(newcomer));
+        assert!(
+            net.node(newcomer).store().contains_key(&key),
+            "anti-entropy must hand the key to the new owner"
+        );
+        // Reads route to the newcomer and succeed directly.
+        let got = net.get(from, key, &mut r).unwrap();
+        assert_eq!(got.value.as_deref(), Some(b"moving".as_ref()));
+    }
+
+    #[test]
+    fn graceful_leave_hands_off_data() {
+        let mut net = bootstrap(32, 6);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        // Single replica: the handoff is the only thing keeping it alive.
+        let receipt = net.put(from, key, b"handoff".to_vec(), 1, &mut r).unwrap();
+        assert_eq!(net.stored_copies(key), 1);
+        let reader = net
+            .live_ids()
+            .into_iter()
+            .find(|&id| id != receipt.owner)
+            .unwrap();
+        net.leave(receipt.owner);
+        let got = net.get(reader, key, &mut r).unwrap();
+        assert_eq!(got.value.as_deref(), Some(b"handoff".as_ref()));
+    }
+
+    #[test]
+    fn bulk_workload_all_keys_retrievable() {
+        let mut net = bootstrap(128, 7);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let keys: Vec<Point> = (0..100).map(|_| net.space().random_point(&mut r)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            net.put(from, k, vec![i as u8], 3, &mut r).unwrap();
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            let got = net.get(from, k, &mut r).unwrap();
+            assert_eq!(got.value.as_deref(), Some([i as u8].as_ref()), "key {i}");
+        }
+    }
+
+    #[test]
+    fn replicas_capped_by_requested_count() {
+        let mut net = bootstrap(16, 8);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let key = net.space().random_point(&mut r);
+        let receipt = net.put(from, key, b"one".to_vec(), 1, &mut r).unwrap();
+        assert_eq!(receipt.replicas_written, 1);
+        assert_eq!(net.stored_copies(key), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_panics() {
+        let mut net = bootstrap(8, 9);
+        let mut r = rng();
+        let from = net.live_ids()[0];
+        let _ = net.put(from, Point::new(1), vec![], 0, &mut r);
+    }
+}

@@ -1,0 +1,204 @@
+//! Exhaustive verification of the interval assignment (Theorem 6).
+//!
+//! The proof of Theorem 6 shows that the deterministic part of Figure 1
+//! partitions the circle so every peer owns points of total measure exactly
+//! `λ`. Because this crate uses a **discrete** ring, that statement becomes
+//! finite and checkable: on a small ring we can run the deterministic scan
+//! for *every* start point `s` and count each peer's preimages.
+//!
+//! [`owner_map`] computes that full map through direct ring indexing — an
+//! implementation *independent of the [`Dht`](crate::Dht) plumbing* — and
+//! the test suite cross-checks it against [`Sampler::trial`] point by
+//! point, then asserts the exact-measure invariant:
+//!
+//! * with an untruncated scan, **every peer owns exactly `λ` points**;
+//! * with the paper's `R = 6 ln n′` bound, ownership can only shrink
+//!   (never move to a different peer), which is what makes truncation
+//!   bias-free in the accepted region.
+//!
+//! [`Sampler::trial`]: crate::Sampler::trial
+
+use keyspace::{Point, SortedRing};
+
+/// Computes the owner (peer rank) of a single start point `s`, or `None`
+/// if the scan rejects within `step_limit` steps.
+///
+/// This follows Figure 1 exactly but against the ring directly, bypassing
+/// the `Dht` abstraction, so it can serve as an independent reference for
+/// the sampler.
+///
+/// # Panics
+///
+/// Panics if the ring is empty or `lambda == 0`.
+pub fn owner_of(ring: &SortedRing, lambda: u64, step_limit: u32, s: Point) -> Option<usize> {
+    assert!(!ring.is_empty(), "assignment needs at least one peer");
+    assert!(lambda > 0, "lambda must be positive");
+    let space = ring.space();
+    let lambda = lambda as i128;
+
+    let first = ring.successor_of(s);
+    let mut t: i128 = space.distance(s, ring.point(first)).to_u128() as i128 - lambda;
+    if t < 0 {
+        return Some(first);
+    }
+    let mut current = first;
+    for _ in 0..step_limit {
+        let nxt = ring.next_index(current);
+        t += space
+            .distance(ring.point(current), ring.point(nxt))
+            .to_u128() as i128
+            - lambda;
+        // Strict `< 0`, matching the sampler's discrete boundary
+        // convention (see `Sampler` docs): the unique convention giving
+        // every peer exactly λ points.
+        if t < 0 {
+            return Some(nxt);
+        }
+        current = nxt;
+    }
+    None
+}
+
+/// Computes the owner of **every** point of a small ring.
+///
+/// Index `i` of the result is the owner of `Point(i)` (or `None` for
+/// rejected points). Intended for exhaustive verification and for the E5a
+/// experiment; refuses rings large enough to make enumeration silly.
+///
+/// # Panics
+///
+/// Panics if the modulus exceeds `2^24`, the ring is empty, or
+/// `lambda == 0`.
+pub fn owner_map(ring: &SortedRing, lambda: u64, step_limit: u32) -> Vec<Option<usize>> {
+    let modulus = ring.space().modulus();
+    assert!(
+        modulus <= 1 << 24,
+        "owner_map enumerates every ring point; modulus {modulus} is too large"
+    );
+    (0..modulus as u64)
+        .map(|c| owner_of(ring, lambda, step_limit, Point::new(c)))
+        .collect()
+}
+
+/// Counts how many ring points each peer owns under the assignment.
+///
+/// Theorem 6's discrete form: with an untruncated scan every entry equals
+/// `λ` exactly.
+///
+/// # Panics
+///
+/// As [`owner_map`].
+pub fn measure_per_peer(ring: &SortedRing, lambda: u64, step_limit: u32) -> Vec<u64> {
+    let mut counts = vec![0u64; ring.len()];
+    for owner in owner_map(ring, lambda, step_limit).into_iter().flatten() {
+        counts[owner] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyspace::KeySpace;
+    use rand::SeedableRng;
+
+    fn ring(modulus: u128, n: usize, seed: u64) -> SortedRing {
+        let space = KeySpace::with_modulus(modulus).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        SortedRing::new(space, space.random_distinct_points(&mut rng, n))
+    }
+
+    #[test]
+    fn untruncated_assignment_gives_every_peer_exactly_lambda() {
+        // The discrete Theorem 6, checked exhaustively across seeds.
+        for seed in 0..8 {
+            let r = ring(1 << 14, 24, seed);
+            let lambda = (1u64 << 14) / (7 * 24);
+            let counts = measure_per_peer(&r, lambda, r.len() as u32 + 1);
+            for (peer, &c) in counts.iter().enumerate() {
+                assert_eq!(
+                    c, lambda,
+                    "seed {seed}: peer {peer} owns {c} points, expected {lambda}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_shrinks_but_never_moves_ownership() {
+        let r = ring(1 << 14, 24, 3);
+        let lambda = (1u64 << 14) / (7 * 24);
+        let full = owner_map(&r, lambda, r.len() as u32 + 1);
+        let cut = owner_map(&r, lambda, 2);
+        for (s, (f, c)) in full.iter().zip(&cut).enumerate() {
+            match (f, c) {
+                (Some(a), Some(b)) => assert_eq!(a, b, "point {s} moved owner"),
+                (None, Some(_)) => panic!("truncation created ownership at {s}"),
+                _ => {}
+            }
+        }
+        let owned_full = full.iter().flatten().count();
+        let owned_cut = cut.iter().flatten().count();
+        assert!(owned_cut <= owned_full);
+    }
+
+    #[test]
+    fn paper_step_bound_loses_nothing_on_typical_rings() {
+        // With R = ⌈6 ln n⌉ and a healthy ring, property 3 holds and no
+        // point is truncated — acceptance measure is exactly n·λ.
+        let n = 24;
+        let r = ring(1 << 14, n, 5);
+        let lambda = (1u64 << 14) / (7 * n as u64);
+        let step_bound = (6.0 * (n as f64).ln()).ceil() as u32;
+        let counts = measure_per_peer(&r, lambda, step_bound);
+        assert!(counts.iter().all(|&c| c == lambda), "{counts:?}");
+    }
+
+    #[test]
+    fn owner_is_deterministic_and_total_measure_bounded() {
+        let r = ring(1 << 12, 10, 7);
+        let lambda = (1u64 << 12) / 70;
+        let map1 = owner_map(&r, lambda, 64);
+        let map2 = owner_map(&r, lambda, 64);
+        assert_eq!(map1, map2);
+        let owned = map1.iter().flatten().count() as u64;
+        assert_eq!(owned, lambda * 10, "total accepted measure is n·λ");
+    }
+
+    #[test]
+    fn peer_points_own_themselves() {
+        let r = ring(1 << 12, 16, 9);
+        let lambda = (1u64 << 12) / (7 * 16);
+        for rank in 0..r.len() {
+            let p = r.point(rank);
+            assert_eq!(
+                owner_of(&r, lambda, 64, p),
+                Some(rank),
+                "peer point must be owned by its peer (SMALL case, d = 0)"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn owner_map_refuses_huge_rings() {
+        let space = KeySpace::full();
+        let r = SortedRing::new(space, vec![Point::new(1)]);
+        let _ = owner_map(&r, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_panics() {
+        let r = ring(1 << 10, 4, 1);
+        let _ = owner_of(&r, 0, 4, Point::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_ring_panics() {
+        let space = KeySpace::with_modulus(1 << 10).unwrap();
+        let r = SortedRing::new(space, vec![]);
+        let _ = owner_of(&r, 1, 1, Point::new(0));
+    }
+}

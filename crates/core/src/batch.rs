@@ -1,0 +1,251 @@
+//! Batch sampling conveniences built on the single-draw primitive.
+//!
+//! Applications rarely want exactly one peer: data collection polls
+//! hundreds, committee election needs `c` *distinct* members. These
+//! helpers keep the per-draw guarantees while handling the bookkeeping
+//! (cost aggregation, duplicate rejection) once, correctly.
+
+use core::fmt;
+
+use rand::Rng;
+
+use crate::{Cost, Dht, Sample, SampleError, Sampler};
+
+/// A batch of independent uniform draws (duplicates possible — sampling
+/// *with* replacement).
+#[derive(Debug, Clone)]
+pub struct Batch<P> {
+    /// The draws, in order.
+    pub samples: Vec<Sample<P>>,
+    /// Total messages/latency across the batch.
+    pub cost: Cost,
+}
+
+/// A set of distinct uniform peers (sampling *without* replacement, by
+/// rejection of duplicates).
+#[derive(Debug, Clone)]
+pub struct DistinctBatch<P> {
+    /// The distinct peers, in draw order.
+    pub peers: Vec<P>,
+    /// Draws spent, including duplicates that were rejected.
+    pub draws: u64,
+    /// Total messages/latency across all draws.
+    pub cost: Cost,
+}
+
+/// Error from [`Sampler::sample_distinct`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistinctError {
+    /// A single draw failed.
+    Sample(SampleError),
+    /// Too many consecutive duplicates — `count` is probably close to or
+    /// above the population size.
+    DuplicatesExhausted {
+        /// Distinct peers found before giving up.
+        found: usize,
+        /// Draws spent.
+        draws: u64,
+    },
+}
+
+impl fmt::Display for DistinctError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistinctError::Sample(e) => write!(f, "draw failed: {e}"),
+            DistinctError::DuplicatesExhausted { found, draws } => write!(
+                f,
+                "only {found} distinct peers after {draws} draws; is the requested count near n?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DistinctError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistinctError::Sample(e) => Some(e),
+            DistinctError::DuplicatesExhausted { .. } => None,
+        }
+    }
+}
+
+impl From<SampleError> for DistinctError {
+    fn from(e: SampleError) -> DistinctError {
+        DistinctError::Sample(e)
+    }
+}
+
+impl Sampler {
+    /// Draws `count` independent uniform peers (with replacement).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first draw that fails; prior draws are discarded
+    /// (uniformity of a partial batch is still guaranteed, but returning
+    /// it would invite ignoring the error).
+    pub fn sample_many<D: Dht, R: Rng + ?Sized>(
+        &self,
+        dht: &D,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<Batch<D::Peer>, SampleError> {
+        let mut samples = Vec::with_capacity(count);
+        let mut cost = Cost::FREE;
+        for _ in 0..count {
+            let s = self.sample(dht, rng)?;
+            cost += s.cost;
+            samples.push(s);
+        }
+        Ok(Batch { samples, cost })
+    }
+
+    /// Draws `count` **distinct** uniform peers by rejecting duplicates.
+    ///
+    /// Conditioned on the returned set, every `count`-subset of peers is
+    /// equally likely (the draw sequence is exchangeable and duplicates
+    /// are rejected symmetrically). Intended for `count ≪ n`: the
+    /// expected number of draws is `n·(H(n) − H(n − count)) ≈ count` in
+    /// that regime. Gives up after `64 + 16·count` consecutive duplicate
+    /// draws.
+    ///
+    /// # Errors
+    ///
+    /// * [`DistinctError::Sample`] — an underlying draw failed.
+    /// * [`DistinctError::DuplicatesExhausted`] — the duplicate budget ran
+    ///   out (requested count too close to the population size).
+    pub fn sample_distinct<D: Dht, R: Rng + ?Sized>(
+        &self,
+        dht: &D,
+        count: usize,
+        rng: &mut R,
+    ) -> Result<DistinctBatch<D::Peer>, DistinctError> {
+        let mut peers: Vec<D::Peer> = Vec::with_capacity(count);
+        let mut cost = Cost::FREE;
+        let mut draws = 0u64;
+        let mut consecutive_duplicates = 0u64;
+        let budget = 64 + 16 * count as u64;
+        while peers.len() < count {
+            let s = self.sample(dht, rng)?;
+            draws += 1;
+            cost += s.cost;
+            if peers.contains(&s.peer) {
+                consecutive_duplicates += 1;
+                if consecutive_duplicates > budget {
+                    return Err(DistinctError::DuplicatesExhausted {
+                        found: peers.len(),
+                        draws,
+                    });
+                }
+            } else {
+                consecutive_duplicates = 0;
+                peers.push(s.peer);
+            }
+        }
+        Ok(DistinctBatch { peers, draws, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OracleDht, SamplerConfig};
+    use keyspace::{KeySpace, SortedRing};
+    use rand::SeedableRng;
+
+    fn dht(n: usize, seed: u64) -> OracleDht {
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        OracleDht::new(SortedRing::new(space, space.random_points(&mut rng, n)))
+    }
+
+    #[test]
+    fn sample_many_aggregates_costs() {
+        let d = dht(100, 1);
+        let sampler = Sampler::new(SamplerConfig::new(100));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let batch = sampler.sample_many(&d, 25, &mut rng).unwrap();
+        assert_eq!(batch.samples.len(), 25);
+        let sum: Cost = batch.samples.iter().map(|s| s.cost).sum();
+        assert_eq!(batch.cost, sum);
+        assert!(batch.samples.iter().all(|s| s.peer < 100));
+    }
+
+    #[test]
+    fn sample_distinct_returns_distinct_peers() {
+        let d = dht(200, 3);
+        let sampler = Sampler::new(SamplerConfig::new(200));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let batch = sampler.sample_distinct(&d, 30, &mut rng).unwrap();
+        assert_eq!(batch.peers.len(), 30);
+        let set: std::collections::HashSet<_> = batch.peers.iter().collect();
+        assert_eq!(set.len(), 30, "peers must be distinct");
+        assert!(batch.draws >= 30);
+        assert!(batch.cost.messages > 0);
+    }
+
+    #[test]
+    fn sample_distinct_covers_whole_tiny_population() {
+        let d = dht(5, 5);
+        let sampler = Sampler::new(SamplerConfig::new(5));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let batch = sampler.sample_distinct(&d, 5, &mut rng).unwrap();
+        let mut peers = batch.peers.clone();
+        peers.sort_unstable();
+        assert_eq!(peers, vec![0, 1, 2, 3, 4]);
+        assert!(batch.draws >= 5, "coupon collection costs extra draws");
+    }
+
+    #[test]
+    fn sample_distinct_exhausts_when_count_exceeds_population() {
+        let d = dht(3, 7);
+        let sampler = Sampler::new(SamplerConfig::new(3));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let err = sampler.sample_distinct(&d, 4, &mut rng).unwrap_err();
+        match err {
+            DistinctError::DuplicatesExhausted { found, draws } => {
+                assert_eq!(found, 3);
+                assert!(draws > 64);
+            }
+            other => panic!("expected exhaustion, got {other}"),
+        }
+        assert!(err.to_string().contains("distinct"));
+    }
+
+    #[test]
+    fn distinct_sets_are_uniform_over_subsets() {
+        // n = 6, count = 2: each unordered pair should appear ~1/15 of
+        // the time.
+        let d = dht(6, 9);
+        let sampler = Sampler::new(SamplerConfig::new(6));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let mut pair_counts = std::collections::HashMap::new();
+        let rounds = 6000;
+        for _ in 0..rounds {
+            let batch = sampler.sample_distinct(&d, 2, &mut rng).unwrap();
+            let mut pair = [batch.peers[0], batch.peers[1]];
+            pair.sort_unstable();
+            *pair_counts.entry(pair).or_insert(0u64) += 1;
+        }
+        assert_eq!(pair_counts.len(), 15, "all 15 pairs must occur");
+        let expected = rounds as f64 / 15.0;
+        for (pair, &c) in &pair_counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.35,
+                "pair {pair:?}: {c} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_propagate_from_draws() {
+        use crate::FaultyDht;
+        let broken = FaultyDht::new(dht(50, 11), 1.0, 12);
+        let sampler = Sampler::new(SamplerConfig::new(50));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        assert!(sampler.sample_many(&broken, 3, &mut rng).is_err());
+        let err = sampler.sample_distinct(&broken, 3, &mut rng).unwrap_err();
+        assert!(matches!(err, DistinctError::Sample(_)));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

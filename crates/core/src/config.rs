@@ -1,0 +1,285 @@
+use core::fmt;
+
+use keyspace::KeySpace;
+
+/// The paper's interval-measure denominator: `λ = 1/(7 n̂)`.
+pub const DEFAULT_LAMBDA_DENOMINATOR: u64 = 7;
+
+/// Default cap on rejection-sampling retries.
+///
+/// Theorem 7 shows each trial succeeds with probability `n·λ = Ω(1)`
+/// (at worst `≈ 1/147` with the loosest legal estimate), so 4096 trials
+/// fail with probability below `(1 − 1/147)^4096 < 10^{-12}` — if the cap
+/// is ever hit, the configuration is wrong, not unlucky.
+pub const DEFAULT_MAX_TRIALS: u32 = 4096;
+
+/// Error from an inconsistent [`SamplerConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `λ = ⌊M / (denominator · n_upper)⌋` came out zero: the ring modulus
+    /// is too small for this population bound. Use a bigger modulus.
+    LambdaVanishes {
+        /// Ring modulus.
+        modulus: u128,
+        /// Configured denominator.
+        denominator: u64,
+        /// Configured population upper bound.
+        n_upper: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::LambdaVanishes {
+                modulus,
+                denominator,
+                n_upper,
+            } => write!(
+                f,
+                "lambda is zero: modulus {modulus} < {denominator} * {n_upper}; use a larger key space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parameters of the *Choose Random Peer* algorithm (Figure 1).
+///
+/// The single load-bearing input is `n_upper`, an estimate of the peer
+/// count that must satisfy `n ≤ n_upper = O(n)` with high probability —
+/// this is the paper's `n′ = n̂/γ₁`. From it the sampler derives
+///
+/// * `λ = ⌊M / (denominator · n_upper)⌋` — each peer's exact measure of
+///   ring points ([`SamplerConfig::lambda`]), and
+/// * the scan bound `R = ⌈6 ln n_upper⌉` — Figure 1's "repeat `6 ln n′`
+///   times" ([`SamplerConfig::step_bound`]).
+///
+/// In deployment, `n_upper` comes from
+/// [`Estimate::to_sampler_config`](crate::Estimate::to_sampler_config),
+/// which divides the §2 estimate by its proven lower ratio `γ₁ = 2/7`.
+/// Tests and experiments that know the true `n` use
+/// [`SamplerConfig::new`] directly.
+///
+/// # Example
+///
+/// ```
+/// use keyspace::KeySpace;
+/// use peer_sampling::SamplerConfig;
+///
+/// let config = SamplerConfig::new(1000);
+/// let space = KeySpace::full();
+/// // Each peer owns exactly this many ring points.
+/// assert_eq!(config.lambda(space).unwrap() as u128, (1u128 << 64) / 7000);
+/// assert_eq!(config.step_bound(), (6.0f64 * 1000f64.ln()).ceil() as u32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplerConfig {
+    n_upper: u64,
+    lambda_denominator: u64,
+    max_trials: u32,
+    step_limit: Option<u32>,
+}
+
+impl SamplerConfig {
+    /// Creates a config for a population upper bound `n_upper ≥ n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_upper == 0`.
+    pub fn new(n_upper: u64) -> SamplerConfig {
+        assert!(n_upper > 0, "population bound must be at least 1");
+        SamplerConfig {
+            n_upper,
+            lambda_denominator: DEFAULT_LAMBDA_DENOMINATOR,
+            max_trials: DEFAULT_MAX_TRIALS,
+            step_limit: None,
+        }
+    }
+
+    /// Builds a config from a raw `(γ₁, γ₂)`-approximate size estimate by
+    /// inflating it to an upper bound: `n_upper = ⌈n̂ / γ₁⌉`.
+    ///
+    /// With the §2 estimator, `γ₁ = 2/7` (Lemma 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_hat` or `gamma1` is not positive and finite.
+    pub fn from_raw_estimate(n_hat: f64, gamma1: f64) -> SamplerConfig {
+        assert!(
+            n_hat.is_finite() && n_hat > 0.0,
+            "estimate must be positive, got {n_hat}"
+        );
+        assert!(
+            gamma1.is_finite() && gamma1 > 0.0,
+            "gamma1 must be positive, got {gamma1}"
+        );
+        SamplerConfig::new((n_hat / gamma1).ceil().max(1.0) as u64)
+    }
+
+    /// Overrides the `λ` denominator (the paper's 7). Smaller values give
+    /// higher per-trial acceptance but need a stronger Lemma 4 margin; the
+    /// E-ablation benches sweep this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator == 0`.
+    pub fn with_lambda_denominator(mut self, denominator: u64) -> SamplerConfig {
+        assert!(denominator > 0, "denominator must be positive");
+        self.lambda_denominator = denominator;
+        self
+    }
+
+    /// Overrides the retry cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_trials == 0`.
+    pub fn with_max_trials(mut self, max_trials: u32) -> SamplerConfig {
+        assert!(max_trials > 0, "need at least one trial");
+        self.max_trials = max_trials;
+        self
+    }
+
+    /// Overrides the scan bound `R` (Figure 1's `6 ln n′`). Used by the
+    /// exhaustive verification, which sets it high enough that no scan is
+    /// ever truncated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_limit == 0`.
+    pub fn with_step_limit(mut self, step_limit: u32) -> SamplerConfig {
+        assert!(step_limit > 0, "step limit must be positive");
+        self.step_limit = Some(step_limit);
+        self
+    }
+
+    /// The configured population upper bound `n′`.
+    pub fn n_upper(&self) -> u64 {
+        self.n_upper
+    }
+
+    /// The `λ` denominator.
+    pub fn lambda_denominator(&self) -> u64 {
+        self.lambda_denominator
+    }
+
+    /// The retry cap.
+    pub fn max_trials(&self) -> u32 {
+        self.max_trials
+    }
+
+    /// The per-peer measure `λ` in ring points:
+    /// `⌊M / (denominator · n_upper)⌋`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::LambdaVanishes`] when the modulus is too
+    /// small to give every peer at least one point.
+    pub fn lambda(&self, space: KeySpace) -> Result<u64, ConfigError> {
+        let denom = self.lambda_denominator as u128 * self.n_upper as u128;
+        let lambda = space.modulus() / denom;
+        if lambda == 0 {
+            Err(ConfigError::LambdaVanishes {
+                modulus: space.modulus(),
+                denominator: self.lambda_denominator,
+                n_upper: self.n_upper,
+            })
+        } else {
+            Ok(lambda as u64)
+        }
+    }
+
+    /// The scan bound `R`: explicit override, or `⌈6 ln n_upper⌉` (at
+    /// least 1).
+    pub fn step_bound(&self) -> u32 {
+        if let Some(limit) = self.step_limit {
+            return limit;
+        }
+        let r = (6.0 * (self.n_upper as f64).ln()).ceil();
+        (r as u32).max(1)
+    }
+}
+
+impl fmt::Display for SamplerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SamplerConfig(n' = {}, lambda = 1/({} n'), R = {}, max_trials = {})",
+            self.n_upper,
+            self.lambda_denominator,
+            self.step_bound(),
+            self.max_trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_matches_formula() {
+        let space = KeySpace::with_modulus(1_000_000).unwrap();
+        let cfg = SamplerConfig::new(100);
+        assert_eq!(cfg.lambda(space).unwrap(), 1_000_000 / 700);
+    }
+
+    #[test]
+    fn lambda_vanishes_on_tiny_ring() {
+        let space = KeySpace::with_modulus(100).unwrap();
+        let cfg = SamplerConfig::new(100);
+        let err = cfg.lambda(space).unwrap_err();
+        assert!(matches!(err, ConfigError::LambdaVanishes { .. }));
+        assert!(err.to_string().contains("larger key space"));
+    }
+
+    #[test]
+    fn step_bound_is_six_ln_n() {
+        assert_eq!(SamplerConfig::new(1000).step_bound(), 42); // 6 ln 1000 ≈ 41.45
+        assert_eq!(SamplerConfig::new(1).step_bound(), 1); // floor at 1
+        assert_eq!(
+            SamplerConfig::new(1000).with_step_limit(7).step_bound(),
+            7
+        );
+    }
+
+    #[test]
+    fn from_raw_estimate_inflates_by_gamma() {
+        // Raw estimate 200 with γ₁ = 2/7 → n_upper = 700.
+        let cfg = SamplerConfig::from_raw_estimate(200.0, 2.0 / 7.0);
+        assert_eq!(cfg.n_upper(), 700);
+        // Tiny estimates floor at 1.
+        assert_eq!(SamplerConfig::from_raw_estimate(0.1, 1.0).n_upper(), 1);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = SamplerConfig::new(10)
+            .with_lambda_denominator(5)
+            .with_max_trials(9);
+        assert_eq!(cfg.lambda_denominator(), 5);
+        assert_eq!(cfg.max_trials(), 9);
+        assert_eq!(cfg.n_upper(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_population_panics() {
+        let _ = SamplerConfig::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_estimate_panics() {
+        let _ = SamplerConfig::from_raw_estimate(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_parameters() {
+        let s = SamplerConfig::new(10).to_string();
+        assert!(s.contains("n' = 10"));
+        assert!(s.contains("max_trials"));
+    }
+}

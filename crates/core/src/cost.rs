@@ -1,0 +1,107 @@
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign};
+
+/// Resource cost of a DHT operation, in the paper's two currencies.
+///
+/// Theorem 7 bounds the sampler by `O(m_h + log n)` **messages** and
+/// `O(t_h + log n)` **latency** (sequential message delays). Every [`Dht`]
+/// operation reports both so the experiment harness can measure the real
+/// constants.
+///
+/// Costs form a monoid under `+`; latency adds because the sampler issues
+/// its operations sequentially.
+///
+/// # Example
+///
+/// ```
+/// use peer_sampling::Cost;
+///
+/// let lookup = Cost::new(10, 10);
+/// let step = Cost::new(1, 1);
+/// assert_eq!(lookup + step, Cost::new(11, 11));
+/// ```
+///
+/// [`Dht`]: crate::Dht
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cost {
+    /// Messages sent.
+    pub messages: u64,
+    /// Latency in ticks (one tick = one message delay under the paper's
+    /// unit-delay model).
+    pub latency: u64,
+}
+
+impl Cost {
+    /// The zero cost (local computation).
+    pub const FREE: Cost = Cost {
+        messages: 0,
+        latency: 0,
+    };
+
+    /// A cost of `messages` messages and `latency` latency ticks.
+    pub const fn new(messages: u64, latency: u64) -> Cost {
+        Cost { messages, latency }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            messages: self.messages + rhs.messages,
+            latency: self.latency + rhs.latency,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::FREE, Add::add)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} msgs / {} ticks", self.messages, self.latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = Cost::new(3, 5) + Cost::new(4, 1);
+        assert_eq!(a, Cost::new(7, 6));
+        let mut b = Cost::FREE;
+        b += Cost::new(2, 2);
+        assert_eq!(b, Cost::new(2, 2));
+    }
+
+    #[test]
+    fn free_is_identity() {
+        assert_eq!(Cost::new(9, 9) + Cost::FREE, Cost::new(9, 9));
+        assert_eq!(Cost::default(), Cost::FREE);
+    }
+
+    #[test]
+    fn sum_of_costs() {
+        let total: Cost = (1..=3).map(|i| Cost::new(i, 2 * i)).sum();
+        assert_eq!(total, Cost::new(6, 12));
+    }
+
+    #[test]
+    fn display_mentions_both_currencies() {
+        let s = Cost::new(1, 2).to_string();
+        assert!(s.contains("msgs") && s.contains("ticks"));
+    }
+}

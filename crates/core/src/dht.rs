@@ -1,0 +1,124 @@
+use core::fmt;
+
+use keyspace::{KeySpace, Point};
+
+use crate::Cost;
+
+/// Error returned by [`Dht`] operations.
+///
+/// The oracle backend never fails; the Chord backend returns these under
+/// churn (crashed nodes, stale routing state) so experiment E11 can measure
+/// the sampler's behaviour in an imperfect network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhtError {
+    /// The DHT has no live peers.
+    EmptyRing,
+    /// The peer handle refers to a node that is no longer part of the ring.
+    PeerUnavailable,
+    /// A routed lookup gave up (e.g. all successors of some hop crashed).
+    RoutingFailed {
+        /// Hops completed before the failure (for cost attribution).
+        hops: u64,
+    },
+}
+
+impl fmt::Display for DhtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DhtError::EmptyRing => write!(f, "the DHT has no live peers"),
+            DhtError::PeerUnavailable => write!(f, "peer is no longer part of the ring"),
+            DhtError::RoutingFailed { hops } => {
+                write!(f, "lookup routing failed after {hops} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DhtError {}
+
+/// A successfully resolved peer, with the cost of resolving it.
+///
+/// Both `h` and `next` return the peer's point alongside its handle
+/// because the sampling algorithms always need `l(p)` immediately — making
+/// callers pay a second round-trip for it would misrepresent the paper's
+/// cost model (the point travels in the response message).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resolved<P> {
+    /// Handle of the resolved peer.
+    pub peer: P,
+    /// The peer's point `l(peer)` on the ring.
+    pub point: Point,
+    /// Messages/latency spent resolving.
+    pub cost: Cost,
+}
+
+/// The two primitive operations the paper assumes of a DHT, plus local
+/// introspection.
+///
+/// Implementations:
+///
+/// * [`OracleDht`](crate::OracleDht) — direct sorted-array queries with a
+///   configurable synthetic cost; used for algorithm-correctness tests
+///   where DHT routing bugs must not interfere.
+/// * `chord::ChordDht` — real iterative Chord routing with measured hop
+///   counts; used for every cost experiment.
+///
+/// # Contract
+///
+/// * `h(x)` returns the live peer whose point is closest **clockwise** of
+///   `x` (inclusive of `x` itself).
+/// * `next(p)` returns the live peer strictly clockwise of `p`'s point; on
+///   a single-peer ring it returns `p` itself.
+/// * `point_of(p)` is free (a local field read at peer `p`).
+pub trait Dht {
+    /// Handle by which the implementation names peers.
+    type Peer: Copy + Eq + fmt::Debug;
+
+    /// The key space the DHT operates on.
+    fn space(&self) -> KeySpace;
+
+    /// Resolves `h(x)`: the peer closest clockwise of point `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::EmptyRing`] when no peers are live, or
+    /// [`DhtError::RoutingFailed`] when routing cannot complete.
+    fn h(&self, x: Point) -> Result<Resolved<Self::Peer>, DhtError>;
+
+    /// Resolves `next(p)`: the immediate clockwise successor of peer `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::PeerUnavailable`] if `p` is gone.
+    fn next(&self, p: Self::Peer) -> Result<Resolved<Self::Peer>, DhtError>;
+
+    /// The ring point of peer `p` (a free local read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DhtError::PeerUnavailable`] if `p` is gone.
+    fn point_of(&self, p: Self::Peer) -> Result<Point, DhtError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display() {
+        assert!(DhtError::EmptyRing.to_string().contains("no live peers"));
+        assert!(DhtError::PeerUnavailable.to_string().contains("no longer"));
+        assert!(DhtError::RoutingFailed { hops: 3 }.to_string().contains('3'));
+    }
+
+    #[test]
+    fn resolved_is_plain_data() {
+        let r = Resolved {
+            peer: 7usize,
+            point: Point::new(9),
+            cost: Cost::new(1, 1),
+        };
+        let copy = r;
+        assert_eq!(copy, r);
+    }
+}

@@ -1,0 +1,195 @@
+use keyspace::{KeySpace, Point, SortedRing};
+
+use crate::{Cost, Dht, DhtError, Resolved};
+
+/// An idealized DHT backed by a sorted array of peer points.
+///
+/// `OracleDht` answers `h` and `next` by direct binary search — no routing,
+/// no failures — while charging a configurable *synthetic* cost per call so
+/// that cost-sensitive code paths (trial accounting, expected-message
+/// experiments) still exercise realistically. The defaults mimic a standard
+/// DHT: `h` costs `⌈log₂ n⌉` messages and the same latency; `next` costs
+/// one message.
+///
+/// Peers are identified by their clockwise **rank** (`usize`), matching
+/// [`SortedRing`] indices, which makes selection histograms trivial to
+/// build.
+///
+/// Use this backend to test *algorithm* correctness in isolation; use
+/// `chord::ChordDht` to *measure* costs on a real protocol.
+///
+/// # Example
+///
+/// ```
+/// use keyspace::{KeySpace, Point, SortedRing};
+/// use peer_sampling::{Dht, OracleDht};
+///
+/// let space = KeySpace::with_modulus(100).unwrap();
+/// let ring = SortedRing::new(space, vec![Point::new(10), Point::new(60)]);
+/// let dht = OracleDht::new(ring);
+/// let hit = dht.h(Point::new(42))?;
+/// assert_eq!(hit.point, Point::new(60));
+/// let succ = dht.next(hit.peer)?;
+/// assert_eq!(succ.point, Point::new(10)); // wraps
+/// # Ok::<(), peer_sampling::DhtError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleDht {
+    ring: SortedRing,
+    h_cost: Cost,
+    next_cost: Cost,
+}
+
+impl OracleDht {
+    /// Wraps a ring with standard-DHT synthetic costs
+    /// (`h`: `⌈log₂ n⌉` messages/ticks, `next`: 1/1).
+    pub fn new(ring: SortedRing) -> OracleDht {
+        let hops = (ring.len().max(2) as f64).log2().ceil() as u64;
+        OracleDht::with_costs(ring, Cost::new(hops, hops), Cost::new(1, 1))
+    }
+
+    /// Wraps a ring with explicit per-operation costs.
+    pub fn with_costs(ring: SortedRing, h_cost: Cost, next_cost: Cost) -> OracleDht {
+        OracleDht {
+            ring,
+            h_cost,
+            next_cost,
+        }
+    }
+
+    /// Wraps a ring with zero-cost operations (pure correctness testing).
+    pub fn free(ring: SortedRing) -> OracleDht {
+        OracleDht::with_costs(ring, Cost::FREE, Cost::FREE)
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the DHT has no peers.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Borrow the underlying ring (for assertions and theory predicates).
+    pub fn ring(&self) -> &SortedRing {
+        &self.ring
+    }
+}
+
+impl Dht for OracleDht {
+    type Peer = usize;
+
+    fn space(&self) -> KeySpace {
+        self.ring.space()
+    }
+
+    fn h(&self, x: Point) -> Result<Resolved<usize>, DhtError> {
+        if self.ring.is_empty() {
+            return Err(DhtError::EmptyRing);
+        }
+        let rank = self.ring.successor_of(x);
+        Ok(Resolved {
+            peer: rank,
+            point: self.ring.point(rank),
+            cost: self.h_cost,
+        })
+    }
+
+    fn next(&self, p: usize) -> Result<Resolved<usize>, DhtError> {
+        if p >= self.ring.len() {
+            return Err(DhtError::PeerUnavailable);
+        }
+        let rank = self.ring.next_index(p);
+        Ok(Resolved {
+            peer: rank,
+            point: self.ring.point(rank),
+            cost: self.next_cost,
+        })
+    }
+
+    fn point_of(&self, p: usize) -> Result<Point, DhtError> {
+        if p >= self.ring.len() {
+            return Err(DhtError::PeerUnavailable);
+        }
+        Ok(self.ring.point(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn dht() -> OracleDht {
+        let space = KeySpace::with_modulus(100).unwrap();
+        OracleDht::new(SortedRing::new(
+            space,
+            vec![Point::new(10), Point::new(40), Point::new(90)],
+        ))
+    }
+
+    #[test]
+    fn h_finds_clockwise_successor() {
+        let d = dht();
+        assert_eq!(d.h(Point::new(11)).unwrap().peer, 1);
+        assert_eq!(d.h(Point::new(40)).unwrap().peer, 1); // inclusive
+        assert_eq!(d.h(Point::new(95)).unwrap().peer, 0); // wraps
+    }
+
+    #[test]
+    fn next_wraps_and_reports_point() {
+        let d = dht();
+        let r = d.next(2).unwrap();
+        assert_eq!(r.peer, 0);
+        assert_eq!(r.point, Point::new(10));
+    }
+
+    #[test]
+    fn default_costs_are_logarithmic() {
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let ring = SortedRing::new(space, space.random_points(&mut rng, 1024));
+        let d = OracleDht::new(ring);
+        let h = d.h(Point::new(1)).unwrap();
+        assert_eq!(h.cost, Cost::new(10, 10)); // log2(1024) = 10
+        let n = d.next(0).unwrap();
+        assert_eq!(n.cost, Cost::new(1, 1));
+    }
+
+    #[test]
+    fn free_costs_nothing() {
+        let space = KeySpace::with_modulus(100).unwrap();
+        let d = OracleDht::free(SortedRing::new(space, vec![Point::new(1)]));
+        assert_eq!(d.h(Point::new(0)).unwrap().cost, Cost::FREE);
+    }
+
+    #[test]
+    fn errors_on_empty_and_stale() {
+        let space = KeySpace::with_modulus(100).unwrap();
+        let empty = OracleDht::new(SortedRing::new(space, vec![]));
+        assert_eq!(empty.h(Point::new(0)).unwrap_err(), DhtError::EmptyRing);
+        assert!(empty.is_empty());
+        let d = dht();
+        assert_eq!(d.next(3).unwrap_err(), DhtError::PeerUnavailable);
+        assert_eq!(d.point_of(9).unwrap_err(), DhtError::PeerUnavailable);
+    }
+
+    #[test]
+    fn point_of_is_rank_point() {
+        let d = dht();
+        assert_eq!(d.point_of(1).unwrap(), Point::new(40));
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.ring().len(), 3);
+        assert_eq!(d.space().modulus(), 100);
+    }
+
+    #[test]
+    fn single_peer_next_is_self() {
+        let space = KeySpace::with_modulus(100).unwrap();
+        let d = OracleDht::new(SortedRing::new(space, vec![Point::new(5)]));
+        let r = d.next(0).unwrap();
+        assert_eq!(r.peer, 0, "singleton ring: next(p) = p");
+    }
+}

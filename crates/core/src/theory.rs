@@ -1,0 +1,290 @@
+//! Executable forms of the paper's supporting lemmas.
+//!
+//! Theorem 6 holds *conditioned on the hash function having properties
+//! (1)–(3)* (Lemmas 1, 2, 4), each of which holds with probability
+//! `≥ 1 − 1/n` over the random peer placement. This module turns each
+//! property into a predicate over a concrete [`SortedRing`] so experiments
+//! E1/E2/E4 can measure how often and how tightly they hold at practical
+//! network sizes.
+
+use keyspace::SortedRing;
+
+/// Per-peer report for Lemma 1.
+///
+/// Lemma 1: w.h.p., for every peer `p`,
+/// `ln n − ln ln n − 2 ≤ ln(1/d(l(p), l(next(p)))) ≤ 3 ln n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lemma1Report {
+    /// `ln(1/d)` for each peer's successor arc, in rank order.
+    pub values: Vec<f64>,
+    /// The lemma's lower bound `ln n − ln ln n − 2`.
+    pub lower: f64,
+    /// The lemma's upper bound `3 ln n`.
+    pub upper: f64,
+    /// Number of peers violating either bound.
+    pub violations: usize,
+}
+
+impl Lemma1Report {
+    /// Whether every peer satisfies the bounds.
+    pub fn holds(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Evaluates Lemma 1 on a ring.
+///
+/// # Panics
+///
+/// Panics if the ring has fewer than 3 peers (`ln ln n` needs `n ≥ 3`).
+pub fn lemma1(ring: &SortedRing) -> Lemma1Report {
+    let n = ring.len();
+    assert!(n >= 3, "Lemma 1 needs at least 3 peers, got {n}");
+    let space = ring.space();
+    let ln_n = (n as f64).ln();
+    let lower = ln_n - ln_n.ln() - 2.0;
+    let upper = 3.0 * ln_n;
+    let values: Vec<f64> = (0..n)
+        .map(|i| {
+            let frac = space.fraction(ring.arc_after(i)).max(f64::MIN_POSITIVE);
+            (1.0 / frac).ln()
+        })
+        .collect();
+    let violations = values
+        .iter()
+        .filter(|&&v| v < lower || v > upper)
+        .count();
+    Lemma1Report {
+        values,
+        lower,
+        upper,
+        violations,
+    }
+}
+
+/// Report for Lemma 4 / Corollary 5.
+///
+/// Lemma 4: w.h.p. the sum of the lengths of any `⌈6 ln n⌉` consecutive
+/// maximally peerless intervals (= consecutive successor arcs) is at least
+/// `(ln n)/n` of the circle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lemma4Report {
+    /// Window size `⌈6 ln n⌉` used.
+    pub window: usize,
+    /// The smallest window sum observed, in ring points.
+    pub min_window_sum: u128,
+    /// The lemma's threshold `(ln n / n) · M`, in ring points.
+    pub threshold: u128,
+}
+
+impl Lemma4Report {
+    /// Whether the minimum window clears the threshold.
+    pub fn holds(&self) -> bool {
+        self.min_window_sum as f64 >= self.threshold as f64
+    }
+
+    /// Ratio of the observed minimum to the threshold (≥ 1 when the lemma
+    /// holds; the margin the sampler actually enjoys).
+    pub fn margin(&self) -> f64 {
+        self.min_window_sum as f64 / self.threshold as f64
+    }
+}
+
+/// Evaluates Lemma 4 on a ring, checking every window position.
+///
+/// # Panics
+///
+/// Panics if the ring has fewer than 2 peers.
+pub fn lemma4(ring: &SortedRing) -> Lemma4Report {
+    let n = ring.len();
+    assert!(n >= 2, "Lemma 4 needs at least 2 peers, got {n}");
+    let ln_n = (n as f64).ln();
+    let window = ((6.0 * ln_n).ceil() as usize).max(1);
+    let threshold = (ln_n / n as f64 * ring.space().modulus() as f64) as u128;
+
+    // Sliding window over the circular arc sequence, O(n).
+    let arcs: Vec<u128> = ring.arcs().map(|d| d.to_u128()).collect();
+    let mut sum: u128 = (0..window).map(|i| arcs[i % n]).sum();
+    let mut min_sum = sum;
+    for start in 1..n {
+        sum -= arcs[start - 1];
+        sum += arcs[(start - 1 + window) % n];
+        min_sum = min_sum.min(sum);
+    }
+    Lemma4Report {
+        window,
+        min_window_sum: min_sum,
+        threshold,
+    }
+}
+
+/// Report for Theorem 8: the minimum peer-to-peer arc is `Θ(1/n²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinArcReport {
+    /// Minimum arc as a fraction of the circle.
+    pub min_arc_fraction: f64,
+    /// `min_arc_fraction · n²` — Theorem 8 says this is `Θ(1)`, so across
+    /// seeds and sizes it should sit in a constant band.
+    pub normalized: f64,
+}
+
+/// Evaluates Theorem 8's statistic on a ring.
+///
+/// # Panics
+///
+/// Panics if the ring has fewer than 2 peers.
+pub fn min_arc(ring: &SortedRing) -> MinArcReport {
+    let n = ring.len();
+    let arc = ring
+        .min_arc()
+        .expect("Theorem 8 needs at least 2 peers");
+    let frac = ring.space().fraction(arc);
+    MinArcReport {
+        min_arc_fraction: frac,
+        normalized: frac * (n as f64) * (n as f64),
+    }
+}
+
+/// The naive heuristic's predicted bias (§1): the longest arc over the
+/// shortest arc, which is the ratio of the most- to least-likely peer
+/// under `h(random point)`. The paper predicts `Θ(n log n · n) /` well,
+/// `longest = Θ(log n / n)` and `shortest = Θ(1/n²)`, so the ratio is
+/// `Θ(n log n)`.
+///
+/// # Panics
+///
+/// Panics if the ring has fewer than 2 peers.
+pub fn naive_bias_ratio(ring: &SortedRing) -> f64 {
+    let min = ring
+        .min_arc()
+        .expect("bias ratio needs at least 2 peers")
+        .to_u128() as f64;
+    let max = ring.max_arc().expect("checked above").to_u128() as f64;
+    if min == 0.0 {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use keyspace::KeySpace;
+    use rand::SeedableRng;
+
+    fn ring(n: usize, seed: u64) -> SortedRing {
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        SortedRing::new(space, space.random_points(&mut rng, n))
+    }
+
+    #[test]
+    fn lemma1_holds_on_typical_rings() {
+        // The union-bound failure probability at n = 4096 is ≤ 1/n; one
+        // seed failing would be a surprise, several would be a bug.
+        let mut failures = 0;
+        for seed in 0..10 {
+            let report = lemma1(&ring(4096, seed));
+            assert_eq!(report.values.len(), 4096);
+            if !report.holds() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 1, "{failures}/10 rings violated Lemma 1");
+    }
+
+    #[test]
+    fn lemma1_bounds_are_ordered() {
+        let report = lemma1(&ring(100, 1));
+        assert!(report.lower < report.upper);
+        // For n = 100: lower = ln 100 − ln ln 100 − 2 ≈ 1.078.
+        assert!((report.lower - (100f64.ln() - 100f64.ln().ln() - 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_detects_planted_violation() {
+        // Two adjacent peers 1 point apart on the full ring: d ≈ 2^-64,
+        // ln(1/d) ≈ 44 > 3 ln 8.
+        let space = KeySpace::full();
+        let mut pts = space.random_points(
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+            6,
+        );
+        pts.push(keyspace::Point::new(1000));
+        pts.push(keyspace::Point::new(1001));
+        let r = SortedRing::new(space, pts);
+        let report = lemma1(&r);
+        assert!(!report.holds());
+        assert!(report.violations >= 1);
+    }
+
+    #[test]
+    fn lemma4_holds_with_margin_on_typical_rings() {
+        for seed in 0..10 {
+            let report = lemma4(&ring(2048, seed));
+            assert!(
+                report.holds(),
+                "seed {seed}: min window {} < threshold {}",
+                report.min_window_sum,
+                report.threshold
+            );
+            assert!(report.margin() >= 1.0);
+            assert_eq!(report.window, (6.0 * 2048f64.ln()).ceil() as usize);
+        }
+    }
+
+    #[test]
+    fn lemma4_window_sum_is_correct_on_small_ring() {
+        use keyspace::Point;
+        let space = KeySpace::with_modulus(100).unwrap();
+        let r = SortedRing::new(
+            space,
+            vec![Point::new(0), Point::new(10), Point::new(50)],
+        );
+        // n = 3 → window = ⌈6 ln 3⌉ = 7; every window of 7 arcs wraps the
+        // 3-arc circle twice plus one arc: sums = 200 + arc_i.
+        let report = lemma4(&r);
+        assert_eq!(report.window, 7);
+        assert_eq!(report.min_window_sum, 200 + 10);
+    }
+
+    #[test]
+    fn theorem8_normalized_min_arc_in_constant_band() {
+        // min arc × n² should be Θ(1): across seeds it stays within a
+        // generous constant band (exponential with mean 1, roughly).
+        let mut values = Vec::new();
+        for seed in 0..20 {
+            values.push(min_arc(&ring(4096, seed)).normalized);
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        assert!(
+            (0.05..5.0).contains(&mean),
+            "normalized min arc mean {mean} outside constant band"
+        );
+    }
+
+    #[test]
+    fn naive_bias_grows_superlinearly() {
+        // Θ(n log n): at n = 4096 the ratio must exceed n = 4096 on most
+        // seeds, and certainly on average.
+        let mut ratios = Vec::new();
+        for seed in 0..10 {
+            ratios.push(naive_bias_ratio(&ring(4096, seed)));
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean > 4096.0, "mean bias ratio {mean} not superlinear");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 peers")]
+    fn lemma1_needs_three_peers() {
+        let _ = lemma1(&ring(2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 peers")]
+    fn lemma4_needs_two_peers() {
+        let _ = lemma4(&ring(1, 1));
+    }
+}

@@ -1,0 +1,51 @@
+//! Discrete unit-circle key space arithmetic.
+//!
+//! King & Saia's *Choosing a Random Peer* (PODC 2004) models a DHT key space
+//! as the unit circle `(0, 1]`. Real DHTs use a **discrete** ring of `m`-bit
+//! identifiers (Chord uses `m = 160`); this crate provides that discrete ring
+//! with exact integer arithmetic so that the paper's exact-uniformity theorem
+//! (Theorem 6) can be verified without floating-point error.
+//!
+//! The central type is [`KeySpace`], a ring `ℤ_M` for a modulus
+//! `2 ≤ M ≤ 2^64`. Points on the ring are [`Point`]s, clockwise arc lengths
+//! are [`Distance`]s, and half-open clockwise arcs `(a, b]` are
+//! [`Interval`]s — the same `(a, b]` convention the paper uses for `I(a, b)`.
+//!
+//! [`SortedRing`] holds a set of *peer points* in ring order and answers the
+//! two primitive queries the paper assumes of the DHT — `h(x)` (closest peer
+//! clockwise of `x`, [`SortedRing::successor_of`]) and `next(p)`
+//! ([`SortedRing::next_index`]) — in their idealized, zero-cost form. The
+//! `chord` crate provides the same queries as a real routed protocol.
+//!
+//! # Example
+//!
+//! ```
+//! use keyspace::{KeySpace, Point, SortedRing};
+//! use rand::SeedableRng;
+//!
+//! let space = KeySpace::full(); // M = 2^64
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let points = space.random_points(&mut rng, 100);
+//! let ring = SortedRing::new(space, points);
+//! assert_eq!(ring.len(), 100);
+//!
+//! // h(x): the peer point closest clockwise of an arbitrary x.
+//! let x = space.random_point(&mut rng);
+//! let i = ring.successor_of(x);
+//! assert!(space.distance(x, ring.point(i)) <= space.distance(x, ring.point(ring.next_index(i))));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distance;
+mod interval;
+mod point;
+mod ring;
+mod space;
+
+pub use distance::Distance;
+pub use interval::Interval;
+pub use point::Point;
+pub use ring::{ArcLengths, SortedRing};
+pub use space::{KeySpace, KeySpaceError};

@@ -1,0 +1,94 @@
+use core::fmt;
+
+/// A point on the discrete key-space circle.
+///
+/// A `Point` is a bare `u64` coordinate; it is only meaningful relative to a
+/// [`KeySpace`](crate::KeySpace) whose modulus `M` it must be smaller than.
+/// All arithmetic (clockwise distance, offset, interval membership) lives on
+/// `KeySpace` so that the modulus is always explicit.
+///
+/// The paper's `l(p)` — "the peer point of peer `p`" — is a `Point`.
+///
+/// # Example
+///
+/// ```
+/// use keyspace::{KeySpace, Point};
+///
+/// let space = KeySpace::with_modulus(1000).unwrap();
+/// let a = Point::new(990);
+/// let b = Point::new(10);
+/// // Clockwise distance wraps across zero.
+/// assert_eq!(space.distance(a, b).get(), 20);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Point(u64);
+
+impl Point {
+    /// The point at coordinate zero.
+    pub const ZERO: Point = Point(0);
+
+    /// Creates a point at the given raw coordinate.
+    ///
+    /// The coordinate must be smaller than the modulus of every [`KeySpace`]
+    /// the point is used with; `KeySpace` methods check this with
+    /// `debug_assert!`.
+    ///
+    /// [`KeySpace`]: crate::KeySpace
+    pub const fn new(coordinate: u64) -> Point {
+        Point(coordinate)
+    }
+
+    /// Returns the raw coordinate.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Point {
+    fn from(coordinate: u64) -> Point {
+        Point(coordinate)
+    }
+}
+
+impl From<Point> for u64 {
+    fn from(point: Point) -> u64 {
+        point.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_round_trip() {
+        let p = Point::new(42);
+        assert_eq!(p.get(), 42);
+        assert_eq!(u64::from(p), 42);
+        assert_eq!(Point::from(42u64), p);
+    }
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Point::default(), Point::ZERO);
+        assert_eq!(Point::ZERO.get(), 0);
+    }
+
+    #[test]
+    fn ordering_is_coordinate_order() {
+        assert!(Point::new(1) < Point::new(2));
+        assert!(Point::new(u64::MAX) > Point::new(0));
+    }
+
+    #[test]
+    fn display_is_plain_number() {
+        assert_eq!(Point::new(17).to_string(), "17");
+    }
+}

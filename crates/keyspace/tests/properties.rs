@@ -1,0 +1,152 @@
+//! Property-based tests for ring arithmetic invariants.
+//!
+//! These are the algebraic facts the sampler's correctness proof leans on:
+//! clockwise distances decompose additively around the circle, intervals
+//! partition, and `h(x)` / `next` behave like the paper's primitives.
+
+use keyspace::{Distance, KeySpace, Point, SortedRing};
+use proptest::prelude::*;
+
+/// A strategy producing a key space with modulus in `[2, 2^64]` biased
+/// toward small and boundary moduli.
+fn any_space() -> impl Strategy<Value = KeySpace> {
+    prop_oneof![
+        Just(KeySpace::full()),
+        (2u128..=1 << 20).prop_map(|m| KeySpace::with_modulus(m).unwrap()),
+        Just(KeySpace::with_modulus(2).unwrap()),
+        Just(KeySpace::with_modulus(3).unwrap()),
+    ]
+}
+
+fn point_in(space: KeySpace) -> impl Strategy<Value = Point> {
+    (0..space.modulus()).prop_map(|c| Point::new(c as u64))
+}
+
+proptest! {
+    #[test]
+    fn distance_triangle_identity(space in any_space(), seed in any::<u64>()) {
+        // d(a, b) + d(b, c) ≡ d(a, c) (mod M): clockwise walks compose.
+        let mut rng = rand_rng(seed);
+        let a = space.random_point(&mut rng);
+        let b = space.random_point(&mut rng);
+        let c = space.random_point(&mut rng);
+        let lhs = (space.distance(a, b).to_u128() + space.distance(b, c).to_u128()) % space.modulus();
+        prop_assert_eq!(lhs, space.distance(a, c).to_u128());
+    }
+
+    #[test]
+    fn distance_antisymmetry(space in any_space(), seed in any::<u64>()) {
+        // d(a, b) + d(b, a) = M for a ≠ b, 0 for a = b.
+        let mut rng = rand_rng(seed);
+        let a = space.random_point(&mut rng);
+        let b = space.random_point(&mut rng);
+        let total = space.distance(a, b).to_u128() + space.distance(b, a).to_u128();
+        if a == b {
+            prop_assert_eq!(total, 0);
+        } else {
+            prop_assert_eq!(total, space.modulus());
+        }
+    }
+
+    #[test]
+    fn add_then_distance_recovers(space in any_space(), seed in any::<u64>(), raw in any::<u64>()) {
+        let mut rng = rand_rng(seed);
+        let a = space.random_point(&mut rng);
+        let d = Distance::new((raw as u128 % space.modulus()) as u64);
+        prop_assert_eq!(space.distance(a, space.add(a, d)), d);
+    }
+
+    #[test]
+    fn interval_membership_equals_distance_test(space in any_space(), seed in any::<u64>()) {
+        let mut rng = rand_rng(seed);
+        let a = space.random_point(&mut rng);
+        let b = space.random_point(&mut rng);
+        let x = space.random_point(&mut rng);
+        let i = space.interval(a, b);
+        let expected = {
+            let dx = space.distance(a, x);
+            !dx.is_zero() && dx <= space.distance(a, b)
+        };
+        prop_assert_eq!(space.interval_contains(i, x), expected);
+    }
+
+    #[test]
+    fn complementary_intervals_partition(space in any_space(), seed in any::<u64>()) {
+        // For a ≠ b, every x ≠ a, b... precisely: each point x lies in
+        // exactly one of (a, b] and (b, a].
+        let mut rng = rand_rng(seed);
+        let a = space.random_point(&mut rng);
+        let b = space.random_point(&mut rng);
+        prop_assume!(a != b);
+        let x = space.random_point(&mut rng);
+        let in_ab = space.interval_contains(space.interval(a, b), x);
+        let in_ba = space.interval_contains(space.interval(b, a), x);
+        prop_assert!(in_ab ^ in_ba, "x must be in exactly one of (a,b] and (b,a]");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sorted_ring_arcs_sum_to_modulus(
+        modulus in 16u128..4096,
+        count in 2usize..64,
+        seed in any::<u64>(),
+    ) {
+        let space = KeySpace::with_modulus(modulus).unwrap();
+        let mut rng = rand_rng(seed);
+        let n = count.min(modulus as usize / 2);
+        let ring = SortedRing::new(space, space.random_distinct_points(&mut rng, n));
+        let total: u128 = ring.arcs().map(Distance::to_u128).sum();
+        prop_assert_eq!(total, modulus);
+    }
+
+    #[test]
+    fn successor_is_true_argmin(
+        modulus in 16u128..4096,
+        count in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        let space = KeySpace::with_modulus(modulus).unwrap();
+        let mut rng = rand_rng(seed);
+        let n = count.min(modulus as usize / 2);
+        let ring = SortedRing::new(space, space.random_distinct_points(&mut rng, n));
+        let x = space.random_point(&mut rng);
+        let h = ring.point(ring.successor_of(x));
+        for &p in ring.points() {
+            prop_assert!(space.distance(x, h) <= space.distance(x, p));
+        }
+    }
+
+    #[test]
+    fn every_point_has_exactly_one_owning_arc(
+        modulus in 16u128..512,
+        count in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        // The arcs (p_i, p_{i+1}] tile the circle: each x belongs to exactly
+        // one, and its owner is successor_of(x)'s predecessor arc.
+        let space = KeySpace::with_modulus(modulus).unwrap();
+        let mut rng = rand_rng(seed);
+        let n = count.min(modulus as usize / 2);
+        let ring = SortedRing::new(space, space.random_distinct_points(&mut rng, n));
+        let x = space.random_point(&mut rng);
+        let mut owners = 0;
+        for i in 0..ring.len() {
+            let arc = space.interval(ring.point(i), ring.point(ring.next_index(i)));
+            if space.interval_contains(arc, x) {
+                owners += 1;
+                prop_assert_eq!(ring.successor_of(x), ring.next_index(i));
+            }
+        }
+        // x is either a peer point (owned by itself, the closed end of the
+        // preceding arc) or interior to exactly one arc.
+        prop_assert_eq!(owners, 1);
+    }
+}
+
+fn rand_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

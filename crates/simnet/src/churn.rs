@@ -1,0 +1,214 @@
+//! Churn workload generation.
+//!
+//! The paper's conclusion lists "evaluate it in practice" as an open
+//! problem; experiment E11 does exactly that by running the sampler on a
+//! Chord ring under membership churn. This module generates the membership
+//! event schedule: node arrivals as a Poisson process, per-node session
+//! lifetimes exponentially distributed (the standard M/M/∞ churn model used
+//! in DHT studies).
+
+use rand::Rng;
+
+use crate::{SimDuration, SimTime};
+
+/// What happens to a node at a churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChurnKind {
+    /// A fresh node joins the overlay.
+    Join,
+    /// An existing node departs gracefully (notifying neighbours).
+    Leave,
+    /// An existing node crashes silently.
+    Crash,
+}
+
+/// One scheduled membership change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When the change happens.
+    pub time: SimTime,
+    /// Join, leave, or crash.
+    pub kind: ChurnKind,
+}
+
+/// Parameters of the M/M/∞ churn model.
+///
+/// # Example
+///
+/// ```
+/// use simnet::churn::ChurnConfig;
+/// use simnet::SimDuration;
+/// use rand::SeedableRng;
+///
+/// let cfg = ChurnConfig {
+///     arrivals_per_1000_ticks: 50.0,
+///     mean_lifetime: SimDuration::from_ticks(10_000),
+///     crash_fraction: 0.25,
+///     horizon: SimDuration::from_ticks(100_000),
+/// };
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let schedule = cfg.generate(&mut rng);
+/// assert!(!schedule.is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean node arrivals per 1000 ticks (Poisson rate).
+    pub arrivals_per_1000_ticks: f64,
+    /// Mean session length; departures are scheduled `Exp(1/mean)` after
+    /// the corresponding join.
+    pub mean_lifetime: SimDuration,
+    /// Fraction of departures that are crashes instead of graceful leaves,
+    /// in `[0, 1]`.
+    pub crash_fraction: f64,
+    /// Generate events up to this time.
+    pub horizon: SimDuration,
+}
+
+impl ChurnConfig {
+    /// Generates the full event schedule, sorted by time.
+    ///
+    /// Departures whose lifetime extends beyond the horizon are dropped
+    /// (the node simply survives the experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates or fractions are out of range.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<ChurnEvent> {
+        assert!(
+            self.arrivals_per_1000_ticks > 0.0 && self.arrivals_per_1000_ticks.is_finite(),
+            "arrival rate must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.crash_fraction),
+            "crash fraction must be in [0, 1]"
+        );
+        assert!(!self.mean_lifetime.is_zero(), "mean lifetime must be positive");
+        let horizon = self.horizon.ticks() as f64;
+        let mean_gap = 1000.0 / self.arrivals_per_1000_ticks;
+        let mean_life = self.mean_lifetime.ticks() as f64;
+
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        loop {
+            t += exponential(rng, mean_gap);
+            if t >= horizon {
+                break;
+            }
+            let join_at = SimTime::from_ticks(t as u64);
+            events.push(ChurnEvent {
+                time: join_at,
+                kind: ChurnKind::Join,
+            });
+            let life = exponential(rng, mean_life);
+            let depart = t + life;
+            if depart < horizon {
+                let kind = if rng.gen::<f64>() < self.crash_fraction {
+                    ChurnKind::Crash
+                } else {
+                    ChurnKind::Leave
+                };
+                events.push(ChurnEvent {
+                    time: SimTime::from_ticks(depart as u64),
+                    kind,
+                });
+            }
+        }
+        events.sort_by_key(|e| e.time);
+        events
+    }
+}
+
+/// An `Exp(1/mean)` variate via inverse CDF.
+fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    // 1 − u ∈ (0, 1]; ln of it is finite.
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(99)
+    }
+
+    fn config() -> ChurnConfig {
+        ChurnConfig {
+            arrivals_per_1000_ticks: 100.0,
+            mean_lifetime: SimDuration::from_ticks(5_000),
+            crash_fraction: 0.5,
+            horizon: SimDuration::from_ticks(50_000),
+        }
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_within_horizon() {
+        let events = config().generate(&mut rng());
+        assert!(!events.is_empty());
+        for pair in events.windows(2) {
+            assert!(pair[0].time <= pair[1].time);
+        }
+        assert!(events.iter().all(|e| e.time.ticks() < 50_000));
+    }
+
+    #[test]
+    fn arrival_count_near_expectation() {
+        // rate 100/1000 ticks × 50_000 ticks → 5000 expected joins.
+        let events = config().generate(&mut rng());
+        let joins = events
+            .iter()
+            .filter(|e| e.kind == ChurnKind::Join)
+            .count() as f64;
+        assert!((joins - 5000.0).abs() < 300.0, "got {joins} joins");
+    }
+
+    #[test]
+    fn departures_never_exceed_joins() {
+        let events = config().generate(&mut rng());
+        let joins = events.iter().filter(|e| e.kind == ChurnKind::Join).count();
+        let departs = events.len() - joins;
+        assert!(departs <= joins);
+        assert!(departs > 0, "with 5k-tick lifetimes most nodes depart");
+    }
+
+    #[test]
+    fn crash_fraction_respected() {
+        let events = config().generate(&mut rng());
+        let crashes = events.iter().filter(|e| e.kind == ChurnKind::Crash).count() as f64;
+        let leaves = events.iter().filter(|e| e.kind == ChurnKind::Leave).count() as f64;
+        let frac = crashes / (crashes + leaves);
+        assert!((frac - 0.5).abs() < 0.05, "crash fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = config().generate(&mut rng());
+        let b = config().generate(&mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn zero_rate_panics() {
+        let mut cfg = config();
+        cfg.arrivals_per_1000_ticks = 0.0;
+        let _ = cfg.generate(&mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "crash fraction")]
+    fn bad_crash_fraction_panics() {
+        let mut cfg = config();
+        cfg.crash_fraction = 1.5;
+        let _ = cfg.generate(&mut rng());
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let mut r = rng();
+        let mean: f64 = (0..20000).map(|_| exponential(&mut r, 10.0)).sum::<f64>() / 20000.0;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean}");
+    }
+}

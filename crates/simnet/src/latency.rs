@@ -1,0 +1,214 @@
+use core::fmt;
+
+use rand::Rng;
+
+use crate::SimDuration;
+
+/// A per-message network delay distribution.
+///
+/// The paper counts latency in units of sequential message delays, which
+/// corresponds to [`LatencyModel::Constant`] with one tick. The other models
+/// let the experiments check that the *shape* of the latency results
+/// (Theorem 7's `O(log n)`) is insensitive to delay variance, as it must be
+/// since delays compose additively along the lookup path.
+///
+/// # Example
+///
+/// ```
+/// use simnet::LatencyModel;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let d = LatencyModel::Uniform { lo: 10, hi: 20 }.sample(&mut rng);
+/// assert!((10..=20).contains(&d.ticks()));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Every message takes exactly `ticks` ticks.
+    Constant(u64),
+    /// Delays drawn uniformly from `[lo, hi]` ticks.
+    Uniform {
+        /// Smallest possible delay.
+        lo: u64,
+        /// Largest possible delay (inclusive).
+        hi: u64,
+    },
+    /// Log-normally distributed delays — the classic heavy-tailed WAN model.
+    /// `median` is the median delay in ticks; `sigma` is the log-space
+    /// standard deviation (0 degenerates to constant).
+    LogNormal {
+        /// Median delay in ticks.
+        median: u64,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// The canonical unit-delay model used when reporting latency in
+    /// "message delays" like the paper.
+    pub const UNIT: LatencyModel = LatencyModel::Constant(1);
+
+    /// Draws one message delay.
+    ///
+    /// Delays are always at least one tick — a zero-delay network would let
+    /// unbounded work happen in zero simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model is malformed (`lo > hi`, or a non-finite or
+    /// negative `sigma`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        let ticks = match *self {
+            LatencyModel::Constant(t) => t,
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(lo <= hi, "uniform latency lo {lo} > hi {hi}");
+                rng.gen_range(lo..=hi)
+            }
+            LatencyModel::LogNormal { median, sigma } => {
+                assert!(
+                    sigma.is_finite() && sigma >= 0.0,
+                    "log-normal sigma must be finite and non-negative"
+                );
+                let z = standard_normal(rng);
+                let factor = (sigma * z).exp();
+                (median as f64 * factor).round() as u64
+            }
+        };
+        SimDuration::from_ticks(ticks.max(1))
+    }
+
+    /// The mean delay of the model in ticks (exact, not sampled).
+    pub fn mean_ticks(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant(t) => t.max(1) as f64,
+            LatencyModel::Uniform { lo, hi } => (lo.max(1) as f64 + hi.max(1) as f64) / 2.0,
+            LatencyModel::LogNormal { median, sigma } => {
+                median as f64 * (sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> LatencyModel {
+        LatencyModel::UNIT
+    }
+}
+
+impl fmt::Display for LatencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LatencyModel::Constant(t) => write!(f, "constant({t})"),
+            LatencyModel::Uniform { lo, hi } => write!(f, "uniform({lo}, {hi})"),
+            LatencyModel::LogNormal { median, sigma } => {
+                write!(f, "lognormal(median={median}, sigma={sigma})")
+            }
+        }
+    }
+}
+
+/// One standard-normal variate via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(LatencyModel::Constant(7).sample(&mut r).ticks(), 7);
+        }
+    }
+
+    #[test]
+    fn zero_constant_clamps_to_one_tick() {
+        let mut r = rng();
+        assert_eq!(LatencyModel::Constant(0).sample(&mut r).ticks(), 1);
+        assert_eq!(LatencyModel::Constant(0).mean_ticks(), 1.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_spread() {
+        let mut r = rng();
+        let m = LatencyModel::Uniform { lo: 5, hi: 15 };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let t = m.sample(&mut r).ticks();
+            assert!((5..=15).contains(&t));
+            seen.insert(t);
+        }
+        assert_eq!(seen.len(), 11, "all values in range should appear");
+    }
+
+    #[test]
+    fn lognormal_median_approximately_right() {
+        let mut r = rng();
+        let m = LatencyModel::LogNormal {
+            median: 100,
+            sigma: 0.5,
+        };
+        let mut samples: Vec<u64> = (0..4001).map(|_| m.sample(&mut r).ticks()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        assert!(
+            (80..=120).contains(&median),
+            "empirical median {median} too far from 100"
+        );
+    }
+
+    #[test]
+    fn lognormal_mean_formula() {
+        let m = LatencyModel::LogNormal {
+            median: 100,
+            sigma: 0.5,
+        };
+        assert!((m.mean_ticks() - 100.0 * (0.125f64).exp()).abs() < 1e-9);
+        let mut r = rng();
+        let w: f64 =
+            (0..20000).map(|_| m.sample(&mut r).ticks() as f64).sum::<f64>() / 20000.0;
+        assert!((w - m.mean_ticks()).abs() / m.mean_ticks() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo 5 > hi 2")]
+    fn bad_uniform_panics() {
+        let _ = LatencyModel::Uniform { lo: 5, hi: 2 }.sample(&mut rng());
+    }
+
+    #[test]
+    fn default_is_unit() {
+        assert_eq!(LatencyModel::default(), LatencyModel::UNIT);
+        assert_eq!(LatencyModel::UNIT.mean_ticks(), 1.0);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(LatencyModel::Constant(3).to_string(), "constant(3)");
+        assert!(LatencyModel::Uniform { lo: 1, hi: 2 }
+            .to_string()
+            .contains("uniform"));
+        assert!(LatencyModel::LogNormal {
+            median: 9,
+            sigma: 1.0
+        }
+        .to_string()
+        .contains("lognormal"));
+    }
+}

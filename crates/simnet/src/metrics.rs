@@ -1,0 +1,160 @@
+use core::fmt;
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+/// A thread-safe registry of named monotonic counters.
+///
+/// Chord increments counters per message kind (`lookup.hop`, `stabilize`,
+/// `notify`, …) while the sampler and the experiment harness read snapshots
+/// before and after an operation to attribute costs. `BTreeMap` keeps
+/// snapshots deterministically ordered for table output.
+///
+/// # Example
+///
+/// ```
+/// use simnet::Metrics;
+///
+/// let m = Metrics::new();
+/// m.incr("lookup.hop");
+/// m.add("lookup.hop", 2);
+/// assert_eq!(m.get("lookup.hop"), 3);
+/// assert_eq!(m.get("unknown"), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, u64>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Increments `name` by one.
+    pub fn incr(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments `name` by `delta`.
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut map = self.counters.lock();
+        *map.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Current value of `name` (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefixed(&self, prefix: &str) -> u64 {
+        self.counters
+            .lock()
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().clone()
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        self.counters.lock().clear();
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let snap = self.snapshot();
+        if snap.is_empty() {
+            return write!(f, "(no metrics)");
+        }
+        for (i, (k, v)) in snap.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incr_add_get() {
+        let m = Metrics::new();
+        m.incr("a");
+        m.incr("a");
+        m.add("b", 5);
+        assert_eq!(m.get("a"), 2);
+        assert_eq!(m.get("b"), 5);
+        assert_eq!(m.get("c"), 0);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let m = Metrics::new();
+        m.add("lookup.hop", 3);
+        m.add("lookup.start", 1);
+        m.add("stabilize", 10);
+        assert_eq!(m.sum_prefixed("lookup."), 4);
+        assert_eq!(m.sum_prefixed(""), 14);
+        assert_eq!(m.sum_prefixed("nothing"), 0);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_detached() {
+        let m = Metrics::new();
+        m.incr("z");
+        m.incr("a");
+        let snap = m.snapshot();
+        let keys: Vec<_> = snap.keys().cloned().collect();
+        assert_eq!(keys, vec!["a", "z"]);
+        m.incr("a");
+        assert_eq!(snap["a"], 1, "snapshot must not see later increments");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let m = Metrics::new();
+        m.incr("x");
+        m.reset();
+        assert_eq!(m.get("x"), 0);
+        assert!(m.snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_all_land() {
+        let m = std::sync::Arc::new(Metrics::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.incr("shared");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.get("shared"), 8000);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let m = Metrics::new();
+        assert_eq!(m.to_string(), "(no metrics)");
+        m.add("k", 2);
+        assert_eq!(m.to_string(), "k = 2");
+    }
+}

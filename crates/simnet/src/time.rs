@@ -1,0 +1,187 @@
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in integer ticks since simulation
+/// start.
+///
+/// One tick is "one unit of message delay" unless a
+/// [`LatencyModel`](crate::LatencyModel) says otherwise; the paper's latency
+/// bounds (`O(log n)` message delays) are naturally expressed in ticks.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_ticks(5);
+/// assert_eq!(t.ticks(), 5);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_ticks(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time `ticks` after the epoch.
+    pub const fn from_ticks(ticks: u64) -> SimTime {
+        SimTime(ticks)
+    }
+
+    /// Ticks since the epoch.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating advance by a duration.
+    pub const fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A span of `ticks` ticks.
+    pub const fn from_ticks(ticks: u64) -> SimDuration {
+        SimDuration(ticks)
+    }
+
+    /// Length in ticks.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether the span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulated clock overflow"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction went negative"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_add(rhs.0).expect("duration overflow"))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = SimTime::from_ticks(10);
+        let d = SimDuration::from_ticks(7);
+        assert_eq!((t + d).ticks(), 17);
+        assert_eq!((t + d) - t, d);
+        let mut t2 = t;
+        t2 += d;
+        assert_eq!(t2.ticks(), 17);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_ticks).sum();
+        assert_eq!(total.ticks(), 10);
+        let mut d = SimDuration::from_ticks(1);
+        d += SimDuration::from_ticks(2);
+        assert_eq!(d.ticks(), 3);
+    }
+
+    #[test]
+    fn saturating_add_caps() {
+        let t = SimTime::from_ticks(u64::MAX);
+        assert_eq!(
+            t.saturating_add(SimDuration::from_ticks(5)).ticks(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_difference_panics() {
+        let _ = SimTime::ZERO - SimTime::from_ticks(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn clock_overflow_panics() {
+        let _ = SimTime::from_ticks(u64::MAX) + SimDuration::from_ticks(1);
+    }
+
+    #[test]
+    fn zero_checks_and_display() {
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_ticks(1).is_zero());
+        assert_eq!(SimTime::from_ticks(3).to_string(), "t=3");
+        assert_eq!(SimDuration::from_ticks(3).to_string(), "3 ticks");
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_ticks(1) < SimTime::from_ticks(2));
+        assert!(SimDuration::from_ticks(1) < SimDuration::from_ticks(2));
+    }
+}

@@ -1,0 +1,193 @@
+//! Entropy measures and the likelihood-ratio (G) test.
+//!
+//! A second, independent statistical lens on uniformity: Shannon entropy
+//! is maximized exactly by the uniform distribution, and the G-test is the
+//! likelihood-ratio counterpart of Pearson's chi-square (asymptotically
+//! equivalent, differently sensitive at finite samples). The experiment
+//! harness cross-checks its chi-square verdicts against these.
+
+use crate::gamma::chi_square_sf;
+
+/// Shannon entropy `−Σ pᵢ ln pᵢ` in nats of a probability vector.
+///
+/// Zero-probability entries contribute 0.
+///
+/// # Panics
+///
+/// Panics if the vector is empty, has negative entries, or does not sum
+/// to 1 within `1e-9`.
+///
+/// # Example
+///
+/// ```
+/// use stats::entropy::shannon;
+///
+/// let uniform = [0.25; 4];
+/// assert!((shannon(&uniform) - 4f64.ln()).abs() < 1e-12);
+/// assert_eq!(shannon(&[1.0, 0.0]), 0.0);
+/// ```
+pub fn shannon(p: &[f64]) -> f64 {
+    assert!(!p.is_empty(), "entropy of an empty distribution");
+    let total: f64 = p.iter().sum();
+    assert!(
+        (total - 1.0).abs() < 1e-9,
+        "probabilities sum to {total}, not 1"
+    );
+    let mut h = 0.0;
+    for &pi in p {
+        assert!(pi >= 0.0, "negative probability {pi}");
+        if pi > 0.0 {
+            h -= pi * pi.ln();
+        }
+    }
+    h.max(0.0)
+}
+
+/// Entropy of an empirical count vector, normalized to `[0, 1]` by the
+/// maximum `ln n` — 1.0 iff perfectly uniform.
+///
+/// # Panics
+///
+/// Panics if `counts` is empty or all zero, or has a single category
+/// (normalization is undefined).
+pub fn normalized_from_counts(counts: &[u64]) -> f64 {
+    assert!(counts.len() >= 2, "need at least two categories");
+    let total: u128 = counts.iter().map(|&c| c as u128).sum();
+    assert!(total > 0, "all-zero counts");
+    let p: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+    shannon(&p) / (counts.len() as f64).ln()
+}
+
+/// The likelihood-ratio goodness-of-fit test (`G-test`) against a uniform
+/// expectation: `G = 2 Σ Oᵢ ln(Oᵢ/Eᵢ)`, asymptotically `χ²(n−1)`.
+///
+/// # Example
+///
+/// ```
+/// use stats::entropy::GTest;
+///
+/// let biased = GTest::uniform(&[500u64, 100, 100, 100]).unwrap();
+/// assert!(biased.p_value() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GTest {
+    statistic: f64,
+    dof: u64,
+    p_value: f64,
+}
+
+impl GTest {
+    /// Runs the test against the uniform expectation.
+    ///
+    /// Returns `None` for fewer than two categories or a zero total.
+    pub fn uniform(observed: &[u64]) -> Option<GTest> {
+        if observed.len() < 2 {
+            return None;
+        }
+        let total: u128 = observed.iter().map(|&c| c as u128).sum();
+        if total == 0 {
+            return None;
+        }
+        let expected = total as f64 / observed.len() as f64;
+        let statistic = 2.0
+            * observed
+                .iter()
+                .filter(|&&o| o > 0)
+                .map(|&o| o as f64 * (o as f64 / expected).ln())
+                .sum::<f64>();
+        let statistic = statistic.max(0.0);
+        let dof = observed.len() as u64 - 1;
+        Some(GTest {
+            statistic,
+            dof,
+            p_value: chi_square_sf(statistic, dof),
+        })
+    }
+
+    /// The G statistic.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// Degrees of freedom.
+    pub fn dof(&self) -> u64 {
+        self.dof
+    }
+
+    /// Right-tail p-value under the `χ²(dof)` asymptotics.
+    pub fn p_value(&self) -> f64 {
+        self.p_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shannon_known_values() {
+        assert_eq!(shannon(&[1.0]), 0.0);
+        assert!((shannon(&[0.5, 0.5]) - 2f64.ln()).abs() < 1e-12);
+        assert!((shannon(&[0.25; 4]) - 4f64.ln()).abs() < 1e-12);
+        // Entropy of (0.9, 0.1).
+        let h = -(0.9f64 * 0.9f64.ln() + 0.1 * 0.1f64.ln());
+        assert!((shannon(&[0.9, 0.1]) - h).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_maximizes_entropy() {
+        let u = shannon(&[0.25; 4]);
+        assert!(shannon(&[0.4, 0.3, 0.2, 0.1]) < u);
+        assert!(shannon(&[0.7, 0.1, 0.1, 0.1]) < u);
+    }
+
+    #[test]
+    fn normalized_counts_behave() {
+        assert!((normalized_from_counts(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!(normalized_from_counts(&[100, 1, 1, 1]) < 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn non_normalized_panics() {
+        let _ = shannon(&[0.5, 0.6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two categories")]
+    fn single_category_normalized_panics() {
+        let _ = normalized_from_counts(&[5]);
+    }
+
+    #[test]
+    fn g_test_agrees_with_chi_square_in_regime() {
+        // Mild deviation, large counts: G and χ² should nearly coincide.
+        let counts = [1020u64, 980, 1010, 990];
+        let g = GTest::uniform(&counts).unwrap();
+        let chi = crate::ChiSquare::uniform(&counts).unwrap();
+        assert!((g.statistic() - chi.statistic()).abs() < 0.05);
+        assert!((g.p_value() - chi.p_value()).abs() < 0.01);
+        assert_eq!(g.dof(), 3);
+    }
+
+    #[test]
+    fn g_test_rejects_bias() {
+        let g = GTest::uniform(&[1000u64, 10, 10, 10]).unwrap();
+        assert!(g.p_value() < 1e-10);
+    }
+
+    #[test]
+    fn g_test_accepts_uniform() {
+        let g = GTest::uniform(&[100u64, 100, 100, 100]).unwrap();
+        assert_eq!(g.statistic(), 0.0);
+        assert_eq!(g.p_value(), 1.0);
+    }
+
+    #[test]
+    fn g_test_degenerate_inputs() {
+        assert!(GTest::uniform(&[5]).is_none());
+        assert!(GTest::uniform(&[0, 0]).is_none());
+        // Empty categories are fine (contribute 0).
+        assert!(GTest::uniform(&[10, 0]).is_some());
+    }
+}

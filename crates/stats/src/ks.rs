@@ -1,0 +1,166 @@
+//! One-sample Kolmogorov–Smirnov test against Uniform(0, 1).
+//!
+//! Used by experiment E5b to check that the *points* `s` drawn by the
+//! sampler and the per-trial acceptance behaviour do not skew the accepted
+//! region, and by the simnet tests to validate latency-model samplers.
+
+use core::fmt;
+
+/// Result of a one-sample KS test against the uniform distribution on
+/// `[0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use stats::ks::KolmogorovSmirnov;
+///
+/// // An obviously non-uniform sample concentrated near 0.
+/// let bad: Vec<f64> = (0..200).map(|i| i as f64 / 2000.0).collect();
+/// let t = KolmogorovSmirnov::test_uniform(&bad).unwrap();
+/// assert!(t.p_value() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KolmogorovSmirnov {
+    statistic: f64,
+    n: usize,
+    p_value: f64,
+}
+
+impl KolmogorovSmirnov {
+    /// Runs the test on samples that must lie in `[0, 1)`.
+    ///
+    /// Returns `None` for an empty sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is outside `[0, 1)` or not finite.
+    pub fn test_uniform(samples: &[f64]) -> Option<KolmogorovSmirnov> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        for &s in &sorted {
+            assert!(
+                s.is_finite() && (0.0..1.0).contains(&s),
+                "KS uniform sample outside [0, 1): {s}"
+            );
+        }
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let nf = n as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in sorted.iter().enumerate() {
+            // Empirical CDF jumps from i/n to (i+1)/n at x; the model CDF is x.
+            let d_plus = (i as f64 + 1.0) / nf - x;
+            let d_minus = x - i as f64 / nf;
+            d = d.max(d_plus).max(d_minus);
+        }
+        Some(KolmogorovSmirnov {
+            statistic: d,
+            n,
+            p_value: ks_sf(d, n),
+        })
+    }
+
+    /// The KS statistic `D = sup |F̂(x) − x|`.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// Sample size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Asymptotic p-value (Kolmogorov distribution with the small-sample
+    /// effective-`n` correction of Stephens).
+    pub fn p_value(&self) -> f64 {
+        self.p_value
+    }
+
+    /// Whether uniformity is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+impl fmt::Display for KolmogorovSmirnov {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KS D = {:.4} (n = {}), p = {:.4}",
+            self.statistic, self.n, self.p_value
+        )
+    }
+}
+
+/// Survival function of the KS statistic: `Pr[D ≥ d]`, using the
+/// Kolmogorov series with Stephens' effective sample size.
+fn ks_sf(d: f64, n: usize) -> f64 {
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    if lambda < 1e-3 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let jf = j as f64;
+        let term = (-2.0 * jf * jf * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_spread_sample_not_rejected() {
+        // Midpoints i+0.5 / n minimize D.
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let t = KolmogorovSmirnov::test_uniform(&samples).unwrap();
+        assert!(t.statistic() < 0.001);
+        assert!(t.p_value() > 0.99);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn concentrated_sample_rejected() {
+        let samples: Vec<f64> = (0..500).map(|i| 0.001 * (i as f64 / 500.0)).collect();
+        let t = KolmogorovSmirnov::test_uniform(&samples).unwrap();
+        assert!(t.statistic() > 0.9);
+        assert!(t.p_value() < 1e-10);
+        assert!(t.rejects_at(0.001));
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(KolmogorovSmirnov::test_uniform(&[]).is_none());
+    }
+
+    #[test]
+    fn statistic_matches_manual_small_case() {
+        // n = 2, samples {0.25, 0.5}: CDF steps at 0.25 (0→0.5), 0.5 (0.5→1).
+        // D = max(0.5−0.25, 0.25−0, 1−0.5, 0.5−0.5) = 0.5.
+        let t = KolmogorovSmirnov::test_uniform(&[0.25, 0.5]).unwrap();
+        assert!((t.statistic() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1)")]
+    fn out_of_range_panics() {
+        let _ = KolmogorovSmirnov::test_uniform(&[1.5]);
+    }
+
+    #[test]
+    fn display_mentions_d() {
+        let t = KolmogorovSmirnov::test_uniform(&[0.5]).unwrap();
+        assert!(t.to_string().contains("KS D"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Byzantine committee election (§1 motivation, Lewis–Saia [8]).
+//!
+//! A scalable Byzantine agreement protocol elects committees by random
+//! sampling and needs Byzantine members to stay below a majority. An
+//! *adaptive* adversary corrupts the peers the sampler favours most: with
+//! uniform sampling that buys nothing (every set of the same size is
+//! equal), but against the naive heuristic it captures almost every
+//! committee.
+//!
+//! Run with: `cargo run --release --example byzantine_committee`
+
+use apps::committee;
+use baselines::{KingSaiaIndexSampler, NaiveSampler};
+use keyspace::{KeySpace, SortedRing};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let n = 600;
+    let byz_fraction = 1.0 / 3.0;
+    let space = KeySpace::full();
+    let ring = SortedRing::new(space, space.random_points(&mut rng, n));
+    let naive = NaiveSampler::new(ring.clone());
+
+    println!(
+        "{n} peers, adversary corrupts {:.0}% adaptively, 2000 elections per row\n",
+        byz_fraction * 100.0
+    );
+    println!(
+        "{:<10} {:<22} {:>14} {:>18}",
+        "committee", "sampler", "capture rate", "mean byz fraction"
+    );
+
+    for committee_size in [11usize, 31, 61, 101] {
+        // Uniform sampler: the adversary gains nothing from adaptivity.
+        let uniform_byz =
+            committee::adaptive_byzantine_set(&vec![1.0 / n as f64; n], byz_fraction);
+        let ks = KingSaiaIndexSampler::from_ring(ring.clone());
+        let report_ks = committee::simulate_elections(
+            &ks,
+            &uniform_byz,
+            committee_size,
+            2000,
+            &mut rng,
+        );
+        // Naive sampler: the adversary corrupts the longest-arc peers.
+        let naive_byz = committee::adaptive_byzantine_set(
+            &naive.selection_probabilities(),
+            byz_fraction,
+        );
+        let report_naive = committee::simulate_elections(
+            &naive,
+            &naive_byz,
+            committee_size,
+            2000,
+            &mut rng,
+        );
+        println!(
+            "{:<10} {:<22} {:>14.4} {:>18.3}",
+            committee_size, "king-saia", report_ks.capture_rate, report_ks.mean_byzantine_fraction
+        );
+        println!(
+            "{:<10} {:<22} {:>14.4} {:>18.3}",
+            "", "naive h(s)", report_naive.capture_rate, report_naive.mean_byzantine_fraction
+        );
+    }
+    println!("\nuniform sampling drives capture probability to zero exponentially in c;");
+    println!("the biased sampler hands the adversary a majority at every size.");
+}

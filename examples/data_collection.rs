@@ -1,0 +1,43 @@
+//! Data collection by peer polling (§1 motivation).
+//!
+//! Estimates what fraction of peers hold an attribute by polling sampled
+//! peers. When the attribute correlates with ring-arc length — anything
+//! entangled with key placement does — the naive `h(s)` heuristic's
+//! estimate is wildly off while the King–Saia sampler stays unbiased.
+//!
+//! Run with: `cargo run --release --example data_collection`
+
+use apps::polling;
+use baselines::{IndexSampler, KingSaiaIndexSampler, NaiveSampler};
+use keyspace::{KeySpace, SortedRing};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let n = 500;
+    let space = KeySpace::full();
+    let ring = SortedRing::new(space, space.random_points(&mut rng, n));
+
+    // 30% of peers hold the attribute — the 30% with the longest arcs,
+    // the worst case for a biased pollster.
+    let attribute = polling::arc_correlated_attribute(&ring, 0.30);
+    println!("population: {n} peers, true attribute fraction 0.300\n");
+
+    let samplers: Vec<(&str, Box<dyn IndexSampler>)> = vec![
+        (
+            "king-saia (uniform)",
+            Box::new(KingSaiaIndexSampler::from_ring(ring.clone())),
+        ),
+        ("naive h(s) (biased)", Box::new(NaiveSampler::new(ring))),
+    ];
+    for (name, sampler) in &samplers {
+        let result = polling::poll(sampler.as_ref(), &attribute, 20_000, &mut rng);
+        println!(
+            "{name:<22} estimate {:.3}  (error {:+.3})",
+            result.estimate,
+            result.error()
+        );
+    }
+    println!("\nthe biased sampler more than doubles the measured fraction:");
+    println!("long-arc peers are exactly the ones h(s) lands on most often.");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: choose uniform random peers from a Chord DHT.
+//!
+//! Builds a 1000-node Chord overlay, estimates the network size from one
+//! peer using only DHT primitives (§2), then draws uniform random peers
+//! (§3) and prints the per-draw cost — the paper's full pipeline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use chord::{ChordConfig, ChordDht, ChordNetwork};
+use keyspace::KeySpace;
+use peer_sampling::{NetworkSizeEstimator, Sampler};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2004);
+    let n = 1000;
+
+    // A converged Chord ring with n peers placed uniformly at random.
+    let space = KeySpace::full();
+    let net = ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut rng, n),
+        ChordConfig::default(),
+    );
+    println!("built a Chord overlay with {} live peers", net.live_len());
+
+    // The peer "running" the algorithm sees the DHT through h/next only.
+    let anchor = net.live_ids()[0];
+    let dht = ChordDht::new(&net, anchor, 7);
+
+    // Step 1 — estimate n (the peer does not know it).
+    let estimate = NetworkSizeEstimator::default().estimate(&dht, anchor)?;
+    println!(
+        "estimated n = {:.0} (true {n}) using {} next-probes, {}",
+        estimate.n_hat, estimate.probes, estimate.cost
+    );
+
+    // Step 2 — sample uniform random peers.
+    let sampler = Sampler::new(estimate.to_sampler_config());
+    println!("\ndrawing 10 uniform random peers:");
+    for i in 1..=10 {
+        let sample = sampler.sample(&dht, &mut rng)?;
+        println!(
+            "  #{i}: peer {} at ring point {} ({} trials, {})",
+            sample.peer, sample.point, sample.trials, sample.cost
+        );
+    }
+    Ok(())
+}

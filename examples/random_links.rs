@@ -1,0 +1,57 @@
+//! Random-link overlays under adversarial node deletion (§1 motivation).
+//!
+//! Every node draws 6 links through a sampler; an adversary then deletes
+//! the highest-degree fraction of nodes. Uniform links keep the survivors
+//! connected (expander-style robustness [11]); biased links concentrate on
+//! few hubs and shatter.
+//!
+//! Run with: `cargo run --release --example random_links`
+
+use apps::links::{self, DeletionStrategy};
+use baselines::{IndexSampler, KingSaiaIndexSampler, NaiveSampler};
+use keyspace::{KeySpace, SortedRing};
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+    let n = 500;
+    let degree = 6;
+    let space = KeySpace::full();
+    let ring = SortedRing::new(space, space.random_points(&mut rng, n));
+    let fractions = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    println!("{n}-node overlays, {degree} links/node, adversarial (highest-degree) deletion\n");
+    println!("{:<22} largest surviving component fraction", "sampler");
+    println!(
+        "{:<22} {}",
+        "",
+        fractions
+            .iter()
+            .map(|f| format!("del={f:.1}"))
+            .collect::<Vec<_>>()
+            .join("   ")
+    );
+
+    let samplers: Vec<(&str, Box<dyn IndexSampler>)> = vec![
+        (
+            "king-saia (uniform)",
+            Box::new(KingSaiaIndexSampler::from_ring(ring.clone())),
+        ),
+        ("naive h(s) (biased)", Box::new(NaiveSampler::new(ring))),
+    ];
+    for (name, sampler) in &samplers {
+        let overlay = links::build_overlay(sampler.as_ref(), degree, &mut rng);
+        let curve = links::robustness_curve(
+            &overlay,
+            &fractions,
+            DeletionStrategy::HighestDegree,
+            &mut rng,
+        );
+        let cells: Vec<String> = curve
+            .iter()
+            .map(|p| format!("{:.3}", p.survivor_connectivity))
+            .collect();
+        println!("{name:<22} {}", cells.join("   "));
+    }
+    println!("\nuniform random links stay near 1.0; biased links collapse past 30% deletion.");
+}

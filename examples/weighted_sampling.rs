@@ -1,0 +1,86 @@
+//! Biased peer selection — the paper's open problem 3, implemented.
+//!
+//! §4 asks for peers chosen "with probability that is inversely
+//! proportional to its distance from us on the unit circle". The weighted
+//! generalization of Figure 1 does this exactly: each peer gets a locally
+//! computable measure `λ(p)`, and the scan's telescoping argument still
+//! hands every peer exactly its `λ(p)` of the ring — any deterministic
+//! point-computable bias works, not just uniform.
+//!
+//! Run with: `cargo run --release --example weighted_sampling`
+
+use keyspace::{KeySpace, Point, SortedRing};
+use peer_sampling::weighted::{InverseDistanceWeight, WeightedSampler};
+use peer_sampling::OracleDht;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+    let n = 300u64;
+    let space = KeySpace::full();
+    let ring = SortedRing::new(space, space.random_points(&mut rng, n as usize));
+
+    // "Us": the peer at rank 0. Any closure over the peer's point is a
+    // weight function; here a smoothed inverse distance
+    //     λ(p) = B / (M/16 + d(origin, p))
+    // (the un-smoothed 1/d of the paper's text also works — see
+    // `InverseDistanceWeight` — but it concentrates nearly all mass on
+    // the closest peers, which makes for a dull histogram).
+    let origin = ring.point(0);
+    let m = space.modulus();
+    let budget = m / 7; // total demanded measure ≈ M/7, like Figure 1
+    let per_peer_budget = budget / n as u128;
+    let weight = move |p: Point| {
+        let d = space.distance(origin, p).to_u128();
+        (per_peer_budget * m / (m / 16 + d) / 4) as u64
+    };
+
+    let dht = OracleDht::new(ring.clone());
+    let sampler = WeightedSampler::new(256, 8192);
+
+    // Draw a lot of peers and bucket them by distance from the origin.
+    let draws = 50_000;
+    let mut buckets = [0u64; 8];
+    let mut trials = 0u64;
+    for _ in 0..draws {
+        let sample = sampler.sample(&dht, &weight, &mut rng)?;
+        trials += sample.trials as u64;
+        let d = space.distance(origin, sample.point).to_u128();
+        let bucket = ((d * 8) / m).min(7) as usize;
+        buckets[bucket] += 1;
+    }
+
+    println!("{draws} draws biased by lambda(p) ~ 1/(M/16 + d(origin, p)):\n");
+    println!("{:<22} {:>8}  share", "distance from origin", "draws");
+    for (i, &count) in buckets.iter().enumerate() {
+        let share = count as f64 / draws as f64;
+        let bar = "#".repeat((share * 80.0).round() as usize);
+        println!(
+            "{:<22} {count:>8}  {share:>6.3} {bar}",
+            format!("{}/8 .. {}/8 of ring", i, i + 1)
+        );
+    }
+    println!("\nmean trials per draw: {:.1}", trials as f64 / draws as f64);
+
+    // The distribution is not a heuristic: every peer's selection
+    // probability is exactly λ(p)/Σλ. Check one peer empirically.
+    let lambdas: Vec<u64> = (0..n as usize).map(|r| weight(ring.point(r))).collect();
+    let total: u128 = lambdas.iter().map(|&l| l as u128).sum();
+    println!(
+        "nearest peer's exact model probability: {:.4}",
+        lambdas[1] as f64 / total as f64
+    );
+
+    // The paper's literal 1/d bias is available off the shelf:
+    let literal = InverseDistanceWeight::new(
+        space,
+        origin,
+        InverseDistanceWeight::suggested_scale(space, n),
+    );
+    let s = sampler.sample(&dht, &literal, &mut rng)?;
+    println!(
+        "one draw from the literal 1/d bias: peer at distance {:.4} of the ring",
+        space.fraction(space.distance(origin, s.point))
+    );
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the Chord substrate: arbitrary membership
+//! operation sequences must leave a repairable, correctly routing ring.
+
+use chord::{ChordConfig, ChordNetwork};
+use keyspace::KeySpace;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// A membership operation applied to the overlay.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Join(u64),
+    Leave(usize),
+    Crash(usize),
+    Maintain,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u64>().prop_map(Op::Join),
+        (0usize..64).prop_map(Op::Leave),
+        (0usize..64).prop_map(Op::Crash),
+        Just(Op::Maintain),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any operation sequence (with enough survivors) leaves a ring that
+    /// converges back to correct successors/predecessors and routes every
+    /// lookup to the ground-truth owner.
+    #[test]
+    fn arbitrary_membership_sequences_remain_repairable(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(arb_op(), 1..40),
+    ) {
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut rng, 24),
+            ChordConfig::default(),
+        );
+        for op in ops {
+            match op {
+                Op::Join(raw) => {
+                    let live = net.live_ids();
+                    let via = live[raw as usize % live.len()];
+                    let point = space.random_point(&mut rng);
+                    // Joins may legitimately fail mid-churn; ignore.
+                    let _ = net.join(point, via, &mut rng);
+                }
+                Op::Leave(idx) => {
+                    let live = net.live_ids();
+                    // Keep a quorum so the ring stays repairable: the
+                    // successor-list length bounds tolerable failures.
+                    if live.len() > 8 {
+                        net.leave(live[idx % live.len()]);
+                    }
+                }
+                Op::Crash(idx) => {
+                    let live = net.live_ids();
+                    if live.len() > 8 {
+                        net.crash(live[idx % live.len()]);
+                    }
+                }
+                Op::Maintain => {
+                    net.maintenance_round(0, &mut rng);
+                }
+            }
+        }
+
+        // Repair fully, then demand exact convergence and routing.
+        for _ in 0..4 {
+            net.converge(&mut rng);
+        }
+        let report = net.verify_ring();
+        prop_assert!(report.is_converged(), "not converged: {:?}", report);
+
+        let start = net.live_ids()[0];
+        for _ in 0..16 {
+            let target = space.random_point(&mut rng);
+            let hit = net.find_successor(start, target, &mut rng)
+                .expect("converged ring routes");
+            prop_assert_eq!(hit.point, net.ground_truth_successor(target));
+        }
+    }
+
+    /// The storage invariant survives arbitrary crash patterns: with
+    /// replication 3 and repair, data outlives any single crash per
+    /// round.
+    #[test]
+    fn storage_survives_arbitrary_single_crashes(
+        seed in any::<u64>(),
+        crash_picks in proptest::collection::vec(0usize..64, 1..6),
+    ) {
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut rng, 32),
+            ChordConfig::default(),
+        );
+        let gateway = net.live_ids()[0];
+        let key = space.random_point(&mut rng);
+        net.put(gateway, key, b"invariant".to_vec(), 3, &mut rng).expect("put");
+
+        for pick in crash_picks {
+            let live = net.live_ids();
+            if live.len() <= 8 {
+                break;
+            }
+            net.crash(live[pick % live.len()]);
+            net.converge(&mut rng);
+            for id in net.live_ids() {
+                net.replication_round(id, 3);
+            }
+        }
+        let reader = net.live_ids()[0];
+        let got = net.get(reader, key, &mut rng).expect("routed get");
+        prop_assert_eq!(got.value.as_deref(), Some(b"invariant".as_ref()));
+    }
+}

@@ -1,0 +1,103 @@
+//! Sampling on a churning overlay — integration of simnet, chord and the
+//! sampler (the paper's §4 open problem, exercised as a test).
+
+use chord::{ChordConfig, ChordDht, ChurnSimulation};
+use peer_sampling::{Sampler, SamplerConfig};
+use rand::SeedableRng;
+use simnet::churn::ChurnConfig;
+use simnet::{SimDuration, SimTime};
+
+fn churn(rate: f64, horizon: u64) -> ChurnConfig {
+    ChurnConfig {
+        arrivals_per_1000_ticks: rate,
+        mean_lifetime: SimDuration::from_ticks(40_000),
+        crash_fraction: 0.5,
+        horizon: SimDuration::from_ticks(horizon),
+    }
+}
+
+#[test]
+fn sampler_succeeds_throughout_moderate_churn() {
+    let mut sim = ChurnSimulation::new(
+        128,
+        ChordConfig::default(),
+        churn(8.0, 20_000),
+        SimDuration::from_ticks(200),
+        1,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut failures = 0;
+    let probes = 100;
+    for p in 0..probes {
+        sim.run_until(SimTime::from_ticks(20_000 * (p + 1) / probes));
+        let net = sim.network();
+        let live = net.live_ids();
+        let anchor = live[(p as usize * 7) % live.len()];
+        let dht = ChordDht::new(net, anchor, 50 + p);
+        let sampler =
+            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        if sampler.sample(&dht, &mut rng).is_err() {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 2, "{failures}/{probes} samples failed under churn");
+}
+
+#[test]
+fn sampled_peers_are_always_live() {
+    let mut sim = ChurnSimulation::new(
+        96,
+        ChordConfig::default(),
+        churn(15.0, 15_000),
+        SimDuration::from_ticks(150),
+        3,
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    for p in 0..60u64 {
+        sim.run_until(SimTime::from_ticks(15_000 * (p + 1) / 60));
+        let net = sim.network();
+        let live = net.live_ids();
+        let dht = ChordDht::new(net, live[0], 90 + p);
+        let sampler =
+            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        if let Ok(sample) = sampler.sample(&dht, &mut rng) {
+            assert!(
+                net.node(sample.peer).is_alive(),
+                "sampler returned a dead peer at t = {}",
+                sim.now()
+            );
+        }
+    }
+}
+
+#[test]
+fn ring_converges_after_churn_and_sampling_is_exactly_correct_again() {
+    let mut sim = ChurnSimulation::new(
+        64,
+        ChordConfig::default(),
+        churn(20.0, 10_000),
+        SimDuration::from_ticks(100),
+        5,
+    );
+    sim.run_to_end();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    // Let stabilization finish its work, then demand full convergence.
+    let report = {
+        let net = sim.network_mut();
+        for _ in 0..3 {
+            net.converge(&mut rng);
+        }
+        net.verify_ring()
+    };
+    assert!(report.is_converged(), "{report:?}");
+    assert!(report.finger_accuracy > 0.99, "{report:?}");
+
+    // On the converged ring, lookups match ground truth exactly again.
+    let net = sim.network();
+    let start = net.live_ids()[0];
+    for _ in 0..100 {
+        let target = net.space().random_point(&mut rng);
+        let hit = net.find_successor(start, target, &mut rng).expect("lookup");
+        assert_eq!(hit.point, net.ground_truth_successor(target));
+    }
+}

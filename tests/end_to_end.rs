@@ -1,0 +1,154 @@
+//! End-to-end integration: the full paper pipeline over real Chord
+//! routing, cross-checked against the oracle backend.
+
+use chord::{ChordConfig, ChordDht, ChordNetwork};
+use keyspace::{KeySpace, SortedRing};
+use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
+use rand::SeedableRng;
+use stats::{divergence, ChiSquare};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// The two DHT backends must implement identical `h`/`next` semantics:
+/// same points in, same peers out.
+#[test]
+fn oracle_and_chord_agree_on_h_and_next() {
+    let space = KeySpace::full();
+    let mut r = rng(1);
+    let points = space.random_points(&mut r, 300);
+    let oracle = OracleDht::new(SortedRing::new(space, points.clone()));
+    let net = ChordNetwork::bootstrap(space, points, ChordConfig::default());
+    let dht = ChordDht::new(&net, net.live_ids()[0], 2);
+
+    for _ in 0..300 {
+        let x = space.random_point(&mut r);
+        let o = oracle.h(x).expect("oracle h");
+        let c = dht.h(x).expect("chord h");
+        assert_eq!(o.point, c.point, "h({x}) disagrees");
+        let on = oracle.next(o.peer).expect("oracle next");
+        let cn = dht.next(c.peer).expect("chord next");
+        assert_eq!(on.point, cn.point, "next disagrees at {}", o.point);
+    }
+}
+
+/// The sampler must produce statistically uniform peers over real Chord
+/// routing, using a size *estimate* obtained through the same DHT.
+#[test]
+fn full_pipeline_is_uniform_on_chord() {
+    let n = 400;
+    let space = KeySpace::full();
+    let mut r = rng(3);
+    let net = ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut r, n),
+        ChordConfig::default(),
+    );
+    let anchor = net.live_ids()[0];
+    let dht = ChordDht::new(&net, anchor, 4);
+
+    let estimate = NetworkSizeEstimator::default()
+        .estimate(&dht, anchor)
+        .expect("estimate");
+    let sampler = Sampler::new(estimate.to_sampler_config());
+
+    let draws = 40_000;
+    let mut counts = vec![0u64; net.arena_len()];
+    for _ in 0..draws {
+        let s = sampler.sample(&dht, &mut r).expect("sample");
+        counts[s.peer.index()] += 1;
+    }
+    let chi = ChiSquare::uniform(&counts).expect("test");
+    assert!(
+        chi.p_value() > 1e-4,
+        "uniformity rejected on chord backend: {chi}"
+    );
+    assert!(
+        divergence::tv_from_uniform(&counts) < 0.05,
+        "tv too high: {}",
+        divergence::tv_from_uniform(&counts)
+    );
+}
+
+/// Different anchor peers must see the same uniform distribution — the
+/// algorithm's guarantee is caller-independent.
+#[test]
+fn uniformity_is_anchor_independent() {
+    let n = 200;
+    let space = KeySpace::full();
+    let mut r = rng(5);
+    let net = ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut r, n),
+        ChordConfig::default(),
+    );
+    let sampler = Sampler::new(SamplerConfig::new(n as u64));
+    let mut counts = vec![0u64; net.arena_len()];
+    let draws_per_anchor = 100;
+    for (i, anchor) in net.live_ids().into_iter().enumerate().take(50) {
+        let dht = ChordDht::new(&net, anchor, 100 + i as u64);
+        for _ in 0..draws_per_anchor {
+            let s = sampler.sample(&dht, &mut r).expect("sample");
+            counts[s.peer.index()] += 1;
+        }
+    }
+    let chi = ChiSquare::uniform(&counts).expect("test");
+    assert!(
+        chi.p_value() > 1e-4,
+        "anchor-dependent bias detected: {chi}"
+    );
+}
+
+/// Cost must scale like log n, not n: quadrupling the network should not
+/// even double the mean message cost once past small sizes.
+#[test]
+fn cost_scales_sublinearly_on_chord() {
+    let space = KeySpace::full();
+    let mut r = rng(6);
+    let mut means = Vec::new();
+    for n in [512usize, 2048] {
+        let net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        );
+        let dht = ChordDht::new(&net, net.live_ids()[0], n as u64);
+        let sampler = Sampler::new(SamplerConfig::new(n as u64));
+        let mut msgs = 0u64;
+        let draws = 150;
+        for _ in 0..draws {
+            msgs += sampler.sample(&dht, &mut r).expect("sample").cost.messages;
+        }
+        means.push(msgs as f64 / draws as f64);
+    }
+    assert!(
+        means[1] < means[0] * 2.0,
+        "4x peers should cost < 2x messages: {means:?}"
+    );
+}
+
+/// The estimator must work end-to-end through Chord (not just the oracle).
+#[test]
+fn estimate_through_chord_is_within_lemma3_band() {
+    let space = KeySpace::full();
+    let mut r = rng(7);
+    for n in [100usize, 1000] {
+        let net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        );
+        for (i, anchor) in net.live_ids().into_iter().step_by(n / 10).enumerate() {
+            let dht = ChordDht::new(&net, anchor, i as u64);
+            let est = NetworkSizeEstimator::default()
+                .estimate(&dht, anchor)
+                .expect("estimate");
+            let ratio = est.n_hat / n as f64;
+            assert!(
+                (2.0 / 7.0 - 0.05..=6.05).contains(&ratio),
+                "n = {n}, anchor {anchor}: ratio {ratio} outside Lemma 3 band"
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the sampler's core invariants.
+//!
+//! These complement the exhaustive enumeration in `tests/exactness.rs` by
+//! letting proptest hunt for adversarial ring geometries (clusters, near-
+//! boundary points, tiny populations) rather than relying on uniform
+//! placement.
+
+use keyspace::{KeySpace, Point, SortedRing};
+use peer_sampling::{assignment, OracleDht, Sampler, SamplerConfig, TrialOutcome};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+
+const MODULUS: u128 = 1 << 12;
+
+/// Arbitrary distinct peer points on a small ring — proptest places them
+/// anywhere, including pathological clusters.
+fn arb_ring() -> impl Strategy<Value = SortedRing> {
+    btree_set(0u64..(MODULUS as u64), 2..40).prop_map(|points| {
+        let space = KeySpace::with_modulus(MODULUS).expect("modulus");
+        SortedRing::new(space, points.into_iter().map(Point::new).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Discrete Theorem 6 on arbitrary (not just uniform-random) rings:
+    /// the untruncated partition gives every peer exactly λ points.
+    #[test]
+    fn exact_lambda_measure_on_arbitrary_rings(ring in arb_ring()) {
+        let n = ring.len() as u128;
+        let lambda = (MODULUS / (7 * n)) as u64;
+        prop_assume!(lambda > 0);
+        let counts = assignment::measure_per_peer(&ring, lambda, ring.len() as u32 + 1);
+        for (peer, &c) in counts.iter().enumerate() {
+            prop_assert_eq!(c, lambda, "peer {} got {} != {}", peer, c, lambda);
+        }
+    }
+
+    /// The production trial and the reference scan agree on every point,
+    /// for arbitrary geometry and the paper's step bound.
+    #[test]
+    fn production_matches_reference_on_arbitrary_rings(
+        ring in arb_ring(),
+        offsets in proptest::collection::vec(0u64..(MODULUS as u64), 64),
+    ) {
+        let n = ring.len() as u64;
+        let lambda = ((MODULUS) / (7 * n as u128)) as u64;
+        prop_assume!(lambda > 0);
+        let bound = (6.0 * (n as f64).ln()).ceil().max(1.0) as u32;
+        let dht = OracleDht::free(ring.clone());
+        let sampler = Sampler::new(SamplerConfig::new(n).with_step_limit(bound));
+        for c in offsets {
+            let s = Point::new(c);
+            let reference = assignment::owner_of(&ring, lambda, bound, s);
+            let production = match sampler.trial(&dht, s).expect("oracle") {
+                TrialOutcome::Accepted { peer, .. } => Some(peer),
+                TrialOutcome::Rejected { .. } => None,
+            };
+            prop_assert_eq!(production, reference, "disagreement at s = {}", c);
+        }
+    }
+
+    /// Truncating the step bound never re-routes ownership, only rejects:
+    /// the monotonicity that makes the step bound safe.
+    #[test]
+    fn step_bound_truncation_is_monotone(ring in arb_ring(), limit in 1u32..8) {
+        let n = ring.len() as u128;
+        let lambda = (MODULUS / (7 * n)) as u64;
+        prop_assume!(lambda > 0);
+        let full = assignment::owner_map(&ring, lambda, ring.len() as u32 + 1);
+        let cut = assignment::owner_map(&ring, lambda, limit);
+        for (s, (f, c)) in full.iter().zip(&cut).enumerate() {
+            match (f, c) {
+                (Some(a), Some(b)) => prop_assert_eq!(a, b, "point {} re-routed", s),
+                (None, Some(_)) => prop_assert!(false, "truncation created owner at {}", s),
+                _ => {}
+            }
+        }
+    }
+
+    /// Every accepted point's owner is reachable from h(s) by forward
+    /// scanning only — ownership never jumps backward past the start.
+    #[test]
+    fn owner_is_clockwise_of_h(ring in arb_ring(), c in 0u64..(MODULUS as u64)) {
+        let n = ring.len() as u128;
+        let lambda = (MODULUS / (7 * n)) as u64;
+        prop_assume!(lambda > 0);
+        let s = Point::new(c);
+        if let Some(owner) = assignment::owner_of(&ring, lambda, ring.len() as u32 + 1, s) {
+            let space = ring.space();
+            let h = ring.successor_of(s);
+            // Walking clockwise from s we must meet h before (or at) owner.
+            let d_h = space.distance(s, ring.point(h));
+            let d_owner = space.distance(s, ring.point(owner));
+            prop_assert!(d_h <= d_owner, "owner {} precedes h {}", owner, h);
+        }
+    }
+
+    /// The sampler's public API never returns an out-of-range peer or a
+    /// mismatched point, regardless of configuration inflation.
+    #[test]
+    fn sample_returns_consistent_peer(
+        ring in arb_ring(),
+        inflate in 1u64..4,
+        seed in any::<u64>(),
+    ) {
+        let n = ring.len() as u64;
+        let config = SamplerConfig::new(n * inflate);
+        let space = ring.space();
+        prop_assume!(config.lambda(space).is_ok());
+        let dht = OracleDht::new(ring);
+        let sampler = Sampler::new(config);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::SeedableRng;
+        let sample = sampler.sample(&dht, &mut rng).expect("sampling");
+        prop_assert!(sample.peer < dht.len());
+        prop_assert_eq!(dht.ring().point(sample.peer), sample.point);
+    }
+}

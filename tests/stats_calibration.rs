@@ -1,0 +1,164 @@
+//! Self-calibration of the statistical machinery.
+//!
+//! Every experiment verdict rests on the `stats` crate being *itself*
+//! correct: a chi-square test whose p-values are skewed would silently
+//! accept a biased sampler or reject a correct one. These tests validate
+//! the machinery by simulation against known ground truth.
+
+use rand::{Rng, SeedableRng};
+use stats::entropy::GTest;
+use stats::{divergence, proportion, ChiSquare};
+
+fn rng(seed: u64) -> rand::rngs::StdRng {
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+/// Under the null hypothesis (true uniform sampling), chi-square p-values
+/// must themselves be uniform on (0, 1): their empirical deciles should be
+/// flat. A skew here would bias every experiment verdict.
+#[test]
+fn chi_square_p_values_are_uniform_under_null() {
+    let mut r = rng(1);
+    let categories = 50usize;
+    let draws_per_run = 5_000;
+    let runs = 400;
+    let mut deciles = [0u32; 10];
+    for _ in 0..runs {
+        let mut counts = vec![0u64; categories];
+        for _ in 0..draws_per_run {
+            counts[r.gen_range(0..categories)] += 1;
+        }
+        let p = ChiSquare::uniform(&counts).expect("valid").p_value();
+        deciles[((p * 10.0) as usize).min(9)] += 1;
+    }
+    // Each decile expects 40; a chi-square on the deciles themselves
+    // should not explode (threshold ≈ p < 0.001 for 9 dof is 27.9).
+    let expected = runs as f64 / 10.0;
+    let stat: f64 = deciles
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum();
+    assert!(
+        stat < 27.9,
+        "p-value deciles not uniform: {deciles:?} (chi2 = {stat:.1})"
+    );
+}
+
+/// The test must have power: a small planted bias must be detected at
+/// large sample sizes but invisible at small ones.
+#[test]
+fn chi_square_power_grows_with_sample_size() {
+    let mut r = rng(2);
+    let categories = 20usize;
+    // Category 0 is 30% more likely than the rest.
+    let mut draw = |n: usize| {
+        let mut counts = vec![0u64; categories];
+        for _ in 0..n {
+            let x = r.gen_range(0..categories as u64 * 10 + 3);
+            let idx = if x < 13 { 0 } else { 1 + (x as usize - 13) % (categories - 1) };
+            counts[idx] += 1;
+        }
+        ChiSquare::uniform(&counts).expect("valid").p_value()
+    };
+    // Tiny sample: bias hidden (most of the time).
+    let small_rejections = (0..20).filter(|_| draw(200) < 0.05).count();
+    assert!(small_rejections <= 8, "{small_rejections}/20 tiny-sample rejections");
+    // Large sample: bias found essentially always.
+    let large_rejections = (0..20).filter(|_| draw(100_000) < 0.05).count();
+    assert!(
+        large_rejections >= 19,
+        "only {large_rejections}/20 large-sample rejections"
+    );
+}
+
+/// G-test and chi-square must agree asymptotically under the null.
+#[test]
+fn g_test_tracks_chi_square_under_null() {
+    let mut r = rng(3);
+    for _ in 0..50 {
+        let mut counts = vec![0u64; 30];
+        for _ in 0..30_000 {
+            counts[r.gen_range(0..30)] += 1;
+        }
+        let chi = ChiSquare::uniform(&counts).expect("valid");
+        let g = GTest::uniform(&counts).expect("valid");
+        assert!(
+            (chi.p_value() - g.p_value()).abs() < 0.05,
+            "chi p {} vs G p {}",
+            chi.p_value(),
+            g.p_value()
+        );
+    }
+}
+
+/// Wilson intervals must achieve (at least roughly) their nominal
+/// coverage: a 95% interval should contain the true proportion in ~95% of
+/// simulations.
+#[test]
+fn wilson_intervals_have_nominal_coverage() {
+    let mut r = rng(4);
+    for &p_true in &[0.05f64, 0.3, 0.5, 0.9] {
+        let runs = 1000;
+        let trials = 400u64;
+        let mut covered = 0;
+        for _ in 0..runs {
+            let successes = (0..trials).filter(|_| r.gen::<f64>() < p_true).count() as u64;
+            if proportion::wilson(successes, trials, 0.95).contains(p_true) {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / runs as f64;
+        assert!(
+            (0.92..=0.98).contains(&coverage),
+            "p = {p_true}: coverage {coverage}"
+        );
+    }
+}
+
+/// TV distance of an empirical histogram from its own source converges at
+/// the known `√(n/(2πN))`-ish rate — the "noise floor" the experiment
+/// verdicts quote.
+#[test]
+fn tv_noise_floor_matches_theory() {
+    let mut r = rng(5);
+    let n = 100usize;
+    for &draws in &[10_000usize, 160_000] {
+        let mut counts = vec![0u64; n];
+        for _ in 0..draws {
+            counts[r.gen_range(0..n)] += 1;
+        }
+        let tv = divergence::tv_from_uniform(&counts);
+        let floor = (n as f64 / (2.0 * std::f64::consts::PI * draws as f64)).sqrt();
+        assert!(
+            tv > floor * 0.5 && tv < floor * 2.5,
+            "draws {draws}: TV {tv} vs floor {floor}"
+        );
+    }
+}
+
+/// The normal quantile function must be consistent with empirical normal
+/// samples (Box–Muller), closing the loop between the two normal-handling
+/// code paths in the workspace.
+#[test]
+fn normal_quantile_matches_box_muller_samples() {
+    let mut r = rng(6);
+    let mut samples: Vec<f64> = (0..40_000)
+        .map(|_| {
+            let u1: f64 = r.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = r.gen();
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    for &q in &[0.1f64, 0.25, 0.5, 0.75, 0.9, 0.975] {
+        let empirical = samples[(q * samples.len() as f64) as usize];
+        let theoretical = proportion::standard_normal_quantile(q);
+        assert!(
+            (empirical - theoretical).abs() < 0.05,
+            "q = {q}: empirical {empirical} vs quantile {theoretical}"
+        );
+    }
+}

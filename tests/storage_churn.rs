@@ -1,0 +1,175 @@
+//! Storage durability through full membership churn (joins + leaves +
+//! crashes), with anti-entropy riding the maintenance schedule.
+
+use chord::{ChordConfig, ChurnSimulation};
+use keyspace::Point;
+use rand::{Rng, SeedableRng};
+use simnet::churn::ChurnConfig;
+use simnet::{SimDuration, SimTime};
+
+#[test]
+fn replicated_data_survives_full_churn() {
+    let churn = ChurnConfig {
+        arrivals_per_1000_ticks: 8.0,
+        mean_lifetime: SimDuration::from_ticks(25_000),
+        crash_fraction: 0.5,
+        horizon: SimDuration::from_ticks(20_000),
+    };
+    let mut sim = ChurnSimulation::new(
+        128,
+        ChordConfig::default(),
+        churn,
+        SimDuration::from_ticks(200),
+        17,
+    )
+    .with_replication(4);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(18);
+
+    // Store 80 keys before the churn begins.
+    let keys: Vec<Point> = {
+        let net = sim.network_mut();
+        let gateway = net.live_ids()[0];
+        let keys: Vec<Point> = (0..80)
+            .map(|_| {
+                let space = net.space();
+                space.random_point(&mut rng)
+            })
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            net.put(gateway, k, vec![i as u8], 4, &mut rng).expect("put");
+        }
+        keys
+    };
+
+    // Run the whole churn schedule (joins, leaves, crashes, maintenance
+    // with replication).
+    let report = sim.run_to_end();
+    assert!(report.crashes > 0, "the run must include crashes: {report}");
+    assert!(report.joins > 50, "the run must include joins: {report}");
+
+    // Every key must still be retrievable with its original value.
+    let net = sim.network();
+    let reader = net.live_ids()[0];
+    let mut lost = Vec::new();
+    for (i, &k) in keys.iter().enumerate() {
+        let got = net.get(reader, k, &mut rng).expect("routed get");
+        if got.value.as_deref() != Some([i as u8].as_ref()) {
+            lost.push(i);
+        }
+    }
+    assert!(
+        lost.len() <= 1,
+        "{} of 80 keys lost through churn: {lost:?}",
+        lost.len()
+    );
+}
+
+#[test]
+fn ownership_follows_joins_during_churn() {
+    // With replication-aware maintenance, the current owner of a key
+    // should end up actually holding it (not just a fallback replica)
+    // for the overwhelming majority of keys.
+    let churn = ChurnConfig {
+        arrivals_per_1000_ticks: 10.0,
+        mean_lifetime: SimDuration::from_ticks(40_000),
+        crash_fraction: 0.0, // joins and graceful leaves only
+        horizon: SimDuration::from_ticks(15_000),
+    };
+    let mut sim = ChurnSimulation::new(
+        96,
+        ChordConfig::default(),
+        churn,
+        SimDuration::from_ticks(150),
+        19,
+    )
+    .with_replication(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+
+    let keys: Vec<Point> = {
+        let net = sim.network_mut();
+        let gateway = net.live_ids()[0];
+        let keys: Vec<Point> = (0..60)
+            .map(|_| net.space().random_point(&mut rng))
+            .collect();
+        for &k in &keys {
+            net.put(gateway, k, b"v".to_vec(), 3, &mut rng).expect("put");
+        }
+        keys
+    };
+
+    sim.run_until(SimTime::from_ticks(15_000));
+    // A few extra maintenance cycles to let anti-entropy finish.
+    {
+        let net = sim.network_mut();
+        for _ in 0..3 {
+            net.converge(&mut rng);
+            for id in net.live_ids() {
+                net.replication_round(id, 3);
+            }
+        }
+    }
+
+    let net = sim.network();
+    let mut owner_holds = 0;
+    for &k in &keys {
+        let owner = net.ground_truth_successor(k);
+        let owner_id = net
+            .live_ids()
+            .into_iter()
+            .find(|&id| net.node(id).point() == owner)
+            .expect("owner is live");
+        if net.node(owner_id).store().contains_key(&k) {
+            owner_holds += 1;
+        }
+    }
+    assert!(
+        owner_holds >= 57,
+        "only {owner_holds}/60 keys migrated to their current owner"
+    );
+}
+
+#[test]
+fn replication_factor_is_maintained_under_churn() {
+    let churn = ChurnConfig {
+        arrivals_per_1000_ticks: 5.0,
+        mean_lifetime: SimDuration::from_ticks(30_000),
+        crash_fraction: 1.0, // crashes only: hardest case for replicas
+        horizon: SimDuration::from_ticks(12_000),
+    };
+    let mut sim = ChurnSimulation::new(
+        128,
+        ChordConfig::default(),
+        churn,
+        SimDuration::from_ticks(150),
+        21,
+    )
+    .with_replication(3);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+
+    let keys: Vec<Point> = {
+        let net = sim.network_mut();
+        let gateway = net.live_ids()[0];
+        let keys: Vec<Point> = (0..40)
+            .map(|_| net.space().random_point(&mut rng))
+            .collect();
+        for &k in &keys {
+            net.put(gateway, k, b"r".to_vec(), 3, &mut rng).expect("put");
+        }
+        keys
+    };
+    sim.run_to_end();
+    {
+        let net = sim.network_mut();
+        net.converge(&mut rng);
+        for id in net.live_ids() {
+            net.replication_round(id, 3);
+        }
+    }
+    let net = sim.network();
+    let healthy = keys.iter().filter(|&&k| net.stored_copies(k) >= 3).count();
+    assert!(
+        healthy >= 38,
+        "only {healthy}/40 keys kept 3+ copies through crash churn"
+    );
+    let _ = rng.gen::<u64>();
+}

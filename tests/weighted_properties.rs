@@ -1,0 +1,98 @@
+//! Property-based tests for the weighted sampler (open problem 3).
+//!
+//! The exactness claim — each peer owns exactly `λ(p)` ring points — must
+//! hold for *arbitrary* weight assignments and ring geometries, not just
+//! the smooth cases the unit tests pick. proptest hunts for adversarial
+//! combinations.
+
+use keyspace::{KeySpace, Point, SortedRing};
+use peer_sampling::weighted::WeightedSampler;
+use peer_sampling::OracleDht;
+use proptest::collection::{btree_set, vec as pvec};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const MODULUS: u128 = 1 << 12;
+
+fn arb_ring() -> impl Strategy<Value = SortedRing> {
+    btree_set(0u64..(MODULUS as u64), 2..24).prop_map(|points| {
+        let space = KeySpace::with_modulus(MODULUS).expect("modulus");
+        SortedRing::new(space, points.into_iter().map(Point::new).collect())
+    })
+}
+
+/// Exhaustively count each peer's preimages under a weight map.
+fn measure(ring: &SortedRing, weights: &HashMap<Point, u64>, steps: u32) -> Vec<u64> {
+    let dht = OracleDht::free(ring.clone());
+    let sampler = WeightedSampler::new(steps, 1);
+    let weight_fn = |p: Point| weights.get(&p).copied().unwrap_or(0);
+    let mut counts = vec![0u64; ring.len()];
+    for c in 0..MODULUS as u64 {
+        if let Some(peer) = sampler
+            .trial(&dht, &weight_fn, Point::new(c))
+            .expect("oracle")
+            .accepted_peer()
+        {
+            counts[peer] += 1;
+        }
+    }
+    counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary per-peer weights, arbitrary geometry: exact measure,
+    /// provided the total demand fits in the ring.
+    #[test]
+    fn arbitrary_weights_are_exact(
+        ring in arb_ring(),
+        raw_weights in pvec(0u64..120, 24),
+    ) {
+        let n = ring.len();
+        let weights: HashMap<Point, u64> = (0..n)
+            .map(|r| (ring.point(r), raw_weights[r % raw_weights.len()]))
+            .collect();
+        let total: u128 = weights.values().map(|&w| w as u128).sum();
+        prop_assume!(total <= MODULUS / 2);
+        let counts = measure(&ring, &weights, n as u32 * 4);
+        for rank in 0..n {
+            let expected = weights[&ring.point(rank)];
+            prop_assert_eq!(
+                counts[rank], expected,
+                "rank {} owns {} != lambda(p) {}", rank, counts[rank], expected
+            );
+        }
+    }
+
+    /// Total accepted measure equals total demanded measure (acceptance
+    /// probability is exactly Σλ/M).
+    #[test]
+    fn total_acceptance_equals_total_demand(
+        ring in arb_ring(),
+        base in 1u64..60,
+    ) {
+        let n = ring.len();
+        let weights: HashMap<Point, u64> = (0..n)
+            .map(|r| (ring.point(r), base + (r as u64 * 7) % 50))
+            .collect();
+        let total: u128 = weights.values().map(|&w| w as u128).sum();
+        prop_assume!(total <= MODULUS / 2);
+        let counts = measure(&ring, &weights, n as u32 * 4);
+        prop_assert_eq!(counts.iter().sum::<u64>() as u128, total);
+    }
+
+    /// Weighted with equal weights ≡ uniform sampler's assignment.
+    #[test]
+    fn equal_weights_match_uniform_assignment(ring in arb_ring()) {
+        let n = ring.len() as u128;
+        let lambda = (MODULUS / (7 * n)) as u64;
+        prop_assume!(lambda > 0);
+        let weights: HashMap<Point, u64> =
+            (0..ring.len()).map(|r| (ring.point(r), lambda)).collect();
+        let weighted = measure(&ring, &weights, ring.len() as u32 + 1);
+        let uniform = peer_sampling::assignment::measure_per_peer(
+            &ring, lambda, ring.len() as u32 + 1);
+        prop_assert_eq!(weighted, uniform);
+    }
+}
