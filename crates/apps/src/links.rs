@@ -169,8 +169,7 @@ mod tests {
         assert_eq!(g.len(), 300);
         assert!(g.is_connected());
         // Out-degree 5 symmetrized → mean degree just under 10.
-        let mean: f64 =
-            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        let mean: f64 = (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
         assert!((8.0..11.0).contains(&mean), "mean degree {mean}");
     }
 
@@ -194,8 +193,7 @@ mod tests {
         let naive = NaiveSampler::new(ring);
         let g = build_overlay(&naive, 6, &mut r);
         let uniform_g = build_overlay(&TrueUniform::new(400), 6, &mut r);
-        let biased =
-            robustness_curve(&g, &[0.3], DeletionStrategy::HighestDegree, &mut r)[0];
+        let biased = robustness_curve(&g, &[0.3], DeletionStrategy::HighestDegree, &mut r)[0];
         let uniform =
             robustness_curve(&uniform_g, &[0.3], DeletionStrategy::HighestDegree, &mut r)[0];
         assert!(
@@ -241,8 +239,7 @@ mod tests {
     fn curve_is_evaluated_at_all_fractions() {
         let mut r = rng();
         let g = OverlayGraph::random_regular(64, 4, &mut r);
-        let curve =
-            robustness_curve(&g, &[0.0, 0.5, 1.0], DeletionStrategy::Random, &mut r);
+        let curve = robustness_curve(&g, &[0.0, 0.5, 1.0], DeletionStrategy::Random, &mut r);
         assert_eq!(curve.len(), 3);
         assert!((curve[0].survivor_connectivity - 1.0).abs() < 1e-9);
         assert_eq!(curve[2].survivor_connectivity, 0.0);

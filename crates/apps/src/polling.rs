@@ -110,7 +110,10 @@ pub fn poll_mean(
         "value vector must cover every peer"
     );
     assert!(!values.is_empty(), "population is empty");
-    assert!(sample_size >= 2, "need at least two observations for a std error");
+    assert!(
+        sample_size >= 2,
+        "need at least two observations for a std error"
+    );
     let mut acc = stats::Welford::new();
     for _ in 0..sample_size {
         acc.push(values[sampler.sample_index(rng)]);
@@ -260,11 +263,17 @@ mod tests {
     fn fraction_boundaries() {
         let r = ring(10, 6);
         assert_eq!(
-            arc_correlated_attribute(&r, 0.0).iter().filter(|&&b| b).count(),
+            arc_correlated_attribute(&r, 0.0)
+                .iter()
+                .filter(|&&b| b)
+                .count(),
             0
         );
         assert_eq!(
-            arc_correlated_attribute(&r, 1.0).iter().filter(|&&b| b).count(),
+            arc_correlated_attribute(&r, 1.0)
+                .iter()
+                .filter(|&&b| b)
+                .count(),
             10
         );
     }

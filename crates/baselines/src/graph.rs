@@ -190,17 +190,18 @@ mod tests {
         assert!(g.is_connected());
         // Successor + distinct fingers ≈ log2 n out-edges, symmetrized:
         // degrees land in a band around 2 log2 n = 16.
-        let mean: f64 =
-            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        let mean: f64 = (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
         assert!((8.0..32.0).contains(&mean), "mean degree {mean}");
     }
 
     #[test]
     fn random_regular_degrees_near_d() {
         let g = OverlayGraph::random_regular(200, 8, &mut rng());
-        assert!(g.is_connected(), "8-regular on 200 vertices is connected whp");
-        let mean: f64 =
-            (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
+        assert!(
+            g.is_connected(),
+            "8-regular on 200 vertices is connected whp"
+        );
+        let mean: f64 = (0..g.len()).map(|v| g.degree(v) as f64).sum::<f64>() / g.len() as f64;
         assert!((7.0..=8.0).contains(&mean), "mean degree {mean}");
         assert!(g.max_degree() <= 8);
     }

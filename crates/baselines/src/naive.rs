@@ -85,10 +85,7 @@ mod tests {
     fn bias_follows_arc_lengths() {
         // Arcs 10%, 40%, 50% → selection probabilities match.
         let space = KeySpace::with_modulus(1000).unwrap();
-        let ring = SortedRing::new(
-            space,
-            vec![Point::new(0), Point::new(400), Point::new(900)],
-        );
+        let ring = SortedRing::new(space, vec![Point::new(0), Point::new(400), Point::new(900)]);
         let s = NaiveSampler::new(ring);
         let probs = s.selection_probabilities();
         assert_eq!(probs, vec![0.1, 0.4, 0.5]);

@@ -195,8 +195,7 @@ mod tests {
         let space = KeySpace::full();
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let ring = SortedRing::new(space, space.random_points(&mut rng, 20));
-        let s = KingSaiaIndexSampler::from_ring(ring)
-            .with_config(SamplerConfig::new(40)); // over-estimate: still correct
+        let s = KingSaiaIndexSampler::from_ring(ring).with_config(SamplerConfig::new(40)); // over-estimate: still correct
         for _ in 0..50 {
             assert!(s.sample_index(&mut rng) < 20);
         }

@@ -162,10 +162,7 @@ mod tests {
 
     /// A small irregular graph: a star glued to a path, degrees 1..=4.
     fn irregular() -> OverlayGraph {
-        OverlayGraph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (1, 2)],
-        )
+        OverlayGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (4, 5), (1, 2)])
     }
 
     #[test]

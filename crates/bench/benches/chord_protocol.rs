@@ -13,7 +13,11 @@ use rand::SeedableRng;
 fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
     let space = KeySpace::full();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    ChordNetwork::bootstrap(space, space.random_points(&mut rng, n), ChordConfig::default())
+    ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut rng, n),
+        ChordConfig::default(),
+    )
 }
 
 fn bench_lookup(c: &mut Criterion) {
@@ -25,7 +29,10 @@ fn bench_lookup(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let target = net.space().random_point(&mut rng);
-                black_box(net.find_successor(start, target, &mut rng).expect("healthy"));
+                black_box(
+                    net.find_successor(start, target, &mut rng)
+                        .expect("healthy"),
+                );
             });
         });
     }
@@ -60,5 +67,10 @@ fn bench_bootstrap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_maintenance_round, bench_bootstrap);
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_maintenance_round,
+    bench_bootstrap
+);
 criterion_main!(benches);

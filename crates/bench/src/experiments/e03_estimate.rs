@@ -18,7 +18,13 @@ pub fn run(ctx: &ExpContext) -> Table {
         "E3: Lemma 3 Estimate-n approximation",
         "(2/7 - eps, 6 + eps)-approximation of n w.p. >= 1 - 2/n; probes = c1 ln n",
         &[
-            "n", "c1", "ratio_mean", "ratio_min", "ratio_max", "viol_rate", "mean_probes",
+            "n",
+            "c1",
+            "ratio_mean",
+            "ratio_min",
+            "ratio_max",
+            "viol_rate",
+            "mean_probes",
         ],
     );
     let mut worst_violation_rate: f64 = 0.0;

@@ -48,8 +48,7 @@ pub fn run(ctx: &ExpContext) -> Table {
     table.set_verdict(if all_ok {
         "HOLDS: every ring at every n satisfies the window bound".to_string()
     } else {
-        "PARTIAL: some rings violated the bound (check w.h.p. allowance at small n)"
-            .to_string()
+        "PARTIAL: some rings violated the bound (check w.h.p. allowance at small n)".to_string()
     });
     table
 }

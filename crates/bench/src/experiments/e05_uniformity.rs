@@ -26,7 +26,14 @@ fn exhaustive(ctx: &ExpContext) -> Table {
     let mut table = Table::new(
         "E5a: Theorem 6 exact uniformity (exhaustive enumeration)",
         "every peer owns exactly lambda ring points under the Figure-1 scan",
-        &["modulus", "n", "lambda", "min_owned", "max_owned", "max_deviation"],
+        &[
+            "modulus",
+            "n",
+            "lambda",
+            "min_owned",
+            "max_owned",
+            "max_deviation",
+        ],
     );
     let mut exact = true;
     let cases: &[(u128, usize)] = &[(1 << 16, 10), (1 << 18, 100), (1 << 20, 1000)];
@@ -67,7 +74,14 @@ fn sampled(ctx: &ExpContext) -> Table {
     let mut table = Table::new(
         "E5b: Theorem 6 sampled uniformity vs the naive heuristic",
         "sampler draws pass chi-square GOF vs uniform; naive h(s) fails catastrophically",
-        &["sampler", "draws", "chi2_p", "tv_dist", "max/min_freq", "never_chosen"],
+        &[
+            "sampler",
+            "draws",
+            "chi2_p",
+            "tv_dist",
+            "max/min_freq",
+            "never_chosen",
+        ],
     );
     let ring = make_ring(n, ctx.stream(5, 0xB0B));
     let dht = OracleDht::new(ring.clone());

@@ -101,7 +101,10 @@ pub fn run(ctx: &ExpContext) -> Table {
         ]);
     }
     let log_fit = fit::log_linear_fit(&xs, &msgs_series);
-    let trials_spread = trials_series.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    let trials_spread = trials_series
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
         / trials_series.iter().cloned().fold(f64::INFINITY, f64::min);
     let ok = log_fit.r_squared > 0.9 && trials_spread < 1.6;
     table.set_verdict(format!(

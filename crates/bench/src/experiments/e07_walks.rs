@@ -27,25 +27,26 @@ pub fn run(ctx: &ExpContext) -> Table {
     let graph = OverlayGraph::ring_with_fingers(&ring);
     let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(7, 2));
 
-    let mut measure = |sampler: &dyn IndexSampler, name: String, cost: f64, table: &mut Table| -> f64 {
-        let mut counts = vec![0u64; n];
-        for _ in 0..draws {
-            counts[sampler.sample_index(&mut rng)] += 1;
-        }
-        let tv = divergence::tv_from_uniform(&counts);
-        let ratio = divergence::max_min_ratio(&counts);
-        table.push_row(vec![
-            name,
-            fmt_f(cost),
-            fmt_f(tv),
-            if ratio.is_finite() {
-                fmt_f(ratio)
-            } else {
-                "inf".to_string()
-            },
-        ]);
-        tv
-    };
+    let mut measure =
+        |sampler: &dyn IndexSampler, name: String, cost: f64, table: &mut Table| -> f64 {
+            let mut counts = vec![0u64; n];
+            for _ in 0..draws {
+                counts[sampler.sample_index(&mut rng)] += 1;
+            }
+            let tv = divergence::tv_from_uniform(&counts);
+            let ratio = divergence::max_min_ratio(&counts);
+            table.push_row(vec![
+                name,
+                fmt_f(cost),
+                fmt_f(tv),
+                if ratio.is_finite() {
+                    fmt_f(ratio)
+                } else {
+                    "inf".to_string()
+                },
+            ]);
+            tv
+        };
 
     let lengths: &[usize] = if ctx.quick {
         &[2, 8, 32]
@@ -55,19 +56,33 @@ pub fn run(ctx: &ExpContext) -> Table {
     let mut simple_tvs = Vec::new();
     for &len in lengths {
         let walk = RandomWalkSampler::new(graph.clone(), 0, len, WalkKind::Simple);
-        let tv = measure(&walk, format!("simple walk L={len}"), len as f64, &mut table);
+        let tv = measure(
+            &walk,
+            format!("simple walk L={len}"),
+            len as f64,
+            &mut table,
+        );
         simple_tvs.push(tv);
     }
     let cap = graph.max_degree();
     for &len in lengths {
         let walk = RandomWalkSampler::new(graph.clone(), 0, len, WalkKind::MaxDegree { cap });
-        measure(&walk, format!("max-degree walk L={len}"), len as f64, &mut table);
+        measure(
+            &walk,
+            format!("max-degree walk L={len}"),
+            len as f64,
+            &mut table,
+        );
     }
     let mh_tv = {
         let len = *lengths.last().expect("non-empty");
-        let walk =
-            RandomWalkSampler::new(graph.clone(), 0, len, WalkKind::MetropolisHastings);
-        measure(&walk, format!("metropolis walk L={len}"), len as f64, &mut table)
+        let walk = RandomWalkSampler::new(graph.clone(), 0, len, WalkKind::MetropolisHastings);
+        measure(
+            &walk,
+            format!("metropolis walk L={len}"),
+            len as f64,
+            &mut table,
+        )
     };
 
     let ks = KingSaiaIndexSampler::from_ring(ring);
@@ -80,7 +95,11 @@ pub fn run(ctx: &ExpContext) -> Table {
     let ks_wins = ks_tv <= mh_tv * 1.5; // both near sampling noise floor
     table.set_verdict(format!(
         "{}: simple-walk TV {} -> {} with length; king-saia TV {:.4} at {:.0} msgs",
-        if walk_improves && ks_wins { "HOLDS" } else { "CHECK" },
+        if walk_improves && ks_wins {
+            "HOLDS"
+        } else {
+            "CHECK"
+        },
         fmt_f(simple_tvs[0]),
         fmt_f(*simple_tvs.last().expect("non-empty")),
         ks_tv,

@@ -47,7 +47,10 @@ pub fn run(ctx: &ExpContext) -> Table {
         .iter()
         .cloned()
         .fold(f64::NEG_INFINITY, f64::max)
-        / normalized_means.iter().cloned().fold(f64::INFINITY, f64::min);
+        / normalized_means
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
     let ok = band < 10.0;
     table.set_verdict(format!(
         "{}: normalized ratio band {:.2}x across sizes (constant-band check < 10x)",

@@ -22,12 +22,7 @@ pub fn run(ctx: &ExpContext) -> Table {
         "E9: random-link overlay robustness (adversarial deletion)",
         "uniform links keep the survivor graph connected; biased links shatter",
         &[
-            "sampler",
-            "del=0.1",
-            "del=0.2",
-            "del=0.3",
-            "del=0.4",
-            "del=0.5",
+            "sampler", "del=0.1", "del=0.2", "del=0.3", "del=0.4", "del=0.5",
         ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(9, 0));

@@ -20,7 +20,12 @@ pub fn run(ctx: &ExpContext) -> Table {
     let mut table = Table::new(
         "E10: virtual-nodes ablation",
         "k virtual points shrink naive bias ~1/sqrt(k) but never to zero; state cost grows k-fold",
-        &["k", "tv_from_uniform", "max/min_prob", "virtual_points(state)"],
+        &[
+            "k",
+            "tv_from_uniform",
+            "max/min_prob",
+            "virtual_points(state)",
+        ],
     );
     let mut tvs = Vec::new();
     for &k in replica_sweep {
@@ -28,8 +33,7 @@ pub fn run(ctx: &ExpContext) -> Table {
         let mut ratio_total = 0.0;
         let mut virtual_points = 0usize;
         for s in 0..seeds {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(ctx.stream(10, (k as u64) << 8 | s));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(10, (k as u64) << 8 | s));
             let sampler = VirtualNodeSampler::random(KeySpace::full(), n, k, &mut rng);
             let probs = sampler.selection_probabilities();
             let uniform = vec![1.0 / n as f64; n];

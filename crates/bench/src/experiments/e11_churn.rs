@@ -60,9 +60,7 @@ pub fn run(ctx: &ExpContext) -> Table {
             let live = net.live_ids();
             let anchor = live[p % live.len()];
             let dht = ChordDht::new(net, anchor, ctx.stream(11, 200 + p as u64));
-            let sampler = Sampler::new(
-                SamplerConfig::new(live.len() as u64).with_max_trials(64),
-            );
+            let sampler = Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
             match sampler.sample(&dht, &mut rng) {
                 Ok(s) => {
                     successes += 1;
@@ -84,8 +82,7 @@ pub fn run(ctx: &ExpContext) -> Table {
             live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
         let anchor = live[0];
         let dht = ChordDht::new(net, anchor, ctx.stream(11, 999 + i as u64));
-        let sampler =
-            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        let sampler = Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
         let mut counts = vec![0u64; live.len()];
         let mut post_failures = 0u64;
         for _ in 0..draws_after {
@@ -114,7 +111,10 @@ pub fn run(ctx: &ExpContext) -> Table {
     table.set_verdict(format!(
         "{}: sample failure rate stays below 5% at every churn intensity ({:?})",
         if ok { "HOLDS" } else { "CHECK" },
-        fail_rates.iter().map(|f| (f * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+        fail_rates
+            .iter()
+            .map(|f| (f * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
     ));
     table
 }

@@ -49,19 +49,16 @@ pub fn run(ctx: &ExpContext) -> Table {
     let modulus = 1u128 << 18;
     let space = KeySpace::with_modulus(modulus).expect("modulus");
     let mut ring_rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(13, 3));
-    let ring_small = keyspace::SortedRing::new(
-        space,
-        space.random_distinct_points(&mut ring_rng, n_small),
-    );
+    let ring_small =
+        keyspace::SortedRing::new(space, space.random_distinct_points(&mut ring_rng, n_small));
     let step_bound_small = (6.0 * (n_small as f64).ln()).ceil() as u32;
 
     let mut seven_loss = 0.0f64;
     let mut min_loss_denom = (f64::INFINITY, 0u64);
     for &denom in &denominators {
         // Sampling cost.
-        let sampler = Sampler::new(
-            SamplerConfig::new(n_cost as u64).with_lambda_denominator(denom),
-        );
+        let sampler =
+            Sampler::new(SamplerConfig::new(n_cost as u64).with_lambda_denominator(denom));
         let mut trials = 0u64;
         let mut msgs = 0u64;
         for _ in 0..samples {
@@ -72,8 +69,7 @@ pub fn run(ctx: &ExpContext) -> Table {
 
         // Measure accounting (exhaustive).
         let lambda = (modulus / (denom as u128 * n_small as u128)) as u64;
-        let truncated =
-            assignment::measure_per_peer(&ring_small, lambda, step_bound_small);
+        let truncated = assignment::measure_per_peer(&ring_small, lambda, step_bound_small);
         let full = assignment::measure_per_peer(&ring_small, lambda, n_small as u32 + 1);
         let demanded = lambda as f64 * n_small as f64;
         let owned: u64 = truncated.iter().sum();

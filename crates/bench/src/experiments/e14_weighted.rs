@@ -23,12 +23,7 @@ pub fn run(ctx: &ExpContext) -> Table {
     let mut table = Table::new(
         "E14: inverse-distance biased sampling (open problem 3)",
         "weighted Figure-1 scan matches the target distribution lambda(p)/sum(lambda) exactly",
-        &[
-            "distance_decile",
-            "model_prob",
-            "empirical_prob",
-            "abs_err",
-        ],
+        &["distance_decile", "model_prob", "empirical_prob", "abs_err"],
     );
     let space = KeySpace::full();
     let ring = make_ring(n, ctx.stream(14, 1));
@@ -37,7 +32,9 @@ pub fn run(ctx: &ExpContext) -> Table {
     let weight = InverseDistanceWeight::new(space, origin, scale);
 
     // Exact model distribution.
-    let lambdas: Vec<f64> = (0..n).map(|r| weight.lambda(ring.point(r)) as f64).collect();
+    let lambdas: Vec<f64> = (0..n)
+        .map(|r| weight.lambda(ring.point(r)) as f64)
+        .collect();
     let total: f64 = lambdas.iter().sum();
     let model: Vec<f64> = lambdas.iter().map(|l| l / total).collect();
 

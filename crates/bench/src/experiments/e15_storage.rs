@@ -21,20 +21,27 @@ pub fn run(ctx: &ExpContext) -> Table {
     let mut table = Table::new(
         "E15: storage durability under crash waves (substrate validation)",
         "replication factor >= 3 keeps data retrievable through sustained 5% crash waves",
-        &["replicas", "epochs", "crashed_total", "retrievable", "mean_get_msgs"],
+        &[
+            "replicas",
+            "epochs",
+            "crashed_total",
+            "retrievable",
+            "mean_get_msgs",
+        ],
     );
     let mut survival_r4 = 0.0;
     for replicas in 1usize..=4 {
         let space = KeySpace::full();
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(ctx.stream(15, replicas as u64));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(ctx.stream(15, replicas as u64));
         let mut net = ChordNetwork::bootstrap(
             space,
             space.random_points(&mut rng, n),
             ChordConfig::default(),
         );
         let gateway = net.live_ids()[0];
-        let keys: Vec<Point> = (0..keys_count).map(|_| space.random_point(&mut rng)).collect();
+        let keys: Vec<Point> = (0..keys_count)
+            .map(|_| space.random_point(&mut rng))
+            .collect();
         for (i, &k) in keys.iter().enumerate() {
             net.put(gateway, k, vec![i as u8], replicas, &mut rng)
                 .expect("healthy put");

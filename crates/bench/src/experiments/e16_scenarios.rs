@@ -1,0 +1,186 @@
+//! E16 — the adversarial scenario battery.
+//!
+//! Runs the `scenarios` crate's preset battery (honest-static,
+//! crash-churn, byzantine-routers, clustered-ring, flash-crowd) as a
+//! parallel multi-seed sweep against **both** DHT backends, emits the full
+//! structured JSON report to `target/e16_scenarios.json`, and summarizes
+//! one table row per scenario × backend.
+//!
+//! The headline comparisons:
+//!
+//! * honest-static is the control: near-zero TV distance, no failures, on
+//!   both backends — Theorem 6 survives the trip from oracle to Chord.
+//! * crash-churn and flash-crowd measure what churn costs: failure rate
+//!   and message inflation on Chord vs the membership-only oracle.
+//! * byzantine-routers shows the capture attack: the adversary's sample
+//!   share vs its population share on Chord (the oracle arm is immune).
+//! * clustered-ring stresses the geometry: cost and uniformity on a ring
+//!   that violates the i.i.d. placement assumption.
+
+use scenarios::{ScenarioSpec, Sweep, SweepReport};
+
+use crate::{fmt_f, ExpContext, Table};
+
+/// Scales the preset battery down for the context.
+fn battery(ctx: &ExpContext) -> Vec<ScenarioSpec> {
+    let mut specs = ScenarioSpec::presets();
+    if ctx.quick {
+        specs.truncate(3);
+    }
+    for spec in &mut specs {
+        if ctx.quick {
+            spec.n_initial = 96;
+            spec.workload.draws = 500;
+        }
+    }
+    specs
+}
+
+/// Runs the sweep and renders the summary table.
+pub fn run(ctx: &ExpContext) -> Table {
+    let specs = battery(ctx);
+    let seeds = if ctx.quick { 4 } else { 8 };
+    let report = Sweep::new(specs)
+        .with_master_seed(ctx.stream(16, 0))
+        .with_seeds(seeds)
+        .run();
+
+    let json = report.to_json_pretty();
+    let json_path = persist_report(&json);
+
+    let mut table = Table::new(
+        "E16: adversarial scenario battery (oracle vs chord)",
+        "uniformity holds on honest rings under every topology; churn costs messages not \
+         correctness; Byzantine routers capture samples only on the routed backend",
+        &[
+            "scenario",
+            "backend",
+            "live",
+            "fail_rate",
+            "msgs/draw",
+            "tv",
+            "byz_pop",
+            "byz_samples",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            table.push_row(vec![
+                scenario.spec.name.clone(),
+                agg.backend.clone(),
+                fmt_f(agg.live_peers_mean),
+                fmt_f(agg.fail_rate_mean),
+                fmt_f(agg.messages_mean),
+                fmt_f(agg.tv_mean),
+                fmt_f(agg.byzantine_population_share_mean),
+                fmt_f(agg.byzantine_sample_share_mean),
+            ]);
+        }
+    }
+    table.set_verdict(verdict(&report, &json_path));
+    table
+}
+
+/// Writes the JSON report under `target/`; falls back to stdout-only when
+/// the directory is not writable (e.g. read-only CI caches).
+fn persist_report(json: &str) -> String {
+    let path = std::path::Path::new("target").join("e16_scenarios.json");
+    match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => path.display().to_string(),
+        Err(_) => {
+            println!("{json}");
+            "(stdout)".to_string()
+        }
+    }
+}
+
+fn verdict(report: &SweepReport, json_path: &str) -> String {
+    let mut checks = Vec::new();
+    let mut ok = true;
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            match scenario.spec.name.as_str() {
+                // Honest rings: no failures, uniformity intact.
+                "honest-static" | "clustered-ring"
+                    if agg.fail_rate_mean > 0.01 || agg.chi_square_p_min < 1e-6 =>
+                {
+                    ok = false;
+                    checks.push(format!(
+                        "{}:{} fail={:.3} p_min={:.1e}",
+                        scenario.spec.name, agg.backend, agg.fail_rate_mean, agg.chi_square_p_min
+                    ));
+                }
+                // Churn may fail a few draws but must stay usable.
+                "crash-churn" | "flash-crowd" if agg.fail_rate_mean > 0.10 => {
+                    ok = false;
+                    checks.push(format!(
+                        "{}:{} fail={:.3}",
+                        scenario.spec.name, agg.backend, agg.fail_rate_mean
+                    ));
+                }
+                // The capture attack must show up on the routed backend...
+                "byzantine-routers"
+                    if agg.backend == "chord"
+                        && agg.byzantine_sample_share_mean
+                            <= agg.byzantine_population_share_mean =>
+                {
+                    ok = false;
+                    checks.push(format!(
+                        "byzantine:chord capture {:.3} <= share {:.3}",
+                        agg.byzantine_sample_share_mean, agg.byzantine_population_share_mean
+                    ));
+                }
+                // ...and only there.
+                "byzantine-routers"
+                    if agg.backend != "chord" && agg.byzantine_sample_share_mean != 0.0 =>
+                {
+                    ok = false;
+                    checks.push("byzantine:oracle captured samples".to_string());
+                }
+                _ => {}
+            }
+        }
+    }
+    format!(
+        "{}: {} scenarios x {} seeds x 2 backends; json -> {}{}",
+        if ok { "HOLDS" } else { "CHECK" },
+        report.scenarios.len(),
+        report.seeds_per_scenario,
+        json_path,
+        if checks.is_empty() {
+            String::new()
+        } else {
+            format!("; flagged: {}", checks.join(", "))
+        }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_battery_holds() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run(&ctx);
+        // 3 quick scenarios x 2 backends.
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn quick_battery_covers_both_backends_per_scenario() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let specs = battery(&ctx);
+        assert_eq!(specs.len(), 3);
+        for spec in specs {
+            assert_eq!(spec.backends.len(), 2, "{}", spec.name);
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The experiment suite (E1–E12).
+//! The experiment suite (E1–E16).
 //!
 //! One module per experiment; each exposes `run(&ExpContext) -> Table`.
 //! The mapping from paper claim to experiment is in DESIGN.md §4; measured
@@ -19,6 +19,7 @@ pub mod e12_apps;
 pub mod e13_ablation;
 pub mod e14_weighted;
 pub mod e15_storage;
+pub mod e16_scenarios;
 
 use keyspace::{KeySpace, SortedRing};
 use rand::SeedableRng;
@@ -27,8 +28,8 @@ use crate::{ExpContext, Table};
 
 /// Every experiment id, in order.
 pub const ALL: &[&str] = &[
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
-    "e15",
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
+    "e16",
 ];
 
 /// Runs one experiment by id.
@@ -51,6 +52,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Option<Vec<Table>> {
         "e13" => vec![e13_ablation::run(ctx)],
         "e14" => vec![e14_weighted::run(ctx)],
         "e15" => vec![e15_storage::run(ctx)],
+        "e16" => vec![e16_scenarios::run(ctx)],
         _ => return None,
     };
     Some(tables)

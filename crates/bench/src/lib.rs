@@ -68,11 +68,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table.
-    pub fn new(
-        title: impl Into<String>,
-        claim: impl Into<String>,
-        headers: &[&str],
-    ) -> Table {
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, headers: &[&str]) -> Table {
         Table {
             title: title.into(),
             claim: claim.into(),
@@ -150,7 +146,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn float_formatting() {
         assert_eq!(fmt_f(0.0), "0");
-        assert_eq!(fmt_f(3.14159), "3.142");
+        assert_eq!(fmt_f(3.24159), "3.242");
         assert_eq!(fmt_f(12345.6), "12346");
         assert_eq!(fmt_f(0.000123), "1.230e-4");
     }

@@ -101,21 +101,71 @@ impl ChurnSimulation {
         stabilize_every: SimDuration,
         seed: u64,
     ) -> ChurnSimulation {
+        ChurnSimulation::with_schedule(
+            initial_peers,
+            config,
+            &simnet::churn::ChurnSchedule::constant(churn),
+            stabilize_every,
+            seed,
+        )
+    }
+
+    /// Like [`ChurnSimulation::new`], but driven by a multi-phase
+    /// [`ChurnSchedule`](simnet::churn::ChurnSchedule) — churn storms,
+    /// flash crowds, or any piecewise-stationary workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_peers == 0` or `stabilize_every` is zero.
+    pub fn with_schedule(
+        initial_peers: usize,
+        config: ChordConfig,
+        schedule: &simnet::churn::ChurnSchedule,
+        stabilize_every: SimDuration,
+        seed: u64,
+    ) -> ChurnSimulation {
         assert!(initial_peers > 0, "need at least one initial peer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = KeySpace::full();
+        let points = space.random_points(&mut rng, initial_peers);
+        ChurnSimulation::from_parts(points, config, schedule, stabilize_every, rng)
+    }
+
+    /// Like [`ChurnSimulation::with_schedule`], but over an explicit
+    /// initial placement (clustered/skewed rings under churn) instead of
+    /// i.i.d. uniform points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or `stabilize_every` is zero.
+    pub fn with_schedule_over(
+        points: Vec<keyspace::Point>,
+        config: ChordConfig,
+        schedule: &simnet::churn::ChurnSchedule,
+        stabilize_every: SimDuration,
+        seed: u64,
+    ) -> ChurnSimulation {
+        assert!(!points.is_empty(), "need at least one initial peer");
+        let rng = StdRng::seed_from_u64(seed);
+        ChurnSimulation::from_parts(points, config, schedule, stabilize_every, rng)
+    }
+
+    fn from_parts(
+        points: Vec<keyspace::Point>,
+        config: ChordConfig,
+        schedule: &simnet::churn::ChurnSchedule,
+        stabilize_every: SimDuration,
+        mut rng: StdRng,
+    ) -> ChurnSimulation {
         assert!(
             !stabilize_every.is_zero(),
             "stabilization interval must be positive"
         );
-        let mut rng = StdRng::seed_from_u64(seed);
         let space = KeySpace::full();
-        let net = ChordNetwork::bootstrap(
-            space,
-            space.random_points(&mut rng, initial_peers),
-            config,
-        );
+        let net = ChordNetwork::bootstrap(space, points, config);
         let mut queue = EventQueue::new();
-        let horizon = SimTime::ZERO + churn.horizon;
-        for ev in churn.generate(&mut rng) {
+        let horizon = SimTime::ZERO + schedule.horizon();
+        for ev in schedule.generate(&mut rng) {
             queue.schedule(ev.time, Event::Churn(ev.kind));
         }
         queue.schedule(SimTime::ZERO + stabilize_every, Event::Maintenance);
@@ -161,6 +211,12 @@ impl ChurnSimulation {
     /// [`run_until`](ChurnSimulation::run_until) calls).
     pub fn network_mut(&mut self) -> &mut ChordNetwork {
         &mut self.net
+    }
+
+    /// Consumes the simulation, returning the churned overlay (for
+    /// post-churn measurement phases that outlive the schedule).
+    pub fn into_network(self) -> ChordNetwork {
+        self.net
     }
 
     /// Tally so far.
@@ -308,8 +364,7 @@ mod tests {
     fn population_tracks_joins_minus_departures() {
         let mut s = sim(2);
         let report = s.run_to_end();
-        let expected =
-            48 + report.joins as i64 - report.leaves as i64 - report.crashes as i64;
+        let expected = 48 + report.joins as i64 - report.leaves as i64 - report.crashes as i64;
         assert_eq!(s.network().live_len() as i64, expected, "{report}");
     }
 
@@ -354,7 +409,10 @@ mod tests {
                 }
             }
         }
-        assert!(ok >= trials * 85 / 100, "only {ok}/{trials} lookups correct");
+        assert!(
+            ok >= trials * 85 / 100,
+            "only {ok}/{trials} lookups correct"
+        );
     }
 
     #[test]
@@ -370,6 +428,54 @@ mod tests {
             net.verify_ring()
         };
         assert!(report.is_converged(), "{report:?}");
+    }
+
+    #[test]
+    fn schedule_constructor_matches_config_constructor() {
+        let mut a = sim(9);
+        let schedule = simnet::churn::ChurnSchedule::constant(churn_cfg(20_000));
+        let mut b = ChurnSimulation::with_schedule(
+            48,
+            ChordConfig::default(),
+            &schedule,
+            SimDuration::from_ticks(250),
+            9,
+        );
+        assert_eq!(a.run_to_end(), b.run_to_end());
+        assert_eq!(a.network().live_len(), b.network().live_len());
+    }
+
+    #[test]
+    fn storm_phase_crashes_dominate() {
+        use simnet::churn::{ChurnPhase, ChurnSchedule};
+        let schedule = ChurnSchedule::new(vec![
+            ChurnPhase {
+                duration: SimDuration::from_ticks(10_000),
+                arrivals_per_1000_ticks: 5.0,
+                mean_lifetime: SimDuration::from_ticks(200_000),
+                crash_fraction: 0.0,
+            },
+            ChurnPhase {
+                duration: SimDuration::from_ticks(10_000),
+                arrivals_per_1000_ticks: 100.0,
+                mean_lifetime: SimDuration::from_ticks(2_000),
+                crash_fraction: 1.0,
+            },
+        ]);
+        let mut s = ChurnSimulation::with_schedule(
+            64,
+            ChordConfig::default(),
+            &schedule,
+            SimDuration::from_ticks(250),
+            10,
+        );
+        let report = s.run_to_end();
+        assert!(report.crashes > 0, "{report}");
+        assert!(
+            report.crashes > report.leaves,
+            "storm-phase departures are all crashes: {report}"
+        );
+        assert!(s.network().live_len() > 0);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::network::{ChordNetwork, NodeId};
-use crate::LookupError;
+use crate::{FaultPlan, LookupError};
 
 /// Adapter exposing a [`ChordNetwork`] as the paper's DHT interface.
 ///
@@ -47,6 +47,7 @@ pub struct ChordDht<'a> {
     net: &'a ChordNetwork,
     start: NodeId,
     rng: RefCell<StdRng>,
+    faults: FaultPlan,
 }
 
 impl<'a> ChordDht<'a> {
@@ -64,7 +65,21 @@ impl<'a> ChordDht<'a> {
             net,
             start,
             rng: RefCell::new(StdRng::seed_from_u64(latency_seed)),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Applies a routing fault plan: every `h(x)` lookup and `next(p)`
+    /// probe issued through this view is subject to the plan's Byzantine
+    /// behaviours (see [`FaultPlan`]).
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> ChordDht<'a> {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan in effect (empty for an honest view).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// The anchor node.
@@ -87,7 +102,10 @@ impl Dht for ChordDht<'_> {
 
     fn h(&self, x: Point) -> Result<Resolved<NodeId>, DhtError> {
         let mut rng = self.rng.borrow_mut();
-        match self.net.find_successor(self.start, x, &mut *rng) {
+        match self
+            .net
+            .find_successor_with_faults(self.start, x, &self.faults, &mut *rng)
+        {
             Ok(hit) => Ok(Resolved {
                 peer: hit.node,
                 point: hit.point,
@@ -104,11 +122,32 @@ impl Dht for ChordDht<'_> {
         let latency = self.net.config().latency();
         let mut rng = self.rng.borrow_mut();
         let mut cost = Cost::FREE;
+        // A Byzantine `p` eclipses its true successor: it skips the first
+        // live entry and reports the one after it, erasing an honest peer
+        // from any scan passing through `p`. (With fewer than two live
+        // entries there is nothing to hide behind; it answers honestly so
+        // the lie stays plausible.)
+        let mut eclipses_left = if self.faults.eclipses_next(p) {
+            let live = self
+                .net
+                .node(p)
+                .successors()
+                .iter()
+                .filter(|&&s| self.net.node(s).is_alive())
+                .count();
+            usize::from(live >= 2)
+        } else {
+            0
+        };
         // Probe the successor list in order; each probe is one message.
         for &cand in self.net.node(p).successors() {
             cost.messages += 1;
             cost.latency += latency.sample(&mut *rng).ticks();
             if self.net.node(cand).is_alive() {
+                if eclipses_left > 0 {
+                    eclipses_left -= 1;
+                    continue;
+                }
                 return Ok(Resolved {
                     peer: cand,
                     point: self.net.node(cand).point(),
@@ -148,7 +187,11 @@ mod tests {
     fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
         let space = KeySpace::full();
         let mut r = StdRng::seed_from_u64(seed);
-        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+        ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        )
     }
 
     #[test]
@@ -226,7 +269,11 @@ mod tests {
         let est = NetworkSizeEstimator::default()
             .estimate(&dht, dht.start())
             .unwrap();
-        assert!(est.n_hat > 40.0 && est.n_hat < 2100.0, "n_hat {}", est.n_hat);
+        assert!(
+            est.n_hat > 40.0 && est.n_hat < 2100.0,
+            "n_hat {}",
+            est.n_hat
+        );
         let sampler = Sampler::new(est.to_sampler_config());
         let mut total_messages = 0u64;
         let draws = 20;
@@ -240,6 +287,50 @@ mod tests {
         // (individual samples have geometric tails).
         let mean = total_messages as f64 / draws as f64;
         assert!(mean < 300.0, "mean cost {mean} too high for n = 300");
+    }
+
+    #[test]
+    fn eclipsing_next_skips_the_true_successor() {
+        let net = bootstrap(64, 31);
+        let anchor = net.live_ids()[0];
+        let honest = ChordDht::new(&net, anchor, 32);
+        let true_succ = honest.next(anchor).unwrap().peer;
+        let lying = ChordDht::new(&net, anchor, 32)
+            .with_fault_plan(FaultPlan::for_nodes([anchor]).without_ownership_claims());
+        let reported = lying.next(anchor).unwrap().peer;
+        assert_ne!(reported, true_succ, "the true successor must be eclipsed");
+        // The reported node is the successor-after-next on a healthy ring.
+        assert_eq!(honest.next(true_succ).unwrap().peer, reported);
+        assert!(lying.fault_plan().is_byzantine(anchor));
+    }
+
+    #[test]
+    fn byzantine_h_biases_samples_toward_the_adversary() {
+        use peer_sampling::SamplerConfig;
+        let net = bootstrap(200, 33);
+        let mut rng = StdRng::seed_from_u64(34);
+        let anchor = net.live_ids()[0];
+        // 10% of remote nodes capture lookups.
+        let plan = FaultPlan::sample_fraction(&net, 0.10, &mut rng).without_next_eclipse();
+        let byz: std::collections::HashSet<_> = plan.byzantine_nodes().into_iter().collect();
+        let dht = ChordDht::new(&net, anchor, 35).with_fault_plan(plan);
+        let sampler = Sampler::new(SamplerConfig::new(200).with_max_trials(256));
+        let draws = 400;
+        let mut captured = 0;
+        for _ in 0..draws {
+            let s = sampler.sample(&dht, &mut rng).unwrap();
+            if byz.contains(&s.peer) {
+                captured += 1;
+            }
+        }
+        let share = captured as f64 / draws as f64;
+        // Under honesty the adversary's share would be ~10%; ownership
+        // claims inflate it far beyond that.
+        assert!(
+            share > 0.2,
+            "10% Byzantine routers captured only {:.1}% of samples",
+            share * 100.0
+        );
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Routing-level fault injection: Byzantine nodes that misreport the
+//! protocol's primitives.
+//!
+//! King & Saia's guarantees assume every peer answers `h(x)` and `next(p)`
+//! honestly. A Byzantine router can bias the sampler two ways:
+//!
+//! * **Claiming ownership** — when a lookup reaches it, it answers
+//!   `find_successor` with *itself* regardless of the target, forging its
+//!   reported ring position as the target so the caller's interval checks
+//!   pass. `h(x)` then resolves to the adversary for every start point
+//!   routed through it (a classic capture attack on DHT lookups). Without
+//!   the position forgery the sampler's exact `|I(s, l(h(s)))| < λ` test
+//!   rejects almost every claim — a robustness property the scenario
+//!   experiments measure.
+//! * **Eclipsing the next hop** — when asked for its successor it skips
+//!   the true one and reports the peer after it, erasing an honest peer
+//!   from every supplementation scan that passes through the adversary.
+//!
+//! A [`FaultPlan`] names the Byzantine nodes and which misbehaviours they
+//! exercise; [`ChordNetwork::find_successor_with_faults`] and
+//! [`ChordDht::with_fault_plan`] apply it without touching honest-path
+//! code.
+//!
+//! [`ChordNetwork::find_successor_with_faults`]: crate::ChordNetwork::find_successor_with_faults
+//! [`ChordDht::with_fault_plan`]: crate::ChordDht::with_fault_plan
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use crate::network::{ChordNetwork, NodeId};
+
+/// Which nodes are Byzantine and how they misbehave.
+///
+/// # Example
+///
+/// ```
+/// use chord::{ChordConfig, ChordNetwork, FaultPlan};
+/// use keyspace::KeySpace;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let space = KeySpace::full();
+/// let net = ChordNetwork::bootstrap(
+///     space,
+///     space.random_points(&mut rng, 64),
+///     ChordConfig::default(),
+/// );
+/// let plan = FaultPlan::sample_fraction(&net, 0.25, &mut rng);
+/// assert_eq!(plan.byzantine_count(), 16);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    byzantine: HashSet<NodeId>,
+    claim_ownership: bool,
+    eclipse_next: bool,
+}
+
+impl FaultPlan {
+    /// A plan with no Byzantine nodes (honest network).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Marks an explicit set of nodes Byzantine, with both misbehaviours
+    /// enabled.
+    pub fn for_nodes(nodes: impl IntoIterator<Item = NodeId>) -> FaultPlan {
+        FaultPlan {
+            byzantine: nodes.into_iter().collect(),
+            claim_ownership: true,
+            eclipse_next: true,
+        }
+    }
+
+    /// Samples `⌊fraction · live⌋` live nodes as Byzantine, uniformly
+    /// without replacement, with both misbehaviours enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ fraction ≤ 1`.
+    pub fn sample_fraction<R: Rng + ?Sized>(
+        net: &ChordNetwork,
+        fraction: f64,
+        rng: &mut R,
+    ) -> FaultPlan {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "byzantine fraction {fraction} outside [0, 1]"
+        );
+        let mut live = net.live_ids();
+        let count = (live.len() as f64 * fraction).floor() as usize;
+        // Partial Fisher–Yates: the first `count` entries are a uniform
+        // sample without replacement.
+        for i in 0..count {
+            let j = rng.gen_range(i..live.len());
+            live.swap(i, j);
+        }
+        live.truncate(count);
+        FaultPlan::for_nodes(live)
+    }
+
+    /// Disables the `find_successor` capture behaviour.
+    pub fn without_ownership_claims(mut self) -> FaultPlan {
+        self.claim_ownership = false;
+        self
+    }
+
+    /// Disables the `next(p)` eclipse behaviour.
+    pub fn without_next_eclipse(mut self) -> FaultPlan {
+        self.eclipse_next = false;
+        self
+    }
+
+    /// Whether `node` is Byzantine.
+    pub fn is_byzantine(&self, node: NodeId) -> bool {
+        self.byzantine.contains(&node)
+    }
+
+    /// Whether `node` answers lookups by claiming ownership of the target.
+    pub fn claims_ownership(&self, node: NodeId) -> bool {
+        self.claim_ownership && self.is_byzantine(node)
+    }
+
+    /// Whether `node` misreports its successor pointer.
+    pub fn eclipses_next(&self, node: NodeId) -> bool {
+        self.eclipse_next && self.is_byzantine(node)
+    }
+
+    /// Number of Byzantine nodes in the plan.
+    pub fn byzantine_count(&self) -> usize {
+        self.byzantine.len()
+    }
+
+    /// The Byzantine nodes, in arena order (deterministic).
+    pub fn byzantine_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.byzantine.iter().copied().collect();
+        nodes.sort_unstable();
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ChordConfig;
+    use keyspace::KeySpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
+        let space = KeySpace::full();
+        let mut r = StdRng::seed_from_u64(seed);
+        ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        )
+    }
+
+    #[test]
+    fn none_is_honest() {
+        let plan = FaultPlan::none();
+        assert_eq!(plan.byzantine_count(), 0);
+        assert!(!plan.claims_ownership(NodeId::from_index(0)));
+        assert!(!plan.eclipses_next(NodeId::from_index(0)));
+    }
+
+    #[test]
+    fn sample_fraction_is_exact_and_live() {
+        let net = bootstrap(80, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let plan = FaultPlan::sample_fraction(&net, 0.25, &mut rng);
+        assert_eq!(plan.byzantine_count(), 20);
+        for id in plan.byzantine_nodes() {
+            assert!(net.node(id).is_alive());
+        }
+    }
+
+    #[test]
+    fn behaviours_can_be_disabled_independently() {
+        let node = NodeId::from_index(3);
+        let plan = FaultPlan::for_nodes([node]);
+        assert!(plan.claims_ownership(node));
+        assert!(plan.eclipses_next(node));
+        let no_claim = plan.clone().without_ownership_claims();
+        assert!(!no_claim.claims_ownership(node));
+        assert!(no_claim.eclipses_next(node));
+        let no_eclipse = plan.without_next_eclipse();
+        assert!(no_eclipse.claims_ownership(node));
+        assert!(!no_eclipse.eclipses_next(node));
+    }
+
+    #[test]
+    fn sample_fraction_deterministic_per_seed() {
+        let net = bootstrap(40, 3);
+        let a = FaultPlan::sample_fraction(&net, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = FaultPlan::sample_fraction(&net, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.byzantine_nodes(), b.byzantine_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_fraction_panics() {
+        let net = bootstrap(8, 4);
+        let _ = FaultPlan::sample_fraction(&net, 1.5, &mut StdRng::seed_from_u64(5));
+    }
+}

@@ -49,6 +49,7 @@
 mod churn_sim;
 mod config;
 mod dht_impl;
+pub mod faults;
 mod lookup;
 mod network;
 mod node;
@@ -57,6 +58,7 @@ mod storage;
 pub use churn_sim::{ChurnReport, ChurnSimulation};
 pub use config::ChordConfig;
 pub use dht_impl::ChordDht;
+pub use faults::FaultPlan;
 pub use lookup::{LookupError, LookupResult};
 pub use network::{ChordNetwork, NodeId};
 pub use node::NodeState;

@@ -74,6 +74,28 @@ impl ChordNetwork {
         target: Point,
         rng: &mut R,
     ) -> Result<LookupResult, LookupError> {
+        self.find_successor_with_faults(from, target, &crate::FaultPlan::none(), rng)
+    }
+
+    /// [`find_successor`](ChordNetwork::find_successor) with routing-level
+    /// fault injection: any hop that reaches a node for which
+    /// [`FaultPlan::claims_ownership`](crate::FaultPlan::claims_ownership)
+    /// holds is answered by that node claiming the target for itself,
+    /// regardless of ring position. The originating node is exempt (a peer
+    /// trusts its own state; the attack is on *remote* answers).
+    ///
+    /// With an empty plan this is byte-for-byte the honest lookup.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`find_successor`](ChordNetwork::find_successor).
+    pub fn find_successor_with_faults<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        faults: &crate::FaultPlan,
+        rng: &mut R,
+    ) -> Result<LookupResult, LookupError> {
         if !self.node(from).is_alive() {
             return Err(LookupError::StartDead);
         }
@@ -93,6 +115,24 @@ impl ChordNetwork {
                 });
             }
             let cur_point = self.node(current).point();
+
+            // Fault injection: a Byzantine hop answers the lookup with
+            // itself instead of routing on, *and* forges its reported ring
+            // position as the target itself — the most advantageous lie,
+            // since any interval check the caller runs (the sampler's
+            // `|I(s, l(h(s)))| < λ` test in particular) then passes. The
+            // origin never lies to itself, so `hops > 0` guards the first
+            // iteration.
+            if hops > 0 && faults.claims_ownership(current) {
+                self.metrics().incr("lookup.byzantine_claim");
+                self.metrics().add("lookup.hops", hops as u64);
+                return Ok(LookupResult {
+                    node: current,
+                    point: target,
+                    hops,
+                    cost,
+                });
+            }
 
             // Singleton special case: a node that is its own successor
             // owns the whole ring.
@@ -115,9 +155,9 @@ impl ChordNetwork {
             if successors.is_empty() {
                 return Err(LookupError::SuccessorsAllDead);
             }
-            let answer_rank = successors.iter().position(|&e| {
-                self.between_open_closed(cur_point, target, self.node(e).point())
-            });
+            let answer_rank = successors
+                .iter()
+                .position(|&e| self.between_open_closed(cur_point, target, self.node(e).point()));
             if let Some(rank) = answer_rank {
                 let mut found = None;
                 for &cand in &successors[rank..] {
@@ -144,8 +184,7 @@ impl ChordNetwork {
 
             // Case 2: forward to the closest preceding live candidate
             // (fingers first, then the successor list).
-            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, rng)
-            else {
+            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, rng) else {
                 return Err(LookupError::SuccessorsAllDead);
             };
             current = next_hop;
@@ -175,9 +214,7 @@ impl ChordNetwork {
             .flatten()
             .copied()
             .chain(node.successors().iter().copied())
-            .filter(|&c| {
-                c != at && self.between_open(at_point, self.node(c).point(), target)
-            })
+            .filter(|&c| c != at && self.between_open(at_point, self.node(c).point(), target))
             .collect();
         candidates.sort_by_key(|&c| self.space().distance(at_point, self.node(c).point()));
         candidates.dedup();
@@ -192,10 +229,12 @@ impl ChordNetwork {
         }
         // No usable finger: fall back to the first live successor, which
         // always makes clockwise progress.
-        self.first_live_successor(at).filter(|&s| s != at).inspect(|_s| {
-            cost.messages += 1;
-            cost.latency += latency_model.sample(rng).ticks();
-        })
+        self.first_live_successor(at)
+            .filter(|&s| s != at)
+            .inspect(|_s| {
+                cost.messages += 1;
+                cost.latency += latency_model.sample(rng).ticks();
+            })
     }
 }
 
@@ -213,7 +252,11 @@ mod tests {
     fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
         let space = KeySpace::full();
         let mut r = rand::rngs::StdRng::seed_from_u64(seed);
-        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+        ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        )
     }
 
     #[test]
@@ -339,6 +382,75 @@ mod tests {
         let target = net.space().random_point(&mut r);
         let hit = net.find_successor(start, target, &mut r).unwrap();
         assert_eq!(hit.cost.latency, hit.cost.messages * 10);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_byte_identical_to_honest_routing() {
+        let net = bootstrap(128, 21);
+        let start = net.live_ids()[0];
+        let plan = crate::FaultPlan::none();
+        let mut targets = rng();
+        let mut lookups = rng();
+        for _ in 0..50 {
+            let target = net.space().random_point(&mut targets);
+            let honest = net.find_successor(start, target, &mut lookups).unwrap();
+            let faulted = net
+                .find_successor_with_faults(start, target, &plan, &mut lookups)
+                .unwrap();
+            // Unit latency draws nothing from the rng, so answers and costs
+            // must match exactly.
+            assert_eq!(honest.node, faulted.node);
+            assert_eq!(honest.cost, faulted.cost);
+        }
+        assert_eq!(net.metrics().get("lookup.byzantine_claim"), 0);
+    }
+
+    #[test]
+    fn byzantine_hops_capture_lookups() {
+        let net = bootstrap(256, 22);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        // Every node except the origin lies: any multi-hop lookup must be
+        // captured at its first remote hop.
+        let liars: Vec<NodeId> = net.live_ids().into_iter().filter(|&n| n != start).collect();
+        let plan = crate::FaultPlan::for_nodes(liars);
+        let mut captured = 0;
+        let mut honest_answers = 0;
+        for _ in 0..100 {
+            let target = net.space().random_point(&mut r);
+            let hit = net
+                .find_successor_with_faults(start, target, &plan, &mut r)
+                .unwrap();
+            if hit.point == net.ground_truth_successor(target) {
+                honest_answers += 1;
+            } else {
+                captured += 1;
+                assert!(plan.is_byzantine(hit.node), "wrong answers come from liars");
+            }
+        }
+        assert!(
+            captured > 50,
+            "a fully Byzantine remote ring must capture most lookups \
+             (captured {captured}, honest {honest_answers})"
+        );
+        assert!(net.metrics().get("lookup.byzantine_claim") > 0);
+    }
+
+    #[test]
+    fn origin_is_exempt_from_its_own_fault_entry() {
+        let net = bootstrap(32, 23);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        let plan = crate::FaultPlan::for_nodes([start]);
+        // Targets owned by other nodes must still resolve correctly: the
+        // origin does not "capture" its own lookups.
+        for _ in 0..20 {
+            let target = net.space().random_point(&mut r);
+            let hit = net
+                .find_successor_with_faults(start, target, &plan, &mut r)
+                .unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(target));
+        }
     }
 
     #[test]

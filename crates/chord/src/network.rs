@@ -299,9 +299,10 @@ impl ChordNetwork {
     pub fn leave(&mut self, id: NodeId) {
         assert!(self.node(id).is_alive(), "{id} is already dead");
         let succ = self.first_live_successor(id);
-        let pred = self.node(id).predecessor().filter(|&p| {
-            p != id && self.node(p).is_alive()
-        });
+        let pred = self
+            .node(id)
+            .predecessor()
+            .filter(|&p| p != id && self.node(p).is_alive());
         self.metrics.add("leave.messages", 2);
         // Departing nodes hand their stored data to their successor
         // before breaking links (SIGCOMM §4's key transfer).
@@ -573,13 +574,8 @@ impl ChordNetwork {
                 best = Some((d, NodeId(i)));
             }
         }
-        best.map(|(_, id)| id).or_else(|| {
-            if self.live_len() == 1 {
-                Some(id)
-            } else {
-                None
-            }
-        })
+        best.map(|(_, id)| id)
+            .or_else(|| if self.live_len() == 1 { Some(id) } else { None })
     }
 
     fn truth_fallback(&self, id: NodeId, _me: Point) -> NodeId {
@@ -613,7 +609,11 @@ mod tests {
     fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
         let space = KeySpace::full();
         let mut r = rand::rngs::StdRng::seed_from_u64(seed);
-        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+        ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        )
     }
 
     #[test]

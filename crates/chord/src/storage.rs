@@ -243,7 +243,11 @@ mod tests {
     fn bootstrap(n: usize, seed: u64) -> ChordNetwork {
         let space = KeySpace::full();
         let mut r = rand::rngs::StdRng::seed_from_u64(seed);
-        ChordNetwork::bootstrap(space, space.random_points(&mut r, n), ChordConfig::default())
+        ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, n),
+            ChordConfig::default(),
+        )
     }
 
     #[test]
@@ -254,7 +258,10 @@ mod tests {
         let key = net.space().random_point(&mut r);
         let receipt = net.put(from, key, b"hello".to_vec(), 3, &mut r).unwrap();
         assert_eq!(receipt.replicas_written, 3);
-        assert_eq!(net.node(receipt.owner).point(), net.ground_truth_successor(key));
+        assert_eq!(
+            net.node(receipt.owner).point(),
+            net.ground_truth_successor(key)
+        );
         let got = net.get(from, key, &mut r).unwrap();
         assert_eq!(got.value.as_deref(), Some(b"hello".as_ref()));
         assert_eq!(got.answered_by, receipt.owner);

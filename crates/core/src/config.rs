@@ -239,10 +239,7 @@ mod tests {
     fn step_bound_is_six_ln_n() {
         assert_eq!(SamplerConfig::new(1000).step_bound(), 42); // 6 ln 1000 ≈ 41.45
         assert_eq!(SamplerConfig::new(1).step_bound(), 1); // floor at 1
-        assert_eq!(
-            SamplerConfig::new(1000).with_step_limit(7).step_bound(),
-            7
-        );
+        assert_eq!(SamplerConfig::new(1000).with_step_limit(7).step_bound(), 7);
     }
 
     #[test]

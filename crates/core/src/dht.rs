@@ -108,7 +108,9 @@ mod tests {
     fn errors_display() {
         assert!(DhtError::EmptyRing.to_string().contains("no live peers"));
         assert!(DhtError::PeerUnavailable.to_string().contains("no longer"));
-        assert!(DhtError::RoutingFailed { hops: 3 }.to_string().contains('3'));
+        assert!(DhtError::RoutingFailed { hops: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]

@@ -136,14 +136,19 @@ mod tests {
         let sampler = Sampler::new(SamplerConfig::new(100));
         let mut rng = StdRng::seed_from_u64(6);
         let err = sampler.sample(&dht, &mut rng).unwrap_err();
-        assert!(matches!(err, SampleError::Dht(DhtError::RoutingFailed { .. })));
+        assert!(matches!(
+            err,
+            SampleError::Dht(DhtError::RoutingFailed { .. })
+        ));
         assert!(dht.injected_failures() > 0);
     }
 
     #[test]
     fn estimator_propagates_injected_failures() {
         let dht = FaultyDht::new(oracle(500, 7), 1.0, 8);
-        let err = NetworkSizeEstimator::default().estimate(&dht, 0).unwrap_err();
+        let err = NetworkSizeEstimator::default()
+            .estimate(&dht, 0)
+            .unwrap_err();
         assert_eq!(err, DhtError::RoutingFailed { hops: 0 });
     }
 

@@ -242,11 +242,7 @@ impl Sampler {
     ///
     /// * [`SampleError::Config`] — `λ` is zero on this key space.
     /// * [`SampleError::Dht`] — a lookup failed.
-    pub fn trial<D: Dht>(
-        &self,
-        dht: &D,
-        s: Point,
-    ) -> Result<TrialOutcome<D::Peer>, SampleError> {
+    pub fn trial<D: Dht>(&self, dht: &D, s: Point) -> Result<TrialOutcome<D::Peer>, SampleError> {
         let space = dht.space();
         let lambda = self.config.lambda(space)? as i128;
 
@@ -411,9 +407,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         let mut saw_exhaustion = false;
         for _ in 0..200 {
-            if let Err(SampleError::TrialsExhausted { attempts }) =
-                sampler.sample(&d, &mut rng)
-            {
+            if let Err(SampleError::TrialsExhausted { attempts }) = sampler.sample(&d, &mut rng) {
                 assert_eq!(attempts, 1);
                 saw_exhaustion = true;
                 break;

@@ -50,10 +50,7 @@ pub fn lemma1(ring: &SortedRing) -> Lemma1Report {
             (1.0 / frac).ln()
         })
         .collect();
-    let violations = values
-        .iter()
-        .filter(|&&v| v < lower || v > upper)
-        .count();
+    let violations = values.iter().filter(|&&v| v < lower || v > upper).count();
     Lemma1Report {
         values,
         lower,
@@ -135,9 +132,7 @@ pub struct MinArcReport {
 /// Panics if the ring has fewer than 2 peers.
 pub fn min_arc(ring: &SortedRing) -> MinArcReport {
     let n = ring.len();
-    let arc = ring
-        .min_arc()
-        .expect("Theorem 8 needs at least 2 peers");
+    let arc = ring.min_arc().expect("Theorem 8 needs at least 2 peers");
     let frac = ring.space().fraction(arc);
     MinArcReport {
         min_arc_fraction: frac,
@@ -207,10 +202,7 @@ mod tests {
         // Two adjacent peers 1 point apart on the full ring: d ≈ 2^-64,
         // ln(1/d) ≈ 44 > 3 ln 8.
         let space = KeySpace::full();
-        let mut pts = space.random_points(
-            &mut rand::rngs::StdRng::seed_from_u64(3),
-            6,
-        );
+        let mut pts = space.random_points(&mut rand::rngs::StdRng::seed_from_u64(3), 6);
         pts.push(keyspace::Point::new(1000));
         pts.push(keyspace::Point::new(1001));
         let r = SortedRing::new(space, pts);
@@ -238,10 +230,7 @@ mod tests {
     fn lemma4_window_sum_is_correct_on_small_ring() {
         use keyspace::Point;
         let space = KeySpace::with_modulus(100).unwrap();
-        let r = SortedRing::new(
-            space,
-            vec![Point::new(0), Point::new(10), Point::new(50)],
-        );
+        let r = SortedRing::new(space, vec![Point::new(0), Point::new(10), Point::new(50)]);
         // n = 3 → window = ⌈6 ln 3⌉ = 7; every window of 7 arcs wraps the
         // 3-arc circle twice plus one arc: sums = 200 + arc_i.
         let report = lemma4(&r);

@@ -99,7 +99,11 @@ impl InverseDistanceWeight {
 
 impl PeerWeight for InverseDistanceWeight {
     fn lambda(&self, peer_point: Point) -> u64 {
-        let d = self.space.distance(self.origin, peer_point).to_u128().max(1);
+        let d = self
+            .space
+            .distance(self.origin, peer_point)
+            .to_u128()
+            .max(1);
         // λ = scale·M/d, capped at half the ring so one adjacent peer can
         // never demand the whole circle.
         let m = self.space.modulus();
@@ -376,13 +380,11 @@ mod tests {
         let ring = small_ring(1 << 13, n, 2);
         let weight = |p: Point| 20 + p.get() % 37;
         let counts = measure_per_peer(&ring, &weight, n as u32 + 1);
-        for rank in 0..n {
+        for (rank, &count) in counts.iter().enumerate() {
             let expected = weight(ring.point(rank));
             assert_eq!(
-                counts[rank],
-                expected,
-                "peer {rank} owns {} != lambda(p) {expected}",
-                counts[rank]
+                count, expected,
+                "peer {rank} owns {count} != lambda(p) {expected}"
             );
         }
     }
@@ -395,9 +397,9 @@ mod tests {
         let heavy = ring.point(4);
         let weight = move |p: Point| if p == heavy { 500 } else { 10 };
         let counts = measure_per_peer(&ring, &weight, n as u32 * 4);
-        for rank in 0..n {
+        for (rank, &count) in counts.iter().enumerate() {
             let expected = if rank == 4 { 500 } else { 10 };
-            assert_eq!(counts[rank], expected, "rank {rank}");
+            assert_eq!(count, expected, "rank {rank}");
         }
     }
 

@@ -1,0 +1,26 @@
+//! Workspace facade for the King & Saia (PODC 2004) reproduction.
+//!
+//! This crate exists to anchor the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the implementation lives
+//! in the member crates, re-exported here for discoverability:
+//!
+//! * [`keyspace`] — the discrete ring `ℤ_M` and sorted peer rings.
+//! * [`peer_sampling`] — the paper's algorithms (estimate-n, choose-random-peer).
+//! * [`chord`] — the Chord DHT substrate with measured routing costs.
+//! * [`simnet`] — deterministic simulation substrate (clock, events, churn).
+//! * [`stats`] — the statistical verification toolkit.
+//! * [`baselines`] — the competing samplers the paper argues against.
+//! * [`apps`] — application-level workloads built on uniform sampling.
+//! * [`scenarios`] — declarative adversarial workloads and multi-seed sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use apps;
+pub use baselines;
+pub use chord;
+pub use keyspace;
+pub use peer_sampling;
+pub use scenarios;
+pub use simnet;
+pub use stats;

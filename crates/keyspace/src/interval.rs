@@ -76,6 +76,9 @@ mod tests {
 
     #[test]
     fn display_uses_half_open_notation() {
-        assert_eq!(Interval::new(Point::new(1), Point::new(2)).to_string(), "(1, 2]");
+        assert_eq!(
+            Interval::new(Point::new(1), Point::new(2)).to_string(),
+            "(1, 2]"
+        );
     }
 }

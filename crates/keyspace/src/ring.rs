@@ -165,7 +165,10 @@ impl SortedRing {
     ///
     /// For `len() ≥ 2` the arcs partition the circle: they sum to `M`.
     pub fn arcs(&self) -> ArcLengths<'_> {
-        ArcLengths { ring: self, index: 0 }
+        ArcLengths {
+            ring: self,
+            index: 0,
+        }
     }
 
     /// The shortest peer-to-peer arc (Theorem 8 studies its scaling).
@@ -206,7 +209,12 @@ impl SortedRing {
 
 impl fmt::Display for SortedRing {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SortedRing({} peers on {})", self.points.len(), self.space)
+        write!(
+            f,
+            "SortedRing({} peers on {})",
+            self.points.len(),
+            self.space
+        )
     }
 }
 
@@ -250,7 +258,12 @@ mod tests {
     fn ring() -> SortedRing {
         SortedRing::new(
             space(),
-            vec![Point::new(70), Point::new(10), Point::new(40), Point::new(95)],
+            vec![
+                Point::new(70),
+                Point::new(10),
+                Point::new(40),
+                Point::new(95),
+            ],
         )
     }
 

@@ -122,7 +122,11 @@ impl KeySpace {
         debug_assert!(self.contains_distance(distance));
         let p = point.get() as u128;
         let d = distance.get() as u128;
-        let res = if p >= d { p - d } else { self.modulus - (d - p) };
+        let res = if p >= d {
+            p - d
+        } else {
+            self.modulus - (d - p)
+        };
         Point::new(res as u64)
     }
 
@@ -185,11 +189,7 @@ impl KeySpace {
     /// # Panics
     ///
     /// Panics if `count` exceeds the modulus (no such set exists).
-    pub fn random_distinct_points<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        count: usize,
-    ) -> Vec<Point> {
+    pub fn random_distinct_points<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Point> {
         assert!(
             (count as u128) <= self.modulus,
             "cannot place {count} distinct points on a ring of {} points",
@@ -220,7 +220,10 @@ impl KeySpace {
     ///
     /// Panics if `f` is not in `[0, 1)` or is not finite.
     pub fn distance_from_fraction(&self, f: f64) -> Distance {
-        assert!(f.is_finite() && (0.0..1.0).contains(&f), "fraction {f} outside [0, 1)");
+        assert!(
+            f.is_finite() && (0.0..1.0).contains(&f),
+            "fraction {f} outside [0, 1)"
+        );
         Distance::new((f * self.modulus as f64) as u64)
     }
 

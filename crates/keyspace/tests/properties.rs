@@ -4,7 +4,7 @@
 //! clockwise distances decompose additively around the circle, intervals
 //! partition, and `h(x)` / `next` behave like the paper's primitives.
 
-use keyspace::{Distance, KeySpace, Point, SortedRing};
+use keyspace::{Distance, KeySpace, SortedRing};
 use proptest::prelude::*;
 
 /// A strategy producing a key space with modulus in `[2, 2^64]` biased
@@ -16,10 +16,6 @@ fn any_space() -> impl Strategy<Value = KeySpace> {
         Just(KeySpace::with_modulus(2).unwrap()),
         Just(KeySpace::with_modulus(3).unwrap()),
     ]
-}
-
-fn point_in(space: KeySpace) -> impl Strategy<Value = Point> {
-    (0..space.modulus()).prop_map(|c| Point::new(c as u64))
 }
 
 proptest! {

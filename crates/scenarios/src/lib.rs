@@ -1,0 +1,59 @@
+//! Declarative adversarial workloads and the parallel sweep harness.
+//!
+//! King & Saia prove exact uniformity (Theorem 6) on a *static, honest*
+//! ring. Everything interesting about running the sampler at production
+//! scale — churn storms, Byzantine routers biasing `h(x)` and `next(p)`,
+//! clustered or skewed ring placement, flash crowds — lives outside that
+//! setting. This crate makes those settings first-class:
+//!
+//! * [`ScenarioSpec`] — a declarative, serde-round-trippable description:
+//!   ring placement × adversary × churn schedule × workload × backends.
+//!   [`ScenarioSpec::presets`] ships the standard battery (honest-static,
+//!   crash-churn, byzantine-routers, clustered-ring, flash-crowd).
+//! * [`run_scenario_seed`] — compiles one `(spec, backend, seed)` triple
+//!   into a simulation and executes it; records are pure functions of
+//!   their inputs.
+//! * [`Sweep`] — fans specs out over seeds and backends on a rayon
+//!   parallel iterator and folds the records into a structured
+//!   [`SweepReport`] with per-backend aggregates, serializable to JSON.
+//!
+//! Every spec runs against both [`Backend::Oracle`] (the idealized DHT)
+//! and [`Backend::Chord`] (real routing), so each report is a paired
+//! cost-vs-correctness comparison: same placement, same churn stream,
+//! same workload — only the DHT differs.
+//!
+//! # Example
+//!
+//! ```
+//! use scenarios::{Backend, ScenarioSpec, Sweep};
+//!
+//! let mut spec = ScenarioSpec::preset_byzantine_routers();
+//! spec.n_initial = 64;          // keep the doctest fast
+//! spec.workload.draws = 200;
+//! let report = Sweep::new(vec![spec]).with_seeds(2).run();
+//! let json = report.to_json_pretty();
+//! assert!(json.contains("byzantine-routers"));
+//! let chord = report.scenarios[0]
+//!     .aggregates
+//!     .iter()
+//!     .find(|a| a.backend == Backend::Chord.name())
+//!     .unwrap();
+//! // The capture attack overrepresents the adversary.
+//! assert!(chord.byzantine_sample_share_mean > chord.byzantine_population_share_mean);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod placement;
+mod run;
+mod spec;
+mod sweep;
+
+pub use placement::place_points;
+pub use run::{run_scenario_seed, SeedRunRecord};
+pub use spec::{
+    AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, PlacementModel,
+    SamplerTuning, ScenarioSpec, WorkloadMix,
+};
+pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

@@ -1,0 +1,159 @@
+//! Compiling [`PlacementModel`](crate::PlacementModel)s into ring points.
+
+use keyspace::{KeySpace, Point};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::PlacementModel;
+
+/// Generates `n` peer points on `space` per the placement model.
+///
+/// Duplicate coordinates are possible (and retained, matching the paper's
+/// i.i.d. model); `SortedRing`/`ChordNetwork::bootstrap` deduplicate, so a
+/// compiled ring may be marginally smaller than `n` — reports carry the
+/// realized live count.
+pub fn place_points(
+    model: &PlacementModel,
+    space: KeySpace,
+    n: usize,
+    rng: &mut StdRng,
+) -> Vec<Point> {
+    let modulus = space.modulus();
+    match model {
+        PlacementModel::Uniform => space.random_points(rng, n),
+        PlacementModel::Clustered {
+            clusters,
+            spread_fraction,
+        } => {
+            assert!(*clusters > 0, "clustered placement needs >= 1 cluster");
+            assert!(
+                *spread_fraction > 0.0 && *spread_fraction <= 1.0,
+                "spread fraction {spread_fraction} outside (0, 1]"
+            );
+            let spread = ((modulus as f64) * spread_fraction).max(1.0) as u128;
+            let bound = spread.min(modulus);
+            (0..n)
+                .map(|i| {
+                    // Deal peers round-robin over equally spaced centers so
+                    // cluster sizes stay balanced at any n.
+                    let center = (i % clusters) as u128 * (modulus / *clusters as u128);
+                    // spread_fraction = 1 on the full 2^64 ring makes the
+                    // bound the whole u64 domain, which `gen_range` cannot
+                    // express as an exclusive range.
+                    let offset = if bound > u64::MAX as u128 {
+                        rng.gen::<u64>() as u128
+                    } else {
+                        rng.gen_range(0..bound as u64) as u128
+                    };
+                    Point::new(((center + offset) % modulus) as u64)
+                })
+                .collect()
+        }
+        PlacementModel::Skewed { exponent } => {
+            assert!(
+                *exponent > 0.0 && exponent.is_finite(),
+                "skew exponent {exponent} must be positive"
+            );
+            (0..n)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    let x = u.powf(*exponent) * modulus as f64;
+                    Point::new((x as u128).min(modulus - 1) as u64)
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn uniform_spreads_over_the_ring() {
+        let space = KeySpace::full();
+        let pts = place_points(&PlacementModel::Uniform, space, 1000, &mut rng());
+        assert_eq!(pts.len(), 1000);
+        let high = pts.iter().filter(|p| p.get() > u64::MAX / 2).count();
+        assert!((300..700).contains(&high), "half-ring split {high}");
+    }
+
+    #[test]
+    fn clustered_points_stay_inside_their_clusters() {
+        let space = KeySpace::full();
+        let model = PlacementModel::Clustered {
+            clusters: 4,
+            spread_fraction: 0.001,
+        };
+        let pts = place_points(&model, space, 400, &mut rng());
+        let spread = (space.modulus() as f64 * 0.001) as u128;
+        for p in &pts {
+            let p = p.get() as u128;
+            let in_some_cluster = (0..4u128).any(|c| {
+                let center = c * (space.modulus() / 4);
+                p >= center && p < center + spread
+            });
+            assert!(in_some_cluster, "point {p} outside every cluster");
+        }
+        // All four clusters are populated evenly (round-robin dealing).
+        for c in 0..4u128 {
+            let center = c * (space.modulus() / 4);
+            let count = pts
+                .iter()
+                .filter(|p| {
+                    let p = p.get() as u128;
+                    p >= center && p < center + spread
+                })
+                .count();
+            assert_eq!(count, 100, "cluster {c}");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_near_origin() {
+        let space = KeySpace::full();
+        let pts = place_points(
+            &PlacementModel::Skewed { exponent: 4.0 },
+            space,
+            1000,
+            &mut rng(),
+        );
+        // P(u^4 < 1/16) = P(u < 1/2) = 1/2: about half the points land in
+        // the first 1/16 of the ring (uniform placement would put ~62).
+        let near = pts
+            .iter()
+            .filter(|p| (p.get() as u128) < space.modulus() / 16)
+            .count();
+        assert!((400..600).contains(&near), "{near}/1000 points near origin");
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_rng_seed() {
+        let space = KeySpace::full();
+        let model = PlacementModel::Clustered {
+            clusters: 3,
+            spread_fraction: 0.01,
+        };
+        let a = place_points(&model, space, 64, &mut rng());
+        let b = place_points(&model, space, 64, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponent_one_is_uniform_like() {
+        let space = KeySpace::full();
+        let pts = place_points(
+            &PlacementModel::Skewed { exponent: 1.0 },
+            space,
+            2000,
+            &mut rng(),
+        );
+        let high = pts.iter().filter(|p| p.get() > u64::MAX / 2).count();
+        assert!((800..1200).contains(&high), "half-ring split {high}");
+    }
+}

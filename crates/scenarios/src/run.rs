@@ -1,0 +1,511 @@
+//! Compiling one `(spec, backend, seed)` triple into a runnable simulation
+//! and executing it.
+//!
+//! Everything a run consumes derives from the caller's seed through
+//! SplitMix64 stream derivation, so each record is a pure function of
+//! `(spec, backend, seed)` — the property the parallel sweep runner relies
+//! on for deterministic reports.
+
+use chord::{ChordConfig, ChordDht, ChurnSimulation, FaultPlan, NodeId};
+use keyspace::{KeySpace, Point, SortedRing};
+use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use simnet::churn::{ChurnPhase, ChurnSchedule};
+use simnet::rng::derive_seed;
+use simnet::SimDuration;
+use stats::divergence;
+
+use crate::placement::place_points;
+use crate::{AdversaryModel, Backend, ChurnModel, ScenarioSpec};
+
+/// Independent random streams a run derives from its seed.
+mod stream {
+    pub const PLACEMENT: u64 = 0;
+    pub const CHURN: u64 = 1;
+    pub const FAULTS: u64 = 2;
+    pub const DRAWS: u64 = 3;
+    pub const LATENCY: u64 = 4;
+}
+
+/// Metrics of one `(spec, backend, seed)` execution.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SeedRunRecord {
+    /// Backend name (`"oracle"` / `"chord"`).
+    pub backend: String,
+    /// The seed this record is a pure function of.
+    pub seed: u64,
+    /// Live peers at sampling time (after churn).
+    pub live_peers: u64,
+    /// Byzantine peers at sampling time.
+    pub byzantine_peers: u64,
+    /// Draws that returned a peer.
+    pub samples_ok: u64,
+    /// Draws that errored (routing failure or trial exhaustion).
+    pub samples_failed: u64,
+    /// Whether the §2 size estimator failed (fell back to the live count).
+    pub estimate_failed: bool,
+    /// Mean rejection-loop trials per successful draw.
+    pub mean_trials: f64,
+    /// Mean messages per successful draw.
+    pub mean_messages: f64,
+    /// Mean latency ticks per successful draw.
+    pub mean_latency: f64,
+    /// Total-variation distance of the selection histogram from uniform.
+    pub tv_from_uniform: f64,
+    /// Max/min selection-frequency ratio (`None` when a peer was never
+    /// selected, where the ratio is infinite).
+    pub max_min_ratio: Option<f64>,
+    /// Pearson chi-square p-value against the uniform null.
+    pub chi_square_p: f64,
+    /// Fraction of live peers that are Byzantine.
+    pub byzantine_population_share: f64,
+    /// Fraction of successful draws that landed on a Byzantine peer.
+    pub byzantine_sample_share: f64,
+}
+
+/// Runs one scenario under one backend for one seed.
+///
+/// # Panics
+///
+/// Panics if the spec fails [`ScenarioSpec::validate`] or names a
+/// degenerate simulation (e.g. churn that wipes out the whole overlay).
+pub fn run_scenario_seed(spec: &ScenarioSpec, backend: Backend, seed: u64) -> SeedRunRecord {
+    if let Err(problems) = spec.validate() {
+        panic!("invalid scenario {:?}: {problems:?}", spec.name);
+    }
+    let space = KeySpace::full();
+    let mut placement_rng = StdRng::seed_from_u64(derive_seed(seed, stream::PLACEMENT));
+    let points = place_points(&spec.placement, space, spec.n_initial, &mut placement_rng);
+    match backend {
+        Backend::Oracle => run_oracle(spec, seed, space, points),
+        Backend::Chord => run_chord(spec, seed, space, points),
+    }
+}
+
+fn churn_schedule(model: &ChurnModel) -> Option<ChurnSchedule> {
+    match model {
+        ChurnModel::Static => None,
+        ChurnModel::Poisson {
+            arrivals_per_1000_ticks,
+            mean_lifetime_ticks,
+            crash_fraction,
+            horizon_ticks,
+        } => Some(ChurnSchedule::new(vec![ChurnPhase {
+            duration: SimDuration::from_ticks(*horizon_ticks),
+            arrivals_per_1000_ticks: *arrivals_per_1000_ticks,
+            mean_lifetime: SimDuration::from_ticks(*mean_lifetime_ticks),
+            crash_fraction: *crash_fraction,
+        }])),
+        ChurnModel::Phased { phases } => Some(ChurnSchedule::new(
+            phases
+                .iter()
+                .map(|p| ChurnPhase {
+                    duration: SimDuration::from_ticks(p.duration_ticks),
+                    arrivals_per_1000_ticks: p.arrivals_per_1000_ticks,
+                    mean_lifetime: SimDuration::from_ticks(p.mean_lifetime_ticks),
+                    crash_fraction: p.crash_fraction,
+                })
+                .collect(),
+        )),
+    }
+}
+
+/// Per-draw accumulators shared by both backends.
+#[derive(Default)]
+struct DrawTally {
+    ok: u64,
+    failed: u64,
+    trials: u64,
+    messages: u64,
+    latency: u64,
+}
+
+impl DrawTally {
+    fn record_ok<P>(&mut self, sample: &peer_sampling::Sample<P>) {
+        self.ok += 1;
+        self.trials += sample.trials as u64;
+        self.messages += sample.cost.messages;
+        self.latency += sample.cost.latency;
+    }
+
+    fn mean(total: u64, count: u64) -> f64 {
+        if count == 0 {
+            0.0
+        } else {
+            total as f64 / count as f64
+        }
+    }
+}
+
+/// Builds the sampler from the spec: deployment mode estimates `n` through
+/// the backend itself; oracle-knowledge mode inflates the true count.
+fn build_sampler<D: Dht>(
+    spec: &ScenarioSpec,
+    dht: &D,
+    origin: D::Peer,
+    live: usize,
+) -> (Sampler, bool) {
+    let mut estimate_failed = false;
+    let config = if spec.workload.estimate_n {
+        match NetworkSizeEstimator::default().estimate(dht, origin) {
+            Ok(est) => est.to_sampler_config(),
+            Err(_) => {
+                estimate_failed = true;
+                SamplerConfig::new(live as u64)
+            }
+        }
+    } else {
+        let inflated = (live as f64 * spec.sampler.n_upper_inflation).round() as u64;
+        SamplerConfig::new(inflated.max(1))
+    };
+    (
+        Sampler::new(config.with_max_trials(spec.sampler.max_trials)),
+        estimate_failed,
+    )
+}
+
+fn uniformity(counts: &[u64]) -> (f64, Option<f64>, f64) {
+    let tv = divergence::tv_from_uniform(counts);
+    let ratio = divergence::max_min_ratio(counts);
+    let ratio = ratio.is_finite().then_some(ratio);
+    let chi_p = stats::ChiSquare::uniform(counts)
+        .map(|t| t.p_value())
+        .unwrap_or(f64::NAN);
+    (tv, ratio, chi_p)
+}
+
+fn run_oracle(
+    spec: &ScenarioSpec,
+    seed: u64,
+    space: KeySpace,
+    points: Vec<Point>,
+) -> SeedRunRecord {
+    // Churn against the oracle mutates the membership set only: the
+    // oracle's "routing" is always perfectly fresh, so Oracle-vs-Chord
+    // deltas under the same churn isolate stale-routing-state effects
+    // from population-change effects.
+    let mut members = points;
+    if let Some(schedule) = churn_schedule(&spec.churn) {
+        let mut churn_rng = StdRng::seed_from_u64(derive_seed(seed, stream::CHURN));
+        for event in schedule.generate(&mut churn_rng) {
+            match event.kind {
+                simnet::churn::ChurnKind::Join => {
+                    members.push(space.random_point(&mut churn_rng));
+                }
+                simnet::churn::ChurnKind::Leave | simnet::churn::ChurnKind::Crash => {
+                    if members.len() > 2 {
+                        let victim = churn_rng.gen_range(0..members.len());
+                        members.swap_remove(victim);
+                    }
+                }
+            }
+        }
+    }
+    let dht = OracleDht::new(SortedRing::new(space, members));
+    let live = dht.len();
+    assert!(live >= 2, "churn left fewer than two live peers");
+    let (sampler, estimate_failed) = build_sampler(spec, &dht, 0, live);
+
+    let mut draw_rng = StdRng::seed_from_u64(derive_seed(seed, stream::DRAWS));
+    let mut tally = DrawTally::default();
+    let mut counts = vec![0u64; live];
+    for _ in 0..spec.workload.draws {
+        match sampler.sample(&dht, &mut draw_rng) {
+            Ok(s) => {
+                tally.record_ok(&s);
+                counts[s.peer] += 1;
+            }
+            Err(_) => tally.failed += 1,
+        }
+    }
+    let (tv, ratio, chi_p) = uniformity(&counts);
+    SeedRunRecord {
+        backend: Backend::Oracle.name().to_string(),
+        seed,
+        live_peers: live as u64,
+        byzantine_peers: 0,
+        samples_ok: tally.ok,
+        samples_failed: tally.failed,
+        estimate_failed,
+        mean_trials: DrawTally::mean(tally.trials, tally.ok),
+        mean_messages: DrawTally::mean(tally.messages, tally.ok),
+        mean_latency: DrawTally::mean(tally.latency, tally.ok),
+        tv_from_uniform: tv,
+        max_min_ratio: ratio,
+        chi_square_p: chi_p,
+        byzantine_population_share: 0.0,
+        byzantine_sample_share: 0.0,
+    }
+}
+
+fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>) -> SeedRunRecord {
+    let config = ChordConfig::default().with_successor_list_len(spec.chord.successor_list_len);
+
+    // Build the overlay: straight bootstrap when static, an event-driven
+    // churn run (joins through the protocol, crashes silent) otherwise.
+    let churned;
+    let net = match churn_schedule(&spec.churn) {
+        None => {
+            churned = chord::ChordNetwork::bootstrap(space, points, config);
+            &churned
+        }
+        Some(schedule) => {
+            let mut sim = ChurnSimulation::with_schedule_over(
+                points,
+                config,
+                &schedule,
+                SimDuration::from_ticks(spec.chord.stabilize_every_ticks),
+                derive_seed(seed, stream::CHURN),
+            );
+            sim.run_to_end();
+            churned = sim.into_network();
+            &churned
+        }
+    };
+
+    let live = net.live_ids();
+    assert!(live.len() >= 2, "churn left fewer than two live peers");
+
+    // The sampling client is always an honest peer: the measurement model
+    // is an honest node asking "whom do I reach?", so the anchor is fixed
+    // first and exempted from adversary sampling. At fraction = 1 this
+    // caps the adversary at live − 1 nodes (everyone but the observer).
+    let anchor = live[0];
+
+    // Compile the adversary into a fault plan.
+    let plan = match &spec.adversary {
+        AdversaryModel::Honest => FaultPlan::none(),
+        AdversaryModel::ByzantineRouters {
+            fraction,
+            claim_ownership,
+            eclipse_next,
+        } => {
+            let mut fault_rng = StdRng::seed_from_u64(derive_seed(seed, stream::FAULTS));
+            let count = ((live.len() as f64 * fraction).floor() as usize).min(live.len() - 1);
+            // Uniform sample without replacement from the non-anchor
+            // peers (partial Fisher–Yates).
+            let mut candidates: Vec<NodeId> =
+                live.iter().copied().filter(|&id| id != anchor).collect();
+            for i in 0..count.min(candidates.len()) {
+                let j = fault_rng.gen_range(i..candidates.len());
+                candidates.swap(i, j);
+            }
+            candidates.truncate(count);
+            let mut plan = FaultPlan::for_nodes(candidates);
+            if !claim_ownership {
+                plan = plan.without_ownership_claims();
+            }
+            if !eclipse_next {
+                plan = plan.without_next_eclipse();
+            }
+            plan
+        }
+    };
+    let byzantine: std::collections::HashSet<NodeId> = plan.byzantine_nodes().into_iter().collect();
+    let dht = ChordDht::new(net, anchor, derive_seed(seed, stream::LATENCY)).with_fault_plan(plan);
+    let (sampler, estimate_failed) = build_sampler(spec, &dht, anchor, live.len());
+
+    let index_of: std::collections::HashMap<NodeId, usize> =
+        live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut draw_rng = StdRng::seed_from_u64(derive_seed(seed, stream::DRAWS));
+    let mut tally = DrawTally::default();
+    let mut counts = vec![0u64; live.len()];
+    let mut byz_hits = 0u64;
+    for _ in 0..spec.workload.draws {
+        match sampler.sample(&dht, &mut draw_rng) {
+            Ok(s) => {
+                tally.record_ok(&s);
+                if let Some(&i) = index_of.get(&s.peer) {
+                    counts[i] += 1;
+                }
+                if byzantine.contains(&s.peer) {
+                    byz_hits += 1;
+                }
+            }
+            Err(_) => tally.failed += 1,
+        }
+    }
+    let (tv, ratio, chi_p) = uniformity(&counts);
+    SeedRunRecord {
+        backend: Backend::Chord.name().to_string(),
+        seed,
+        live_peers: live.len() as u64,
+        byzantine_peers: byzantine.len() as u64,
+        samples_ok: tally.ok,
+        samples_failed: tally.failed,
+        estimate_failed,
+        mean_trials: DrawTally::mean(tally.trials, tally.ok),
+        mean_messages: DrawTally::mean(tally.messages, tally.ok),
+        mean_latency: DrawTally::mean(tally.latency, tally.ok),
+        tv_from_uniform: tv,
+        max_min_ratio: ratio,
+        chi_square_p: chi_p,
+        byzantine_population_share: byzantine.len() as f64 / live.len() as f64,
+        byzantine_sample_share: if tally.ok == 0 {
+            0.0
+        } else {
+            byz_hits as f64 / tally.ok as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementModel;
+
+    fn quick(spec: &mut ScenarioSpec) {
+        spec.n_initial = 96;
+        spec.workload.draws = 400;
+    }
+
+    #[test]
+    fn records_are_a_pure_function_of_spec_backend_seed() {
+        let mut spec = ScenarioSpec::preset_crash_churn();
+        quick(&mut spec);
+        for backend in [Backend::Oracle, Backend::Chord] {
+            let a = run_scenario_seed(&spec, backend, 42);
+            let b = run_scenario_seed(&spec, backend, 42);
+            assert_eq!(a, b, "{backend:?} must be deterministic");
+            let c = run_scenario_seed(&spec, backend, 43);
+            assert_ne!(a, c, "{backend:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn honest_static_is_uniform_and_cheap_on_both_backends() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        spec.workload.draws = 3_000;
+        for backend in [Backend::Oracle, Backend::Chord] {
+            let r = run_scenario_seed(&spec, backend, 7);
+            assert_eq!(r.samples_failed, 0, "{backend:?}");
+            assert_eq!(r.samples_ok, 3_000);
+            assert!(
+                r.tv_from_uniform < 0.35,
+                "{backend:?} tv {}",
+                r.tv_from_uniform
+            );
+            assert!(r.chi_square_p > 1e-4, "{backend:?} p {}", r.chi_square_p);
+            assert!(r.mean_messages > 0.0);
+        }
+    }
+
+    #[test]
+    fn backends_are_paired_and_cost_within_a_constant_factor() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        let oracle = run_scenario_seed(&spec, Backend::Oracle, 9);
+        let chord = run_scenario_seed(&spec, Backend::Chord, 9);
+        // Same placement stream: identical populations.
+        assert_eq!(oracle.live_peers, chord.live_peers);
+        // Both are Theta(log n) message machines; the oracle charges the
+        // synthetic ceil(log2 n) per lookup while Chord pays measured hops
+        // (~ half that on a healthy ring), so they agree to a constant.
+        let ratio = chord.mean_messages / oracle.mean_messages;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "per-draw messages diverged: chord {} vs oracle {}",
+            chord.mean_messages,
+            oracle.mean_messages
+        );
+    }
+
+    #[test]
+    fn byzantine_routers_bias_chord_but_not_oracle() {
+        let mut spec = ScenarioSpec::preset_byzantine_routers();
+        quick(&mut spec);
+        spec.workload.draws = 800;
+        let chord = run_scenario_seed(&spec, Backend::Chord, 11);
+        assert!(chord.byzantine_peers > 0);
+        assert!(
+            chord.byzantine_sample_share > 1.5 * chord.byzantine_population_share,
+            "capture attack must overrepresent the adversary ({} vs {})",
+            chord.byzantine_sample_share,
+            chord.byzantine_population_share
+        );
+        let oracle = run_scenario_seed(&spec, Backend::Oracle, 11);
+        assert_eq!(oracle.byzantine_peers, 0, "no routing to subvert");
+        assert_eq!(oracle.byzantine_sample_share, 0.0);
+    }
+
+    #[test]
+    fn crash_churn_changes_population_and_still_samples() {
+        let mut spec = ScenarioSpec::preset_crash_churn();
+        quick(&mut spec);
+        let r = run_scenario_seed(&spec, Backend::Chord, 13);
+        assert_ne!(r.live_peers, 96, "churn must move the population");
+        let total = r.samples_ok + r.samples_failed;
+        assert_eq!(total, 400);
+        assert!(
+            r.samples_ok as f64 / total as f64 > 0.9,
+            "failure rate too high: {} ok / {total}",
+            r.samples_ok
+        );
+    }
+
+    #[test]
+    fn clustered_ring_runs_and_reports_realized_population() {
+        let mut spec = ScenarioSpec::preset_clustered_ring();
+        quick(&mut spec);
+        let r = run_scenario_seed(&spec, Backend::Oracle, 17);
+        assert!(r.live_peers >= 2);
+        assert_eq!(r.samples_ok + r.samples_failed, 400);
+    }
+
+    #[test]
+    fn estimator_mode_works_end_to_end() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        spec.workload.estimate_n = true;
+        let r = run_scenario_seed(&spec, Backend::Oracle, 19);
+        assert!(!r.estimate_failed);
+        assert!(r.samples_ok > 0);
+    }
+
+    #[test]
+    fn fully_byzantine_spec_runs_with_an_honest_observer() {
+        // fraction = 1.0 is a valid spec; the measuring client stays
+        // honest, capping the adversary at live - 1 peers.
+        let mut spec = ScenarioSpec::preset_byzantine_routers();
+        quick(&mut spec);
+        spec.workload.draws = 100;
+        spec.adversary = AdversaryModel::ByzantineRouters {
+            fraction: 1.0,
+            claim_ownership: true,
+            eclipse_next: true,
+        };
+        let r = run_scenario_seed(&spec, Backend::Chord, 23);
+        assert_eq!(r.byzantine_peers, r.live_peers - 1);
+        assert!(
+            r.byzantine_sample_share > 0.9,
+            "{}",
+            r.byzantine_sample_share
+        );
+    }
+
+    #[test]
+    fn full_spread_clustered_placement_runs() {
+        // spread_fraction = 1.0 degenerates to uniform-per-cluster over
+        // the whole ring; must not panic on the 2^64 modulus.
+        let mut spec = ScenarioSpec::preset_clustered_ring();
+        quick(&mut spec);
+        spec.workload.draws = 100;
+        spec.placement = PlacementModel::Clustered {
+            clusters: 4,
+            spread_fraction: 1.0,
+        };
+        let r = run_scenario_seed(&spec, Backend::Oracle, 29);
+        assert!(r.samples_ok > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario")]
+    fn invalid_specs_are_rejected() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        spec.workload.draws = 0;
+        let _ = run_scenario_seed(&spec, Backend::Oracle, 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! The declarative scenario schema.
+//!
+//! A [`ScenarioSpec`] is plain data — serde-round-trippable, diffable,
+//! checkable into a repo — that fully determines a simulation once a seed
+//! is fixed: ring placement × adversary × churn schedule × workload ×
+//! backends. `ScenarioSpec::presets()` ships the standard adversarial
+//! battery every sweep starts from.
+
+use serde::{Deserialize, Serialize};
+
+/// Which DHT implementation answers the paper's two primitives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backend {
+    /// `peer_sampling::OracleDht`: direct sorted-array answers with
+    /// synthetic costs — the idealized control arm. Churn is applied to
+    /// the membership set only (the oracle has no routing state to go
+    /// stale) and adversaries cannot subvert it (there is no routing to
+    /// lie on), so Oracle-vs-Chord deltas isolate the cost of realism.
+    Oracle,
+    /// `chord::ChordDht`: real iterative routing over a simulated Chord
+    /// overlay, with churn damaging routing state and Byzantine fault
+    /// plans injected into `find_successor` / `next`.
+    Chord,
+}
+
+impl Backend {
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Oracle => "oracle",
+            Backend::Chord => "chord",
+        }
+    }
+}
+
+/// How peer points are placed on the ring.
+///
+/// The paper assumes i.i.d. uniform placement (the random-oracle hash
+/// assumption); the other models deliberately break it, because topology
+/// shape alone can flip cost results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementModel {
+    /// I.i.d. uniform points — the paper's model.
+    Uniform,
+    /// Peers huddle in `clusters` equally-spaced clusters, each spanning
+    /// `spread_fraction` of the ring. Produces huge empty arcs and dense
+    /// runs of tiny arcs — the geometry that stresses supplementation
+    /// scans hardest.
+    Clustered {
+        /// Number of cluster centers (equally spaced).
+        clusters: usize,
+        /// Fraction of the ring each cluster's points spread over.
+        spread_fraction: f64,
+    },
+    /// Power-law-skewed placement: points land at `M · uᵉ` for uniform
+    /// `u`, so mass concentrates near the ring origin as `exponent`
+    /// grows above 1 (a model of correlated identifiers / bad hashes).
+    Skewed {
+        /// Concentration exponent (1 = uniform).
+        exponent: f64,
+    },
+}
+
+/// Who misbehaves, and how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdversaryModel {
+    /// Every peer follows the protocol.
+    Honest,
+    /// A fraction of peers misreport routing answers (see
+    /// `chord::FaultPlan`): lookups reaching them are captured
+    /// (`claim_ownership`) and/or their successor pointer eclipses the
+    /// true next peer (`eclipse_next`). Chord-only; the oracle backend
+    /// has no routing to subvert.
+    ByzantineRouters {
+        /// Fraction of live peers that are Byzantine, in `[0, 1]`.
+        fraction: f64,
+        /// Whether Byzantine hops capture `find_successor`.
+        claim_ownership: bool,
+        /// Whether Byzantine peers misreport `next(p)`.
+        eclipse_next: bool,
+    },
+}
+
+/// One phase of a churn schedule, in ticks (serde-friendly mirror of
+/// `simnet::churn::ChurnPhase`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPhaseSpec {
+    /// Phase length in ticks.
+    pub duration_ticks: u64,
+    /// Mean node arrivals per 1000 ticks.
+    pub arrivals_per_1000_ticks: f64,
+    /// Mean session lifetime in ticks for nodes joining in this phase.
+    pub mean_lifetime_ticks: u64,
+    /// Fraction of departures that are silent crashes, in `[0, 1]`.
+    pub crash_fraction: f64,
+}
+
+/// Membership dynamics over the run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChurnModel {
+    /// No membership changes: the paper's static-ring setting.
+    Static,
+    /// Stationary M/M/∞ churn for `horizon_ticks`.
+    Poisson {
+        /// Mean node arrivals per 1000 ticks.
+        arrivals_per_1000_ticks: f64,
+        /// Mean session lifetime in ticks.
+        mean_lifetime_ticks: u64,
+        /// Fraction of departures that are crashes, in `[0, 1]`.
+        crash_fraction: f64,
+        /// Total schedule length in ticks.
+        horizon_ticks: u64,
+    },
+    /// Piecewise-stationary churn: storms, flash crowds, recoveries.
+    Phased {
+        /// The phases, run back to back.
+        phases: Vec<ChurnPhaseSpec>,
+    },
+}
+
+impl ChurnModel {
+    /// Whether the model produces any membership events.
+    pub fn is_static(&self) -> bool {
+        matches!(self, ChurnModel::Static)
+    }
+}
+
+/// What the sampling client does.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Uniform-sample draws to attempt (after churn completes).
+    pub draws: u32,
+    /// Derive the sampler configuration from §2's network-size estimator
+    /// running over the same backend (deployment mode) instead of from
+    /// the true live count (oracle-knowledge mode).
+    pub estimate_n: bool,
+}
+
+/// Sampler tuning knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SamplerTuning {
+    /// Multiplier applied to the known live count when `estimate_n` is
+    /// off (models a stale or conservative `n_upper`).
+    pub n_upper_inflation: f64,
+    /// Rejection-loop retry cap per draw.
+    pub max_trials: u32,
+}
+
+impl Default for SamplerTuning {
+    fn default() -> SamplerTuning {
+        SamplerTuning {
+            n_upper_inflation: 1.0,
+            max_trials: 256,
+        }
+    }
+}
+
+/// Chord substrate tuning (ignored by the oracle backend).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChordTuning {
+    /// Successor-list length `r`.
+    pub successor_list_len: usize,
+    /// Maintenance tick interval during churny runs.
+    pub stabilize_every_ticks: u64,
+}
+
+impl Default for ChordTuning {
+    fn default() -> ChordTuning {
+        ChordTuning {
+            successor_list_len: 8,
+            stabilize_every_ticks: 250,
+        }
+    }
+}
+
+/// A complete, runnable scenario description.
+///
+/// # Example
+///
+/// ```
+/// use scenarios::ScenarioSpec;
+///
+/// let spec = ScenarioSpec::preset_byzantine_routers();
+/// let json = serde_json::to_string_pretty(&spec).unwrap();
+/// let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+/// assert_eq!(back, spec);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (report key).
+    pub name: String,
+    /// Initial ring size before churn.
+    pub n_initial: usize,
+    /// Ring-placement model.
+    pub placement: PlacementModel,
+    /// Adversary model.
+    pub adversary: AdversaryModel,
+    /// Churn schedule.
+    pub churn: ChurnModel,
+    /// Client workload.
+    pub workload: WorkloadMix,
+    /// Sampler tuning.
+    pub sampler: SamplerTuning,
+    /// Chord substrate tuning.
+    pub chord: ChordTuning,
+    /// Backends to run the spec against.
+    pub backends: Vec<Backend>,
+}
+
+impl ScenarioSpec {
+    /// A baseline spec: uniform placement, honest, static, both backends.
+    fn baseline(name: &str) -> ScenarioSpec {
+        ScenarioSpec {
+            name: name.to_string(),
+            n_initial: 256,
+            placement: PlacementModel::Uniform,
+            adversary: AdversaryModel::Honest,
+            churn: ChurnModel::Static,
+            workload: WorkloadMix {
+                draws: 2_000,
+                estimate_n: false,
+            },
+            sampler: SamplerTuning::default(),
+            chord: ChordTuning::default(),
+            backends: vec![Backend::Oracle, Backend::Chord],
+        }
+    }
+
+    /// The paper's own setting: static honest uniform ring. Everything
+    /// else is measured against this control.
+    pub fn preset_honest_static() -> ScenarioSpec {
+        ScenarioSpec::baseline("honest-static")
+    }
+
+    /// Crash-heavy Poisson churn: sessions are short and 90% of
+    /// departures are silent crashes, so routing state decays as fast as
+    /// stabilization can repair it.
+    pub fn preset_crash_churn() -> ScenarioSpec {
+        ScenarioSpec {
+            churn: ChurnModel::Poisson {
+                arrivals_per_1000_ticks: 40.0,
+                mean_lifetime_ticks: 8_000,
+                crash_fraction: 0.9,
+                horizon_ticks: 20_000,
+            },
+            ..ScenarioSpec::baseline("crash-churn")
+        }
+    }
+
+    /// 10% of peers are Byzantine routers: they capture lookups that
+    /// route through them (forging their reported position) and eclipse
+    /// their true successor.
+    pub fn preset_byzantine_routers() -> ScenarioSpec {
+        ScenarioSpec {
+            adversary: AdversaryModel::ByzantineRouters {
+                fraction: 0.10,
+                claim_ownership: true,
+                eclipse_next: true,
+            },
+            ..ScenarioSpec::baseline("byzantine-routers")
+        }
+    }
+
+    /// Pathological geometry: peers huddle in 8 tight clusters, leaving
+    /// huge empty arcs — the adversarial placement for supplementation
+    /// scans and `n`-estimation.
+    pub fn preset_clustered_ring() -> ScenarioSpec {
+        ScenarioSpec {
+            placement: PlacementModel::Clustered {
+                clusters: 8,
+                spread_fraction: 0.002,
+            },
+            ..ScenarioSpec::baseline("clustered-ring")
+        }
+    }
+
+    /// A flash crowd: calm traffic, then an arrival burst at 20× the base
+    /// rate (long-lived joiners, no crashes), then calm again.
+    pub fn preset_flash_crowd() -> ScenarioSpec {
+        ScenarioSpec {
+            churn: ChurnModel::Phased {
+                phases: vec![
+                    ChurnPhaseSpec {
+                        duration_ticks: 5_000,
+                        arrivals_per_1000_ticks: 5.0,
+                        mean_lifetime_ticks: 200_000,
+                        crash_fraction: 0.1,
+                    },
+                    ChurnPhaseSpec {
+                        duration_ticks: 5_000,
+                        arrivals_per_1000_ticks: 100.0,
+                        mean_lifetime_ticks: 200_000,
+                        crash_fraction: 0.0,
+                    },
+                    ChurnPhaseSpec {
+                        duration_ticks: 5_000,
+                        arrivals_per_1000_ticks: 5.0,
+                        mean_lifetime_ticks: 200_000,
+                        crash_fraction: 0.1,
+                    },
+                ],
+            },
+            ..ScenarioSpec::baseline("flash-crowd")
+        }
+    }
+
+    /// The standard adversarial battery, one preset per model family.
+    pub fn presets() -> Vec<ScenarioSpec> {
+        vec![
+            ScenarioSpec::preset_honest_static(),
+            ScenarioSpec::preset_crash_churn(),
+            ScenarioSpec::preset_byzantine_routers(),
+            ScenarioSpec::preset_clustered_ring(),
+            ScenarioSpec::preset_flash_crowd(),
+        ]
+    }
+
+    /// Validates internal consistency, returning every problem found.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut problems = Vec::new();
+        if self.name.is_empty() {
+            problems.push("name must be non-empty".to_string());
+        }
+        if self.n_initial < 2 {
+            problems.push(format!("n_initial {} < 2", self.n_initial));
+        }
+        if self.backends.is_empty() {
+            problems.push("backends must be non-empty".to_string());
+        }
+        if self.workload.draws == 0 {
+            problems.push("workload.draws must be positive".to_string());
+        }
+        if self.sampler.max_trials == 0 {
+            problems.push("sampler.max_trials must be positive".to_string());
+        }
+        if self.sampler.n_upper_inflation < 1.0 || !self.sampler.n_upper_inflation.is_finite() {
+            problems.push(format!(
+                "sampler.n_upper_inflation {} < 1",
+                self.sampler.n_upper_inflation
+            ));
+        }
+        match &self.placement {
+            PlacementModel::Uniform => {}
+            PlacementModel::Clustered {
+                clusters,
+                spread_fraction,
+            } => {
+                if *clusters == 0 {
+                    problems.push("clustered placement needs >= 1 cluster".to_string());
+                }
+                if !(*spread_fraction > 0.0 && *spread_fraction <= 1.0) {
+                    problems.push(format!("spread_fraction {spread_fraction} outside (0, 1]"));
+                }
+            }
+            PlacementModel::Skewed { exponent } => {
+                if !(*exponent > 0.0 && exponent.is_finite()) {
+                    problems.push(format!("skew exponent {exponent} must be positive"));
+                }
+            }
+        }
+        if let AdversaryModel::ByzantineRouters { fraction, .. } = &self.adversary {
+            if !(0.0..=1.0).contains(fraction) {
+                problems.push(format!("byzantine fraction {fraction} outside [0, 1]"));
+            }
+        }
+        match &self.churn {
+            ChurnModel::Static => {}
+            ChurnModel::Poisson {
+                arrivals_per_1000_ticks,
+                mean_lifetime_ticks,
+                crash_fraction,
+                horizon_ticks,
+            } => {
+                if *arrivals_per_1000_ticks <= 0.0 || arrivals_per_1000_ticks.is_nan() {
+                    problems.push("poisson arrival rate must be positive".to_string());
+                }
+                if *mean_lifetime_ticks == 0 {
+                    problems.push("poisson mean lifetime must be positive".to_string());
+                }
+                if !(0.0..=1.0).contains(crash_fraction) {
+                    problems.push(format!("crash fraction {crash_fraction} outside [0, 1]"));
+                }
+                if *horizon_ticks == 0 {
+                    problems.push("poisson horizon must be positive".to_string());
+                }
+            }
+            ChurnModel::Phased { phases } => {
+                if phases.is_empty() {
+                    problems.push("phased churn needs >= 1 phase".to_string());
+                }
+                for (i, p) in phases.iter().enumerate() {
+                    if p.duration_ticks == 0 {
+                        problems.push(format!("phase {i} duration must be positive"));
+                    }
+                    if p.arrivals_per_1000_ticks <= 0.0 || p.arrivals_per_1000_ticks.is_nan() {
+                        problems.push(format!("phase {i} arrival rate must be positive"));
+                    }
+                    if p.mean_lifetime_ticks == 0 {
+                        problems.push(format!("phase {i} mean lifetime must be positive"));
+                    }
+                    if !(0.0..=1.0).contains(&p.crash_fraction) {
+                        problems.push(format!("phase {i} crash fraction outside [0, 1]"));
+                    }
+                }
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid_distinct_and_cover_the_required_models() {
+        let presets = ScenarioSpec::presets();
+        assert!(presets.len() >= 4, "the battery must ship >= 4 models");
+        let names: std::collections::HashSet<_> = presets.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), presets.len(), "preset names must be unique");
+        for spec in &presets {
+            spec.validate().unwrap_or_else(|problems| {
+                panic!("{} invalid: {problems:?}", spec.name);
+            });
+            assert!(spec.backends.contains(&Backend::Oracle));
+            assert!(spec.backends.contains(&Backend::Chord));
+        }
+        // The four required model families.
+        assert!(presets.iter().any(|s| s.adversary == AdversaryModel::Honest
+            && s.churn.is_static()
+            && s.placement == PlacementModel::Uniform));
+        assert!(presets.iter().any(
+            |s| matches!(&s.churn, ChurnModel::Poisson { crash_fraction, .. }
+                if *crash_fraction > 0.5)
+        ));
+        assert!(presets
+            .iter()
+            .any(|s| matches!(s.adversary, AdversaryModel::ByzantineRouters { .. })));
+        assert!(presets
+            .iter()
+            .any(|s| matches!(s.placement, PlacementModel::Clustered { .. })));
+    }
+
+    #[test]
+    fn every_preset_roundtrips_through_json() {
+        for spec in ScenarioSpec::presets() {
+            let compact = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&compact).unwrap();
+            assert_eq!(back, spec, "compact roundtrip of {}", spec.name);
+            let pretty = serde_json::to_string_pretty(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&pretty).unwrap();
+            assert_eq!(back, spec, "pretty roundtrip of {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn handwritten_json_parses() {
+        let text = r#"{
+            "name": "tiny",
+            "n_initial": 32,
+            "placement": {"Skewed": {"exponent": 3.0}},
+            "adversary": "Honest",
+            "churn": "Static",
+            "workload": {"draws": 100, "estimate_n": true},
+            "sampler": {"n_upper_inflation": 2.0, "max_trials": 64},
+            "chord": {"successor_list_len": 4, "stabilize_every_ticks": 100},
+            "backends": ["Oracle", "Chord"]
+        }"#;
+        let spec: ScenarioSpec = serde_json::from_str(text).unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.placement, PlacementModel::Skewed { exponent: 3.0 });
+        assert!(spec.workload.estimate_n);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        spec.name.clear();
+        spec.n_initial = 1;
+        spec.backends.clear();
+        spec.adversary = AdversaryModel::ByzantineRouters {
+            fraction: 2.0,
+            claim_ownership: true,
+            eclipse_next: false,
+        };
+        let problems = spec.validate().unwrap_err();
+        assert!(problems.len() >= 4, "{problems:?}");
+        // Non-finite inflation must be rejected, not silently saturate.
+        let mut inf = ScenarioSpec::preset_honest_static();
+        inf.sampler.n_upper_inflation = f64::INFINITY;
+        assert!(inf.validate().is_err());
+        let mut nan = ScenarioSpec::preset_honest_static();
+        nan.sampler.n_upper_inflation = f64::NAN;
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::Oracle.name(), "oracle");
+        assert_eq!(Backend::Chord.name(), "chord");
+    }
+}

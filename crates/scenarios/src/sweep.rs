@@ -1,0 +1,344 @@
+//! The parallel multi-seed sweep harness.
+//!
+//! A [`Sweep`] fans a list of [`ScenarioSpec`]s out over seeds and
+//! backends, runs every `(scenario, backend, seed)` task on a rayon
+//! parallel iterator, and folds the records into a structured, JSON-ready
+//! [`SweepReport`]. Each task derives all of its randomness from
+//! `derive_seed(master, task_stream)`, and the parallel map preserves task
+//! order, so reports are byte-identical across runs and thread counts.
+
+use rayon::prelude::*;
+use serde::Serialize;
+use simnet::rng::derive_seed;
+use stats::Welford;
+
+use crate::run::{run_scenario_seed, SeedRunRecord};
+use crate::{Backend, ScenarioSpec};
+
+/// Aggregate statistics for one backend of one scenario across seeds.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BackendAggregate {
+    /// Backend name.
+    pub backend: String,
+    /// Seeds aggregated.
+    pub seeds: u64,
+    /// Mean live population at sampling time.
+    pub live_peers_mean: f64,
+    /// Mean draw-failure rate.
+    pub fail_rate_mean: f64,
+    /// Mean of per-seed mean messages per draw.
+    pub messages_mean: f64,
+    /// Std-dev across seeds of mean messages per draw.
+    pub messages_std: f64,
+    /// Mean of per-seed mean latency per draw.
+    pub latency_mean: f64,
+    /// Mean of per-seed mean trials per draw.
+    pub trials_mean: f64,
+    /// Mean total-variation distance from uniform.
+    pub tv_mean: f64,
+    /// Worst (largest) total-variation distance across seeds.
+    pub tv_worst: f64,
+    /// Smallest chi-square p-value across seeds (NaNs skipped).
+    pub chi_square_p_min: f64,
+    /// Mean Byzantine population share.
+    pub byzantine_population_share_mean: f64,
+    /// Mean Byzantine sample share (the capture rate).
+    pub byzantine_sample_share_mean: f64,
+}
+
+impl BackendAggregate {
+    fn from_records(backend: Backend, records: &[&SeedRunRecord]) -> BackendAggregate {
+        let mut live = Welford::new();
+        let mut fail = Welford::new();
+        let mut messages = Welford::new();
+        let mut latency = Welford::new();
+        let mut trials = Welford::new();
+        let mut tv = Welford::new();
+        let mut byz_pop = Welford::new();
+        let mut byz_sample = Welford::new();
+        let mut tv_worst = 0.0f64;
+        let mut chi_min = f64::INFINITY;
+        for r in records {
+            live.push(r.live_peers as f64);
+            let total = r.samples_ok + r.samples_failed;
+            fail.push(if total == 0 {
+                0.0
+            } else {
+                r.samples_failed as f64 / total as f64
+            });
+            messages.push(r.mean_messages);
+            latency.push(r.mean_latency);
+            trials.push(r.mean_trials);
+            tv.push(r.tv_from_uniform);
+            tv_worst = tv_worst.max(r.tv_from_uniform);
+            if r.chi_square_p.is_finite() {
+                chi_min = chi_min.min(r.chi_square_p);
+            }
+            byz_pop.push(r.byzantine_population_share);
+            byz_sample.push(r.byzantine_sample_share);
+        }
+        BackendAggregate {
+            backend: backend.name().to_string(),
+            seeds: records.len() as u64,
+            live_peers_mean: live.mean(),
+            fail_rate_mean: fail.mean(),
+            messages_mean: messages.mean(),
+            messages_std: messages.std_dev(),
+            latency_mean: latency.mean(),
+            trials_mean: trials.mean(),
+            tv_mean: tv.mean(),
+            tv_worst,
+            chi_square_p_min: if chi_min.is_finite() { chi_min } else { -1.0 },
+            byzantine_population_share_mean: byz_pop.mean(),
+            byzantine_sample_share_mean: byz_sample.mean(),
+        }
+    }
+}
+
+/// All results for one scenario: the spec itself (reports are
+/// self-describing), every per-seed record, and per-backend aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScenarioReport {
+    /// The scenario that produced these results.
+    pub spec: ScenarioSpec,
+    /// One record per `(backend, seed)`.
+    pub runs: Vec<SeedRunRecord>,
+    /// Per-backend aggregates over seeds.
+    pub aggregates: Vec<BackendAggregate>,
+}
+
+/// The full sweep output.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepReport {
+    /// Master seed every task seed derives from.
+    pub master_seed: u64,
+    /// Seeds run per scenario-backend pair.
+    pub seeds_per_scenario: u32,
+    /// One report per scenario, in input order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl SweepReport {
+    /// Compact JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("sweep reports always serialize")
+    }
+
+    /// Two-space-indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("sweep reports always serialize")
+    }
+}
+
+/// A configured multi-seed sweep over a scenario battery.
+///
+/// # Example
+///
+/// ```
+/// use scenarios::{ScenarioSpec, Sweep};
+///
+/// let mut spec = ScenarioSpec::preset_honest_static();
+/// spec.n_initial = 48;
+/// spec.workload.draws = 100;
+/// let report = Sweep::new(vec![spec]).with_seeds(2).run();
+/// assert_eq!(report.scenarios.len(), 1);
+/// assert_eq!(report.scenarios[0].runs.len(), 4); // 2 backends x 2 seeds
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    specs: Vec<ScenarioSpec>,
+    master_seed: u64,
+    seeds_per_scenario: u32,
+}
+
+impl Sweep {
+    /// A sweep over `specs` with the default master seed and 8 seeds per
+    /// scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `specs` is empty.
+    pub fn new(specs: Vec<ScenarioSpec>) -> Sweep {
+        assert!(!specs.is_empty(), "a sweep needs at least one scenario");
+        Sweep {
+            specs,
+            master_seed: 0x5EED_5CEA_A210_2004,
+            seeds_per_scenario: 8,
+        }
+    }
+
+    /// Overrides the master seed.
+    pub fn with_master_seed(mut self, master_seed: u64) -> Sweep {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets how many seeds each scenario-backend pair runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds == 0`.
+    pub fn with_seeds(mut self, seeds: u32) -> Sweep {
+        assert!(seeds > 0, "need at least one seed");
+        self.seeds_per_scenario = seeds;
+        self
+    }
+
+    /// The task seed for `(scenario_index, seed_index)`.
+    ///
+    /// Both backends of a pair share it, so they see the same placement
+    /// and churn streams — the paired design that makes Oracle-vs-Chord
+    /// deltas per-seed meaningful.
+    fn task_seed(&self, scenario_index: usize, seed_index: u32) -> u64 {
+        derive_seed(
+            self.master_seed,
+            ((scenario_index as u64) << 32) | seed_index as u64,
+        )
+    }
+
+    /// Runs every `(scenario, backend, seed)` task in parallel and folds
+    /// the records into a report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any spec fails validation (before spawning any work).
+    pub fn run(&self) -> SweepReport {
+        for spec in &self.specs {
+            if let Err(problems) = spec.validate() {
+                panic!("invalid scenario {:?}: {problems:?}", spec.name);
+            }
+        }
+        // Flatten to (scenario, backend, seed) tasks; record order is
+        // fixed by this list, independent of scheduling.
+        let tasks: Vec<(usize, Backend, u64)> = self
+            .specs
+            .iter()
+            .enumerate()
+            .flat_map(|(si, spec)| {
+                spec.backends.iter().flat_map(move |&backend| {
+                    (0..self.seeds_per_scenario).map(move |k| (si, backend, self.task_seed(si, k)))
+                })
+            })
+            .collect();
+
+        let records: Vec<SeedRunRecord> = tasks
+            .par_iter()
+            .map(|&(si, backend, seed)| run_scenario_seed(&self.specs[si], backend, seed))
+            .collect();
+
+        let mut scenarios = Vec::with_capacity(self.specs.len());
+        for (si, spec) in self.specs.iter().enumerate() {
+            let runs: Vec<SeedRunRecord> = tasks
+                .iter()
+                .zip(&records)
+                .filter(|((ti, _, _), _)| *ti == si)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let aggregates = spec
+                .backends
+                .iter()
+                .map(|&backend| {
+                    let of_backend: Vec<&SeedRunRecord> = runs
+                        .iter()
+                        .filter(|r| r.backend == backend.name())
+                        .collect();
+                    BackendAggregate::from_records(backend, &of_backend)
+                })
+                .collect();
+            scenarios.push(ScenarioReport {
+                spec: spec.clone(),
+                runs,
+                aggregates,
+            });
+        }
+        SweepReport {
+            master_seed: self.master_seed,
+            seeds_per_scenario: self.seeds_per_scenario,
+            scenarios,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_specs() -> Vec<ScenarioSpec> {
+        let mut honest = ScenarioSpec::preset_honest_static();
+        let mut byz = ScenarioSpec::preset_byzantine_routers();
+        for spec in [&mut honest, &mut byz] {
+            spec.n_initial = 64;
+            spec.workload.draws = 200;
+        }
+        vec![honest, byz]
+    }
+
+    #[test]
+    fn sweep_covers_every_scenario_backend_seed_cell() {
+        let report = Sweep::new(tiny_specs()).with_seeds(3).run();
+        assert_eq!(report.scenarios.len(), 2);
+        for scenario in &report.scenarios {
+            assert_eq!(scenario.runs.len(), 6, "2 backends x 3 seeds");
+            assert_eq!(scenario.aggregates.len(), 2);
+            for agg in &scenario.aggregates {
+                assert_eq!(agg.seeds, 3);
+            }
+            // Distinct seeds per scenario.
+            let mut seeds: Vec<u64> = scenario.runs.iter().map(|r| r.seed).collect();
+            seeds.sort_unstable();
+            seeds.dedup();
+            assert_eq!(seeds.len(), 3);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic() {
+        let sweep = Sweep::new(tiny_specs()).with_seeds(2).with_master_seed(99);
+        let a = sweep.run();
+        let b = sweep.run();
+        assert_eq!(a, b, "records must not depend on scheduling");
+        assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+    }
+
+    #[test]
+    fn report_json_is_machine_readable_and_self_describing() {
+        let report = Sweep::new(tiny_specs()).with_seeds(1).run();
+        let json = report.to_json_pretty();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let scenarios = value.get("scenarios").and_then(|v| v.as_seq()).unwrap();
+        assert_eq!(scenarios.len(), 2);
+        // The spec rides inside the report.
+        let first = scenarios[0].get("spec").unwrap();
+        assert_eq!(
+            first.get("name").and_then(|v| v.as_str()),
+            Some("honest-static")
+        );
+        // Both backends appear in the aggregates.
+        let aggs = scenarios[0]
+            .get("aggregates")
+            .and_then(|v| v.as_seq())
+            .unwrap();
+        let backends: Vec<&str> = aggs
+            .iter()
+            .map(|a| a.get("backend").and_then(|v| v.as_str()).unwrap())
+            .collect();
+        assert_eq!(backends, ["oracle", "chord"]);
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let specs = vec![tiny_specs().remove(0)];
+        let a = Sweep::new(specs.clone())
+            .with_seeds(1)
+            .with_master_seed(1)
+            .run();
+        let b = Sweep::new(specs).with_seeds(1).with_master_seed(2).run();
+        assert_ne!(a.scenarios[0].runs, b.scenarios[0].runs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scenario")]
+    fn empty_sweep_panics() {
+        let _ = Sweep::new(vec![]);
+    }
+}

@@ -181,8 +181,10 @@ mod tests {
         };
         assert!((m.mean_ticks() - 100.0 * (0.125f64).exp()).abs() < 1e-9);
         let mut r = rng();
-        let w: f64 =
-            (0..20000).map(|_| m.sample(&mut r).ticks() as f64).sum::<f64>() / 20000.0;
+        let w: f64 = (0..20000)
+            .map(|_| m.sample(&mut r).ticks() as f64)
+            .sum::<f64>()
+            / 20000.0;
         assert!((w - m.mean_ticks()).abs() / m.mean_ticks() < 0.05);
     }
 

@@ -68,11 +68,7 @@ impl Add<SimDuration> for SimTime {
     type Output = SimTime;
 
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("simulated clock overflow"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("simulated clock overflow"))
     }
 }
 

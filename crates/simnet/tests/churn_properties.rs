@@ -1,0 +1,144 @@
+//! Property-based tests for `simnet::churn` and the SplitMix64 stream
+//! derivation it leans on: the sweep harness's determinism guarantees are
+//! only as strong as these invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnPhase, ChurnSchedule};
+use simnet::rng::derive_seed;
+use simnet::SimDuration;
+
+fn arb_config() -> impl Strategy<Value = ChurnConfig> {
+    (1u64..200, 1_000u64..50_000, 0u64..=100).prop_map(|(rate, lifetime, crash_pct)| ChurnConfig {
+        arrivals_per_1000_ticks: rate as f64,
+        mean_lifetime: SimDuration::from_ticks(lifetime),
+        crash_fraction: crash_pct as f64 / 100.0,
+        horizon: SimDuration::from_ticks(50_000),
+    })
+}
+
+fn generate(config: &ChurnConfig, seed: u64) -> Vec<ChurnEvent> {
+    config.generate(&mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The realized Poisson arrival count stays within 6 sigma of the
+    /// configured rate (count ~ Poisson(lambda), sigma = sqrt(lambda)).
+    #[test]
+    fn poisson_rate_within_tolerance(config in arb_config(), seed in any::<u64>()) {
+        let events = generate(&config, seed);
+        let joins = events.iter().filter(|e| e.kind == ChurnKind::Join).count() as f64;
+        let expected = config.arrivals_per_1000_ticks * 50.0;
+        let sigma = expected.sqrt();
+        prop_assert!(
+            (joins - expected).abs() <= 6.0 * sigma + 3.0,
+            "joins {} vs expected {} (sigma {})", joins, expected, sigma
+        );
+    }
+
+    /// Identical seeds give byte-identical event streams; the schedule is
+    /// a pure function of (config, seed).
+    #[test]
+    fn identical_seeds_are_byte_identical(config in arb_config(), seed in any::<u64>()) {
+        let a = generate(&config, seed);
+        let b = generate(&config, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Different seeds give different schedules (a collision would mean
+    /// the generator ignores its seed).
+    #[test]
+    fn different_seeds_differ(config in arb_config(), seed in any::<u64>()) {
+        let a = generate(&config, seed);
+        let b = generate(&config, seed ^ 0xDEAD_BEEF);
+        prop_assert_ne!(a, b);
+    }
+
+    /// Schedules are sorted and never emit more departures than joins.
+    #[test]
+    fn schedules_are_sorted_and_conservative(config in arb_config(), seed in any::<u64>()) {
+        let events = generate(&config, seed);
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].time <= pair[1].time);
+        }
+        let joins = events.iter().filter(|e| e.kind == ChurnKind::Join).count();
+        prop_assert!(events.len() - joins <= joins);
+        prop_assert!(events.iter().all(|e| e.time.ticks() < 50_000));
+    }
+
+    /// Derived SplitMix64 streams are independent: distinct stream indexes
+    /// of one master never collide across a broad window, and the streams
+    /// they seed produce uncorrelated schedules.
+    #[test]
+    fn derived_streams_are_independent(master in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..512u64 {
+            prop_assert!(
+                seen.insert(derive_seed(master, stream)),
+                "stream collision at master {} stream {}", master, stream
+            );
+        }
+        // Two derived streams drive visibly different schedules.
+        let config = ChurnConfig {
+            arrivals_per_1000_ticks: 20.0,
+            mean_lifetime: SimDuration::from_ticks(10_000),
+            crash_fraction: 0.5,
+            horizon: SimDuration::from_ticks(50_000),
+        };
+        let a = generate(&config, derive_seed(master, 0));
+        let b = generate(&config, derive_seed(master, 1));
+        prop_assert_ne!(a, b);
+    }
+
+    /// A single-phase schedule replays `ChurnConfig::generate` exactly —
+    /// the compatibility contract `ChurnSimulation::new` relies on.
+    #[test]
+    fn constant_schedule_replays_config(config in arb_config(), seed in any::<u64>()) {
+        let direct = generate(&config, seed);
+        let scheduled = ChurnSchedule::constant(config)
+            .generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(direct, scheduled);
+    }
+
+    /// Per-phase rates hold inside each phase of a phased schedule.
+    #[test]
+    fn phased_rates_hold_per_phase(
+        calm_rate in 1u64..40,
+        storm_rate in 100u64..400,
+        seed in any::<u64>(),
+    ) {
+        let schedule = ChurnSchedule::new(vec![
+            ChurnPhase {
+                duration: SimDuration::from_ticks(20_000),
+                arrivals_per_1000_ticks: calm_rate as f64,
+                mean_lifetime: SimDuration::from_ticks(1_000_000),
+                crash_fraction: 0.0,
+            },
+            ChurnPhase {
+                duration: SimDuration::from_ticks(20_000),
+                arrivals_per_1000_ticks: storm_rate as f64,
+                mean_lifetime: SimDuration::from_ticks(1_000_000),
+                crash_fraction: 0.0,
+            },
+        ]);
+        let events = schedule.generate(&mut StdRng::seed_from_u64(seed));
+        let calm = events.iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.time.ticks() < 20_000)
+            .count() as f64;
+        let storm = events.iter()
+            .filter(|e| e.kind == ChurnKind::Join && e.time.ticks() >= 20_000)
+            .count() as f64;
+        let (calm_exp, storm_exp) = (calm_rate as f64 * 20.0, storm_rate as f64 * 20.0);
+        prop_assert!(
+            (calm - calm_exp).abs() <= 6.0 * calm_exp.sqrt() + 3.0,
+            "calm joins {} vs {}", calm, calm_exp
+        );
+        prop_assert!(
+            (storm - storm_exp).abs() <= 6.0 * storm_exp.sqrt() + 3.0,
+            "storm joins {} vs {}", storm, storm_exp
+        );
+    }
+}

@@ -153,7 +153,9 @@ fn upper_continued_fraction(a: f64, x: f64) -> f64 {
             break;
         }
     }
-    (h.ln() + a * x.ln() - x - ln_gamma(a)).exp().clamp(0.0, 1.0)
+    (h.ln() + a * x.ln() - x - ln_gamma(a))
+        .exp()
+        .clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -169,10 +171,7 @@ mod tests {
         // Γ(k) = (k−1)!
         let mut fact = 1.0f64;
         for k in 1..15u32 {
-            assert!(
-                close(ln_gamma(k as f64), fact.ln(), 1e-12),
-                "ln_gamma({k})"
-            );
+            assert!(close(ln_gamma(k as f64), fact.ln(), 1e-12), "ln_gamma({k})");
             fact *= k as f64;
         }
     }

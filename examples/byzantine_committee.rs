@@ -33,28 +33,15 @@ fn main() {
 
     for committee_size in [11usize, 31, 61, 101] {
         // Uniform sampler: the adversary gains nothing from adaptivity.
-        let uniform_byz =
-            committee::adaptive_byzantine_set(&vec![1.0 / n as f64; n], byz_fraction);
+        let uniform_byz = committee::adaptive_byzantine_set(&vec![1.0 / n as f64; n], byz_fraction);
         let ks = KingSaiaIndexSampler::from_ring(ring.clone());
-        let report_ks = committee::simulate_elections(
-            &ks,
-            &uniform_byz,
-            committee_size,
-            2000,
-            &mut rng,
-        );
+        let report_ks =
+            committee::simulate_elections(&ks, &uniform_byz, committee_size, 2000, &mut rng);
         // Naive sampler: the adversary corrupts the longest-arc peers.
-        let naive_byz = committee::adaptive_byzantine_set(
-            &naive.selection_probabilities(),
-            byz_fraction,
-        );
-        let report_naive = committee::simulate_elections(
-            &naive,
-            &naive_byz,
-            committee_size,
-            2000,
-            &mut rng,
-        );
+        let naive_byz =
+            committee::adaptive_byzantine_set(&naive.selection_probabilities(), byz_fraction);
+        let report_naive =
+            committee::simulate_elections(&naive, &naive_byz, committee_size, 2000, &mut rng);
         println!(
             "{:<10} {:<22} {:>14.4} {:>18.3}",
             committee_size, "king-saia", report_ks.capture_rate, report_ks.mean_byzantine_fraction

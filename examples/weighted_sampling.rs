@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{}/8 .. {}/8 of ring", i, i + 1)
         );
     }
-    println!("\nmean trials per draw: {:.1}", trials as f64 / draws as f64);
+    println!(
+        "\nmean trials per draw: {:.1}",
+        trials as f64 / draws as f64
+    );
 
     // The distribution is not a heuristic: every peer's selection
     // probability is exactly λ(p)/Σλ. Check one peer empirically.

@@ -34,13 +34,15 @@ fn sampler_succeeds_throughout_moderate_churn() {
         let live = net.live_ids();
         let anchor = live[(p as usize * 7) % live.len()];
         let dht = ChordDht::new(net, anchor, 50 + p);
-        let sampler =
-            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        let sampler = Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
         if sampler.sample(&dht, &mut rng).is_err() {
             failures += 1;
         }
     }
-    assert!(failures <= 2, "{failures}/{probes} samples failed under churn");
+    assert!(
+        failures <= 2,
+        "{failures}/{probes} samples failed under churn"
+    );
 }
 
 #[test]
@@ -58,8 +60,7 @@ fn sampled_peers_are_always_live() {
         let net = sim.network();
         let live = net.live_ids();
         let dht = ChordDht::new(net, live[0], 90 + p);
-        let sampler =
-            Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
+        let sampler = Sampler::new(SamplerConfig::new(live.len() as u64).with_max_trials(64));
         if let Ok(sample) = sampler.sample(&dht, &mut rng) {
             assert!(
                 net.node(sample.peer).is_alive(),

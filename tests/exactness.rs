@@ -32,9 +32,7 @@ fn sampler_trial_matches_reference_scan_everywhere() {
         let step_bound = (6.0 * (n as f64).ln()).ceil() as u32;
 
         let dht = OracleDht::free(ring.clone());
-        let sampler = Sampler::new(
-            SamplerConfig::new(n as u64).with_step_limit(step_bound),
-        );
+        let sampler = Sampler::new(SamplerConfig::new(n as u64).with_step_limit(step_bound));
         for c in 0..(1u64 << 14) {
             let s = Point::new(c);
             let reference = assignment::owner_of(&ring, lambda, step_bound, s);

@@ -58,14 +58,21 @@ fn chi_square_power_grows_with_sample_size() {
         let mut counts = vec![0u64; categories];
         for _ in 0..n {
             let x = r.gen_range(0..categories as u64 * 10 + 3);
-            let idx = if x < 13 { 0 } else { 1 + (x as usize - 13) % (categories - 1) };
+            let idx = if x < 13 {
+                0
+            } else {
+                1 + (x as usize - 13) % (categories - 1)
+            };
             counts[idx] += 1;
         }
         ChiSquare::uniform(&counts).expect("valid").p_value()
     };
     // Tiny sample: bias hidden (most of the time).
     let small_rejections = (0..20).filter(|_| draw(200) < 0.05).count();
-    assert!(small_rejections <= 8, "{small_rejections}/20 tiny-sample rejections");
+    assert!(
+        small_rejections <= 8,
+        "{small_rejections}/20 tiny-sample rejections"
+    );
     // Large sample: bias found essentially always.
     let large_rejections = (0..20).filter(|_| draw(100_000) < 0.05).count();
     assert!(
@@ -81,7 +88,7 @@ fn g_test_tracks_chi_square_under_null() {
     for _ in 0..50 {
         let mut counts = vec![0u64; 30];
         for _ in 0..30_000 {
-            counts[r.gen_range(0..30)] += 1;
+            counts[r.gen_range(0..30usize)] += 1;
         }
         let chi = ChiSquare::uniform(&counts).expect("valid");
         let g = GTest::uniform(&counts).expect("valid");

@@ -36,7 +36,8 @@ fn replicated_data_survives_full_churn() {
             })
             .collect();
         for (i, &k) in keys.iter().enumerate() {
-            net.put(gateway, k, vec![i as u8], 4, &mut rng).expect("put");
+            net.put(gateway, k, vec![i as u8], 4, &mut rng)
+                .expect("put");
         }
         keys
     };
@@ -92,7 +93,8 @@ fn ownership_follows_joins_during_churn() {
             .map(|_| net.space().random_point(&mut rng))
             .collect();
         for &k in &keys {
-            net.put(gateway, k, b"v".to_vec(), 3, &mut rng).expect("put");
+            net.put(gateway, k, b"v".to_vec(), 3, &mut rng)
+                .expect("put");
         }
         keys
     };
@@ -153,7 +155,8 @@ fn replication_factor_is_maintained_under_churn() {
             .map(|_| net.space().random_point(&mut rng))
             .collect();
         for &k in &keys {
-            net.put(gateway, k, b"r".to_vec(), 3, &mut rng).expect("put");
+            net.put(gateway, k, b"r".to_vec(), 3, &mut rng)
+                .expect("put");
         }
         keys
     };

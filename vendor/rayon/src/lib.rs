@@ -1,0 +1,264 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the `par_iter()` / `into_par_iter()` → `map` → `collect`
+//! pipeline on slices, vectors and ranges, executing on `std::thread::scope`
+//! with one worker per available core. Results keep input order, so a
+//! parallel map is a drop-in, deterministic replacement for the sequential
+//! one whenever the mapped closure is itself deterministic. No work
+//! stealing: items are dealt round-robin-in-chunks up front, which is fine
+//! for the coarse-grained simulation workloads this workspace runs.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import surface: `use rayon::prelude::*;`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+fn worker_count(items: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items)
+        .max(1)
+}
+
+/// Maps `items` through `f` on scoped threads, preserving order.
+fn parallel_map_vec<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = worker_count(n);
+    let chunk = n.div_ceil(workers);
+    // Deal the items into per-worker contiguous chunks up front, keeping
+    // chunk index so the output can be reassembled in input order.
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items;
+    while !items.is_empty() {
+        let tail = items.split_off(items.len().saturating_sub(chunk));
+        chunks.push(tail);
+    }
+    chunks.reverse(); // split_off took suffixes; restore input order
+    let f = &f;
+    let mut results: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in results.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// A parallel iterator: a concrete item source plus a mapping pipeline.
+pub trait ParallelIterator: Sized {
+    /// The element type produced.
+    type Item: Send;
+
+    /// Runs the pipeline, producing all results in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Appends a map stage.
+    fn map<O: Send, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Executes and collects into `C` (in input order).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Executes and sums the results.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Executes and counts the results.
+    fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// Pipeline stage created by [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        let Map { inner, f } = self;
+        parallel_map_vec(inner.run(), f)
+    }
+}
+
+/// Parallel iterator over owned items.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Types convertible into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = IntoParIter<usize>;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    type Iter = IntoParIter<u64>;
+    fn into_par_iter(self) -> IntoParIter<u64> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Parallel iterator over borrowed items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Types whose references can be iterated in parallel (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned_and_ranges() {
+        let squares: Vec<usize> = (0usize..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let owned: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x: i32| x.to_string())
+            .collect();
+        assert_eq!(owned, ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<u64> = (0u64..50)
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x * 10)
+            .collect();
+        assert_eq!(out[0], 10);
+        assert_eq!(out[49], 500);
+    }
+
+    #[test]
+    fn work_actually_spreads_across_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0usize..256)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert!(
+            cores == 1 || threads > 1,
+            "expected multi-threaded execution, saw {threads} thread(s)"
+        );
+    }
+
+    #[test]
+    fn sum_and_count() {
+        let total: u64 = (1u64..=100).collect::<Vec<_>>().into_par_iter().sum();
+        assert_eq!(total, 5050);
+        assert_eq!((0usize..7).into_par_iter().count(), 7);
+    }
+}

@@ -1,0 +1,401 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` with a
+//! hand-rolled token parser (no `syn`/`quote` available offline).
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * non-generic `struct` with named fields,
+//! * non-generic `enum` whose variants are unit, newtype (one field) or
+//!   struct-like (named fields),
+//!
+//! using serde's externally-tagged enum representation. Unsupported shapes
+//! produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (Value-tree serialization).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize` (Value-tree deserialization).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match which {
+                Which::Serialize => gen_serialize(&item),
+                Which::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("serde_derive generated invalid Rust")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Shape {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`) at the
+/// cursor; returns the new cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// From a field list cursor sitting just after `name:`, skips the type,
+/// returning the index of the separating top-level comma (or `len`).
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` inside a brace group into field names.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found `{other:?}` \
+                     (tuple fields are unsupported by the vendored serde_derive)"
+                ))
+            }
+        }
+        i = skip_type(&tokens, i);
+        i += 1; // consume the comma, if any
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                // Split the parenthesized payload on top-level commas; a
+                // newtype variant has exactly one non-empty type segment.
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut segments = 0;
+                let mut j = 0;
+                while j < inner.len() {
+                    let start = j;
+                    j = skip_type(&inner, j);
+                    if j > start {
+                        segments += 1;
+                    }
+                    j += 1; // consume the separating comma, if any
+                }
+                if segments != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only single-field (newtype) tuple \
+                         variants are supported by the vendored serde_derive"
+                    ));
+                }
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => {}
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token `{other}` after variant `{name}` \
+                     (discriminants are unsupported)"
+                ))
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found `{other:?}`")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found `{other:?}`")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "`{name}`: generic types are unsupported by the vendored serde_derive"
+            ));
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "`{name}`: tuple structs are unsupported by the vendored serde_derive"
+            ));
+        }
+        other => return Err(format!("expected `{{...}}` body, found `{other:?}`")),
+    };
+    let shape = match keyword.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         _serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "_serde::value::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => _serde::value::Value::Str(\
+                             ::std::string::String::from({vn:?})),"
+                        ),
+                        VariantKind::Newtype => format!(
+                            "{name}::{vn}(inner) => _serde::value::Value::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             _serde::Serialize::to_value(inner))]),"
+                        ),
+                        VariantKind::Struct(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         _serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            let bindings = fields.join(", ");
+                            format!(
+                                "{name}::{vn} {{ {bindings} }} => \
+                                 _serde::value::Value::Map(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 _serde::value::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         impl _serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> _serde::value::Value {{ {body} }}\n\
+         }}\n\
+         }};"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: _serde::Deserialize::from_value(\
+                         _serde::field(entries, {f:?}))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = v.as_map().ok_or_else(|| _serde::Error::new(\
+                 ::std::format!(\"expected map for struct {name}, found {{}}\", v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                        // Tolerate the tagged form `{"Variant": null}` too.
+                        tagged_arms.push(format!(
+                            "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+                        ));
+                    }
+                    VariantKind::Newtype => tagged_arms.push(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         _serde::Deserialize::from_value(payload)?)),"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: _serde::Deserialize::from_value(\
+                                     _serde::field(entries, {f:?}))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => {{\n\
+                             let entries = payload.as_map().ok_or_else(|| \
+                             _serde::Error::new(::std::format!(\
+                             \"variant {name}::{vn} expects a map payload, found {{}}\", \
+                             payload.kind())))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 _serde::value::Value::Str(tag) => match tag.as_str() {{\n\
+                 {unit}\n\
+                 other => ::std::result::Result::Err(_serde::Error::new(\
+                 ::std::format!(\"unknown unit variant {{other:?}} for enum {name}\"))),\n\
+                 }},\n\
+                 _serde::value::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                 match tag.as_str() {{\n\
+                 {tagged}\n\
+                 other => ::std::result::Result::Err(_serde::Error::new(\
+                 ::std::format!(\"unknown variant {{other:?}} for enum {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(_serde::Error::new(\
+                 ::std::format!(\"expected variant of enum {name}, found {{}}\", \
+                 other.kind()))),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         impl _serde::Deserialize for {name} {{\n\
+         fn from_value(v: &_serde::value::Value) \
+         -> ::std::result::Result<Self, _serde::Error> {{\n{body}\n}}\n\
+         }}\n\
+         }};"
+    )
+}

@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! JSON emission and parsing bridged through the vendored `serde`'s
+//! [`Value`] model. Emission is deterministic (map order preserved), and
+//! floats print in Rust's shortest round-trippable form.
+
+#![forbid(unsafe_code)]
+
+use core::fmt;
+use std::iter::Peekable;
+use std::str::Chars;
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Error raised by JSON conversion or parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serializes `value` into its [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::from_value(value)?)
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_str(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn parse_value_str(text: &str) -> Result<Value, Error> {
+    let mut chars = text.chars().peekable();
+    let value = parse_value(&mut chars)?;
+    skip_ws(&mut chars);
+    match chars.next() {
+        None => Ok(value),
+        Some(c) => Err(Error::new(format!(
+            "trailing character {c:?} after JSON value"
+        ))),
+    }
+}
+
+// ---- emission
+
+fn write_value(
+    out: &mut String,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if !f.is_finite() {
+                return Err(Error::new(format!("{f} has no JSON representation")));
+            }
+            // Rust's float Display is the shortest string that parses back
+            // to the same bits; integral floats gain `.0` for clarity.
+            let s = f.to_string();
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_bracketed(
+            out,
+            indent,
+            depth,
+            '[',
+            ']',
+            items.iter(),
+            |out, item, d| write_value(out, item, indent, d),
+        )?,
+        Value::Map(entries) => write_bracketed(
+            out,
+            indent,
+            depth,
+            '{',
+            '}',
+            entries.iter(),
+            |out, (key, value), d| {
+                write_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, value, indent, d)
+            },
+        )?,
+    }
+    Ok(())
+}
+
+fn write_bracketed<I, F>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    items: I,
+    mut write_item: F,
+) -> Result<(), Error>
+where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize) -> Result<(), Error>,
+{
+    out.push(open);
+    let empty = items.len() == 0;
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1)?;
+    }
+    if !empty {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parsing
+
+type Cursor<'a> = Peekable<Chars<'a>>;
+
+fn skip_ws(chars: &mut Cursor<'_>) {
+    while matches!(chars.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Cursor<'_>, want: char) -> Result<(), Error> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        Some(c) => Err(Error::new(format!("expected {want:?}, found {c:?}"))),
+        None => Err(Error::new(format!("expected {want:?}, found end of input"))),
+    }
+}
+
+fn parse_value(chars: &mut Cursor<'_>) -> Result<Value, Error> {
+    skip_ws(chars);
+    match chars.peek() {
+        Some('{') => parse_map(chars),
+        Some('[') => parse_seq(chars),
+        Some('"') => Ok(Value::Str(parse_string(chars)?)),
+        Some('t') => parse_keyword(chars, "true", Value::Bool(true)),
+        Some('f') => parse_keyword(chars, "false", Value::Bool(false)),
+        Some('n') => parse_keyword(chars, "null", Value::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_number(chars),
+        Some(c) => Err(Error::new(format!("unexpected character {c:?}"))),
+        None => Err(Error::new("unexpected end of input")),
+    }
+}
+
+fn parse_keyword(chars: &mut Cursor<'_>, word: &str, value: Value) -> Result<Value, Error> {
+    for want in word.chars() {
+        expect(chars, want)?;
+    }
+    Ok(value)
+}
+
+fn parse_map(chars: &mut Cursor<'_>) -> Result<Value, Error> {
+    expect(chars, '{')?;
+    let mut entries = Vec::new();
+    skip_ws(chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(Value::Map(entries));
+    }
+    loop {
+        skip_ws(chars);
+        let key = parse_string(chars)?;
+        skip_ws(chars);
+        expect(chars, ':')?;
+        let value = parse_value(chars)?;
+        entries.push((key, value));
+        skip_ws(chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => return Ok(Value::Map(entries)),
+            other => return Err(Error::new(format!("expected ',' or '}}', found {other:?}"))),
+        }
+    }
+}
+
+fn parse_seq(chars: &mut Cursor<'_>) -> Result<Value, Error> {
+    expect(chars, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars);
+    if chars.peek() == Some(&']') {
+        chars.next();
+        return Ok(Value::Seq(items));
+    }
+    loop {
+        items.push(parse_value(chars)?);
+        skip_ws(chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some(']') => return Ok(Value::Seq(items)),
+            other => return Err(Error::new(format!("expected ',' or ']', found {other:?}"))),
+        }
+    }
+}
+
+fn parse_string(chars: &mut Cursor<'_>) -> Result<String, Error> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('/') => out.push('/'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('b') => out.push('\u{8}'),
+                Some('f') => out.push('\u{c}'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let c = chars
+                            .next()
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        code = code * 16
+                            + c.to_digit(16)
+                                .ok_or_else(|| Error::new("bad hex in \\u escape"))?;
+                    }
+                    // Surrogate pairs are unsupported (the workspace never
+                    // emits them); map lone surrogates to the replacement
+                    // character rather than erroring.
+                    out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                }
+                other => return Err(Error::new(format!("bad escape {other:?}"))),
+            },
+            Some(c) => out.push(c),
+            None => return Err(Error::new("unterminated string")),
+        }
+    }
+}
+
+fn parse_number(chars: &mut Cursor<'_>) -> Result<Value, Error> {
+    let mut text = String::new();
+    let mut is_float = false;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '0'..='9' | '-' | '+' => text.push(c),
+            '.' | 'e' | 'E' => {
+                is_float = true;
+                text.push(c);
+            }
+            _ => break,
+        }
+        chars.next();
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    } else {
+        text.parse::<i128>()
+            .map(Value::Int)
+            .map_err(|_| Error::new(format!("invalid number {text:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-12", "3.5", "\"hi\\n\""] {
+            let v = parse_value_str(text).unwrap();
+            let emitted = to_string(&v).unwrap();
+            assert_eq!(parse_value_str(&emitted).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn nested_roundtrip_compact_and_pretty() {
+        let text = r#"{"a": [1, 2.5, {"b": null}], "c": "x\"y"}"#;
+        let v = parse_value_str(text).unwrap();
+        assert_eq!(parse_value_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(parse_value_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+    }
+
+    #[test]
+    fn map_order_is_preserved() {
+        let v = parse_value_str(r#"{"z": 1, "a": 2}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![1u64, 5, 9];
+        let text = to_string(&xs).unwrap();
+        assert_eq!(from_str::<Vec<u64>>(&text).unwrap(), xs);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_value_str("{").is_err());
+        assert!(parse_value_str("[1,]").is_err());
+        assert!(parse_value_str("12 34").is_err());
+        assert!(parse_value_str("\"unterminated").is_err());
+    }
+
+    // Derive coverage lives here (not in `serde` itself) because the
+    // generated code refers to the `serde` crate by name.
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Sample {
+        name: String,
+        count: u64,
+        ratio: f64,
+        tags: Vec<String>,
+        note: Option<String>,
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    enum Kind {
+        Unit,
+        Newtype(u64),
+        Struct { a: u64, b: String },
+    }
+
+    #[test]
+    fn derived_struct_roundtrips_through_json() {
+        let s = Sample {
+            name: "x\"quoted\"".into(),
+            count: 3,
+            ratio: 0.25,
+            tags: vec!["t".into()],
+            note: None,
+        };
+        let compact = to_string(&s).unwrap();
+        assert_eq!(from_str::<Sample>(&compact).unwrap(), s);
+        let pretty = to_string_pretty(&s).unwrap();
+        assert_eq!(from_str::<Sample>(&pretty).unwrap(), s);
+        assert_eq!(s.to_value().get("count"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn derived_enum_roundtrips_through_json() {
+        use serde::{Deserialize, Serialize};
+        for k in [
+            Kind::Unit,
+            Kind::Newtype(8),
+            Kind::Struct {
+                a: 1,
+                b: "z".into(),
+            },
+        ] {
+            let text = to_string(&k).unwrap();
+            assert_eq!(from_str::<Kind>(&text).unwrap(), k);
+        }
+        assert_eq!(Kind::Unit.to_value(), Value::Str("Unit".into()));
+        assert!(Kind::from_value(&Value::Str("Nope".into())).is_err());
+    }
+}
