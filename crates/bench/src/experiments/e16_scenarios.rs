@@ -17,7 +17,7 @@
 //! * clustered-ring stresses the geometry: cost and uniformity on a ring
 //!   that violates the i.i.d. placement assumption.
 
-use scenarios::{ScenarioSpec, Sweep, SweepReport};
+use scenarios::{Backend, ScenarioSpec, Sweep, SweepReport};
 
 use crate::{fmt_f, ExpContext, Table};
 
@@ -36,8 +36,120 @@ fn battery(ctx: &ExpContext) -> Vec<ScenarioSpec> {
     specs
 }
 
+/// `RP_SCALE=<n>`: run the scale-stress arms instead of the full battery,
+/// with `n` the oracle-backend ring size (the chord arm runs at `n / 10`).
+///
+/// # Panics
+///
+/// Panics on an unusable value (non-numeric or `< 20`) instead of
+/// silently falling back to the full battery — a CI typo must fail the
+/// scale job loudly, not skip the scale path.
+fn scale_from_env() -> Option<usize> {
+    let raw = std::env::var("RP_SCALE").ok()?;
+    match raw.parse::<usize>() {
+        Ok(n) if n >= 20 => Some(n),
+        _ => panic!("RP_SCALE={raw:?} is not a ring size >= 20"),
+    }
+}
+
+/// The scale-stress battery at its reference size: a 10⁵-peer oracle arm
+/// and a 10⁴-peer chord arm (the routed overlay carries ~1.5 KB of state
+/// per node, so its arm runs one decade smaller). [`Sweep::with_scale`]
+/// then resizes both arms together.
+fn scale_battery() -> Vec<ScenarioSpec> {
+    let base = ScenarioSpec::preset_scale_stress();
+    let mut oracle = base.clone();
+    oracle.name = "scale-stress-oracle".to_string();
+    oracle.backends = vec![Backend::Oracle];
+    oracle.n_initial = REFERENCE_ORACLE_N;
+    let mut chord = base;
+    chord.name = "scale-stress-chord".to_string();
+    chord.backends = vec![Backend::Chord];
+    chord.n_initial = REFERENCE_ORACLE_N / 10;
+    vec![oracle, chord]
+}
+
+/// Ring size of the reference scale run's oracle arm (`RP_SCALE` rescales
+/// relative to this).
+const REFERENCE_ORACLE_N: usize = 100_000;
+
+/// The `RP_SCALE` run: both scale-stress arms, deterministically, with the
+/// JSON report under `target/`.
+fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
+    let report = Sweep::new(scale_battery())
+        .with_scale(oracle_n as f64 / REFERENCE_ORACLE_N as f64)
+        .with_master_seed(ctx.stream(16, 1))
+        .with_seeds(2)
+        .run();
+
+    let json = report.to_json_pretty();
+    let json_path = persist_named_report(&json, "e16_scale.json");
+
+    let mut table = Table::new(
+        format!(
+            "E16-scale: scale-stress at n = {oracle_n} (oracle) / {} (chord)",
+            oracle_n / 10
+        ),
+        "bulk construction plus the incremental ground-truth index carry 10^4-10^5-node \
+         rings through churn and sampling deterministically",
+        &[
+            "scenario",
+            "backend",
+            "n_initial",
+            "live",
+            "fail_rate",
+            "msgs/draw",
+            "tv",
+        ],
+    );
+    let mut ok = true;
+    let mut flagged = Vec::new();
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            table.push_row(vec![
+                scenario.spec.name.clone(),
+                agg.backend.clone(),
+                scenario.spec.n_initial.to_string(),
+                fmt_f(agg.live_peers_mean),
+                fmt_f(agg.fail_rate_mean),
+                fmt_f(agg.messages_mean),
+                fmt_f(agg.tv_mean),
+            ]);
+            if agg.fail_rate_mean > 0.05 {
+                ok = false;
+                flagged.push(format!(
+                    "{}:{} fail={:.3}",
+                    scenario.spec.name, agg.backend, agg.fail_rate_mean
+                ));
+            }
+            if agg.live_peers_mean < scenario.spec.n_initial as f64 * 0.5 {
+                ok = false;
+                flagged.push(format!(
+                    "{}:{} live collapsed to {:.0}",
+                    scenario.spec.name, agg.backend, agg.live_peers_mean
+                ));
+            }
+        }
+    }
+    table.set_verdict(format!(
+        "{}: 2 arms x {} seeds; json -> {}{}",
+        if ok { "HOLDS" } else { "CHECK" },
+        report.seeds_per_scenario,
+        json_path,
+        if flagged.is_empty() {
+            String::new()
+        } else {
+            format!("; flagged: {}", flagged.join(", "))
+        }
+    ));
+    table
+}
+
 /// Runs the sweep and renders the summary table.
 pub fn run(ctx: &ExpContext) -> Table {
+    if let Some(oracle_n) = scale_from_env() {
+        return run_scale(ctx, oracle_n);
+    }
     let specs = battery(ctx);
     let seeds = if ctx.quick { 4 } else { 8 };
     let report = Sweep::new(specs)
@@ -84,7 +196,11 @@ pub fn run(ctx: &ExpContext) -> Table {
 /// Writes the JSON report under `target/`; falls back to stdout-only when
 /// the directory is not writable (e.g. read-only CI caches).
 fn persist_report(json: &str) -> String {
-    let path = std::path::Path::new("target").join("e16_scenarios.json");
+    persist_named_report(json, "e16_scenarios.json")
+}
+
+fn persist_named_report(json: &str, file: &str) -> String {
+    let path = std::path::Path::new("target").join(file);
     match std::fs::create_dir_all("target").and_then(|()| std::fs::write(&path, json)) {
         Ok(()) => path.display().to_string(),
         Err(_) => {
@@ -111,7 +227,7 @@ fn verdict(report: &SweepReport, json_path: &str) -> String {
                     ));
                 }
                 // Churn may fail a few draws but must stay usable.
-                "crash-churn" | "flash-crowd" if agg.fail_rate_mean > 0.10 => {
+                "crash-churn" | "flash-crowd" | "scale-stress" if agg.fail_rate_mean > 0.10 => {
                     ok = false;
                     checks.push(format!(
                         "{}:{} fail={:.3}",
@@ -182,5 +298,27 @@ mod tests {
         for spec in specs {
             assert_eq!(spec.backends.len(), 2, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn scale_battery_splits_backends_a_decade_apart() {
+        let specs = scale_battery();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].backends, vec![Backend::Oracle]);
+        assert_eq!(specs[1].backends, vec![Backend::Chord]);
+        assert_eq!(specs[0].n_initial, 10 * specs[1].n_initial);
+        for spec in &specs {
+            spec.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn tiny_scale_run_holds() {
+        // The RP_SCALE code path, shrunk far below the acceptance sizes so
+        // the unit suite stays fast: oracle at 1000, chord at 100.
+        let ctx = ExpContext::default();
+        let t = run_scale(&ctx, 1_000);
+        assert_eq!(t.rows.len(), 2, "one row per arm");
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
     }
 }

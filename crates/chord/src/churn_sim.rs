@@ -300,7 +300,9 @@ impl ChurnSimulation {
     }
 
     fn random_live_node(&mut self) -> Option<NodeId> {
-        let live = self.net.live_ids();
+        // live_slice is maintained incrementally, so selection is O(1)
+        // instead of an O(arena) rescan per churn event.
+        let live = self.net.live_slice();
         if live.is_empty() {
             return None;
         }
@@ -310,7 +312,7 @@ impl ChurnSimulation {
     /// A random live node, but never the last one (the overlay must not
     /// die out entirely).
     fn random_live_node_if_plural(&mut self) -> Option<NodeId> {
-        let live = self.net.live_ids();
+        let live = self.net.live_slice();
         if live.len() < 2 {
             return None;
         }

@@ -2,6 +2,7 @@ use core::fmt;
 
 use keyspace::{KeySpace, Point};
 use rand::Rng;
+use ringidx::RingIndex;
 use simnet::Metrics;
 
 use crate::{ChordConfig, NodeState};
@@ -76,6 +77,13 @@ pub struct ChordNetwork {
     nodes: Vec<NodeState>,
     metrics: Metrics,
     finger_bits: usize,
+    /// Live ring positions in clockwise order: the incremental ground
+    /// truth behind every `truth_*` query (O(log n) instead of an arena
+    /// scan), maintained on every join, leave and crash.
+    index: RingIndex<NodeId>,
+    /// Live ids in ascending arena order, maintained incrementally so
+    /// [`live_ids`](ChordNetwork::live_ids) never re-filters dead slots.
+    live_set: Vec<NodeId>,
 }
 
 impl ChordNetwork {
@@ -88,6 +96,8 @@ impl ChordNetwork {
             nodes: Vec::new(),
             metrics: Metrics::new(),
             finger_bits: finger_bits.max(1),
+            index: RingIndex::new(space),
+            live_set: Vec::new(),
         }
     }
 
@@ -95,41 +105,60 @@ impl ChordNetwork {
     /// removed).
     pub fn bootstrap(space: KeySpace, points: Vec<Point>, config: ChordConfig) -> ChordNetwork {
         let mut net = ChordNetwork::new(space, config);
-        let mut points = points;
+        net.bulk_join(points);
+        net
+    }
+
+    /// Mass-joins `points` in O(n log n), deriving all routing state from
+    /// the ground-truth index instead of running n sequential gateway
+    /// joins (which would cost n routed lookups plus O(n) stabilization
+    /// rounds to converge).
+    ///
+    /// Models an out-of-band coordinated bootstrap: after the call the
+    /// whole overlay — pre-existing live nodes included — has the fully
+    /// converged successor lists, predecessors and fingers of
+    /// [`bootstrap`](ChordNetwork::bootstrap). Input duplicates and points
+    /// already occupied by a live node are skipped. Returns the ids of the
+    /// newly created nodes, in clockwise point order.
+    pub fn bulk_join(&mut self, mut points: Vec<Point>) -> Vec<NodeId> {
         points.sort_unstable();
         points.dedup();
-        for &p in &points {
-            net.nodes.push(NodeState::new(p, net.finger_bits));
+        let mut created = Vec::with_capacity(points.len());
+        for p in points {
+            if self.index.contains_point(p) {
+                continue;
+            }
+            let id = NodeId(self.nodes.len());
+            self.nodes.push(NodeState::new(p, self.finger_bits));
+            self.index.insert(p, id);
+            self.live_set.push(id);
+            created.push(id);
         }
-        let n = net.nodes.len();
+        self.metrics.add("bulk_join.nodes", created.len() as u64);
+
+        // Rebuild every live node's routing state from ring order: the
+        // successor list is the next r entries, the predecessor the
+        // previous one, fingers are index successor queries.
+        let order: Vec<(Point, NodeId)> = self.index.entries().copied().collect();
+        let n = order.len();
         if n == 0 {
-            return net;
+            return created;
         }
-        // Successor lists and predecessors directly from ring order.
-        let r = net.config.successor_list_len();
-        for i in 0..n {
+        let r = self.config.successor_list_len();
+        for (rank, &(point, id)) in order.iter().enumerate() {
             let succs: Vec<NodeId> = (1..=r.min(n.saturating_sub(1)).max(1))
-                .map(|k| NodeId((i + k) % n))
+                .map(|k| order[(rank + k) % n].1)
                 .collect();
-            *net.nodes[i].successors_mut() = succs;
-            let pred = NodeId((i + n - 1) % n);
-            net.nodes[i].set_predecessor(Some(pred));
-        }
-        // Fingers from ground truth. Points are sorted, so the successor
-        // of each finger target is a binary search (bootstrap would be
-        // O(n² log M) with linear scans).
-        for i in 0..n {
-            for bit in 0..net.finger_bits {
-                let target = net.finger_target(net.nodes[i].point(), bit);
-                let rank = match points.binary_search(&target) {
-                    Ok(r) => r,
-                    Err(r) if r == n => 0,
-                    Err(r) => r,
-                };
-                net.nodes[i].set_finger(bit, Some(NodeId(rank)));
+            *self.node_mut(id).successors_mut() = succs;
+            let pred = order[(rank + n - 1) % n].1;
+            self.node_mut(id).set_predecessor(Some(pred));
+            for bit in 0..self.finger_bits {
+                let target = self.finger_target(point, bit);
+                let finger = self.index.successor(target).map(|(_, fid)| fid);
+                self.node_mut(id).set_finger(bit, finger);
             }
         }
-        net
+        created
     }
 
     /// The key space of the overlay.
@@ -158,16 +187,28 @@ impl ChordNetwork {
     }
 
     /// Ids of currently live nodes, in arena order.
+    ///
+    /// O(live) copy of the incrementally maintained live set — dead arena
+    /// slots are never re-scanned.
     pub fn live_ids(&self) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].is_alive())
-            .map(NodeId)
-            .collect()
+        self.live_set.clone()
     }
 
-    /// Number of live nodes.
+    /// Borrowed view of the live ids in arena order (allocation-free; the
+    /// hot path for uniform live-node sampling under churn).
+    pub fn live_slice(&self) -> &[NodeId] {
+        &self.live_set
+    }
+
+    /// Number of live nodes (O(1)).
     pub fn live_len(&self) -> usize {
-        self.nodes.iter().filter(|n| n.is_alive()).count()
+        self.live_set.len()
+    }
+
+    /// The ground-truth ring index over live nodes, in clockwise
+    /// `(point, id)` order.
+    pub fn ring_index(&self) -> &RingIndex<NodeId> {
+        &self.index
     }
 
     /// Total arena size (live + dead).
@@ -208,19 +249,9 @@ impl ChordNetwork {
     }
 
     /// The true successor id of `x` over live nodes, or `None` when the
-    /// overlay is empty.
+    /// overlay is empty. O(log n) via the ring index.
     pub(crate) fn truth_successor_id(&self, x: Point) -> Option<NodeId> {
-        let mut best: Option<(keyspace::Distance, NodeId)> = None;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.is_alive() {
-                continue;
-            }
-            let d = self.space.distance(x, node.point());
-            if best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, NodeId(i)));
-            }
-        }
-        best.map(|(_, id)| id)
+        self.index.successor(x).map(|(_, id)| id)
     }
 
     // ---- interval helpers (Chord conventions: (a, a] and (a, a) denote
@@ -258,7 +289,25 @@ impl ChordNetwork {
         node.successors_mut().push(id);
         node.set_predecessor(Some(id));
         self.nodes.push(node);
+        self.admit(point, id);
         id
+    }
+
+    /// Registers a freshly created live node with the ground-truth index
+    /// and the live set. New ids are strictly increasing, so pushing keeps
+    /// the live set in arena order.
+    fn admit(&mut self, point: Point, id: NodeId) {
+        self.index.insert(point, id);
+        self.live_set.push(id);
+    }
+
+    /// Unregisters a dying node from the ground-truth index and live set.
+    fn retire(&mut self, id: NodeId) {
+        let point = self.node(id).point();
+        self.index.remove(point, id);
+        if let Ok(at) = self.live_set.binary_search(&id) {
+            self.live_set.remove(at);
+        }
     }
 
     /// Joins a new node at `point` through live gateway `via`, following
@@ -286,6 +335,7 @@ impl ChordNetwork {
         list.truncate(self.config.successor_list_len());
         *node.successors_mut() = list;
         self.nodes.push(node);
+        self.admit(point, id);
         Ok(id)
     }
 
@@ -325,6 +375,7 @@ impl ChordNetwork {
                 succ_state.set_predecessor(Some(pred));
             }
         }
+        self.retire(id);
         let node = self.node_mut(id);
         node.set_alive(false);
         node.clear_routing();
@@ -338,6 +389,7 @@ impl ChordNetwork {
     /// Panics if the node is already dead.
     pub fn crash(&mut self, id: NodeId) {
         assert!(self.node(id).is_alive(), "{id} is already dead");
+        self.retire(id);
         let node = self.node_mut(id);
         node.set_alive(false);
         node.clear_routing();
@@ -548,33 +600,18 @@ impl ChordNetwork {
 
     fn truth_strict_successor(&self, id: NodeId) -> Option<NodeId> {
         let me = self.node(id).point();
-        let mut best: Option<(keyspace::Distance, NodeId)> = None;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.is_alive() || NodeId(i) == id {
-                continue;
-            }
-            let d = self.space.distance(me, node.point());
-            if best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, NodeId(i)));
-            }
-        }
         // A singleton ring node is its own successor.
-        best.map(|(_, nid)| nid).or(Some(id))
+        self.index
+            .strict_successor(me, id)
+            .map(|(_, nid)| nid)
+            .or(Some(id))
     }
 
     fn truth_strict_predecessor(&self, id: NodeId) -> Option<NodeId> {
         let me = self.node(id).point();
-        let mut best: Option<(keyspace::Distance, NodeId)> = None;
-        for (i, node) in self.nodes.iter().enumerate() {
-            if !node.is_alive() || NodeId(i) == id {
-                continue;
-            }
-            let d = self.space.distance(node.point(), me);
-            if best.is_none_or(|(bd, _)| d < bd) {
-                best = Some((d, NodeId(i)));
-            }
-        }
-        best.map(|(_, id)| id)
+        self.index
+            .strict_predecessor(me, id)
+            .map(|(_, nid)| nid)
             .or_else(|| if self.live_len() == 1 { Some(id) } else { None })
     }
 
@@ -637,6 +674,73 @@ mod tests {
             assert_eq!(net.node(succ).point(), truth);
             assert_eq!(net.node(id).successors().len(), 8);
         }
+    }
+
+    #[test]
+    fn bulk_join_from_empty_matches_bootstrap() {
+        let space = KeySpace::full();
+        let mut r = rng();
+        let points = space.random_points(&mut r, 128);
+        let boot = ChordNetwork::bootstrap(space, points.clone(), ChordConfig::default());
+        let mut bulk = ChordNetwork::new(space, ChordConfig::default());
+        let created = bulk.bulk_join(points);
+        assert_eq!(created.len(), 128);
+        assert_eq!(bulk.live_len(), boot.live_len());
+        for id in boot.live_ids() {
+            assert_eq!(bulk.node(id).point(), boot.node(id).point());
+            assert_eq!(bulk.node(id).successors(), boot.node(id).successors());
+            assert_eq!(bulk.node(id).predecessor(), boot.node(id).predecessor());
+            assert_eq!(bulk.node(id).fingers(), boot.node(id).fingers());
+        }
+        assert!(bulk.verify_ring().is_converged());
+    }
+
+    #[test]
+    fn bulk_join_into_existing_ring_is_converged() {
+        let mut net = bootstrap(64, 12);
+        let mut r = rng();
+        let extra = net.space().random_points(&mut r, 192);
+        let created = net.bulk_join(extra);
+        assert_eq!(created.len(), 192);
+        assert_eq!(net.live_len(), 256);
+        let report = net.verify_ring();
+        assert!(report.is_converged(), "{report:?}");
+        assert!((report.finger_accuracy - 1.0).abs() < 1e-12);
+        // Routed lookups agree with the ground truth immediately.
+        let start = net.live_ids()[0];
+        for _ in 0..50 {
+            let target = net.space().random_point(&mut r);
+            let hit = net.find_successor(start, target, &mut r).unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(target));
+        }
+    }
+
+    #[test]
+    fn bulk_join_skips_duplicates_and_occupied_points() {
+        let mut net = bootstrap(8, 13);
+        let taken = net.node(net.live_ids()[0]).point();
+        let created = net.bulk_join(vec![taken, Point::new(1), Point::new(1)]);
+        assert_eq!(created.len(), 1);
+        assert_eq!(net.live_len(), 9);
+    }
+
+    #[test]
+    fn live_set_tracks_membership_incrementally() {
+        let mut net = bootstrap(32, 14);
+        assert_eq!(net.live_slice(), &net.live_ids()[..]);
+        let victim = net.live_ids()[7];
+        net.crash(victim);
+        assert!(!net.live_slice().contains(&victim));
+        assert_eq!(net.live_len(), 31);
+        assert_eq!(net.ring_index().len(), 31);
+        let leaver = net.live_ids()[3];
+        net.leave(leaver);
+        assert_eq!(net.live_len(), 30);
+        assert!(net.live_slice().windows(2).all(|w| w[0] < w[1]));
+        // The index and live set agree on membership.
+        let mut from_index: Vec<NodeId> = net.ring_index().entries().map(|&(_, id)| id).collect();
+        from_index.sort_unstable();
+        assert_eq!(from_index, net.live_ids());
     }
 
     #[test]

@@ -62,6 +62,19 @@ impl OracleDht {
         OracleDht::with_costs(ring, Cost::FREE, Cost::FREE)
     }
 
+    /// Builds the oracle's membership view from an incrementally
+    /// maintained [`RingIndex`](ringidx::RingIndex) in O(n), instead of
+    /// re-collecting and re-sorting a member list. Co-located entries
+    /// (distinct ids at one point) collapse to a single peer, exactly as
+    /// [`SortedRing::new`] deduplicates.
+    ///
+    /// This is the scale path for churned oracle runs: the caller applies
+    /// each join/leave/crash to the index in O(log n) and snapshots the
+    /// view here when sampling starts.
+    pub fn from_index<I: Copy + Ord>(index: &ringidx::RingIndex<I>) -> OracleDht {
+        OracleDht::new(SortedRing::from_sorted(index.space(), index.points()))
+    }
+
     /// Number of peers.
     pub fn len(&self) -> usize {
         self.ring.len()
@@ -183,6 +196,26 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert_eq!(d.ring().len(), 3);
         assert_eq!(d.space().modulus(), 100);
+    }
+
+    #[test]
+    fn from_index_matches_member_list_construction() {
+        let space = KeySpace::with_modulus(100).unwrap();
+        let points = vec![
+            Point::new(90),
+            Point::new(10),
+            Point::new(40),
+            Point::new(40),
+        ];
+        let mut index = ringidx::RingIndex::new(space);
+        for (i, &p) in points.iter().enumerate() {
+            index.insert(p, i as u64);
+        }
+        let from_index = OracleDht::from_index(&index);
+        let from_list = OracleDht::new(SortedRing::new(space, points));
+        assert_eq!(from_index.ring(), from_list.ring());
+        assert_eq!(from_index.len(), 3, "co-located peers collapse");
+        assert_eq!(from_index.h(Point::new(15)).unwrap().point, Point::new(40));
     }
 
     #[test]

@@ -47,6 +47,24 @@ impl SortedRing {
         SortedRing { space, points }
     }
 
+    /// Builds a ring from points already in ascending order, skipping the
+    /// O(n log n) sort — the constructor for index-backed membership views
+    /// that maintain ring order incrementally. Consecutive duplicates
+    /// (co-located peers) still collapse to one peer.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `points` is not sorted.
+    pub fn from_sorted(space: KeySpace, mut points: Vec<Point>) -> SortedRing {
+        debug_assert!(points.iter().all(|&p| space.contains_point(p)));
+        debug_assert!(
+            points.windows(2).all(|w| w[0] <= w[1]),
+            "from_sorted requires ascending points"
+        );
+        points.dedup();
+        SortedRing { space, points }
+    }
+
     /// The key space this ring lives on.
     pub const fn space(&self) -> KeySpace {
         self.space
@@ -276,6 +294,19 @@ mod tests {
         assert_eq!(r.points(), &[Point::new(10), Point::new(40)]);
         assert_eq!(r.len(), 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let pts = vec![
+            Point::new(10),
+            Point::new(40),
+            Point::new(40),
+            Point::new(95),
+        ];
+        let sorted = SortedRing::from_sorted(space(), pts.clone());
+        assert_eq!(sorted, SortedRing::new(space(), pts));
+        assert_eq!(sorted.len(), 3);
     }
 
     #[test]

@@ -50,7 +50,7 @@ mod run;
 mod spec;
 mod sweep;
 
-pub use placement::place_points;
+pub use placement::{place_index, place_points};
 pub use run::{run_scenario_seed, SeedRunRecord};
 pub use spec::{
     AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, PlacementModel,

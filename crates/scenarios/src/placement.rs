@@ -3,6 +3,7 @@
 use keyspace::{KeySpace, Point};
 use rand::rngs::StdRng;
 use rand::Rng;
+use ringidx::RingIndex;
 
 use crate::PlacementModel;
 
@@ -65,6 +66,31 @@ pub fn place_points(
     }
 }
 
+/// Compiles a placement model straight into a membership
+/// [`RingIndex`], keyed by arrival order.
+///
+/// Both backends consume this one compilation: the oracle applies churn
+/// to the index incrementally (O(log n) per event) and snapshots it into
+/// its sorted view; Chord's `bulk_join` derives a converged overlay from
+/// the same points. The id sequence `0..n` also gives churn a stable
+/// namespace to continue from (`index.len()`, `len + 1`, …) for joiners.
+pub fn place_index(
+    model: &PlacementModel,
+    space: KeySpace,
+    n: usize,
+    rng: &mut StdRng,
+) -> RingIndex<u64> {
+    let points = place_points(model, space, n, rng);
+    RingIndex::bulk(
+        space,
+        points
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +98,21 @@ mod tests {
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn place_index_matches_place_points() {
+        let space = KeySpace::full();
+        let model = PlacementModel::Clustered {
+            clusters: 4,
+            spread_fraction: 0.01,
+        };
+        let points = place_points(&model, space, 300, &mut rng());
+        let index = place_index(&model, space, 300, &mut rng());
+        assert_eq!(index.len(), 300, "distinct ids keep co-located peers");
+        let mut sorted = points;
+        sorted.sort_unstable();
+        assert_eq!(index.points(), sorted);
     }
 
     #[test]

@@ -7,17 +7,18 @@
 //! on for deterministic reports.
 
 use chord::{ChordConfig, ChordDht, ChurnSimulation, FaultPlan, NodeId};
-use keyspace::{KeySpace, Point, SortedRing};
+use keyspace::{KeySpace, Point};
 use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use ringidx::RingIndex;
 use serde::Serialize;
 use simnet::churn::{ChurnPhase, ChurnSchedule};
 use simnet::rng::derive_seed;
 use simnet::SimDuration;
 use stats::divergence;
 
-use crate::placement::place_points;
+use crate::placement::place_index;
 use crate::{AdversaryModel, Backend, ChurnModel, ScenarioSpec};
 
 /// Independent random streams a run derives from its seed.
@@ -38,6 +39,9 @@ pub struct SeedRunRecord {
     pub seed: u64,
     /// Live peers at sampling time (after churn).
     pub live_peers: u64,
+    /// Ring position of the measuring client (the honest observer every
+    /// draw routes from).
+    pub anchor_point: Point,
     /// Byzantine peers at sampling time.
     pub byzantine_peers: u64,
     /// Draws that returned a peer.
@@ -77,10 +81,12 @@ pub fn run_scenario_seed(spec: &ScenarioSpec, backend: Backend, seed: u64) -> Se
     }
     let space = KeySpace::full();
     let mut placement_rng = StdRng::seed_from_u64(derive_seed(seed, stream::PLACEMENT));
-    let points = place_points(&spec.placement, space, spec.n_initial, &mut placement_rng);
+    // One index-backed membership compilation feeds both backends, so a
+    // paired oracle/chord run sees the same initial ring.
+    let members = place_index(&spec.placement, space, spec.n_initial, &mut placement_rng);
     match backend {
-        Backend::Oracle => run_oracle(spec, seed, space, points),
-        Backend::Chord => run_chord(spec, seed, space, points),
+        Backend::Oracle => run_oracle(spec, seed, space, members),
+        Backend::Chord => run_chord(spec, seed, space, members.points()),
     }
 }
 
@@ -180,30 +186,34 @@ fn run_oracle(
     spec: &ScenarioSpec,
     seed: u64,
     space: KeySpace,
-    points: Vec<Point>,
+    mut members: RingIndex<u64>,
 ) -> SeedRunRecord {
     // Churn against the oracle mutates the membership set only: the
     // oracle's "routing" is always perfectly fresh, so Oracle-vs-Chord
     // deltas under the same churn isolate stale-routing-state effects
-    // from population-change effects.
-    let mut members = points;
+    // from population-change effects. Each event is an O(log n) index
+    // update, so 10^5-member rings churn without rescans or re-sorts.
     if let Some(schedule) = churn_schedule(&spec.churn) {
         let mut churn_rng = StdRng::seed_from_u64(derive_seed(seed, stream::CHURN));
+        let mut next_id = members.len() as u64;
         for event in schedule.generate(&mut churn_rng) {
             match event.kind {
                 simnet::churn::ChurnKind::Join => {
-                    members.push(space.random_point(&mut churn_rng));
+                    members.insert(space.random_point(&mut churn_rng), next_id);
+                    next_id += 1;
                 }
                 simnet::churn::ChurnKind::Leave | simnet::churn::ChurnKind::Crash => {
                     if members.len() > 2 {
-                        let victim = churn_rng.gen_range(0..members.len());
-                        members.swap_remove(victim);
+                        let (point, id) = members
+                            .nth(churn_rng.gen_range(0..members.len()))
+                            .expect("victim rank is in range");
+                        members.remove(point, id);
                     }
                 }
             }
         }
     }
-    let dht = OracleDht::new(SortedRing::new(space, members));
+    let dht = OracleDht::from_index(&members);
     let live = dht.len();
     assert!(live >= 2, "churn left fewer than two live peers");
     let (sampler, estimate_failed) = build_sampler(spec, &dht, 0, live);
@@ -225,6 +235,7 @@ fn run_oracle(
         backend: Backend::Oracle.name().to_string(),
         seed,
         live_peers: live as u64,
+        anchor_point: dht.ring().point(0),
         byzantine_peers: 0,
         samples_ok: tally.ok,
         samples_failed: tally.failed,
@@ -332,6 +343,7 @@ fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>
         backend: Backend::Chord.name().to_string(),
         seed,
         live_peers: live.len() as u64,
+        anchor_point: net.node(anchor).point(),
         byzantine_peers: byzantine.len() as u64,
         samples_ok: tally.ok,
         samples_failed: tally.failed,

@@ -304,6 +304,28 @@ impl ScenarioSpec {
         }
     }
 
+    /// The scale workload: a 10,000-peer ring (10⁴–10⁵ with the sweep
+    /// harness's scale knob) under light crash churn, exercising bulk
+    /// construction and the incremental ground-truth index rather than the
+    /// adversary models. Fewer draws than the small presets — at this size
+    /// the cost of interest is building and churning the ring itself.
+    pub fn preset_scale_stress() -> ScenarioSpec {
+        ScenarioSpec {
+            n_initial: 10_000,
+            churn: ChurnModel::Poisson {
+                arrivals_per_1000_ticks: 50.0,
+                mean_lifetime_ticks: 100_000,
+                crash_fraction: 0.5,
+                horizon_ticks: 10_000,
+            },
+            workload: WorkloadMix {
+                draws: 1_000,
+                estimate_n: false,
+            },
+            ..ScenarioSpec::baseline("scale-stress")
+        }
+    }
+
     /// The standard adversarial battery, one preset per model family.
     pub fn presets() -> Vec<ScenarioSpec> {
         vec![
@@ -312,6 +334,7 @@ impl ScenarioSpec {
             ScenarioSpec::preset_byzantine_routers(),
             ScenarioSpec::preset_clustered_ring(),
             ScenarioSpec::preset_flash_crowd(),
+            ScenarioSpec::preset_scale_stress(),
         ]
     }
 
@@ -497,6 +520,25 @@ mod tests {
         let mut nan = ScenarioSpec::preset_honest_static();
         nan.sampler.n_upper_inflation = f64::NAN;
         assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn scale_stress_preset_is_large_churny_and_paired() {
+        let spec = ScenarioSpec::preset_scale_stress();
+        spec.validate().unwrap();
+        assert!(spec.n_initial >= 10_000);
+        assert!(!spec.churn.is_static(), "scale must exercise churn");
+        assert_eq!(spec.backends, vec![Backend::Oracle, Backend::Chord]);
+    }
+
+    #[test]
+    fn points_serialize_as_plain_numbers_in_reports() {
+        // keyspace's serde feature (tuple-struct derive): a Point is a
+        // bare coordinate in JSON, not a wrapper object.
+        let p = keyspace::Point::new(1234);
+        assert_eq!(serde_json::to_string(&p).unwrap(), "1234");
+        let back: keyspace::Point = serde_json::from_str("1234").unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

@@ -184,6 +184,25 @@ impl Sweep {
         self
     }
 
+    /// Scales every scenario's initial ring size by `scale` (floor 2) —
+    /// the knob that turns a preset battery into a 10⁴–10⁵-node run
+    /// without forking the specs. Draw counts and churn rates are left
+    /// alone: population is the axis being swept.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn with_scale(mut self, scale: f64) -> Sweep {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "scale {scale} must be positive and finite"
+        );
+        for spec in &mut self.specs {
+            spec.n_initial = ((spec.n_initial as f64 * scale).round() as usize).max(2);
+        }
+        self
+    }
+
     /// The task seed for `(scenario_index, seed_index)`.
     ///
     /// Both backends of a pair share it, so they see the same placement
@@ -323,6 +342,18 @@ mod tests {
             .map(|a| a.get("backend").and_then(|v| v.as_str()).unwrap())
             .collect();
         assert_eq!(backends, ["oracle", "chord"]);
+    }
+
+    #[test]
+    fn with_scale_resizes_every_spec() {
+        let mut specs = tiny_specs();
+        specs[0].n_initial = 100;
+        specs[1].n_initial = 30;
+        let sweep = Sweep::new(specs).with_scale(2.5);
+        assert_eq!(sweep.specs[0].n_initial, 250);
+        assert_eq!(sweep.specs[1].n_initial, 75);
+        let shrunk = Sweep::new(tiny_specs()).with_scale(1e-9);
+        assert!(shrunk.specs.iter().all(|s| s.n_initial == 2), "floor at 2");
     }
 
     #[test]

@@ -184,6 +184,54 @@ macro_rules! impl_int {
 }
 impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+// 128-bit integers ride the same `Value::Int(i128)` channel; only values
+// exceeding i128 (u128 above 2^127 − 1) are unrepresentable and rejected
+// at serialization time. The workspace's widest integer (`KeySpace`'s
+// `2^64` modulus) fits comfortably.
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<i128, Error> {
+        match v {
+            Value::Int(i) => Ok(*i),
+            other => Err(Error::new(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // `Serialize::to_value` is infallible by design, so values above
+        // i128::MAX (which this workspace never produces; its widest is
+        // the 2^64 modulus) cannot fail loudly here. Panic rather than
+        // silently writing `null` into a report.
+        match i128::try_from(*self) {
+            Ok(i) => Value::Int(i),
+            Err(_) => panic!("u128 value {self} exceeds the Value::Int range"),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<u128, Error> {
+        match v {
+            Value::Int(i) => u128::try_from(*i)
+                .map_err(|_| Error::new(format!("integer {i} out of range for u128"))),
+            other => Err(Error::new(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 macro_rules! impl_float {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

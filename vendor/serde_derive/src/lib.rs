@@ -6,6 +6,9 @@
 //! Supported shapes — everything this workspace derives on:
 //!
 //! * non-generic `struct` with named fields,
+//! * non-generic tuple `struct` (newtype structs serialize transparently
+//!   as their single field, wider tuples as sequences — upstream serde's
+//!   representations),
 //! * non-generic `enum` whose variants are unit, newtype (one field) or
 //!   struct-like (named fields),
 //!
@@ -48,6 +51,8 @@ fn expand(input: TokenStream, which: Which) -> TokenStream {
 enum Shape {
     /// Named fields, in declaration order.
     Struct(Vec<String>),
+    /// A tuple struct with the given arity.
+    Tuple(usize),
     Enum(Vec<Variant>),
 }
 
@@ -218,21 +223,45 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
             ));
         }
     }
-    let body = match tokens.get(i) {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-            return Err(format!(
-                "`{name}`: tuple structs are unsupported by the vendored serde_derive"
-            ));
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => match keyword.as_str() {
+            "struct" => Shape::Struct(parse_named_fields(g.stream())?),
+            "enum" => Shape::Enum(parse_variants(g.stream())?),
+            other => return Err(format!("cannot derive for `{other}` items")),
+        },
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && keyword == "struct" =>
+        {
+            let arity = count_tuple_fields(g.stream());
+            if arity == 0 {
+                return Err(format!(
+                    "`{name}`: zero-field tuple structs are unsupported by the \
+                     vendored serde_derive"
+                ));
+            }
+            Shape::Tuple(arity)
         }
         other => return Err(format!("expected `{{...}}` body, found `{other:?}`")),
     };
-    let shape = match keyword.as_str() {
-        "struct" => Shape::Struct(parse_named_fields(body)?),
-        "enum" => Shape::Enum(parse_variants(body)?),
-        other => return Err(format!("cannot derive for `{other}` items")),
-    };
     Ok(Item { name, shape })
+}
+
+/// Counts the top-level comma-separated type segments of a tuple-struct
+/// body `(A, B<C, D>, ...)`.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = group.into_iter().collect();
+    let mut segments = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let start = i;
+        i = skip_type(&tokens, i);
+        if i > start {
+            segments += 1;
+        }
+        i += 1; // consume the separating comma, if any
+    }
+    segments
 }
 
 fn gen_serialize(item: &Item) -> String {
@@ -251,6 +280,18 @@ fn gen_serialize(item: &Item) -> String {
             format!(
                 "_serde::value::Value::Map(::std::vec![{}])",
                 entries.join(", ")
+            )
+        }
+        // Newtype structs are transparent; wider tuples are sequences
+        // (upstream serde's representations).
+        Shape::Tuple(1) => "_serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|k| format!("_serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!(
+                "_serde::value::Value::Seq(::std::vec![{}])",
+                items.join(", ")
             )
         }
         Shape::Enum(variants) => {
@@ -320,6 +361,25 @@ fn gen_deserialize(item: &Item) -> String {
                 "let entries = v.as_map().ok_or_else(|| _serde::Error::new(\
                  ::std::format!(\"expected map for struct {name}, found {{}}\", v.kind())))?;\n\
                  ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(_serde::Deserialize::from_value(v)?))")
+        }
+        Shape::Tuple(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|k| format!("_serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| _serde::Error::new(\
+                 ::std::format!(\"expected sequence for tuple struct {name}, found {{}}\", \
+                 v.kind())))?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::std::result::Result::Err(_serde::Error::new(::std::format!(\
+                 \"tuple struct {name} expects {arity} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
                 inits.join(", ")
             )
         }
