@@ -1,0 +1,166 @@
+//! Chord routing-state compaction and incremental ring verification at
+//! scale: the two changes that move chord arms from 10⁴–10⁵ to 10⁶ nodes.
+//!
+//! Besides the criterion groups (at n = 10⁴ so `cargo bench` stays
+//! pleasant), the run measures the headline numbers at the acceptance
+//! size n = 10⁵ and writes one machine-readable point to
+//! `BENCH_chord_scale.json` at the repo root (overwritten each run; the
+//! cross-PR trajectory is the file's git history):
+//!
+//! * **bytes/node** — the struct-of-arrays arena
+//!   (`ChordNetwork::routing_bytes`) vs the pre-arena per-node
+//!   representation, *measured* from the live shadow mirror rather than
+//!   derived from a formula. Bar: ≥ 8× smaller.
+//! * **per-round verification** — polling `verify_ring()` (O(1) read of
+//!   the incrementally maintained ledger) vs the seed's from-scratch
+//!   `verify_ring_full()` re-scan, after a churn batch. Bar: ≥ 20×
+//!   faster.
+//!
+//! With `RP_ENFORCE_BENCH=1` the process exits non-zero when either bar
+//! is missed — CI runs it that way so a regression fails the job.
+
+use std::time::Instant;
+
+use chord::{ChordConfig, ChordNetwork, NodeId};
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use keyspace::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Acceptance size for the JSON point.
+const SCALE_N: usize = 100_000;
+/// Criterion-group size (keeps interactive runs fast).
+const GROUP_N: usize = 10_000;
+
+const MEMORY_BAR: f64 = 8.0;
+const VERIFY_BAR: f64 = 20.0;
+
+fn build(n: usize, seed: u64) -> ChordNetwork {
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(seed);
+    ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut rng, n),
+        ChordConfig::default(),
+    )
+}
+
+/// Crashes `k` spread-out victims so both pollers see a ring with real
+/// pending changes (the incremental ledger absorbed them as deltas).
+fn churn_batch(net: &mut ChordNetwork, k: usize) {
+    let victims: Vec<NodeId> = net
+        .live_ids()
+        .into_iter()
+        .step_by((net.live_len() / k).max(1))
+        .take(k)
+        .collect();
+    for v in victims {
+        net.crash(v);
+    }
+}
+
+fn bench_verify_poll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_poll");
+    let mut net = build(GROUP_N, 7);
+    churn_batch(&mut net, 64);
+    group.bench_with_input(
+        BenchmarkId::new("incremental", GROUP_N),
+        &GROUP_N,
+        |b, _| b.iter(|| black_box(net.verify_ring())),
+    );
+    group.sample_size(20);
+    group.bench_with_input(
+        BenchmarkId::new("full_rescan", GROUP_N),
+        &GROUP_N,
+        |b, _| b.iter(|| black_box(net.verify_ring_full())),
+    );
+    group.finish();
+}
+
+fn bench_bulk_join(c: &mut Criterion) {
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(13);
+    let points = space.random_points(&mut rng, GROUP_N);
+    let mut group = c.benchmark_group("bulk_join");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("chord", GROUP_N), &GROUP_N, |b, _| {
+        b.iter(|| ChordNetwork::bootstrap(space, black_box(points.clone()), ChordConfig::default()))
+    });
+    group.finish();
+}
+
+/// Times `op` and returns mean nanoseconds per iteration.
+fn measure<O>(iters: u32, mut op: impl FnMut() -> O) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(op());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// The acceptance measurement at n = 10⁵, serialized to the repo root.
+fn emit_json_point() -> bool {
+    let build_start = Instant::now();
+    let mut net = build(SCALE_N, 7);
+    let bulk_ms = build_start.elapsed().as_secs_f64() * 1e3;
+
+    // Memory: measured compact bytes vs the measured legacy mirror.
+    net.enable_shadow_mirror();
+    net.assert_shadow_matches();
+    let compact = net.routing_bytes() as f64 / SCALE_N as f64;
+    let legacy = net.shadow_routing_bytes().unwrap() as f64 / SCALE_N as f64;
+    let verifier = net.verifier_bytes() as f64 / SCALE_N as f64;
+    let memory_ratio = legacy / compact;
+
+    // Per-round verification polling, with pending churn deltas absorbed.
+    churn_batch(&mut net, 64);
+    let incr_ns = measure(50_000, || net.verify_ring());
+    let full_ns = measure(10, || net.verify_ring_full());
+    let verify_speedup = full_ns / incr_ns.max(1e-9);
+    let report = net.verify_ring();
+    assert_eq!(report, net.verify_ring_full(), "pollers disagree");
+
+    let body = format!(
+        "[\n  {{\"bench\": \"chord_scale\", \"n\": {SCALE_N}, \
+         \"routing_bytes_per_node\": {compact:.1}, \
+         \"legacy_bytes_per_node\": {legacy:.1}, \
+         \"verifier_bytes_per_node\": {verifier:.1}, \
+         \"memory_ratio\": {memory_ratio:.1}, \"memory_bar\": {MEMORY_BAR}, \
+         \"verify_full_ns\": {full_ns:.0}, \"verify_incremental_ns\": {incr_ns:.1}, \
+         \"verify_speedup\": {verify_speedup:.0}, \"verify_bar\": {VERIFY_BAR}, \
+         \"bulk_join_ms\": {bulk_ms:.0}}}\n]\n"
+    );
+    // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
+    // repo root so the PR driver can diff it across revisions.
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chord_scale.json");
+    match std::fs::write(&path, &body) {
+        Ok(()) => println!("json point -> {}", path.display()),
+        Err(e) => println!("json point not persisted ({e}); {body}"),
+    }
+
+    let memory_ok = memory_ratio >= MEMORY_BAR;
+    let verify_ok = verify_speedup >= VERIFY_BAR;
+    println!(
+        "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
+         (bar {MEMORY_BAR}x, {})",
+        if memory_ok { "ok" } else { "REGRESSED" }
+    );
+    println!(
+        "verify poll: incremental {incr_ns:.1} ns vs full {full_ns:.0} ns => {verify_speedup:.0}x \
+         (bar {VERIFY_BAR}x, {})",
+        if verify_ok { "ok" } else { "REGRESSED" }
+    );
+    memory_ok && verify_ok
+}
+
+criterion_group!(benches, bench_verify_poll, bench_bulk_join);
+
+fn main() {
+    benches();
+    let ok = emit_json_point();
+    if !ok && std::env::var("RP_ENFORCE_BENCH").is_ok() {
+        eprintln!("chord_scale acceptance bars missed (RP_ENFORCE_BENCH set)");
+        std::process::exit(1);
+    }
+}

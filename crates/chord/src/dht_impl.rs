@@ -133,14 +133,14 @@ impl Dht for ChordDht<'_> {
                 .node(p)
                 .successors()
                 .iter()
-                .filter(|&&s| self.net.node(s).is_alive())
+                .filter(|&s| self.net.node(s).is_alive())
                 .count();
             usize::from(live >= 2)
         } else {
             0
         };
         // Probe the successor list in order; each probe is one message.
-        for &cand in self.net.node(p).successors() {
+        for cand in self.net.node(p).successors().iter() {
             cost.messages += 1;
             cost.latency += latency.sample(&mut *rng).ticks();
             if self.net.node(cand).is_alive() {

@@ -1,0 +1,74 @@
+//! The pre-arena per-node representation, kept as an opt-in mirror.
+//!
+//! Before the [`RoutingArena`](crate::arena::RoutingArena) refactor every
+//! node owned a `NodeState` record: a `Vec<Option<NodeId>>` finger table,
+//! a successor `Vec` and a predecessor field. The shadow reproduces that
+//! representation exactly and, when enabled via
+//! [`ChordNetwork::enable_shadow_mirror`], is updated through the same
+//! write funnels as the arena. It serves two purposes:
+//!
+//! * **equivalence testing** — the property suite drives randomized
+//!   join/fail/stabilize interleavings and asserts the compact views are
+//!   bit-for-bit equal to the mirrored plain vectors;
+//! * **honest memory accounting** — `BENCH_chord_scale.json`'s bytes/node
+//!   baseline is measured from these live vectors, not from a formula.
+//!
+//! The mirror is diagnostic-only: nothing reads it on any routing path,
+//! and a network without the mirror never allocates it.
+//!
+//! [`ChordNetwork::enable_shadow_mirror`]: crate::ChordNetwork::enable_shadow_mirror
+
+use keyspace::Point;
+
+use crate::network::NodeId;
+
+/// One node in the legacy layout (the old `NodeState`, minus the
+/// key-value store, which both representations keep out of the routing
+/// accounting).
+pub(crate) struct ShadowNode {
+    pub(crate) point: Point,
+    pub(crate) alive: bool,
+    pub(crate) predecessor: Option<NodeId>,
+    pub(crate) successors: Vec<NodeId>,
+    pub(crate) fingers: Vec<Option<NodeId>>,
+}
+
+/// The whole-network legacy mirror.
+pub(crate) struct Shadow {
+    pub(crate) nodes: Vec<ShadowNode>,
+    finger_bits: usize,
+}
+
+impl Shadow {
+    pub(crate) fn new(finger_bits: usize) -> Shadow {
+        Shadow {
+            nodes: Vec::new(),
+            finger_bits,
+        }
+    }
+
+    pub(crate) fn push(&mut self, point: Point) {
+        self.nodes.push(ShadowNode {
+            point,
+            alive: true,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; self.finger_bits],
+        });
+    }
+
+    /// Live bytes of the legacy routing representation: the per-node
+    /// record plus its finger and successor heap blocks (lengths, not
+    /// capacities — conservative in the mirror's favour).
+    pub(crate) fn routing_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.nodes
+            .iter()
+            .map(|n| {
+                size_of::<ShadowNode>()
+                    + n.fingers.len() * size_of::<Option<NodeId>>()
+                    + n.successors.len() * size_of::<NodeId>()
+            })
+            .sum()
+    }
+}

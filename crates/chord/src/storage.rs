@@ -73,7 +73,7 @@ impl ChordNetwork {
 
         // Write to the owner, then walk its live successors.
         let mut targets = vec![hit.node];
-        for &s in self.node(hit.node).successors() {
+        for s in self.node(hit.node).successors().iter() {
             if targets.len() >= replicas {
                 break;
             }
@@ -84,7 +84,7 @@ impl ChordNetwork {
         for &t in &targets {
             cost.messages += 1;
             cost.latency += latency.sample(rng).ticks();
-            self.node_mut(t).store_mut().insert(key, value.clone());
+            self.store_mut(t).insert(key, value.clone());
         }
         self.metrics().add("storage.put", 1);
         Ok(PutReceipt {
@@ -115,7 +115,7 @@ impl ChordNetwork {
         self.metrics().add("storage.get", 1);
 
         let mut candidates = vec![hit.node];
-        candidates.extend(self.node(hit.node).successors().iter().copied());
+        candidates.extend(self.node(hit.node).successors().iter());
         for &c in &candidates {
             if !self.node(c).is_alive() {
                 continue;
@@ -179,7 +179,7 @@ impl ChordNetwork {
         if let Some(p) = pred {
             for k in &misplaced {
                 let value = self.node(id).store()[k].clone();
-                self.node_mut(p).store_mut().insert(*k, value);
+                self.store_mut(p).insert(*k, value);
                 self.metrics().add("storage.migrate", 1);
             }
         }
@@ -189,7 +189,6 @@ impl ChordNetwork {
             .node(id)
             .successors()
             .iter()
-            .copied()
             .filter(|&s| s != id && self.node(s).is_alive())
             .take(replicas.saturating_sub(1))
             .collect();
@@ -197,7 +196,7 @@ impl ChordNetwork {
             let value = self.node(id).store()[k].clone();
             for &s in &succs {
                 if !self.node(s).store().contains_key(k) {
-                    self.node_mut(s).store_mut().insert(*k, value.clone());
+                    self.store_mut(s).insert(*k, value.clone());
                     self.metrics().add("storage.replicate", 1);
                 }
             }
@@ -221,11 +220,11 @@ impl ChordNetwork {
             .iter()
             .map(|(k, v)| (*k, v.clone()))
             .collect();
-        let store = self.node_mut(target).store_mut();
+        let store = self.store_mut(target);
         for (k, v) in data {
             store.entry(k).or_insert(v);
         }
-        self.node_mut(id).store_mut().clear();
+        self.store_mut(id).clear();
     }
 }
 

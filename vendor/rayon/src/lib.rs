@@ -5,8 +5,12 @@
 //! with one worker per available core. Results keep input order, so a
 //! parallel map is a drop-in, deterministic replacement for the sequential
 //! one whenever the mapped closure is itself deterministic. No work
-//! stealing: items are dealt round-robin-in-chunks up front, which is fine
-//! for the coarse-grained simulation workloads this workspace runs.
+//! stealing: items are dealt up front in *interleaved stripes* (worker `w`
+//! of `W` takes items `w, w + W, w + 2W, …`), so when per-item cost varies
+//! systematically with input position — scenario sweeps order tasks by
+//! scenario, and scenarios differ wildly in cost — every worker gets a
+//! cross-section of cheap and expensive items instead of one worker
+//! drawing the contiguous block of expensive ones and becoming the tail.
 
 #![forbid(unsafe_code)]
 
@@ -25,6 +29,38 @@ fn worker_count(items: usize) -> usize {
         .max(1)
 }
 
+/// Deals `items` into `workers` interleaved stripes: stripe `w` receives
+/// items `w, w + workers, w + 2·workers, …` in that order.
+fn deal_stripes<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let mut stripes: Vec<Vec<T>> = (0..workers)
+        .map(|_| Vec::with_capacity(n.div_ceil(workers)))
+        .collect();
+    for (i, item) in items.into_iter().enumerate() {
+        stripes[i % workers].push(item);
+    }
+    stripes
+}
+
+/// Inverse of [`deal_stripes`]: output index `i` is stripe `i % W`, rank
+/// `i / W`, so the result is in original input order.
+fn reassemble<O>(stripes: Vec<Vec<O>>, n: usize) -> Vec<O> {
+    let mut iters: Vec<std::vec::IntoIter<O>> = stripes.into_iter().map(Vec::into_iter).collect();
+    let mut out = Vec::with_capacity(n);
+    'rounds: loop {
+        for it in iters.iter_mut() {
+            match it.next() {
+                Some(o) => out.push(o),
+                // Stripe lengths are non-increasing, so the first
+                // exhausted stripe ends the reassembly.
+                None => break 'rounds,
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
 /// Maps `items` through `f` on scoped threads, preserving order.
 fn parallel_map_vec<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) -> Vec<O> {
     let n = items.len();
@@ -32,32 +68,19 @@ fn parallel_map_vec<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) 
         return items.into_iter().map(f).collect();
     }
     let workers = worker_count(n);
-    let chunk = n.div_ceil(workers);
-    // Deal the items into per-worker contiguous chunks up front, keeping
-    // chunk index so the output can be reassembled in input order.
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-    let mut items = items;
-    while !items.is_empty() {
-        let tail = items.split_off(items.len().saturating_sub(chunk));
-        chunks.push(tail);
-    }
-    chunks.reverse(); // split_off took suffixes; restore input order
+    let stripes = deal_stripes(items, workers);
     let f = &f;
-    let mut results: Vec<Vec<O>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
+    let results: Vec<Vec<O>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stripes
             .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .map(|stripe| scope.spawn(move || stripe.into_iter().map(f).collect::<Vec<O>>()))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     });
-    let mut out = Vec::with_capacity(n);
-    for part in results.iter_mut() {
-        out.append(part);
-    }
-    out
+    reassemble(results, n)
 }
 
 /// A parallel iterator: a concrete item source plus a mapping pipeline.
@@ -253,6 +276,42 @@ mod tests {
             cores == 1 || threads > 1,
             "expected multi-threaded execution, saw {threads} thread(s)"
         );
+    }
+
+    #[test]
+    fn stripes_are_dealt_interleaved() {
+        // Worker w of W must receive items w, w + W, w + 2W, … — the
+        // dealing order that spreads positionally clustered expensive
+        // items across all workers instead of into one tail chunk.
+        let stripes = crate::deal_stripes((0..10usize).collect(), 3);
+        assert_eq!(
+            stripes,
+            vec![vec![0, 3, 6, 9], vec![1, 4, 7], vec![2, 5, 8]]
+        );
+        // Degenerate shapes: more workers than items, one worker.
+        assert_eq!(
+            crate::deal_stripes((0..2usize).collect(), 4),
+            vec![vec![0], vec![1], vec![], vec![]]
+        );
+        assert_eq!(
+            crate::deal_stripes((0..4usize).collect(), 1),
+            vec![vec![0, 1, 2, 3]]
+        );
+    }
+
+    #[test]
+    fn reassembly_restores_input_order() {
+        for n in [0usize, 1, 2, 5, 9, 10, 11, 64, 257] {
+            for workers in [1usize, 2, 3, 7, 8] {
+                let items: Vec<usize> = (0..n).collect();
+                let stripes = crate::deal_stripes(items.clone(), workers);
+                assert_eq!(
+                    crate::reassemble(stripes, n),
+                    items,
+                    "n = {n}, workers = {workers}"
+                );
+            }
+        }
     }
 
     #[test]
