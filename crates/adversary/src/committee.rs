@@ -1,0 +1,141 @@
+//! Committee-capture arithmetic: what a sampling bias costs the paper's
+//! headline application.
+//!
+//! Scalable Byzantine agreement (§1, Lewis–Saia) elects committees by
+//! repeated uniform draws and is safe while Byzantine members stay below
+//! a majority. The quantity that links sampler bias to protocol failure
+//! is the probability that a committee of `c` i.i.d. draws, each landing
+//! on the adversary with probability `q`, seats a Byzantine majority.
+//! Under an honest sampler `q` is the adversary's *population* share `b`;
+//! a successful coalition attack raises `q` to its *sample* share — and
+//! the capture probability responds exponentially (Chernoff), which is
+//! why a few points of bias translate into orders of magnitude of risk.
+//! The e16 coalition battery reports this number per arm.
+
+/// Exact probability that a committee of `committee_size` i.i.d. draws
+/// with per-draw Byzantine probability `q` contains a strict Byzantine
+/// majority: `P[Bin(c, q) > c/2]`.
+///
+/// Computed by direct summation of the binomial tail in log space
+/// (`ln term_j` accumulated multiplicatively, combined by logsumexp), so
+/// extreme tails neither underflow to a false 0 nor overflow — exact to
+/// rounding for `c ≤ 1000`.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ q ≤ 1` and `committee_size > 0`.
+pub fn majority_capture_probability(q: f64, committee_size: usize) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "per-draw probability {q} outside [0, 1]"
+    );
+    assert!(committee_size > 0, "committee must have members");
+    if q == 0.0 {
+        return 0.0;
+    }
+    if q == 1.0 {
+        return 1.0;
+    }
+    let c = committee_size;
+    // ln term_j = ln C(c, j) + j ln q + (c − j) ln(1 − q), built
+    // incrementally from j = 0; the tail terms (j > c/2) are combined by
+    // max-shifted logsumexp.
+    let (ln_q, ln_p) = (q.ln(), (1.0 - q).ln());
+    let mut ln_term = c as f64 * ln_p;
+    let mut tail_lns = Vec::with_capacity(c / 2 + 1);
+    for j in 0..=c {
+        if 2 * j > c {
+            tail_lns.push(ln_term);
+        }
+        ln_term += ln_q - ln_p + (((c - j) as f64) / ((j + 1) as f64)).ln();
+    }
+    let max_ln = tail_lns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if max_ln == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    let sum: f64 = tail_lns.iter().map(|&t| (t - max_ln).exp()).sum();
+    (max_ln + sum.ln()).exp().clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries() {
+        assert_eq!(majority_capture_probability(0.0, 15), 0.0);
+        assert_eq!(majority_capture_probability(1.0, 15), 1.0);
+    }
+
+    #[test]
+    fn fair_coin_odd_committee_is_half() {
+        // q = 1/2, odd c: majority each way is equally likely.
+        let p = majority_capture_probability(0.5, 15);
+        assert!((p - 0.5).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn single_member_committee_is_q() {
+        let p = majority_capture_probability(0.3, 1);
+        assert!((p - 0.3).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn matches_hand_computed_small_case() {
+        // c = 3, majority = 2 or 3 byzantine:
+        // 3 q² (1−q) + q³ at q = 0.2 → 3·0.04·0.8 + 0.008 = 0.104.
+        let p = majority_capture_probability(0.2, 3);
+        assert!((p - 0.104).abs() < 1e-12, "{p}");
+    }
+
+    #[test]
+    fn capture_explodes_with_bias() {
+        // The Chernoff cliff: doubling q from the population share to a
+        // captured share multiplies the risk by orders of magnitude.
+        let honest = majority_capture_probability(0.1, 15);
+        let biased = majority_capture_probability(0.4, 15);
+        assert!(honest < 1e-4, "{honest}");
+        assert!(biased > 1e-2, "{biased}");
+        assert!(biased / honest > 1e3);
+    }
+
+    #[test]
+    fn larger_committees_are_safer_below_half() {
+        let small = majority_capture_probability(0.25, 5);
+        let large = majority_capture_probability(0.25, 101);
+        assert!(large < small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn extreme_tails_do_not_underflow_to_the_wrong_side() {
+        // 0.3^1000 underflows f64; a linear-space accumulator would
+        // report a certain capture as impossible.
+        let certain = majority_capture_probability(0.7, 1000);
+        assert!(certain > 0.999_999, "{certain}");
+        // The genuinely tiny tail stays tiny but positive.
+        let negligible = majority_capture_probability(0.3, 1000);
+        assert!(negligible > 0.0 && negligible < 1e-30, "{negligible}");
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let mut last = 0.0;
+        for i in 0..=20 {
+            let p = majority_capture_probability(i as f64 / 20.0, 9);
+            assert!(p >= last, "q = {}: {p} < {last}", i as f64 / 20.0);
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_q_panics() {
+        let _ = majority_capture_probability(1.5, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have members")]
+    fn empty_committee_panics() {
+        let _ = majority_capture_probability(0.5, 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Coalition-level Byzantine adversaries and the verified
+//! redundant-sampling defense for King & Saia's uniform peer sampler.
+//!
+//! The per-node `chord::FaultPlan` model covers lone liars; this crate
+//! covers *coalitions* — adversaries that coordinate **where they sit**
+//! on the ring and **which primitive each member lies about** — and the
+//! client-side defense that restores uniformity against them:
+//!
+//! * [`CoalitionStrategy`] / [`compile_coalition`] — sybil arc capture,
+//!   adaptive arc-liars, and coordinated eclipse runs, compiled into
+//!   concrete ring placements (via `ringidx` geometry queries) and
+//!   per-node [`chord::NodeFaults`] behaviour sets that layer onto any
+//!   existing plan through `FaultPlan::merge`.
+//! * [`DefendedSampler`] — the paper's sampler hardened with redundant
+//!   disjoint-entry lookups, the `|I(s, l(h(s)))| < λ` check promoted to
+//!   a quorum rule over route-verified positions, and supplementation by
+//!   verified lookup. Zero-bias off the attack path (bit-identical draws
+//!   to the plain sampler), with the overhead fully attributed through
+//!   the existing cost instrumentation.
+//! * [`majority_capture_probability`] — the committee-election risk a
+//!   given sampler bias implies, the bridge from "chi-square failed" to
+//!   "Byzantine agreement broke".
+//!
+//! The `scenarios` crate wires these into declarative spec presets
+//! (`sybil-arc-capture`, `adaptive-liars`, `eclipse-run`, each
+//! ± defense) and the e16 coalition battery measures attack bias, defense
+//! restoration, and defense cost side by side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coalition;
+mod committee;
+mod defense;
+
+pub use coalition::{compile_coalition, sybil_ids, CoalitionStrategy, CompiledCoalition};
+pub use committee::majority_capture_probability;
+pub use defense::{spread_verified_views, DefendedOutcome, DefendedSample, DefendedSampler};

@@ -1,0 +1,95 @@
+//! The defense's zero-bias property: under an honest network
+//! (`AdversaryModel::Honest` in scenario terms — empty fault plan, no
+//! churn), `DefendedSampler` draws are **bit-identical** to the plain
+//! `Sampler`'s for the same seed: same peers, same points, same trial
+//! counts. The defense must cost messages, never distort the
+//! distribution it protects.
+//!
+//! Randomized over ring sizes, placements and seeds on both backends
+//! (oracle directly; Chord through single- and multi-view quorums).
+
+use adversary::DefendedSampler;
+use chord::{ChordConfig, ChordDht, ChordNetwork};
+use keyspace::{KeySpace, Point, SortedRing};
+use peer_sampling::{OracleDht, Sampler, SamplerConfig};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const MODULUS: u128 = 1 << 14;
+
+/// Arbitrary distinct peer points on a small ring, pathological
+/// placements included.
+fn arb_points() -> impl Strategy<Value = Vec<Point>> {
+    btree_set(0u64..(MODULUS as u64), 3..48)
+        .prop_map(|points| points.into_iter().map(Point::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Oracle backend, single view: the defended accept/reject map is the
+    /// plain sampler's, draw for draw.
+    #[test]
+    fn oracle_defended_draws_match_plain_bitwise(
+        points in arb_points(),
+        seed in 0u64..1_000,
+    ) {
+        let space = KeySpace::with_modulus(MODULUS).unwrap();
+        let n = points.len() as u64;
+        let dht = OracleDht::new(SortedRing::new(space, points));
+        let config = SamplerConfig::new(n);
+        prop_assume!(config.lambda(space).is_ok());
+        let plain = Sampler::new(config);
+        let defended = DefendedSampler::new(config);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for _ in 0..24 {
+            let a = plain.sample(&dht, &mut rng_a).unwrap();
+            let b = defended.sample(&[&dht], &mut rng_b).unwrap();
+            prop_assert_eq!(a.peer, b.peer);
+            prop_assert_eq!(a.point, b.point);
+            prop_assert_eq!(a.trials, b.trials);
+            prop_assert_eq!(b.quorum_failures, 0);
+        }
+    }
+
+    /// Chord backend, honest overlay, a 3-view quorum anchored at
+    /// distinct entries: still bit-identical to the plain sampler running
+    /// on the first view.
+    #[test]
+    fn chord_defended_quorum_matches_plain_bitwise(
+        points in arb_points(),
+        seed in 0u64..1_000,
+    ) {
+        let space = KeySpace::with_modulus(MODULUS).unwrap();
+        let n = points.len() as u64;
+        let net = ChordNetwork::bootstrap(space, points, ChordConfig::default());
+        let live = net.live_ids();
+        let config = SamplerConfig::new(n);
+        prop_assume!(config.lambda(space).is_ok());
+
+        let plain_view = ChordDht::new(&net, live[0], seed ^ 1);
+        let v0 = ChordDht::new(&net, live[0], seed ^ 1).with_verified_positions();
+        let v1 = ChordDht::new(&net, live[live.len() / 3], seed ^ 2).with_verified_positions();
+        let v2 = ChordDht::new(&net, live[2 * live.len() / 3], seed ^ 3).with_verified_positions();
+        let views = [&v0, &v1, &v2];
+
+        let plain = Sampler::new(config);
+        let defended = DefendedSampler::new(config);
+        let mut rng_a = StdRng::seed_from_u64(seed);
+        let mut rng_b = StdRng::seed_from_u64(seed);
+        for _ in 0..12 {
+            let a = plain.sample(&plain_view, &mut rng_a).unwrap();
+            let b = defended.sample(&views, &mut rng_b).unwrap();
+            prop_assert_eq!(a.peer, b.peer, "defense must not re-route honest draws");
+            prop_assert_eq!(a.point, b.point);
+            prop_assert_eq!(a.trials, b.trials);
+            prop_assert_eq!(b.quorum_failures, 0);
+            // The redundancy is paid for in messages: three routed
+            // lookups per resolution can't be cheaper than one.
+            prop_assert!(b.cost.messages >= a.cost.messages);
+        }
+    }
+}

@@ -108,6 +108,70 @@ pub fn simulate_elections(
     }
 }
 
+/// Elects committees through an arbitrary fallible draw — the bridge
+/// from `IndexSampler` micro-benchmarks to *end-to-end* elections run
+/// over a real DHT-backed sampler (plain or defended).
+///
+/// `draw` returns `Some(is_byzantine)` for a successful sample and `None`
+/// when the draw failed (routing failure, trial exhaustion, quorum
+/// exhaustion). A failed draw invalidates its election — Byzantine
+/// agreement cannot seat a partial committee — so the report's
+/// `elections` counts completed elections and `failed_elections` the
+/// abandoned ones.
+///
+/// # Panics
+///
+/// Panics if sizes are zero or every election fails.
+pub fn simulate_elections_via<F>(
+    mut draw: F,
+    committee_size: usize,
+    elections: u32,
+) -> (CommitteeReport, u32)
+where
+    F: FnMut() -> Option<bool>,
+{
+    assert!(committee_size > 0, "committee must have members");
+    assert!(elections > 0, "need at least one election");
+    let mut captures = 0u32;
+    let mut byz_total = 0u64;
+    let mut completed = 0u32;
+    let mut failed_elections = 0u32;
+    for _ in 0..elections {
+        let mut byz = 0usize;
+        let mut abandoned = false;
+        for _ in 0..committee_size {
+            match draw() {
+                Some(true) => byz += 1,
+                Some(false) => {}
+                None => {
+                    abandoned = true;
+                    break;
+                }
+            }
+        }
+        if abandoned {
+            failed_elections += 1;
+            continue;
+        }
+        completed += 1;
+        byz_total += byz as u64;
+        if 2 * byz > committee_size {
+            captures += 1;
+        }
+    }
+    assert!(completed > 0, "every election failed");
+    (
+        CommitteeReport {
+            capture_rate: captures as f64 / completed as f64,
+            mean_byzantine_fraction: byz_total as f64
+                / (completed as u64 * committee_size as u64) as f64,
+            committee_size,
+            elections: completed,
+        },
+        failed_elections,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +260,125 @@ mod tests {
         assert_eq!(report.mean_byzantine_fraction, 1.0);
         assert_eq!(report.committee_size, 3);
         assert_eq!(report.elections, 100);
+    }
+
+    #[test]
+    fn elections_via_draws_count_failures_per_election() {
+        // Draws cycle byz, honest, FAIL: every third election attempt
+        // dies; completed ones carry one byzantine of three members.
+        let mut i = 0u32;
+        let (report, failed) = simulate_elections_via(
+            || {
+                i += 1;
+                match i % 7 {
+                    0 => None,
+                    k => Some(k % 3 == 0),
+                }
+            },
+            3,
+            50,
+        );
+        assert!(failed > 0, "the failing draw must abandon elections");
+        assert_eq!(report.committee_size, 3);
+        assert!(report.elections > 0 && report.elections < 50);
+        assert!(report.capture_rate < 1.0);
+    }
+
+    /// The end-to-end defended election experiment: a real Chord overlay
+    /// seized by a sybil coalition, committees elected through the
+    /// *actual* sampler stack. Undefended elections collapse (the
+    /// coalition owns most committees); defended elections are as safe as
+    /// the honest baseline predicts.
+    #[test]
+    fn defended_elections_restore_committee_safety_on_chord() {
+        use adversary::{compile_coalition, sybil_ids, CoalitionStrategy, DefendedSampler};
+        use chord::{ChordConfig, ChordDht, ChordNetwork, FaultPlan};
+        use peer_sampling::{Sampler, SamplerConfig};
+
+        let space = KeySpace::full();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let honest_points = space.random_points(&mut rng, 120);
+        let honest = ringidx::RingIndex::bulk(
+            space,
+            honest_points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, i as u64))
+                .collect(),
+        );
+        let coalition = compile_coalition(CoalitionStrategy::SybilArcCapture, &honest, 13);
+
+        let mut points = honest_points.clone();
+        points.extend(coalition.sybil_points.iter().copied());
+        let net = ChordNetwork::bootstrap(space, points, ChordConfig::default());
+        let live = net.live_ids();
+        let sybils: std::collections::HashSet<_> = sybil_ids(&net, &coalition.sybil_points)
+            .into_iter()
+            .collect();
+        let plan = FaultPlan::with_behavior(sybils.iter().copied(), coalition.behavior);
+        let anchor = live
+            .iter()
+            .copied()
+            .find(|id| !sybils.contains(id))
+            .expect("honest anchor");
+
+        let config = SamplerConfig::new(live.len() as u64).with_max_trials(256);
+        let committee = 9;
+        let elections = 120;
+
+        // Undefended: the plain sampler believes the coalition's lies.
+        let dht = ChordDht::new(&net, anchor, 72).with_fault_plan(plan.clone());
+        let sampler = Sampler::new(config);
+        let (attacked, _) = simulate_elections_via(
+            || {
+                sampler
+                    .sample(&dht, &mut rng)
+                    .ok()
+                    .map(|s| sybils.contains(&s.peer))
+            },
+            committee,
+            elections,
+        );
+
+        // Defended: quorum-verified redundant sampling over 3 entries,
+        // built by the same helper the scenario runner ships.
+        let views = adversary::spread_verified_views(&net, anchor, &plan, 3, 73);
+        let view_refs: Vec<&ChordDht> = views.iter().collect();
+        let defended_sampler = DefendedSampler::new(config);
+        let (defended, _) = simulate_elections_via(
+            || {
+                defended_sampler
+                    .sample(&view_refs, &mut rng)
+                    .ok()
+                    .map(|s| sybils.contains(&s.peer))
+            },
+            committee,
+            elections,
+        );
+
+        let population_share = sybils.len() as f64 / live.len() as f64;
+        assert!(
+            attacked.mean_byzantine_fraction > 3.0 * population_share,
+            "attack must flood committees: {} vs population {}",
+            attacked.mean_byzantine_fraction,
+            population_share
+        );
+        assert!(
+            attacked.capture_rate > 0.5,
+            "undefended capture rate {} should be catastrophic",
+            attacked.capture_rate
+        );
+        assert!(
+            defended.capture_rate < 0.05,
+            "defended capture rate {} should be near the honest baseline",
+            defended.capture_rate
+        );
+        assert!(
+            (defended.mean_byzantine_fraction - population_share).abs() < 0.08,
+            "defended committees mirror the population: {} vs {}",
+            defended.mean_byzantine_fraction,
+            population_share
+        );
     }
 
     #[test]

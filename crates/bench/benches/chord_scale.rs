@@ -34,6 +34,11 @@ const GROUP_N: usize = 10_000;
 
 const MEMORY_BAR: f64 = 8.0;
 const VERIFY_BAR: f64 = 20.0;
+/// Budget for the verification ledger's reverse indexes
+/// (`ChordNetwork::verifier_bytes`), the footprint ROADMAP names as the
+/// next scale wall: ~101 B/node today, gated so it cannot creep past the
+/// routing state it verifies (~134 B/node) unnoticed.
+const VERIFIER_BYTES_BUDGET: f64 = 150.0;
 
 fn build(n: usize, seed: u64) -> ChordNetwork {
     let space = KeySpace::full();
@@ -125,6 +130,7 @@ fn emit_json_point() -> bool {
          \"routing_bytes_per_node\": {compact:.1}, \
          \"legacy_bytes_per_node\": {legacy:.1}, \
          \"verifier_bytes_per_node\": {verifier:.1}, \
+         \"verifier_bytes_budget\": {VERIFIER_BYTES_BUDGET}, \
          \"memory_ratio\": {memory_ratio:.1}, \"memory_bar\": {MEMORY_BAR}, \
          \"verify_full_ns\": {full_ns:.0}, \"verify_incremental_ns\": {incr_ns:.1}, \
          \"verify_speedup\": {verify_speedup:.0}, \"verify_bar\": {VERIFY_BAR}, \
@@ -141,6 +147,7 @@ fn emit_json_point() -> bool {
 
     let memory_ok = memory_ratio >= MEMORY_BAR;
     let verify_ok = verify_speedup >= VERIFY_BAR;
+    let verifier_ok = verifier <= VERIFIER_BYTES_BUDGET;
     println!(
         "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
          (bar {MEMORY_BAR}x, {})",
@@ -151,7 +158,11 @@ fn emit_json_point() -> bool {
          (bar {VERIFY_BAR}x, {})",
         if verify_ok { "ok" } else { "REGRESSED" }
     );
-    memory_ok && verify_ok
+    println!(
+        "verifier ledger: {verifier:.1} B/node (budget {VERIFIER_BYTES_BUDGET}, {})",
+        if verifier_ok { "ok" } else { "REGRESSED" }
+    );
+    memory_ok && verify_ok && verifier_ok
 }
 
 criterion_group!(benches, bench_verify_poll, bench_bulk_join);

@@ -1,23 +1,35 @@
 //! E16 — the adversarial scenario battery.
 //!
 //! Runs the `scenarios` crate's preset battery (honest-static,
-//! crash-churn, byzantine-routers, clustered-ring, flash-crowd) as a
-//! parallel multi-seed sweep against **both** DHT backends, emits the full
-//! structured JSON report to `target/e16_scenarios.json`, and summarizes
-//! one table row per scenario × backend.
+//! crash-churn with a stale-oracle arm, byzantine-routers,
+//! clustered-ring, flash-crowd) as a parallel multi-seed sweep against
+//! every backend the specs name, emits the full structured JSON report to
+//! `target/e16_scenarios.json`, and summarizes one table row per
+//! scenario × backend. A second table runs the **coalition battery**:
+//! every `adversary` strategy × budget `b ∈ {0.05, 0.1}` × {undefended,
+//! defended}, asserting the attack→defense loop end to end.
 //!
 //! The headline comparisons:
 //!
 //! * honest-static is the control: near-zero TV distance, no failures, on
 //!   both backends — Theorem 6 survives the trip from oracle to Chord.
 //! * crash-churn and flash-crowd measure what churn costs: failure rate
-//!   and message inflation on Chord vs the membership-only oracle.
+//!   and message inflation on Chord vs the membership-only oracle; the
+//!   crash-churn *stale-oracle* arm splits that delta further into
+//!   staleness cost (oracle vs stale) and routing-repair cost (stale vs
+//!   chord).
 //! * byzantine-routers shows the capture attack: the adversary's sample
 //!   share vs its population share on Chord (the oracle arm is immune).
 //! * clustered-ring stresses the geometry: cost and uniformity on a ring
 //!   that violates the i.i.d. placement assumption.
+//! * the coalition battery demands, per strategy and budget: the
+//!   undefended sampler *fails* chi-square uniformity on every seed, the
+//!   defended sampler *passes* it, committee-capture probability returns
+//!   to within 2× of the uniform baseline, and the defense overhead is
+//!   reported in messages per accepted sample.
 
-use scenarios::{Backend, ScenarioSpec, Sweep, SweepReport};
+use adversary::majority_capture_probability;
+use scenarios::{Backend, ScenarioSpec, Sweep, SweepReport, COMMITTEE_SIZE};
 
 use crate::{fmt_f, ExpContext, Table};
 
@@ -149,11 +161,29 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
     table
 }
 
-/// Runs the sweep and renders the summary table.
-pub fn run(ctx: &ExpContext) -> Table {
+/// Runs the preset sweep and the coalition battery and renders one
+/// summary table for each.
+///
+/// `RP_COALITION=only` skips the preset sweep (the CI smoke job's
+/// dedicated coalition step); `RP_COALITION=off` skips the coalition
+/// battery; `RP_SCALE=<n>` runs the scale arms instead of either.
+pub fn run(ctx: &ExpContext) -> Vec<Table> {
     if let Some(oracle_n) = scale_from_env() {
-        return run_scale(ctx, oracle_n);
+        return vec![run_scale(ctx, oracle_n)];
     }
+    let mode = std::env::var("RP_COALITION").unwrap_or_default();
+    match mode.as_str() {
+        "only" => vec![run_coalition(ctx)],
+        "off" => vec![run_presets(ctx)],
+        "" | "on" => vec![run_presets(ctx), run_coalition(ctx)],
+        // A CI typo must fail the job loudly, not silently run the wrong
+        // battery set (same policy as RP_SCALE).
+        other => panic!("RP_COALITION={other:?} is not one of only/off/on"),
+    }
+}
+
+/// The preset battery sweep and its table.
+fn run_presets(ctx: &ExpContext) -> Table {
     let specs = battery(ctx);
     let seeds = if ctx.quick { 4 } else { 8 };
     let report = Sweep::new(specs)
@@ -197,6 +227,157 @@ pub fn run(ctx: &ExpContext) -> Table {
     table
 }
 
+/// The coalition battery: strategy × budget × {undefended, defended},
+/// with per-arm bias and committee-capture verdicts.
+fn run_coalition(ctx: &ExpContext) -> Table {
+    // Quick mode shrinks to the 10% budget at small n — the smoke shape;
+    // the full battery is the acceptance grid.
+    let (fractions, seeds): (&[f64], u32) = if ctx.quick {
+        (&[0.10], 2)
+    } else {
+        (&[0.05, 0.10], 6)
+    };
+    let mut specs = ScenarioSpec::coalition_battery(fractions);
+    if ctx.quick {
+        for spec in &mut specs {
+            spec.n_initial = 96;
+            spec.workload.draws = 1_500;
+        }
+    }
+    let report = Sweep::new(specs)
+        .with_master_seed(ctx.stream(16, 2))
+        .with_seeds(seeds)
+        .run();
+    let json = report.to_json_pretty();
+    let json_path = persist_named_report(&json, "e16_coalition.json");
+
+    let mut table = Table::new(
+        "E16-coalition: coalition attacks vs the verified-sampling defense (chord)",
+        "every coalition strategy breaks chi-square uniformity undefended and is \
+         restored by quorum-verified redundant sampling, with committee capture back at \
+         the uniform baseline and the defense overhead priced in messages per sample",
+        &[
+            "scenario",
+            "live",
+            "byz_pop",
+            "byz_share",
+            "chi_p_max",
+            "capture_p",
+            "capture_uniform",
+            "msgs/draw",
+            "quorum_fails",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            table.push_row(vec![
+                scenario.spec.name.clone(),
+                fmt_f(agg.live_peers_mean),
+                fmt_f(agg.byzantine_population_share_mean),
+                fmt_f(agg.byzantine_sample_share_mean),
+                format!("{:.1e}", agg.chi_square_p_max),
+                format!("{:.1e}", agg.committee_capture_p_mean),
+                format!("{:.1e}", agg.committee_capture_p_uniform_mean),
+                fmt_f(agg.messages_mean),
+                fmt_f(agg.quorum_failures_mean),
+            ]);
+        }
+    }
+    table.set_verdict(coalition_verdict(&report, ctx.quick, &json_path));
+    table
+}
+
+/// Pairs each undefended arm with its `-defended` partner and checks the
+/// acceptance criteria.
+fn coalition_verdict(report: &SweepReport, quick: bool, json_path: &str) -> String {
+    // Capture probabilities are recomputed from the *mean* sample share
+    // (capture is convex in the share, so per-seed means overweight noisy
+    // high seeds). Quick mode runs 2 seeds × 1,500 draws, so its share
+    // estimate is noisier; the restoration bound widens accordingly.
+    let restore_bar = if quick { 3.0 } else { 2.0 };
+    let mut checks = Vec::new();
+    let mut ok = true;
+    let mut pairs = 0;
+    for scenario in &report.scenarios {
+        let name = &scenario.spec.name;
+        if name.ends_with("-defended") {
+            continue;
+        }
+        let attack = &scenario.aggregates[0];
+        let Some(defended) = report
+            .scenarios
+            .iter()
+            .find(|s| s.spec.name == format!("{name}-defended"))
+            .map(|s| &s.aggregates[0])
+        else {
+            ok = false;
+            checks.push(format!("{name}: no defended arm"));
+            continue;
+        };
+        pairs += 1;
+        // Both arms must actually sample: trial exhaustion would leave
+        // the bias (and its chi-square, sentinel -1.0) unmeasured, not
+        // absent.
+        if attack.fail_rate_mean > 0.05 || defended.fail_rate_mean > 0.05 {
+            ok = false;
+            checks.push(format!(
+                "{name}: draws failing (attack {:.3}, defended {:.3})",
+                attack.fail_rate_mean, defended.fail_rate_mean
+            ));
+        }
+        // Attack lands: uniformity measured and failing on every seed.
+        if attack.chi_square_p_max > 1e-4 || attack.chi_square_p_max < 0.0 {
+            ok = false;
+            checks.push(format!(
+                "{name}: attack p_max {:.1e}",
+                attack.chi_square_p_max
+            ));
+        }
+        // Defense restores: uniformity passes on every seed.
+        if defended.chi_square_p_min < 1e-4 {
+            ok = false;
+            checks.push(format!(
+                "{name}: defended p_min {:.1e}",
+                defended.chi_square_p_min
+            ));
+        }
+        // Committee capture returns to the uniform baseline's
+        // neighbourhood.
+        let restored =
+            majority_capture_probability(defended.byzantine_sample_share_mean, COMMITTEE_SIZE);
+        let baseline =
+            majority_capture_probability(defended.byzantine_population_share_mean, COMMITTEE_SIZE)
+                .max(1e-12);
+        if restored > restore_bar * baseline {
+            ok = false;
+            checks.push(format!(
+                "{name}: capture {restored:.1e} > {restore_bar}x baseline {baseline:.1e}"
+            ));
+        }
+        // The defense must cost something measurable — a free defense
+        // means the redundant lookups silently stopped running.
+        if defended.messages_mean <= attack.messages_mean {
+            ok = false;
+            checks.push(format!(
+                "{name}: defense overhead vanished ({} <= {})",
+                defended.messages_mean, attack.messages_mean
+            ));
+        }
+    }
+    format!(
+        "{}: {} attack/defense pairs x {} seeds; json -> {}{}",
+        if ok && pairs > 0 { "HOLDS" } else { "CHECK" },
+        pairs,
+        report.seeds_per_scenario,
+        json_path,
+        if checks.is_empty() {
+            String::new()
+        } else {
+            format!("; flagged: {}", checks.join(", "))
+        }
+    )
+}
+
 /// Writes the JSON report under `target/`; falls back to stdout-only when
 /// the directory is not writable (e.g. read-only CI caches).
 fn persist_report(json: &str) -> String {
@@ -219,6 +400,19 @@ fn verdict(report: &SweepReport, json_path: &str) -> String {
     let mut ok = true;
     for scenario in &report.scenarios {
         for agg in &scenario.aggregates {
+            // The stale-oracle arm is *supposed* to fail draws (that is
+            // the staleness cost it measures); it only has to stay
+            // usable.
+            if agg.backend == "stale-oracle" {
+                if agg.fail_rate_mean == 0.0 || agg.fail_rate_mean > 0.6 {
+                    ok = false;
+                    checks.push(format!(
+                        "{}:stale-oracle fail={:.3} (expected in (0, 0.6])",
+                        scenario.spec.name, agg.fail_rate_mean
+                    ));
+                }
+                continue;
+            }
             match scenario.spec.name.as_str() {
                 // Honest rings: no failures, uniformity intact.
                 "honest-static" | "clustered-ring"
@@ -285,10 +479,27 @@ mod tests {
             quick: true,
             ..ExpContext::default()
         };
-        let t = run(&ctx);
-        // 3 quick scenarios x 2 backends.
+        let t = run_presets(&ctx);
+        // 3 quick scenarios x 2 backends, plus crash-churn's stale arm.
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn quick_coalition_battery_holds() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run_coalition(&ctx);
+        // 3 strategies x 1 budget x {attack, defended}.
         assert_eq!(t.rows.len(), 6);
         assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+        assert!(
+            t.verdict.contains("3 attack/defense pairs"),
+            "{}",
+            t.verdict
+        );
     }
 
     #[test]
@@ -300,7 +511,9 @@ mod tests {
         let specs = battery(&ctx);
         assert_eq!(specs.len(), 3);
         for spec in specs {
-            assert_eq!(spec.backends.len(), 2, "{}", spec.name);
+            assert!(spec.backends.len() >= 2, "{}", spec.name);
+            assert!(spec.backends.contains(&Backend::Oracle), "{}", spec.name);
+            assert!(spec.backends.contains(&Backend::Chord), "{}", spec.name);
         }
     }
 

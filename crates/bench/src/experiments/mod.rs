@@ -52,7 +52,7 @@ pub fn run(id: &str, ctx: &ExpContext) -> Option<Vec<Table>> {
         "e13" => vec![e13_ablation::run(ctx)],
         "e14" => vec![e14_weighted::run(ctx)],
         "e15" => vec![e15_storage::run(ctx)],
-        "e16" => vec![e16_scenarios::run(ctx)],
+        "e16" => e16_scenarios::run(ctx),
         _ => return None,
     };
     Some(tables)

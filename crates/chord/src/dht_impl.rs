@@ -48,6 +48,11 @@ pub struct ChordDht<'a> {
     start: NodeId,
     rng: RefCell<StdRng>,
     faults: FaultPlan,
+    /// The plan `h` lookups route under: equal to `faults`, except that a
+    /// verifying client strips ownership claims (a naked claim cannot
+    /// terminate an iterative lookup it drives itself).
+    route_faults: FaultPlan,
+    verified_positions: bool,
 }
 
 impl<'a> ChordDht<'a> {
@@ -66,6 +71,8 @@ impl<'a> ChordDht<'a> {
             start,
             rng: RefCell::new(StdRng::seed_from_u64(latency_seed)),
             faults: FaultPlan::none(),
+            route_faults: FaultPlan::none(),
+            verified_positions: false,
         }
     }
 
@@ -74,6 +81,39 @@ impl<'a> ChordDht<'a> {
     /// behaviours (see [`FaultPlan`]).
     pub fn with_fault_plan(mut self, faults: FaultPlan) -> ChordDht<'a> {
         self.faults = faults;
+        self.route_faults = if self.verified_positions {
+            self.faults.clone().without_ownership_claims()
+        } else {
+            self.faults.clone()
+        };
+        self
+    }
+
+    /// Only accepts `h(x)` answer positions corroborated by the overlay's
+    /// own tables (the neighbours and routing hops that learned the
+    /// answer node's point at join time), never a per-answer assertion.
+    ///
+    /// By default a resolved peer confirms its own ring position — the
+    /// natural reading of the paper's cost model, where `l(h(s))` travels
+    /// in the final response — which is the surface both position lies
+    /// forge: a capturing hop reports the target itself
+    /// ([`FaultPlan::claims_ownership`]) and an adaptive arc-liar
+    /// stretches its arc ([`FaultPlan::forges_owned_position`]). A
+    /// verifying client demands interval evidence instead, with two
+    /// consequences:
+    ///
+    /// * every answer carries the resolved node's true ring point (the
+    ///   position its neighbours learned at join time);
+    /// * a naked ownership claim cannot *terminate* the lookup — the
+    ///   client drives the iterative routing itself, and a hop whose
+    ///   claim carries no corroborating evidence is simply routed past
+    ///   (the capture attack degrades from redirection to nothing; what
+    ///   remains for the adversary on `h` is at most denial, which the
+    ///   quorum's redundant entries in `adversary::DefendedSampler`
+    ///   absorb).
+    pub fn with_verified_positions(mut self) -> ChordDht<'a> {
+        self.verified_positions = true;
+        self.route_faults = self.faults.clone().without_ownership_claims();
         self
     }
 
@@ -104,13 +144,34 @@ impl Dht for ChordDht<'_> {
         let mut rng = self.rng.borrow_mut();
         match self
             .net
-            .find_successor_with_faults(self.start, x, &self.faults, &mut *rng)
+            .find_successor_with_faults(self.start, x, &self.route_faults, &mut *rng)
         {
-            Ok(hit) => Ok(Resolved {
-                peer: hit.node,
-                point: hit.point,
-                cost: hit.cost,
-            }),
+            Ok(hit) => {
+                let point = if self.verified_positions {
+                    // Verified mode: only positions corroborated by the
+                    // network's own tables are trusted, so every answer
+                    // carries the resolved node's true ring point — a
+                    // capturing hop or forging owner can still *name*
+                    // itself, but cannot place itself; the sampler's
+                    // exact interval check then does the rejecting.
+                    self.net.node(hit.node).point()
+                } else if hit.node != self.start && self.faults.forges_owned_position(hit.node) {
+                    // The adaptive arc-liar: the genuine owner of `x`
+                    // confirms ownership but self-reports its position as
+                    // the target, stretching the SMALL acceptance over
+                    // its whole trailing arc. The origin never lies to
+                    // itself.
+                    self.net.metrics().incr("lookup.forged_position");
+                    x
+                } else {
+                    hit.point
+                };
+                Ok(Resolved {
+                    peer: hit.node,
+                    point,
+                    cost: hit.cost,
+                })
+            }
             Err(e) => Err(lookup_to_dht_error(e)),
         }
     }
@@ -331,6 +392,63 @@ mod tests {
             "10% Byzantine routers captured only {:.1}% of samples",
             share * 100.0
         );
+    }
+
+    #[test]
+    fn arc_liar_forges_self_reported_position_but_not_route_position() {
+        use crate::NodeFaults;
+        let net = bootstrap(128, 41);
+        let anchor = net.live_ids()[0];
+        let mut rng = StdRng::seed_from_u64(42);
+        // Find a target owned by a remote node.
+        let (x, owner) = loop {
+            let x = net.space().random_point(&mut rng);
+            let honest = ChordDht::new(&net, anchor, 43);
+            let hit = honest.h(x).unwrap();
+            if hit.peer != anchor {
+                break (x, hit);
+            }
+        };
+        assert_ne!(owner.point, x, "pick a target off the owner's point");
+        let plan = FaultPlan::with_behavior(
+            [owner.peer],
+            NodeFaults {
+                forge_owned_position: true,
+                ..NodeFaults::HONEST
+            },
+        );
+        // Undefended view: the owner's self-report is the forged target.
+        let lying = ChordDht::new(&net, anchor, 43).with_fault_plan(plan.clone());
+        let forged = lying.h(x).unwrap();
+        assert_eq!(forged.peer, owner.peer, "ownership is genuine");
+        assert_eq!(forged.point, x, "position is forged to the target");
+        // Verified-position view: the route's table knowledge survives.
+        let defended = ChordDht::new(&net, anchor, 43)
+            .with_fault_plan(plan)
+            .with_verified_positions();
+        let routed = defended.h(x).unwrap();
+        assert_eq!(routed.peer, owner.peer);
+        assert_eq!(routed.point, owner.point, "route position is honest");
+    }
+
+    #[test]
+    fn arc_liar_never_lies_to_itself() {
+        use crate::NodeFaults;
+        let net = bootstrap(32, 44);
+        let anchor = net.live_ids()[3];
+        let plan = FaultPlan::with_behavior(
+            [anchor],
+            NodeFaults {
+                forge_owned_position: true,
+                ..NodeFaults::HONEST
+            },
+        );
+        let dht = ChordDht::new(&net, anchor, 45).with_fault_plan(plan);
+        // A target the anchor itself owns: the self-report is honest.
+        let own_point = net.node(anchor).point();
+        let hit = dht.h(own_point).unwrap();
+        assert_eq!(hit.peer, anchor);
+        assert_eq!(hit.point, own_point);
     }
 
     #[test]

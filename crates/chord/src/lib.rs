@@ -66,7 +66,7 @@ pub use arena::{Fingers, NodeRef, Successors};
 pub use churn_sim::{ChurnReport, ChurnSimulation};
 pub use config::ChordConfig;
 pub use dht_impl::ChordDht;
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, NodeFaults};
 pub use lookup::{LookupError, LookupResult};
 pub use network::{ChordNetwork, NodeId, RingReport};
 pub use storage::{GetResult, PutReceipt};

@@ -51,9 +51,9 @@ mod spec;
 mod sweep;
 
 pub use placement::{place_index, place_points};
-pub use run::{run_scenario_seed, SeedRunRecord};
+pub use run::{run_scenario_seed, SeedRunRecord, COMMITTEE_SIZE};
 pub use spec::{
-    AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, PlacementModel,
-    SamplerTuning, ScenarioSpec, WorkloadMix,
+    AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, CoalitionStrategySpec,
+    DefenseModel, PlacementModel, SamplerTuning, ScenarioSpec, WorkloadMix,
 };
 pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

@@ -6,6 +6,7 @@
 //! `(spec, backend, seed)` — the property the parallel sweep runner relies
 //! on for deterministic reports.
 
+use adversary::{compile_coalition, majority_capture_probability, sybil_ids, DefendedSampler};
 use chord::{ChordConfig, ChordDht, ChurnSimulation, FaultPlan, NodeId};
 use keyspace::{KeySpace, Point};
 use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
@@ -19,7 +20,13 @@ use simnet::SimDuration;
 use stats::divergence;
 
 use crate::placement::place_index;
-use crate::{AdversaryModel, Backend, ChurnModel, ScenarioSpec};
+use crate::{AdversaryModel, Backend, ChurnModel, DefenseModel, ScenarioSpec};
+
+/// Committee size used for the per-record capture-probability figures:
+/// small enough that honest capture probability is printable, large
+/// enough that the Chernoff cliff between honest and biased shares is
+/// orders of magnitude.
+pub const COMMITTEE_SIZE: usize = 15;
 
 /// Independent random streams a run derives from its seed.
 mod stream {
@@ -67,6 +74,15 @@ pub struct SeedRunRecord {
     pub byzantine_population_share: f64,
     /// Fraction of successful draws that landed on a Byzantine peer.
     pub byzantine_sample_share: f64,
+    /// Probability a [`COMMITTEE_SIZE`]-member committee drawn at the
+    /// *measured* Byzantine sample share seats a Byzantine majority.
+    pub committee_capture_p: f64,
+    /// The honest baseline: the same committee drawn at the Byzantine
+    /// *population* share (what a perfectly uniform sampler would risk).
+    pub committee_capture_p_uniform: f64,
+    /// Defended draws whose quorum round detected disagreement and
+    /// redrew (0 without a defense arm) — each one is a blocked attack.
+    pub quorum_failures: u64,
 }
 
 /// Runs one scenario under one backend for one seed.
@@ -85,8 +101,11 @@ pub fn run_scenario_seed(spec: &ScenarioSpec, backend: Backend, seed: u64) -> Se
     // paired oracle/chord run sees the same initial ring.
     let members = place_index(&spec.placement, space, spec.n_initial, &mut placement_rng);
     match backend {
-        Backend::Oracle => run_oracle(spec, seed, space, members),
-        Backend::Chord => run_chord(spec, seed, space, members.points()),
+        Backend::Oracle => run_oracle(spec, seed, space, members, None),
+        Backend::StaleOracle { lag_ticks } => {
+            run_oracle(spec, seed, space, members, Some(lag_ticks))
+        }
+        Backend::Chord => run_chord(spec, seed, space, members),
     }
 }
 
@@ -129,11 +148,11 @@ struct DrawTally {
 }
 
 impl DrawTally {
-    fn record_ok<P>(&mut self, sample: &peer_sampling::Sample<P>) {
+    fn record(&mut self, trials: u32, cost: peer_sampling::Cost) {
         self.ok += 1;
-        self.trials += sample.trials as u64;
-        self.messages += sample.cost.messages;
-        self.latency += sample.cost.latency;
+        self.trials += trials as u64;
+        self.messages += cost.messages;
+        self.latency += cost.latency;
     }
 
     fn mean(total: u64, count: u64) -> f64 {
@@ -145,14 +164,15 @@ impl DrawTally {
     }
 }
 
-/// Builds the sampler from the spec: deployment mode estimates `n` through
-/// the backend itself; oracle-knowledge mode inflates the true count.
-fn build_sampler<D: Dht>(
+/// Builds the sampler configuration from the spec: deployment mode
+/// estimates `n` through the backend itself; oracle-knowledge mode
+/// inflates the true count.
+fn build_sampler_config<D: Dht>(
     spec: &ScenarioSpec,
     dht: &D,
     origin: D::Peer,
     live: usize,
-) -> (Sampler, bool) {
+) -> (SamplerConfig, bool) {
     let mut estimate_failed = false;
     let config = if spec.workload.estimate_n {
         match NetworkSizeEstimator::default().estimate(dht, origin) {
@@ -167,7 +187,7 @@ fn build_sampler<D: Dht>(
         SamplerConfig::new(inflated.max(1))
     };
     (
-        Sampler::new(config.with_max_trials(spec.sampler.max_trials)),
+        config.with_max_trials(spec.sampler.max_trials),
         estimate_failed,
     )
 }
@@ -187,19 +207,37 @@ fn run_oracle(
     seed: u64,
     space: KeySpace,
     mut members: RingIndex<u64>,
+    lag_ticks: Option<u64>,
 ) -> SeedRunRecord {
     // Churn against the oracle mutates the membership set only: the
     // oracle's "routing" is always perfectly fresh, so Oracle-vs-Chord
     // deltas under the same churn isolate stale-routing-state effects
     // from population-change effects. Each event is an O(log n) index
     // update, so 10^5-member rings churn without rescans or re-sorts.
+    //
+    // The stale-oracle arm additionally maintains a *bounded-lag* replica
+    // of the index that stops absorbing events `lag_ticks` before the
+    // horizon — the membership view a client with delayed propagation
+    // would sample against. Both replicas see the identical event stream
+    // (the stale bookkeeping draws nothing from the churn RNG), so the
+    // fresh-oracle record is byte-identical with or without a stale arm
+    // in the battery.
+    let mut stale = lag_ticks.map(|_| members.clone());
     if let Some(schedule) = churn_schedule(&spec.churn) {
+        let cutoff = lag_ticks.map(|lag| schedule.horizon().ticks().saturating_sub(lag));
         let mut churn_rng = StdRng::seed_from_u64(derive_seed(seed, stream::CHURN));
         let mut next_id = members.len() as u64;
         for event in schedule.generate(&mut churn_rng) {
+            let seen_by_stale = cutoff.is_some_and(|c| event.time.ticks() <= c);
             match event.kind {
                 simnet::churn::ChurnKind::Join => {
-                    members.insert(space.random_point(&mut churn_rng), next_id);
+                    let point = space.random_point(&mut churn_rng);
+                    members.insert(point, next_id);
+                    if seen_by_stale {
+                        if let Some(stale) = stale.as_mut() {
+                            stale.insert(point, next_id);
+                        }
+                    }
                     next_id += 1;
                 }
                 simnet::churn::ChurnKind::Leave | simnet::churn::ChurnKind::Crash => {
@@ -208,34 +246,64 @@ fn run_oracle(
                             .nth(churn_rng.gen_range(0..members.len()))
                             .expect("victim rank is in range");
                         members.remove(point, id);
+                        if seen_by_stale {
+                            if let Some(stale) = stale.as_mut() {
+                                stale.remove(point, id);
+                            }
+                        }
                     }
                 }
             }
         }
     }
-    let dht = OracleDht::from_index(&members);
-    let live = dht.len();
+    let truth = OracleDht::from_index(&members);
+    let live = truth.len();
     assert!(live >= 2, "churn left fewer than two live peers");
-    let (sampler, estimate_failed) = build_sampler(spec, &dht, 0, live);
+    // The client samples against its (possibly lagged) view; correctness
+    // is judged against the current population. The fresh arm borrows
+    // the truth ring rather than copying it — at RP_SCALE sizes the ring
+    // is megabytes per task.
+    let stale_view = stale.as_ref().map(OracleDht::from_index);
+    let view: &OracleDht = stale_view.as_ref().unwrap_or(&truth);
+    assert!(view.len() >= 2, "stale view collapsed below two peers");
+    let (config, estimate_failed) = build_sampler_config(spec, view, 0, view.len());
+    let sampler = Sampler::new(config);
 
     let mut draw_rng = StdRng::seed_from_u64(derive_seed(seed, stream::DRAWS));
     let mut tally = DrawTally::default();
     let mut counts = vec![0u64; live];
     for _ in 0..spec.workload.draws {
-        match sampler.sample(&dht, &mut draw_rng) {
+        match sampler.sample(view, &mut draw_rng) {
             Ok(s) => {
-                tally.record_ok(&s);
-                counts[s.peer] += 1;
+                if stale.is_none() {
+                    tally.record(s.trials, s.cost);
+                    counts[s.peer] += 1;
+                    continue;
+                }
+                // Stale arm: the draw names a peer from the lagged view.
+                // Contacting one that has since departed bounces (a
+                // failed draw); a live one is tallied at its *current*
+                // rank, so joiners the view missed show up as zero cells
+                // in the uniformity histogram.
+                if members.contains_point(s.point) {
+                    tally.record(s.trials, s.cost);
+                    counts[truth.ring().successor_of(s.point)] += 1;
+                } else {
+                    tally.failed += 1;
+                }
             }
             Err(_) => tally.failed += 1,
         }
     }
     let (tv, ratio, chi_p) = uniformity(&counts);
     SeedRunRecord {
-        backend: Backend::Oracle.name().to_string(),
+        backend: match lag_ticks {
+            Some(lag) => Backend::StaleOracle { lag_ticks: lag }.name().to_string(),
+            None => Backend::Oracle.name().to_string(),
+        },
         seed,
         live_peers: live as u64,
-        anchor_point: dht.ring().point(0),
+        anchor_point: view.ring().point(0),
         byzantine_peers: 0,
         samples_ok: tally.ok,
         samples_failed: tally.failed,
@@ -248,14 +316,49 @@ fn run_oracle(
         chi_square_p: chi_p,
         byzantine_population_share: 0.0,
         byzantine_sample_share: 0.0,
+        committee_capture_p: 0.0,
+        committee_capture_p_uniform: 0.0,
+        quorum_failures: 0,
     }
 }
 
-fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>) -> SeedRunRecord {
+fn run_chord(
+    spec: &ScenarioSpec,
+    seed: u64,
+    space: KeySpace,
+    members: RingIndex<u64>,
+) -> SeedRunRecord {
     let config = ChordConfig::default().with_successor_list_len(spec.chord.successor_list_len);
+
+    // A coalition adversary compiles *before* the overlay exists: it
+    // observes the honest membership and chooses its own ring positions
+    // (sybil strategies) and/or a corruption budget over incumbents.
+    let coalition = match &spec.adversary {
+        AdversaryModel::Coalition { strategy, fraction } => {
+            let honest = members.len();
+            // Sybil members are *added*, so a budget of f of the final
+            // population means m = f/(1−f)·honest joiners; corrupt-existing
+            // strategies convert ⌊f·honest⌋ incumbents instead.
+            let strategy = strategy.to_strategy();
+            let budget = match strategy {
+                adversary::CoalitionStrategy::AdaptiveArcLiars => {
+                    (honest as f64 * fraction).floor() as usize
+                }
+                _ => (honest as f64 * fraction / (1.0 - fraction)).round() as usize,
+            };
+            Some(compile_coalition(strategy, &members, budget.max(1)))
+        }
+        _ => None,
+    };
+    let mut points = members.points();
+    if let Some(coalition) = &coalition {
+        points.extend(coalition.sybil_points.iter().copied());
+    }
 
     // Build the overlay: straight bootstrap when static, an event-driven
     // churn run (joins through the protocol, crashes silent) otherwise.
+    // (Coalition specs validate as static, so sybil joins never race
+    // churn.)
     let churned;
     let net = match churn_schedule(&spec.churn) {
         None => {
@@ -279,15 +382,46 @@ fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>
     let live = net.live_ids();
     assert!(live.len() >= 2, "churn left fewer than two live peers");
 
+    // Resolve the coalition's sybil points to overlay ids before picking
+    // the observer, so the anchor is never a coalition plant.
+    let sybils: Vec<NodeId> = coalition
+        .as_ref()
+        .map(|c| sybil_ids(net, &c.sybil_points))
+        .unwrap_or_default();
+    let sybil_set: std::collections::HashSet<NodeId> = sybils.iter().copied().collect();
+
     // The sampling client is always an honest peer: the measurement model
     // is an honest node asking "whom do I reach?", so the anchor is fixed
     // first and exempted from adversary sampling. At fraction = 1 this
     // caps the adversary at live − 1 nodes (everyone but the observer).
-    let anchor = live[0];
+    let anchor = live
+        .iter()
+        .copied()
+        .find(|id| !sybil_set.contains(id))
+        .expect("a coalition below half the ring leaves honest peers");
 
-    // Compile the adversary into a fault plan.
-    let plan = match &spec.adversary {
-        AdversaryModel::Honest => FaultPlan::none(),
+    // Uniform sample without replacement from the non-anchor peers
+    // (partial Fisher–Yates over the fault stream).
+    let sample_existing = |count: usize, fault_rng: &mut StdRng| -> Vec<NodeId> {
+        let mut candidates: Vec<NodeId> = live
+            .iter()
+            .copied()
+            .filter(|&id| id != anchor && !sybil_set.contains(&id))
+            .collect();
+        let count = count.min(candidates.len());
+        for i in 0..count {
+            let j = fault_rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+        }
+        candidates.truncate(count);
+        candidates
+    };
+
+    // Compile the adversary into a fault plan; coalition behaviours are
+    // *merged* onto the base plan, never overwritten.
+    let mut plan = FaultPlan::none();
+    match &spec.adversary {
+        AdversaryModel::Honest => {}
         AdversaryModel::ByzantineRouters {
             fraction,
             claim_ownership,
@@ -295,28 +429,31 @@ fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>
         } => {
             let mut fault_rng = StdRng::seed_from_u64(derive_seed(seed, stream::FAULTS));
             let count = ((live.len() as f64 * fraction).floor() as usize).min(live.len() - 1);
-            // Uniform sample without replacement from the non-anchor
-            // peers (partial Fisher–Yates).
-            let mut candidates: Vec<NodeId> =
-                live.iter().copied().filter(|&id| id != anchor).collect();
-            for i in 0..count.min(candidates.len()) {
-                let j = fault_rng.gen_range(i..candidates.len());
-                candidates.swap(i, j);
-            }
-            candidates.truncate(count);
-            let mut plan = FaultPlan::for_nodes(candidates);
+            let mut routers = FaultPlan::for_nodes(sample_existing(count, &mut fault_rng));
             if !claim_ownership {
-                plan = plan.without_ownership_claims();
+                routers = routers.without_ownership_claims();
             }
             if !eclipse_next {
-                plan = plan.without_next_eclipse();
+                routers = routers.without_next_eclipse();
             }
-            plan
+            plan.merge(&routers);
         }
-    };
+        AdversaryModel::Coalition { .. } => {
+            let coalition = coalition.as_ref().expect("compiled above");
+            plan.merge(&FaultPlan::with_behavior(
+                sybils.iter().copied(),
+                coalition.behavior,
+            ));
+            if coalition.corrupt_existing > 0 {
+                let mut fault_rng = StdRng::seed_from_u64(derive_seed(seed, stream::FAULTS));
+                plan.merge(&FaultPlan::with_behavior(
+                    sample_existing(coalition.corrupt_existing, &mut fault_rng),
+                    coalition.behavior,
+                ));
+            }
+        }
+    }
     let byzantine: std::collections::HashSet<NodeId> = plan.byzantine_nodes().into_iter().collect();
-    let dht = ChordDht::new(net, anchor, derive_seed(seed, stream::LATENCY)).with_fault_plan(plan);
-    let (sampler, estimate_failed) = build_sampler(spec, &dht, anchor, live.len());
 
     let index_of: std::collections::HashMap<NodeId, usize> =
         live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
@@ -324,21 +461,87 @@ fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>
     let mut tally = DrawTally::default();
     let mut counts = vec![0u64; live.len()];
     let mut byz_hits = 0u64;
-    for _ in 0..spec.workload.draws {
-        match sampler.sample(&dht, &mut draw_rng) {
-            Ok(s) => {
-                tally.record_ok(&s);
-                if let Some(&i) = index_of.get(&s.peer) {
-                    counts[i] += 1;
-                }
-                if byzantine.contains(&s.peer) {
-                    byz_hits += 1;
+    let mut quorum_failures = 0u64;
+    let estimate_failed;
+
+    // The per-draw bookkeeping both arms share, so defended and
+    // undefended accounting cannot diverge.
+    let record_draw = |tally: &mut DrawTally,
+                       counts: &mut [u64],
+                       byz_hits: &mut u64,
+                       peer: NodeId,
+                       trials: u32,
+                       cost: peer_sampling::Cost| {
+        tally.record(trials, cost);
+        if let Some(&i) = index_of.get(&peer) {
+            counts[i] += 1;
+        }
+        if byzantine.contains(&peer) {
+            *byz_hits += 1;
+        }
+    };
+
+    match spec.defense {
+        DefenseModel::None => {
+            let dht = ChordDht::new(net, anchor, derive_seed(seed, stream::LATENCY))
+                .with_fault_plan(plan);
+            let (config, est_failed) = build_sampler_config(spec, &dht, anchor, live.len());
+            estimate_failed = est_failed;
+            let sampler = Sampler::new(config);
+            for _ in 0..spec.workload.draws {
+                match sampler.sample(&dht, &mut draw_rng) {
+                    Ok(s) => record_draw(
+                        &mut tally,
+                        &mut counts,
+                        &mut byz_hits,
+                        s.peer,
+                        s.trials,
+                        s.cost,
+                    ),
+                    Err(_) => tally.failed += 1,
                 }
             }
-            Err(_) => tally.failed += 1,
+        }
+        DefenseModel::Quorum { entries } => {
+            let views = adversary::spread_verified_views(
+                net,
+                anchor,
+                &plan,
+                entries,
+                derive_seed(seed, stream::LATENCY),
+            );
+            let view_refs: Vec<&ChordDht> = views.iter().collect();
+            let (config, est_failed) = build_sampler_config(spec, view_refs[0], anchor, live.len());
+            estimate_failed = est_failed;
+            let sampler = DefendedSampler::new(config);
+            for _ in 0..spec.workload.draws {
+                // Tracked sampling: quorum failures on *exhausted* draws
+                // (the fully-blocked case) still reach the counter.
+                match sampler.sample_tracked(&view_refs, &mut draw_rng, &mut quorum_failures) {
+                    Ok(s) => {
+                        quorum_failures += s.quorum_failures as u64;
+                        record_draw(
+                            &mut tally,
+                            &mut counts,
+                            &mut byz_hits,
+                            s.peer,
+                            s.trials,
+                            s.cost,
+                        )
+                    }
+                    Err(_) => tally.failed += 1,
+                }
+            }
         }
     }
+
     let (tv, ratio, chi_p) = uniformity(&counts);
+    let byz_population_share = byzantine.len() as f64 / live.len() as f64;
+    let byz_sample_share = if tally.ok == 0 {
+        0.0
+    } else {
+        byz_hits as f64 / tally.ok as f64
+    };
     SeedRunRecord {
         backend: Backend::Chord.name().to_string(),
         seed,
@@ -354,12 +557,14 @@ fn run_chord(spec: &ScenarioSpec, seed: u64, space: KeySpace, points: Vec<Point>
         tv_from_uniform: tv,
         max_min_ratio: ratio,
         chi_square_p: chi_p,
-        byzantine_population_share: byzantine.len() as f64 / live.len() as f64,
-        byzantine_sample_share: if tally.ok == 0 {
-            0.0
-        } else {
-            byz_hits as f64 / tally.ok as f64
-        },
+        byzantine_population_share: byz_population_share,
+        byzantine_sample_share: byz_sample_share,
+        committee_capture_p: majority_capture_probability(byz_sample_share, COMMITTEE_SIZE),
+        committee_capture_p_uniform: majority_capture_probability(
+            byz_population_share,
+            COMMITTEE_SIZE,
+        ),
+        quorum_failures,
     }
 }
 

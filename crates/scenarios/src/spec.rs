@@ -17,6 +17,19 @@ pub enum Backend {
     /// stale) and adversaries cannot subvert it (there is no routing to
     /// lie on), so Oracle-vs-Chord deltas isolate the cost of realism.
     Oracle,
+    /// The oracle with a *bounded-lag* membership view: the client
+    /// samples against the membership as it stood `lag_ticks` before the
+    /// churn horizon, while correctness is judged against the current
+    /// population. Draws that land on peers that have since departed
+    /// fail (the contact bounces); peers that joined inside the lag
+    /// window are unreachable. Sitting between the fresh oracle and
+    /// Chord, this arm separates *staleness* cost from *routing* cost:
+    /// oracle-vs-stale is pure staleness, stale-vs-chord is pure
+    /// routing-repair.
+    StaleOracle {
+        /// How many ticks behind the churn horizon the view lags.
+        lag_ticks: u64,
+    },
     /// `chord::ChordDht`: real iterative routing over a simulated Chord
     /// overlay, with churn damaging routing state and Byzantine fault
     /// plans injected into `find_successor` / `next`.
@@ -28,6 +41,7 @@ impl Backend {
     pub fn name(self) -> &'static str {
         match self {
             Backend::Oracle => "oracle",
+            Backend::StaleOracle { .. } => "stale-oracle",
             Backend::Chord => "chord",
         }
     }
@@ -61,6 +75,50 @@ pub enum PlacementModel {
     },
 }
 
+/// A coordinated coalition attack (serde mirror of
+/// `adversary::CoalitionStrategy`; see that crate's README for the
+/// threat-model table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoalitionStrategySpec {
+    /// Sybils seize the largest honest gap-arcs: optimal placement at gap
+    /// ends, self-reported positions forged to claim full gap measure,
+    /// routed lookups through members captured.
+    SybilArcCapture,
+    /// Corrupted incumbents lie only about their own position, only for
+    /// lookups they genuinely own — the stealthiest strategy.
+    AdaptiveArcLiars,
+    /// Sybils shadow a run of consecutive honest victims and eclipse them
+    /// from every supplementation scan.
+    EclipseRun,
+}
+
+impl CoalitionStrategySpec {
+    /// Stable lowercase name used in reports and preset names.
+    pub fn name(self) -> &'static str {
+        self.to_strategy().name()
+    }
+
+    /// The executable strategy this spec names.
+    pub fn to_strategy(self) -> adversary::CoalitionStrategy {
+        match self {
+            CoalitionStrategySpec::SybilArcCapture => adversary::CoalitionStrategy::SybilArcCapture,
+            CoalitionStrategySpec::AdaptiveArcLiars => {
+                adversary::CoalitionStrategy::AdaptiveArcLiars
+            }
+            CoalitionStrategySpec::EclipseRun => adversary::CoalitionStrategy::EclipseRun,
+        }
+    }
+
+    /// Every strategy, in battery order.
+    pub fn all() -> [CoalitionStrategySpec; 3] {
+        [
+            CoalitionStrategySpec::SybilArcCapture,
+            CoalitionStrategySpec::AdaptiveArcLiars,
+            CoalitionStrategySpec::EclipseRun,
+        ]
+    }
+}
+
 /// Who misbehaves, and how.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum AdversaryModel {
@@ -79,6 +137,40 @@ pub enum AdversaryModel {
         /// Whether Byzantine peers misreport `next(p)`.
         eclipse_next: bool,
     },
+    /// A coordinated coalition: placement and per-node lies compiled by
+    /// `adversary::compile_coalition` against the honest ring. Sybil
+    /// strategies *add* members (so the coalition is `fraction` of the
+    /// final population); corrupt-existing strategies convert incumbents.
+    /// Chord-only and static-churn-only: the coalition places itself
+    /// against a known ring, which churn would silently invalidate.
+    Coalition {
+        /// The coordinated strategy.
+        strategy: CoalitionStrategySpec,
+        /// Coalition share of the final population, in `(0, 0.5)`.
+        fraction: f64,
+    },
+}
+
+/// The client-side defense arm (see `adversary::DefendedSampler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DefenseModel {
+    /// The paper's plain sampler: trust every answer.
+    None,
+    /// Verified redundant sampling: every resolution is issued through
+    /// `entries` disjoint-entry views in verified-position mode, and a
+    /// strict majority must agree. Chord-only (the oracle cannot lie).
+    Quorum {
+        /// Number of disjoint entry views (odd values make the strict
+        /// majority cleanest; 3 tolerates one captured route).
+        entries: usize,
+    },
+}
+
+impl DefenseModel {
+    /// Whether any defense is active.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, DefenseModel::None)
+    }
 }
 
 /// One phase of a churn schedule, in ticks (serde-friendly mirror of
@@ -195,6 +287,8 @@ pub struct ScenarioSpec {
     pub placement: PlacementModel,
     /// Adversary model.
     pub adversary: AdversaryModel,
+    /// Client-side defense arm.
+    pub defense: DefenseModel,
     /// Churn schedule.
     pub churn: ChurnModel,
     /// Client workload.
@@ -215,6 +309,7 @@ impl ScenarioSpec {
             n_initial: 256,
             placement: PlacementModel::Uniform,
             adversary: AdversaryModel::Honest,
+            defense: DefenseModel::None,
             churn: ChurnModel::Static,
             workload: WorkloadMix {
                 draws: 2_000,
@@ -234,7 +329,10 @@ impl ScenarioSpec {
 
     /// Crash-heavy Poisson churn: sessions are short and 90% of
     /// departures are silent crashes, so routing state decays as fast as
-    /// stabilization can repair it.
+    /// stabilization can repair it. Runs a third, *stale-oracle* arm
+    /// lagging 2 000 ticks behind the horizon, so the report separates
+    /// staleness cost (oracle vs stale) from routing-repair cost (stale
+    /// vs chord).
     pub fn preset_crash_churn() -> ScenarioSpec {
         ScenarioSpec {
             churn: ChurnModel::Poisson {
@@ -243,6 +341,11 @@ impl ScenarioSpec {
                 crash_fraction: 0.9,
                 horizon_ticks: 20_000,
             },
+            backends: vec![
+                Backend::Oracle,
+                Backend::StaleOracle { lag_ticks: 2_000 },
+                Backend::Chord,
+            ],
             ..ScenarioSpec::baseline("crash-churn")
         }
     }
@@ -326,6 +429,67 @@ impl ScenarioSpec {
         }
     }
 
+    /// One coalition arm: `strategy` at coalition share `fraction`,
+    /// undefended. Chord-only (coalitions subvert routing; the oracle has
+    /// none) and static (placement is compiled against a known ring);
+    /// more draws than the small presets because the chi-square verdicts
+    /// need per-cell mass.
+    pub fn preset_coalition(strategy: CoalitionStrategySpec, fraction: f64) -> ScenarioSpec {
+        ScenarioSpec {
+            adversary: AdversaryModel::Coalition { strategy, fraction },
+            workload: WorkloadMix {
+                draws: 4_000,
+                estimate_n: false,
+            },
+            backends: vec![Backend::Chord],
+            ..ScenarioSpec::baseline(&format!(
+                "{}-b{:02}",
+                strategy.name(),
+                (fraction * 100.0).round() as u32
+            ))
+        }
+    }
+
+    /// Returns this spec with the verified redundant-sampling defense
+    /// switched on (`entries` disjoint-entry views) and `-defended`
+    /// appended to the name.
+    pub fn with_defense(mut self, entries: usize) -> ScenarioSpec {
+        self.defense = DefenseModel::Quorum { entries };
+        self.name.push_str("-defended");
+        self
+    }
+
+    /// The sybil-arc-capture coalition at 10% of the population.
+    pub fn preset_sybil_arc_capture() -> ScenarioSpec {
+        ScenarioSpec::preset_coalition(CoalitionStrategySpec::SybilArcCapture, 0.10)
+    }
+
+    /// The adaptive arc-liar coalition at 10% of the population.
+    pub fn preset_adaptive_liars() -> ScenarioSpec {
+        ScenarioSpec::preset_coalition(CoalitionStrategySpec::AdaptiveArcLiars, 0.10)
+    }
+
+    /// The coordinated-eclipse coalition at 10% of the population.
+    pub fn preset_eclipse_run() -> ScenarioSpec {
+        ScenarioSpec::preset_coalition(CoalitionStrategySpec::EclipseRun, 0.10)
+    }
+
+    /// The full coalition battery: every strategy × every budget in
+    /// `fractions` × {undefended, defended with a 3-entry quorum} — the
+    /// attack/defense grid e16 measures.
+    pub fn coalition_battery(fractions: &[f64]) -> Vec<ScenarioSpec> {
+        let mut specs =
+            Vec::with_capacity(CoalitionStrategySpec::all().len() * fractions.len() * 2);
+        for strategy in CoalitionStrategySpec::all() {
+            for &fraction in fractions {
+                let base = ScenarioSpec::preset_coalition(strategy, fraction);
+                specs.push(base.clone());
+                specs.push(base.with_defense(3));
+            }
+        }
+        specs
+    }
+
     /// The standard adversarial battery, one preset per model family.
     pub fn presets() -> Vec<ScenarioSpec> {
         vec![
@@ -381,10 +545,59 @@ impl ScenarioSpec {
                 }
             }
         }
-        if let AdversaryModel::ByzantineRouters { fraction, .. } = &self.adversary {
-            if !(0.0..=1.0).contains(fraction) {
-                problems.push(format!("byzantine fraction {fraction} outside [0, 1]"));
+        match &self.adversary {
+            AdversaryModel::Honest => {}
+            AdversaryModel::ByzantineRouters { fraction, .. } => {
+                if !(0.0..=1.0).contains(fraction) {
+                    problems.push(format!("byzantine fraction {fraction} outside [0, 1]"));
+                }
             }
+            AdversaryModel::Coalition { fraction, .. } => {
+                if !(*fraction > 0.0 && *fraction < 0.5) {
+                    problems.push(format!("coalition fraction {fraction} outside (0, 0.5)"));
+                }
+                if self.backends.iter().any(|b| *b != Backend::Chord) {
+                    problems.push(
+                        "coalition adversaries are chord-only (no routing to subvert elsewhere)"
+                            .to_string(),
+                    );
+                }
+                if !self.churn.is_static() {
+                    problems.push(
+                        "coalition placement is compiled against a static ring; churn would \
+                         silently invalidate it"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        if let DefenseModel::Quorum { entries } = &self.defense {
+            if !(1..=15).contains(entries) {
+                problems.push(format!("defense quorum entries {entries} outside 1..=15"));
+            }
+            // Oracle backends have no routing to defend and would silently
+            // run undefended while the report advertises a defended arm.
+            if self.backends.iter().any(|b| *b != Backend::Chord) {
+                problems.push(
+                    "quorum defense is chord-only (oracle backends would run undefended \
+                     under a defended name)"
+                        .to_string(),
+                );
+            }
+        }
+        for backend in &self.backends {
+            if matches!(backend, Backend::StaleOracle { lag_ticks: 0 }) {
+                problems.push("stale-oracle lag must be positive (use Oracle for lag 0)".into());
+            }
+        }
+        // Reports key arms by backend *name*, so two backends sharing a
+        // name (e.g. two stale-oracle lags) would produce
+        // indistinguishable aggregate rows; sweep lags across specs
+        // instead.
+        let mut names: Vec<&str> = self.backends.iter().map(|b| b.name()).collect();
+        names.sort_unstable();
+        if names.windows(2).any(|w| w[0] == w[1]) {
+            problems.push("backends must have distinct report names (one arm per name)".into());
         }
         match &self.churn {
             ChurnModel::Static => {}
@@ -487,6 +700,7 @@ mod tests {
             "n_initial": 32,
             "placement": {"Skewed": {"exponent": 3.0}},
             "adversary": "Honest",
+            "defense": "None",
             "churn": "Static",
             "workload": {"draws": 100, "estimate_n": true},
             "sampler": {"n_upper_inflation": 2.0, "max_trials": 64},
@@ -520,6 +734,108 @@ mod tests {
         let mut nan = ScenarioSpec::preset_honest_static();
         nan.sampler.n_upper_inflation = f64::NAN;
         assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn coalition_battery_covers_the_attack_defense_grid() {
+        let battery = ScenarioSpec::coalition_battery(&[0.05, 0.1]);
+        assert_eq!(battery.len(), 12, "3 strategies x 2 budgets x ±defense");
+        let names: std::collections::HashSet<_> = battery.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), battery.len(), "names must be unique");
+        for spec in &battery {
+            spec.validate().unwrap_or_else(|problems| {
+                panic!("{} invalid: {problems:?}", spec.name);
+            });
+            assert_eq!(spec.backends, vec![Backend::Chord], "{}", spec.name);
+            assert!(spec.churn.is_static(), "{}", spec.name);
+            let defended = matches!(spec.defense, DefenseModel::Quorum { .. });
+            assert_eq!(
+                spec.name.ends_with("-defended"),
+                defended,
+                "{}: name must advertise the defense arm",
+                spec.name
+            );
+        }
+        for strategy in CoalitionStrategySpec::all() {
+            assert_eq!(
+                battery
+                    .iter()
+                    .filter(|s| s.name.starts_with(strategy.name()))
+                    .count(),
+                4,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coalition_specs_roundtrip_and_reject_bad_shapes() {
+        for spec in ScenarioSpec::coalition_battery(&[0.1]) {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+        // Coalition on a non-chord backend is rejected.
+        let mut spec = ScenarioSpec::preset_sybil_arc_capture();
+        spec.backends = vec![Backend::Oracle, Backend::Chord];
+        assert!(spec.validate().is_err());
+        // Coalition under churn is rejected.
+        let mut spec = ScenarioSpec::preset_eclipse_run();
+        spec.churn = ScenarioSpec::preset_crash_churn().churn;
+        assert!(spec.validate().is_err());
+        // Out-of-range budgets are rejected.
+        for fraction in [0.0, 0.5, 0.9] {
+            let mut spec = ScenarioSpec::preset_adaptive_liars();
+            spec.adversary = AdversaryModel::Coalition {
+                strategy: CoalitionStrategySpec::AdaptiveArcLiars,
+                fraction,
+            };
+            assert!(spec.validate().is_err(), "fraction {fraction}");
+        }
+        // Degenerate quorums are rejected.
+        let mut spec = ScenarioSpec::preset_sybil_arc_capture().with_defense(3);
+        spec.defense = DefenseModel::Quorum { entries: 0 };
+        assert!(spec.validate().is_err());
+        assert!(DefenseModel::Quorum { entries: 3 }.is_active());
+        assert!(!DefenseModel::None.is_active());
+    }
+
+    #[test]
+    fn stale_oracle_backend_is_named_validated_and_rides_crash_churn() {
+        let spec = ScenarioSpec::preset_crash_churn();
+        spec.validate().unwrap();
+        assert!(spec
+            .backends
+            .contains(&Backend::StaleOracle { lag_ticks: 2_000 }));
+        assert_eq!(Backend::StaleOracle { lag_ticks: 7 }.name(), "stale-oracle");
+        let mut bad = spec.clone();
+        bad.backends = vec![Backend::StaleOracle { lag_ticks: 0 }];
+        assert!(bad.validate().is_err(), "zero lag is the plain oracle");
+        // Every entry is checked, not just the first stale one.
+        let mut hidden = spec.clone();
+        hidden.backends = vec![
+            Backend::StaleOracle { lag_ticks: 2_000 },
+            Backend::StaleOracle { lag_ticks: 0 },
+        ];
+        assert!(hidden.validate().is_err(), "zero lag hidden in second slot");
+        // Two lags share the report name "stale-oracle": their aggregate
+        // rows would be indistinguishable, so the spec is rejected.
+        let mut twin = spec;
+        twin.backends = vec![
+            Backend::StaleOracle { lag_ticks: 1_000 },
+            Backend::StaleOracle { lag_ticks: 5_000 },
+        ];
+        assert!(twin.validate().is_err(), "duplicate backend names");
+    }
+
+    #[test]
+    fn quorum_defense_requires_chord_only_backends() {
+        let mut spec = ScenarioSpec::preset_honest_static().with_defense(3);
+        // The baseline runs both backends; a defended oracle arm would
+        // silently run undefended under a defended name.
+        assert!(spec.validate().is_err());
+        spec.backends = vec![Backend::Chord];
+        spec.validate().unwrap();
     }
 
     #[test]

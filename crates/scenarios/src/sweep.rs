@@ -40,10 +40,21 @@ pub struct BackendAggregate {
     pub tv_worst: f64,
     /// Smallest chi-square p-value across seeds (NaNs skipped).
     pub chi_square_p_min: f64,
+    /// Largest chi-square p-value across seeds (NaNs skipped) — a biased
+    /// arm must fail uniformity on *every* seed, which this bounds.
+    pub chi_square_p_max: f64,
     /// Mean Byzantine population share.
     pub byzantine_population_share_mean: f64,
     /// Mean Byzantine sample share (the capture rate).
     pub byzantine_sample_share_mean: f64,
+    /// Mean committee-capture probability at the measured sample share.
+    pub committee_capture_p_mean: f64,
+    /// Mean committee-capture probability a perfectly uniform sampler
+    /// would risk at the same population share (the honest baseline).
+    pub committee_capture_p_uniform_mean: f64,
+    /// Mean defended-draw quorum failures per seed (0 without a defense
+    /// arm).
+    pub quorum_failures_mean: f64,
 }
 
 impl BackendAggregate {
@@ -58,6 +69,10 @@ impl BackendAggregate {
         let mut byz_sample = Welford::new();
         let mut tv_worst = 0.0f64;
         let mut chi_min = f64::INFINITY;
+        let mut chi_max = f64::NEG_INFINITY;
+        let mut capture = Welford::new();
+        let mut capture_uniform = Welford::new();
+        let mut quorum_failures = Welford::new();
         for r in records {
             live.push(r.live_peers as f64);
             let total = r.samples_ok + r.samples_failed;
@@ -73,9 +88,13 @@ impl BackendAggregate {
             tv_worst = tv_worst.max(r.tv_from_uniform);
             if r.chi_square_p.is_finite() {
                 chi_min = chi_min.min(r.chi_square_p);
+                chi_max = chi_max.max(r.chi_square_p);
             }
             byz_pop.push(r.byzantine_population_share);
             byz_sample.push(r.byzantine_sample_share);
+            capture.push(r.committee_capture_p);
+            capture_uniform.push(r.committee_capture_p_uniform);
+            quorum_failures.push(r.quorum_failures as f64);
         }
         BackendAggregate {
             backend: backend.name().to_string(),
@@ -89,8 +108,12 @@ impl BackendAggregate {
             tv_mean: tv.mean(),
             tv_worst,
             chi_square_p_min: if chi_min.is_finite() { chi_min } else { -1.0 },
+            chi_square_p_max: if chi_max.is_finite() { chi_max } else { -1.0 },
             byzantine_population_share_mean: byz_pop.mean(),
             byzantine_sample_share_mean: byz_sample.mean(),
+            committee_capture_p_mean: capture.mean(),
+            committee_capture_p_uniform_mean: capture_uniform.mean(),
+            quorum_failures_mean: quorum_failures.mean(),
         }
     }
 }

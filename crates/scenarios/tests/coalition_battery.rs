@@ -1,0 +1,174 @@
+//! Attack → measured bias → defense → restored safety, end to end on
+//! small rings (the full-size grid is e16's coalition battery; these are
+//! the same arms shrunk for the unit suite).
+//!
+//! Per strategy: the undefended sampler must *fail* chi-square uniformity
+//! and the defended sampler must *pass* it, with the Byzantine sample
+//! share restored to the population share and the committee-capture
+//! probability back within an order of magnitude of the uniform
+//! baseline — at a measurable (reported) message overhead.
+
+use scenarios::{run_scenario_seed, Backend, CoalitionStrategySpec, DefenseModel, ScenarioSpec};
+
+fn shrink(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.n_initial = 96;
+    spec.workload.draws = 1_500;
+    spec
+}
+
+#[test]
+fn every_strategy_biases_undefended_and_defense_restores_uniformity() {
+    for strategy in CoalitionStrategySpec::all() {
+        let attack = shrink(ScenarioSpec::preset_coalition(strategy, 0.10));
+        let defended = shrink(ScenarioSpec::preset_coalition(strategy, 0.10).with_defense(3));
+        let a = run_scenario_seed(&attack, Backend::Chord, 11);
+        let d = run_scenario_seed(&defended, Backend::Chord, 11);
+        let name = strategy.name();
+
+        // The coalition fielded its budget and every draw resolved.
+        assert!(a.byzantine_peers > 0, "{name}");
+        assert_eq!(a.samples_ok, 1_500, "{name}");
+        assert_eq!(d.samples_ok, 1_500, "{name}");
+
+        // Undefended: uniformity demolished.
+        assert!(
+            a.chi_square_p < 1e-10,
+            "{name} undefended should fail chi-square, p = {}",
+            a.chi_square_p
+        );
+        // Defended: uniformity restored.
+        assert!(
+            d.chi_square_p > 1e-3,
+            "{name} defended should pass chi-square, p = {}",
+            d.chi_square_p
+        );
+        assert!(
+            d.tv_from_uniform < a.tv_from_uniform,
+            "{name}: defense must shrink TV ({} vs {})",
+            d.tv_from_uniform,
+            a.tv_from_uniform
+        );
+
+        // The coalition's sample share collapses back to its population
+        // share, and the committee risk to the uniform baseline's order
+        // of magnitude.
+        assert!(
+            (d.byzantine_sample_share - d.byzantine_population_share).abs() < 0.05,
+            "{name}: defended share {} vs population {}",
+            d.byzantine_sample_share,
+            d.byzantine_population_share
+        );
+        assert!(
+            d.committee_capture_p <= 10.0 * d.committee_capture_p_uniform.max(1e-12),
+            "{name}: defended capture {} vs uniform {}",
+            d.committee_capture_p,
+            d.committee_capture_p_uniform
+        );
+
+        // The restoration is paid for in messages, visibly.
+        assert!(
+            d.mean_messages > 2.0 * a.mean_messages,
+            "{name}: defense overhead must be measurable ({} vs {})",
+            d.mean_messages,
+            a.mean_messages
+        );
+    }
+}
+
+#[test]
+fn sybil_and_arc_liar_coalitions_overrepresent_themselves_undefended() {
+    for strategy in [
+        CoalitionStrategySpec::SybilArcCapture,
+        CoalitionStrategySpec::AdaptiveArcLiars,
+    ] {
+        let spec = shrink(ScenarioSpec::preset_coalition(strategy, 0.10));
+        let r = run_scenario_seed(&spec, Backend::Chord, 11);
+        assert!(
+            r.byzantine_sample_share > 2.0 * r.byzantine_population_share,
+            "{}: share {} vs population {}",
+            strategy.name(),
+            r.byzantine_sample_share,
+            r.byzantine_population_share
+        );
+        assert!(
+            r.committee_capture_p > 100.0 * r.committee_capture_p_uniform,
+            "{}: committee risk must explode undefended",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn defense_is_invisible_on_honest_rings_except_in_cost() {
+    let honest = shrink(ScenarioSpec::preset_honest_static());
+    let mut guarded = shrink(ScenarioSpec::preset_honest_static()).with_defense(3);
+    guarded.backends = vec![Backend::Chord];
+    let plain = run_scenario_seed(&honest, Backend::Chord, 7);
+    let defended = run_scenario_seed(&guarded, Backend::Chord, 7);
+    // Bit-identical draw outcomes (same seed, same accept/reject map)...
+    assert_eq!(plain.samples_ok, defended.samples_ok);
+    assert_eq!(plain.tv_from_uniform, defended.tv_from_uniform);
+    assert_eq!(plain.chi_square_p, defended.chi_square_p);
+    assert_eq!(plain.mean_trials, defended.mean_trials);
+    assert_eq!(defended.quorum_failures, 0);
+    // ...at a strictly higher message cost.
+    assert!(defended.mean_messages > plain.mean_messages);
+}
+
+#[test]
+fn coalition_records_are_deterministic() {
+    let spec = shrink(ScenarioSpec::preset_sybil_arc_capture().with_defense(3));
+    let a = run_scenario_seed(&spec, Backend::Chord, 42);
+    let b = run_scenario_seed(&spec, Backend::Chord, 42);
+    assert_eq!(a, b);
+    let c = run_scenario_seed(&spec, Backend::Chord, 43);
+    assert_ne!(a, c);
+}
+
+#[test]
+fn stale_oracle_pays_staleness_where_fresh_oracle_pays_nothing() {
+    let mut spec = ScenarioSpec::preset_crash_churn();
+    spec.n_initial = 96;
+    spec.workload.draws = 800;
+    let fresh = run_scenario_seed(&spec, Backend::Oracle, 19);
+    let stale = run_scenario_seed(&spec, Backend::StaleOracle { lag_ticks: 2_000 }, 19);
+    // Same placement and churn stream: the true population matches.
+    assert_eq!(fresh.live_peers, stale.live_peers);
+    // The fresh oracle never fails; the lagged view bounces off departed
+    // peers but stays usable.
+    assert_eq!(fresh.samples_failed, 0);
+    assert!(stale.samples_failed > 0, "lag must cost something");
+    let fail_rate = stale.samples_failed as f64 / 800.0;
+    assert!(fail_rate < 0.6, "lagged view unusable: {fail_rate}");
+    // Joiners inside the lag window are invisible to the stale view, so
+    // its uniformity over the *current* population is measurably worse.
+    assert!(stale.tv_from_uniform > fresh.tv_from_uniform);
+    // Deterministic like every other arm.
+    let again = run_scenario_seed(&spec, Backend::StaleOracle { lag_ticks: 2_000 }, 19);
+    assert_eq!(stale, again);
+}
+
+#[test]
+fn stale_arm_does_not_perturb_fresh_oracle_records() {
+    // The stale replica's bookkeeping must not consume churn randomness:
+    // crash-churn's oracle arm is byte-identical whether or not the
+    // battery also runs a stale arm.
+    let mut with_stale = ScenarioSpec::preset_crash_churn();
+    with_stale.n_initial = 96;
+    with_stale.workload.draws = 400;
+    let mut without = with_stale.clone();
+    without.backends = vec![Backend::Oracle, Backend::Chord];
+    assert_eq!(
+        run_scenario_seed(&with_stale, Backend::Oracle, 5),
+        run_scenario_seed(&without, Backend::Oracle, 5),
+    );
+}
+
+#[test]
+fn defended_spec_validates_only_on_chord() {
+    let mut spec = ScenarioSpec::preset_adaptive_liars().with_defense(3);
+    assert!(matches!(spec.defense, DefenseModel::Quorum { entries: 3 }));
+    spec.validate().unwrap();
+    spec.backends = vec![Backend::Oracle];
+    assert!(spec.validate().is_err(), "coalitions are chord-only");
+}

@@ -1,0 +1,47 @@
+//! Coalition attack → measured bias → defense → restored safety, in one
+//! terminal session.
+//!
+//! Runs each coalition strategy against a Chord overlay twice — once with
+//! the paper's plain sampler, once behind the quorum-verified
+//! `DefendedSampler` — and prints the Byzantine sample share, the
+//! chi-square uniformity verdict, the committee-capture risk, and what
+//! the defense costs in messages per accepted draw.
+//!
+//! ```text
+//! cargo run --release --example coalition_defense
+//! ```
+
+use scenarios::{run_scenario_seed, Backend, CoalitionStrategySpec, ScenarioSpec, COMMITTEE_SIZE};
+
+fn main() {
+    println!(
+        "coalition attacks on King-Saia sampling (n = 256, b = 10%, committee = {COMMITTEE_SIZE})\n"
+    );
+    println!(
+        "{:<20} {:>9} {:>10} {:>10} {:>12} {:>11} {:>10}",
+        "strategy", "arm", "byz_pop", "byz_share", "chi_sq_p", "capture_p", "msgs/draw"
+    );
+    for strategy in CoalitionStrategySpec::all() {
+        for defended in [false, true] {
+            let mut spec = ScenarioSpec::preset_coalition(strategy, 0.10);
+            if defended {
+                spec = spec.with_defense(3);
+            }
+            let r = run_scenario_seed(&spec, Backend::Chord, 2004);
+            println!(
+                "{:<20} {:>9} {:>10.3} {:>10.3} {:>12.2e} {:>11.2e} {:>10.1}",
+                strategy.name(),
+                if defended { "defended" } else { "attack" },
+                r.byzantine_population_share,
+                r.byzantine_sample_share,
+                r.chi_square_p,
+                r.committee_capture_p,
+                r.mean_messages,
+            );
+        }
+    }
+    println!(
+        "\nundefended arms fail uniformity (p ~ 0) and flood committees; the defense \
+         restores both at ~10x the message cost — the price of not trusting anyone."
+    );
+}
