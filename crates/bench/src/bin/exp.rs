@@ -1,4 +1,4 @@
-//! Experiment runner: regenerates every table in EXPERIMENTS.md.
+//! Experiment runner: regenerates every experiment table (E1–E16).
 //!
 //! ```text
 //! cargo run --release -p bench --bin exp -- all          # every experiment
@@ -15,7 +15,7 @@ fn main() {
     let markdown = args.iter().any(|a| a == "--md");
     let ids: Vec<String> = args.into_iter().filter(|a| a != "--md").collect();
     if ids.is_empty() {
-        eprintln!("usage: exp [--md] <e1..e12 | all>...");
+        eprintln!("usage: exp [--md] <e1..e16 | all>...");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }

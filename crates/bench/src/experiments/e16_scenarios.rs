@@ -29,7 +29,7 @@
 //!   reported in messages per accepted sample.
 
 use adversary::majority_capture_probability;
-use scenarios::{Backend, ScenarioSpec, Sweep, SweepReport, COMMITTEE_SIZE};
+use scenarios::{Backend, MaintenanceSpec, ScenarioSpec, Sweep, SweepReport, COMMITTEE_SIZE};
 
 use crate::{fmt_f, ExpContext, Table};
 
@@ -69,11 +69,15 @@ fn scale_from_env() -> Option<usize> {
 /// to run a decade smaller because the routed overlay carried ~1.2 KB of
 /// routing state per node; the compact `RoutingArena` (~130 B/node,
 /// `BENCH_chord_scale.json`) plus O(1) incremental ring verification
-/// removed that gap and carry the arm to n = 10⁶ in CI. At those sizes
-/// the maintenance cadence is the wall-clock driver — each round routes
-/// one `fix_finger` lookup per live node — so the chord arm stabilizes
-/// every 2 000 ticks (5 rounds over the horizon), plenty against the
-/// schedule's few hundred membership events.
+/// removed that gap and carried the arm to n = 10⁶. The next wall was
+/// the maintenance cadence itself — a classic round routes one
+/// `fix_finger` lookup per live node, O(n) per round — so the chord arm
+/// now runs **batched incremental maintenance** (`BatchedDrain`):
+/// each tick repairs only what the churn actually invalidated,
+/// amortized O(changes · log n), which is what lets `RP_SCALE=10000000`
+/// run a 10⁷-node chord overlay inside CI's wall-clock budget. The
+/// cadence (every 500 ticks, 20 rounds over the horizon) is now about
+/// staleness, not cost; the leftover staleness is reported per record.
 fn scale_battery() -> Vec<ScenarioSpec> {
     let base = ScenarioSpec::preset_scale_stress();
     let mut oracle = base.clone();
@@ -84,7 +88,8 @@ fn scale_battery() -> Vec<ScenarioSpec> {
     chord.name = "scale-stress-chord".to_string();
     chord.backends = vec![Backend::Chord];
     chord.n_initial = REFERENCE_ORACLE_N;
-    chord.chord.stabilize_every_ticks = 2_000;
+    chord.chord.stabilize_every_ticks = 500;
+    chord.chord.maintenance = MaintenanceSpec::BatchedDrain;
     vec![oracle, chord]
 }
 
@@ -106,8 +111,9 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
 
     let mut table = Table::new(
         format!("E16-scale: scale-stress at n = {oracle_n} (oracle and chord)"),
-        "compact routing arenas, bulk construction and incremental verification carry \
-         10^4-10^6-node rings through churn and sampling deterministically",
+        "compact routing arenas, bulk construction, incremental verification and batched \
+         O(changes log n) maintenance carry 10^4-10^7-node rings through churn and \
+         sampling deterministically",
         &[
             "scenario",
             "backend",
@@ -116,6 +122,8 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
             "fail_rate",
             "msgs/draw",
             "tv",
+            "staleness",
+            "backlog",
         ],
     );
     let mut ok = true;
@@ -130,6 +138,8 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
                 fmt_f(agg.fail_rate_mean),
                 fmt_f(agg.messages_mean),
                 fmt_f(agg.tv_mean),
+                fmt_f(agg.finger_staleness_mean),
+                fmt_f(agg.maintenance_backlog_mean),
             ]);
             if agg.fail_rate_mean > 0.05 {
                 ok = false;
@@ -143,6 +153,16 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
                 flagged.push(format!(
                     "{}:{} live collapsed to {:.0}",
                     scenario.spec.name, agg.backend, agg.live_peers_mean
+                ));
+            }
+            // The drain cadence must keep the routed overlay essentially
+            // fresh: standing staleness above 5% of fingers means the
+            // batched maintenance stopped keeping up.
+            if agg.backend == "chord" && agg.finger_staleness_mean > 0.05 {
+                ok = false;
+                flagged.push(format!(
+                    "{}: staleness {:.3}",
+                    scenario.spec.name, agg.finger_staleness_mean
                 ));
             }
         }
@@ -525,7 +545,10 @@ mod tests {
         assert_eq!(specs[1].backends, vec![Backend::Chord]);
         // The compact arena closed the decade gap: both arms same size.
         assert_eq!(specs[0].n_initial, specs[1].n_initial);
-        assert_eq!(specs[1].chord.stabilize_every_ticks, 2_000);
+        assert_eq!(specs[1].chord.stabilize_every_ticks, 500);
+        // Scale arms opt into batched maintenance: classic full rounds
+        // are O(n) routed lookups each, which 10^7 cannot afford.
+        assert_eq!(specs[1].chord.maintenance, MaintenanceSpec::BatchedDrain);
         for spec in &specs {
             spec.validate().unwrap();
         }

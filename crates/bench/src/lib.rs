@@ -1,9 +1,12 @@
 //! Experiment harness shared utilities.
 //!
-//! The `exp` binary regenerates every experiment table (E1–E12, see
-//! DESIGN.md §4 and EXPERIMENTS.md); this library provides the plumbing:
-//! deterministic seed management, aligned/markdown table rendering, and
-//! JSON result records so tables can be diffed across runs.
+//! The `exp` binary regenerates every experiment table (E1–E16; run
+//! `exp` with no arguments for the list, or see each module under
+//! [`experiments`]); this library provides the plumbing: deterministic
+//! seed management, aligned/markdown table rendering, and JSON result
+//! records so tables can be diffed across runs. Environment knobs
+//! (`RP_QUICK`, `RP_SEED`, `RP_SCALE`, `RP_COALITION`,
+//! `RP_ENFORCE_BENCH`) are documented in the top-level README.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,7 +4,7 @@
 //! `Vec<Option<NodeId>>` of 64 finger entries (16 bytes each) plus a
 //! successor `Vec`, ~1.2 KB of routing state per node before the allocator
 //! gets a word in. That representation capped chord rings around 10⁵
-//! nodes. [`RoutingArena`] stores the same state column-wise in shared
+//! nodes. `RoutingArena` stores the same state column-wise in shared
 //! flat buffers:
 //!
 //! * **points** — one `Point` per node (`Vec<Point>`).
@@ -23,7 +23,7 @@
 //!   and the buffer compacts when garbage exceeds half its length.
 //!
 //! Net effect: ~130 bytes of routing state per node at n = 10⁵ (measure
-//! it with [`RoutingArena::routing_bytes`]), a ≥ 8× reduction that lets
+//! it with `RoutingArena::routing_bytes`), a ≥ 8× reduction that lets
 //! chord arms run at 10⁶ nodes. The old accessor shapes survive as cheap
 //! views ([`NodeRef`], [`Successors`], [`Fingers`]) so routing, storage
 //! and experiment code reads exactly as before.

@@ -6,6 +6,7 @@ use rand::{Rng, SeedableRng};
 use simnet::churn::{ChurnConfig, ChurnKind};
 use simnet::{EventQueue, SimDuration, SimTime};
 
+use crate::maintenance::MaintenanceBudget;
 use crate::network::{ChordNetwork, NodeId};
 use crate::ChordConfig;
 
@@ -84,6 +85,9 @@ pub struct ChurnSimulation {
     rng: StdRng,
     report: ChurnReport,
     replication: Option<usize>,
+    /// When set, maintenance ticks run the batched incremental round
+    /// under this budget instead of the classic full O(n) round.
+    budget: Option<MaintenanceBudget>,
     timeline: Vec<(SimTime, usize)>,
 }
 
@@ -179,6 +183,7 @@ impl ChurnSimulation {
             rng,
             report: ChurnReport::default(),
             replication: None,
+            budget: None,
             timeline: Vec::new(),
         }
     }
@@ -194,6 +199,19 @@ impl ChurnSimulation {
     pub fn with_replication(mut self, replicas: usize) -> ChurnSimulation {
         assert!(replicas > 0, "need at least one replica");
         self.replication = Some(replicas);
+        self
+    }
+
+    /// Switches maintenance ticks to
+    /// [`ChordNetwork::batched_maintenance_round`] under `budget`:
+    /// each tick repairs only state the churn actually invalidated
+    /// (amortized O(changes · log n)) instead of running the classic
+    /// full round's O(n) routed lookups — the difference between 10⁶-
+    /// and 10⁷-node churn runs. A finite budget deliberately lets a
+    /// backlog accumulate; read it with
+    /// [`ChordNetwork::maintenance_backlog`].
+    pub fn with_maintenance_budget(mut self, budget: MaintenanceBudget) -> ChurnSimulation {
+        self.budget = Some(budget);
         self
     }
 
@@ -283,7 +301,12 @@ impl ChurnSimulation {
                 }
             }
             Event::Maintenance => {
-                self.net.maintenance_round(self.round, &mut self.rng);
+                match self.budget {
+                    Some(budget) => {
+                        self.net.batched_maintenance_round(budget, &mut self.rng);
+                    }
+                    None => self.net.maintenance_round(self.round, &mut self.rng),
+                }
                 if let Some(replicas) = self.replication {
                     for id in self.net.live_ids() {
                         self.net.replication_round(id, replicas);

@@ -6,8 +6,14 @@ use ringidx::RingIndex;
 use simnet::Metrics;
 
 use crate::arena::{NodeRef, RoutingArena};
+use crate::maintenance::{DirtySet, MaintenanceBudget, MaintenanceWork};
+use crate::multimap::CompactMultiMap;
 use crate::shadow::Shadow;
 use crate::ChordConfig;
+
+/// Sentinel for "no node" in the ledger's flat `u32` columns (mirrors the
+/// arena's encoding).
+const NONE32: u32 = u32::MAX;
 
 /// Stable handle of a node in a [`ChordNetwork`].
 ///
@@ -69,9 +75,19 @@ impl RingReport {
 ///
 /// Reverse dependency indexes make the delta sets exact:
 ///
-/// * `succ_watch[y]` — nodes whose successor *list* contains `y` (their
-///   derived first-live-successor can change when `y` dies);
+/// * `dsucc_watch[y]` — nodes whose *derived first-live successor* is `y`
+///   (the one quantity on the left side of the successor-correctness
+///   predicate that `y`'s death can change; nodes merely holding `y`
+///   deeper in their successor list keep the same derived successor, so
+///   they need no re-check — the insight that shrinks this index from
+///   `r` entries per node to one);
 /// * `pred_watch[y]` — nodes whose predecessor pointer is `y`.
+///
+/// Both relations hold at most one entry per node and live in
+/// [`CompactMultiMap`]s (flat sorted `u32`-keyed runs, the same
+/// chunked-column style as the arena's finger store) instead of the
+/// earlier `Vec<Vec<u32>>` pair, cutting the ledger from ~100 B/node to
+/// under 40 (gated in `BENCH_chord_scale.json`).
 ///
 /// Membership events additionally re-check the dead/new node's ring
 /// neighbours (whose ground truth shifted) and, per finger bit, the
@@ -89,8 +105,13 @@ struct Ledger {
     pred_ok: usize,
     fingers_total: usize,
     fingers_right: usize,
-    succ_watch: Vec<Vec<u32>>,
-    pred_watch: Vec<Vec<u32>>,
+    /// Per-node derived first-live successor (`NONE32` while dead or
+    /// unset) — the forward side of `dsucc_watch`.
+    dsucc: Vec<u32>,
+    /// `y -> nodes whose derived first-live successor is y`.
+    dsucc_watch: CompactMultiMap,
+    /// `y -> nodes whose predecessor pointer is y`.
+    pred_watch: CompactMultiMap,
 }
 
 impl Ledger {
@@ -103,8 +124,9 @@ impl Ledger {
             pred_ok: 0,
             fingers_total: 0,
             fingers_right: 0,
-            succ_watch: Vec::new(),
-            pred_watch: Vec::new(),
+            dsucc: Vec::new(),
+            dsucc_watch: CompactMultiMap::new(),
+            pred_watch: CompactMultiMap::new(),
         }
     }
 
@@ -112,32 +134,21 @@ impl Ledger {
         self.flags.push(0);
         self.fpop.push(0);
         self.fok.push(0);
-        self.succ_watch.push(Vec::new());
-        self.pred_watch.push(Vec::new());
+        self.dsucc.push(NONE32);
     }
 
-    fn unwatch(watch: &mut Vec<u32>, x: u32) {
-        if let Some(pos) = watch.iter().position(|&w| w == x) {
-            watch.swap_remove(pos);
-        }
-    }
-
-    /// Bytes held by the verification ledger (flags, finger masks and
-    /// reverse indexes) — reported separately from
-    /// [`ChordNetwork::routing_bytes`] because it accelerates
-    /// *verification*, not routing, and the seed representation had no
-    /// counterpart.
+    /// Bytes held by the verification ledger (flags, finger masks, the
+    /// derived-successor column and both reverse multimaps) — reported
+    /// separately from [`ChordNetwork::routing_bytes`] because it
+    /// accelerates *verification*, not routing, and the seed
+    /// representation had no counterpart.
     fn bytes(&self) -> usize {
         use std::mem::size_of;
         self.flags.len()
             + (self.fpop.len() + self.fok.len()) * size_of::<u64>()
-            + (self.succ_watch.len() + self.pred_watch.len()) * size_of::<Vec<u32>>()
-            + self
-                .succ_watch
-                .iter()
-                .chain(&self.pred_watch)
-                .map(|w| w.len() * size_of::<u32>())
-                .sum::<usize>()
+            + self.dsucc.len() * size_of::<u32>()
+            + self.dsucc_watch.bytes()
+            + self.pred_watch.bytes()
     }
 }
 
@@ -177,8 +188,12 @@ pub struct ChordNetwork {
     /// [`live_ids`](ChordNetwork::live_ids) never re-filters dead slots.
     live_set: Vec<NodeId>,
     ledger: Ledger,
+    /// Known-stale routing state, fed by the same funnels as the ledger:
+    /// what [`batched_maintenance_round`](ChordNetwork::batched_maintenance_round)
+    /// spends its budget on.
+    dirty: DirtySet,
     /// Optional mirror of the pre-arena per-node representation, for
-    /// equivalence tests and memory benchmarks. See [`crate::shadow`].
+    /// equivalence tests and memory benchmarks. See `crate::shadow`.
     shadow: Option<Box<Shadow>>,
 }
 
@@ -196,6 +211,7 @@ impl ChordNetwork {
             index: RingIndex::new(space),
             live_set: Vec::new(),
             ledger: Ledger::new(),
+            dirty: DirtySet::new(),
             shadow: None,
         }
     }
@@ -408,7 +424,7 @@ impl ChordNetwork {
     }
 
     /// Starts mirroring every routing write into the pre-arena per-node
-    /// representation (see [`crate::shadow`]), backfilling current state.
+    /// representation (see `crate::shadow`), backfilling current state.
     /// Diagnostic-only: enables [`assert_shadow_matches`] and
     /// [`shadow_routing_bytes`].
     ///
@@ -518,6 +534,7 @@ impl ChordNetwork {
         );
         let i = self.arena.push(point);
         self.ledger.push();
+        self.dirty.push_node(i);
         if let Some(sh) = &mut self.shadow {
             sh.push(point);
         }
@@ -528,19 +545,23 @@ impl ChordNetwork {
         if self.arena.successors_eq(id.0, list) {
             return;
         }
-        for s in 0..self.arena.successors(id.0).len() {
-            let old = self.arena.successors(id.0)[s] as usize;
-            Ledger::unwatch(&mut self.ledger.succ_watch[old], id.0 as u32);
-        }
         self.arena.set_successors(id.0, list);
-        let stored: Vec<NodeId> = self.node(id).successors().to_vec();
-        for &s in &stored {
-            self.ledger.succ_watch[s.0].push(id.0 as u32);
+        if self.shadow.is_some() {
+            let stored: Vec<NodeId> = self.node(id).successors().to_vec();
+            if let Some(sh) = &mut self.shadow {
+                sh.nodes[id.0].successors = stored;
+            }
         }
-        if let Some(sh) = &mut self.shadow {
-            sh.nodes[id.0].successors = stored;
-        }
+        // recompute_sp refreshes the derived-successor reverse index.
         self.recompute_sp(id.0);
+        // A changed list invalidates the copies its upstream holders
+        // spliced from it (stabilize builds `[succ] + succ.list`), so
+        // re-mark them; the propagation reaches a fixpoint because a
+        // stabilize that recomputes an identical list short-circuits
+        // above and marks nothing.
+        if self.arena.is_alive(id.0) {
+            self.dirty_list_window(self.arena.point(id.0));
+        }
     }
 
     fn write_pred(&mut self, id: NodeId, pred: Option<NodeId>) {
@@ -549,11 +570,11 @@ impl ChordNetwork {
             return;
         }
         if let Some(o) = old {
-            Ledger::unwatch(&mut self.ledger.pred_watch[o], id.0 as u32);
+            self.ledger.pred_watch.remove(o as u32, id.0 as u32);
         }
         self.arena.set_pred(id.0, pred.map(|p| p.0));
         if let Some(p) = pred {
-            self.ledger.pred_watch[p.0].push(id.0 as u32);
+            self.ledger.pred_watch.insert(p.0 as u32, id.0 as u32);
         }
         if let Some(sh) = &mut self.shadow {
             sh.nodes[id.0].predecessor = pred;
@@ -586,12 +607,32 @@ impl ChordNetwork {
         }
     }
 
-    /// Re-evaluates node `i`'s successor/predecessor correctness and folds
-    /// the change into the report counters. Idempotent; O(r + log n).
+    /// Re-evaluates node `i`'s successor/predecessor correctness, folds
+    /// the change into the report counters, and refreshes the
+    /// derived-successor reverse index. Idempotent; O(r + log n).
     fn recompute_sp(&mut self, i: usize) {
         let id = NodeId(i);
         let alive = self.arena.is_alive(i);
-        let succ_ok = alive && self.first_live_successor(id) == self.truth_strict_successor(id);
+        let derived = if alive {
+            self.first_live_successor(id)
+        } else {
+            None
+        };
+        // The reverse index tracks the *derived* successor (what the
+        // correctness predicate actually reads), so a death re-checks
+        // exactly the nodes whose predicate it can flip.
+        let new_raw = derived.map_or(NONE32, |s| s.0 as u32);
+        let old_raw = self.ledger.dsucc[i];
+        if old_raw != new_raw {
+            if old_raw != NONE32 {
+                self.ledger.dsucc_watch.remove(old_raw, i as u32);
+            }
+            if new_raw != NONE32 {
+                self.ledger.dsucc_watch.insert(new_raw, i as u32);
+            }
+            self.ledger.dsucc[i] = new_raw;
+        }
+        let succ_ok = alive && derived == self.truth_strict_successor(id);
         let pred_ok = alive && {
             let pred = self
                 .arena
@@ -601,6 +642,15 @@ impl ChordNetwork {
             pred == self.truth_strict_predecessor(id)
         };
         let new = u8::from(succ_ok) | (u8::from(pred_ok) << 1);
+        // A live node failing either predicate is maintenance work.
+        // (Marked even when the flags did not change, so a node that a
+        // repair attempt left incorrect is re-queued and retried. The
+        // converse does not clear: sp marks also carry list-hygiene work
+        // on predicate-clean nodes — see `dirty_list_window` — and are
+        // consumed only when the batched round processes the node.)
+        if alive && new != 3 {
+            self.dirty.mark_sp(i);
+        }
         let l = &mut self.ledger;
         let old = l.flags[i];
         if old == new {
@@ -631,6 +681,13 @@ impl ChordNetwork {
         let pop = alive && val.is_some();
         let ok =
             pop && val == self.truth_successor_id(self.finger_target(self.arena.point(i), bit));
+        // Dirty mirror: a live node's missing or wrong entry is pending
+        // maintenance work; a correct (or dead) one is not.
+        if alive && !ok {
+            self.dirty.mark_finger(i, bit);
+        } else {
+            self.dirty.clear_finger(i, bit);
+        }
         let mask = 1u64 << bit;
         let l = &mut self.ledger;
         if pop != (l.fpop[i] & mask != 0) {
@@ -664,13 +721,21 @@ impl ChordNetwork {
     /// O(1) hits each on a ring with n ≫ 1.
     fn dirty_finger_arc(&mut self, hi: Point) {
         let lo = self.index.predecessor(hi).map(|(q, _)| q);
+        // One scratch buffer across all ~64 arc queries: the queries
+        // expect O(1) hits each, so a fresh Vec per bit was the dominant
+        // cost of this feed (ringidx::for_each_in_range is the
+        // allocation-free visitor added for it).
+        let mut hits: Vec<u32> = Vec::new();
         for bit in 0..self.finger_bits {
             let off = Distance::new(((1u128 << bit) % self.space.modulus()) as u64);
             let b = self.space.sub(hi, off);
-            // `range(b, b)` is the full ring by the index's convention.
+            // A `(b, b]` arc is the full ring by the index's convention.
             let a = lo.map_or(b, |q| self.space.sub(q, off));
-            for (_, oid) in self.index.range(a, b) {
-                self.recompute_finger(oid.0, bit);
+            hits.clear();
+            self.index
+                .for_each_in_range(a, b, |_, oid| hits.push(oid.0 as u32));
+            for &o in &hits {
+                self.recompute_finger(o as usize, bit);
             }
         }
     }
@@ -686,12 +751,7 @@ impl ChordNetwork {
         let mut ids: Vec<NodeId> = Vec::new();
         let extend_cluster = |ids: &mut Vec<NodeId>, index: &RingIndex<NodeId>, at: Point| {
             // (at - 1, at] is exactly the co-located cluster at `at`.
-            ids.extend(
-                index
-                    .range(self.space.sub(at, one), at)
-                    .into_iter()
-                    .map(|(_, id)| id),
-            );
+            index.for_each_in_range(self.space.sub(at, one), at, |_, id| ids.push(id));
         };
         extend_cluster(&mut ids, &self.index, p);
         if let Some((q, _)) = self.index.predecessor(p) {
@@ -707,12 +767,48 @@ impl ChordNetwork {
         }
     }
 
+    /// Marks the successor-*list* holders a membership change at `p` left
+    /// stale: the ~r nodes counter-clockwise of `p` carry `p`'s arc
+    /// inside their successor-list window, and a routed lookup may answer
+    /// from *any* list entry, not just the first. The ledger's
+    /// correctness predicate only covers the derived first successor, so
+    /// these are hygiene marks: the batched round stabilizes each holder
+    /// once (nearest holder first — queue order — so refreshed lists
+    /// propagate counter-clockwise within a round). The classic full
+    /// round gets this for free by stabilizing everyone.
+    fn dirty_list_window(&mut self, p: Point) {
+        let r = self.config.successor_list_len();
+        let one = Distance::new(1);
+        let mut hits: Vec<u32> = Vec::new();
+        let mut at = p;
+        for _ in 0..r {
+            let Some((q, _)) = self.index.predecessor(at) else {
+                break;
+            };
+            // The whole co-located cluster at q holds the same window.
+            self.index
+                .for_each_in_range(self.space.sub(q, one), q, |_, id| hits.push(id.0 as u32));
+            if q == p {
+                break; // wrapped all the way around a tiny ring
+            }
+            at = q;
+        }
+        for &h in &hits {
+            if self.arena.is_alive(h as usize) {
+                self.dirty.mark_sp(h as usize);
+            }
+        }
+    }
+
     /// Rebuilds the ledger after [`bulk_join`](ChordNetwork::bulk_join):
     /// by construction every live node is fully converged, so counters
     /// are assigned directly and only the reverse indexes are re-derived.
     /// `order` is the post-rebuild ring order.
     fn rebuild_ledger_converged(&mut self, order: &[(Point, NodeId)]) {
         let n = self.arena.len();
+        // By construction nothing is stale; the co-located recomputes
+        // below re-mark the few exceptions.
+        self.dirty.reset(n);
         let l = &mut self.ledger;
         l.flags.clear();
         l.flags.resize(n, 0);
@@ -720,28 +816,30 @@ impl ChordNetwork {
         l.fpop.resize(n, 0);
         l.fok.clear();
         l.fok.resize(n, 0);
-        for w in &mut l.succ_watch {
-            w.clear();
-        }
-        for w in &mut l.pred_watch {
-            w.clear();
-        }
+        l.dsucc.clear();
+        l.dsucc.resize(n, NONE32);
         let full: u64 = if self.finger_bits == 64 {
             !0
         } else {
             (1u64 << self.finger_bits) - 1
         };
+        let mut spairs: Vec<(u32, u32)> = Vec::with_capacity(self.live_set.len());
+        let mut ppairs: Vec<(u32, u32)> = Vec::with_capacity(self.live_set.len());
         for &id in &self.live_set {
             l.flags[id.0] = 3;
             l.fpop[id.0] = full;
             l.fok[id.0] = full;
-            for &s in self.arena.successors(id.0) {
-                l.succ_watch[s as usize].push(id.0 as u32);
-            }
+            // A converged list is non-empty and leads with the derived
+            // first-live successor (a singleton's list is `[self]`).
+            let s = self.arena.successors(id.0)[0];
+            l.dsucc[id.0] = s;
+            spairs.push((s, id.0 as u32));
             if let Some(p) = self.arena.pred(id.0) {
-                l.pred_watch[p].push(id.0 as u32);
+                ppairs.push((p as u32, id.0 as u32));
             }
         }
+        l.dsucc_watch = CompactMultiMap::bulk(spairs);
+        l.pred_watch = CompactMultiMap::bulk(ppairs);
         l.succ_ok = self.live_set.len();
         l.pred_ok = self.live_set.len();
         l.fingers_total = self.live_set.len() * self.finger_bits;
@@ -796,8 +894,12 @@ impl ChordNetwork {
     fn admit(&mut self, point: Point, id: NodeId) {
         self.index.insert(point, id);
         self.live_set.push(id);
+        // A protocol joiner starts with an empty finger table: every
+        // level is pending maintenance work.
+        self.dirty.mark_all_fingers(id.0, self.finger_bits);
         self.recompute_sp(id.0);
         self.dirty_sp_around(point);
+        self.dirty_list_window(point);
         self.dirty_finger_arc(point);
     }
 
@@ -816,16 +918,20 @@ impl ChordNetwork {
         if let Some(sh) = &mut self.shadow {
             sh.nodes[id.0].alive = false;
         }
+        // The dead owe no maintenance.
+        self.dirty.clear_node(id.0);
         self.recompute_sp(id.0);
         self.dirty_sp_around(point);
-        let watchers: Vec<u32> = self.ledger.succ_watch[id.0].clone();
-        for w in watchers {
+        // Exactly the nodes whose derived successor was the deceased (one
+        // entry each in the compact reverse maps; nodes holding it deeper
+        // in their lists keep the same derived successor).
+        for w in self.ledger.dsucc_watch.values(id.0 as u32) {
             self.recompute_sp(w as usize);
         }
-        let watchers: Vec<u32> = self.ledger.pred_watch[id.0].clone();
-        for w in watchers {
+        for w in self.ledger.pred_watch.values(id.0 as u32) {
             self.recompute_sp(w as usize);
         }
+        self.dirty_list_window(point);
         self.dirty_finger_arc(point);
     }
 
@@ -1068,6 +1174,160 @@ impl ChordNetwork {
         self.verify_ring()
     }
 
+    // ---- batched incremental maintenance (see crate::maintenance)
+
+    /// Dirty entries currently awaiting batched maintenance: stale
+    /// successor/predecessor flags plus missing-or-wrong finger levels.
+    /// Zero if and only if every live node's routing state matches the
+    /// ground truth (the staleness figure e16 records surface).
+    pub fn maintenance_backlog(&self) -> usize {
+        self.dirty.entries()
+    }
+
+    /// Bytes held by the batched-maintenance dirty set (reported apart
+    /// from [`routing_bytes`](ChordNetwork::routing_bytes) and
+    /// [`verifier_bytes`](ChordNetwork::verifier_bytes); gated per node
+    /// in `BENCH_chord_scale.json` alongside them).
+    pub fn maintenance_bytes(&self) -> usize {
+        self.dirty.bytes()
+    }
+
+    /// One **batched** maintenance round: repairs up to `budget` dirty
+    /// entries instead of touching all n live nodes.
+    ///
+    /// Sp-dirty nodes run the ordinary [`check_predecessor`] +
+    /// [`stabilize`] protocol ops; dirty finger levels are refreshed by
+    /// ownership-run jumping (one routed lookup per run of levels that
+    /// resolve to the same owner — `bulk_join`'s amortization applied to
+    /// point repairs). Work per round is amortized O(changes · log n),
+    /// vs [`maintenance_round`](ChordNetwork::maintenance_round)'s O(n)
+    /// routed lookups; a repair that fails or lands on a stale answer
+    /// re-marks itself through the write funnels and is retried next
+    /// round, so repeated rounds converge exactly as the classic ones do.
+    ///
+    /// Nodes queued when the round starts are processed at most once per
+    /// round (re-marked nodes wait for the next round), which keeps a
+    /// round's work bounded even when repairs cascade.
+    ///
+    /// [`check_predecessor`]: ChordNetwork::check_predecessor
+    /// [`stabilize`]: ChordNetwork::stabilize
+    pub fn batched_maintenance_round<R: Rng + ?Sized>(
+        &mut self,
+        budget: MaintenanceBudget,
+        rng: &mut R,
+    ) -> MaintenanceWork {
+        let mut work = MaintenanceWork::default();
+        let mut remaining = budget.limit();
+        let snapshot = self.dirty.queue_len();
+        for _ in 0..snapshot {
+            if remaining == Some(0) {
+                break;
+            }
+            let Some(i) = self.dirty.pop() else { break };
+            let id = NodeId(i);
+            if !self.arena.is_alive(i) {
+                self.dirty.clear_node(i);
+                continue;
+            }
+            if self.dirty.is_sp(i) && remaining != Some(0) {
+                self.dirty.take_sp(i);
+                if let Some(r) = &mut remaining {
+                    *r -= 1;
+                }
+                work.sp_refreshed += 1;
+                self.check_predecessor(id);
+                self.stabilize(id);
+                // A wrong predecessor pointer is repaired from the
+                // *other* side in Chord: the true predecessor's
+                // stabilize ends in notify. The classic round gets this
+                // for free by stabilizing everyone; here that neighbour
+                // may be clean and never run, so replay its notify on
+                // demand — the candidates are exactly the nodes whose
+                // derived successor is this node (`dsucc_watch`).
+                if self.ledger.flags[i] & 2 == 0 {
+                    for w in self.ledger.dsucc_watch.values(i as u32) {
+                        let cand = NodeId(w as usize);
+                        if cand != id && self.arena.is_alive(cand.0) {
+                            self.notify(id, cand);
+                        }
+                    }
+                }
+                // The funnels recompute only on change; force a re-check
+                // so a node a repair could not fix yet stays queued.
+                self.recompute_sp(i);
+            }
+            if self.dirty.finger_mask(i) != 0 && remaining != Some(0) {
+                let taken = self.dirty.take_fingers(i, remaining.unwrap_or(u32::MAX));
+                if let Some(r) = &mut remaining {
+                    *r -= taken.count_ones();
+                }
+                self.refresh_fingers(id, taken, rng, &mut work);
+            }
+            self.dirty.requeue_if_dirty(i);
+        }
+        work.backlog = self.dirty.entries();
+        work
+    }
+
+    /// Repairs the dirty finger levels in `mask` by ownership-run
+    /// jumping: one routed lookup resolves the lowest level, and every
+    /// higher taken level whose target falls inside the returned owner's
+    /// arc reuses the answer.
+    fn refresh_fingers<R: Rng + ?Sized>(
+        &mut self,
+        id: NodeId,
+        mut mask: u64,
+        rng: &mut R,
+        work: &mut MaintenanceWork,
+    ) {
+        let origin = self.node(id).point();
+        while mask != 0 {
+            let bit = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let target = self.finger_target(origin, bit);
+            work.lookups += 1;
+            match self.find_successor(id, target, rng) {
+                Ok(found) => {
+                    self.metrics.add("fix_finger.messages", found.cost.messages);
+                    self.write_finger(id, bit, Some(found.node));
+                    // The funnel recomputes only on change; force a
+                    // re-check so a repair that re-wrote the same stale
+                    // answer is re-marked and retried, not silently
+                    // dropped from the dirty set.
+                    self.recompute_finger(id.0, bit);
+                    work.fingers_refreshed += 1;
+                    let d = self.space.distance(origin, found.point).get();
+                    // Any level with target distance 2^b <= d lands in
+                    // (origin, owner] and shares the owner; d == 0 means
+                    // the lookup wrapped the whole ring, so every
+                    // remaining level does.
+                    let run_end = if d == 0 {
+                        64
+                    } else {
+                        (64 - d.leading_zeros()) as usize
+                    };
+                    while mask != 0 {
+                        let b = mask.trailing_zeros() as usize;
+                        if b >= run_end {
+                            break;
+                        }
+                        mask &= mask - 1;
+                        self.write_finger(id, b, Some(found.node));
+                        self.recompute_finger(id.0, b);
+                        work.fingers_refreshed += 1;
+                    }
+                }
+                Err(_) => {
+                    // Clear the entry and force a re-check so it stays
+                    // in the dirty set for a retry next round.
+                    self.write_finger(id, bit, None);
+                    self.recompute_finger(id.0, bit);
+                    work.fingers_refreshed += 1;
+                }
+            }
+        }
+    }
+
     // ---- verification
 
     /// The current [`RingReport`], read in O(1) from the incrementally
@@ -1123,6 +1383,15 @@ impl ChordNetwork {
     /// cheap statistical cross-check of the incremental ledger on rings
     /// too large for [`verify_ring_full`](ChordNetwork::verify_ring_full)
     /// to be pleasant.
+    ///
+    /// Each live node is checked **at most once** per call: the sample is
+    /// without replacement by construction (a sparse Fisher–Yates over
+    /// the live ranks), so `k >=` the live count degrades to exactly
+    /// [`verify_ring_full`](ChordNetwork::verify_ring_full)'s coverage
+    /// instead of re-checking some nodes and skipping others — on tiny
+    /// rings the two reports are identical. O(k) time and memory; the
+    /// live set is never cloned (this runs on rings where an O(n) copy
+    /// per poll is the thing being avoided).
     pub fn verify_ring_sampled<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> RingReport {
         let n = self.live_set.len();
         let k = k.min(n);
@@ -1130,33 +1399,28 @@ impl ChordNetwork {
         let mut correct_predecessors = 0;
         let mut fingers_total = 0usize;
         let mut fingers_right = 0usize;
-        // Distinct ranks without copying the live set (this runs on rings
-        // where an O(n) clone per poll is the thing being avoided):
-        // rejection-sample for sparse k, partial Fisher–Yates otherwise.
-        let mut check = |ids: &mut dyn Iterator<Item = NodeId>| {
-            for id in ids {
-                let (s, p, ft, fr) = self.check_node(id);
-                correct_successors += usize::from(s);
-                correct_predecessors += usize::from(p);
-                fingers_total += ft;
-                fingers_right += fr;
-            }
-        };
-        if k * 2 < n {
-            let mut seen = std::collections::HashSet::with_capacity(k);
-            while seen.len() < k {
-                seen.insert(rng.gen_range(0..n));
-            }
-            let mut ranks: Vec<usize> = seen.into_iter().collect();
-            ranks.sort_unstable(); // deterministic order for the checks
-            check(&mut ranks.into_iter().map(|j| self.live_set[j]));
-        } else {
-            let mut live = self.live_set.clone();
-            for i in 0..k {
-                let j = rng.gen_range(i..n);
-                live.swap(i, j);
-            }
-            check(&mut live.into_iter().take(k));
+        // Sparse partial Fisher–Yates: the virtual array 0..n starts as
+        // the identity and only displaced slots are materialized, so
+        // ranks are distinct (a permutation prefix) in O(k) memory for
+        // every k, dense or sparse.
+        let mut displaced: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(k);
+        let mut ranks: Vec<usize> = Vec::with_capacity(k);
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            let vi = displaced.get(&i).copied().unwrap_or(i);
+            let vj = displaced.get(&j).copied().unwrap_or(j);
+            ranks.push(vj);
+            // Slot i is never revisited; only j's displacement matters.
+            displaced.insert(j, vi);
+        }
+        ranks.sort_unstable(); // deterministic order for the checks
+        for id in ranks.into_iter().map(|r| self.live_set[r]) {
+            let (s, p, ft, fr) = self.check_node(id);
+            correct_successors += usize::from(s);
+            correct_predecessors += usize::from(p);
+            fingers_total += ft;
+            fingers_right += fr;
         }
         RingReport {
             correct_successors,
@@ -1501,6 +1765,42 @@ mod tests {
         assert!((report.finger_accuracy - 1.0).abs() < 1e-12);
         // Oversampling clamps to the live count.
         assert_eq!(net.verify_ring_sampled(10_000, &mut r).live, 128);
+    }
+
+    #[test]
+    fn sampled_verification_is_without_replacement_on_tiny_rings() {
+        // Exactly one node is stale after a crash (the successor's
+        // predecessor pointer; successor lists skip the dead entry). A
+        // full-coverage sample must find exactly that one defect on
+        // every seed: a duplicate draw would either double-count the
+        // broken node or crowd out a correct one, so this fails if
+        // sampling is with replacement.
+        let mut net = bootstrap(9, 31);
+        net.crash(net.live_ids()[4]);
+        let full = net.verify_ring_full();
+        assert_eq!(full.correct_predecessors, full.live - 1, "{full:?}");
+        for seed in 0..50 {
+            let mut r = rand::rngs::StdRng::seed_from_u64(seed);
+            // k > live count clamps to full coverage, each node once.
+            let sampled = net.verify_ring_sampled(1_000, &mut r);
+            assert_eq!(sampled, full, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sampled_verification_draws_distinct_partial_samples() {
+        // Partial samples on a converged ring: every report is clean and
+        // sized exactly k (a with-replacement draw on a ring with one
+        // defect has a k-dependent chance of missing it; here we at
+        // least pin the sample-size contract across k regimes).
+        let net = bootstrap(16, 32);
+        let mut r = rng();
+        for k in [1, 7, 8, 15, 16] {
+            let report = net.verify_ring_sampled(k, &mut r);
+            assert_eq!(report.live, k);
+            assert_eq!(report.correct_successors, k, "k = {k}");
+            assert_eq!(report.correct_predecessors, k, "k = {k}");
+        }
     }
 
     #[test]

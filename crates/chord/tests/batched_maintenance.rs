@@ -1,0 +1,224 @@
+//! Batched incremental maintenance: budget edge cases and the
+//! O(changes · log n) work bound.
+//!
+//! The batched round (`ChordNetwork::batched_maintenance_round`) repairs
+//! a dirty set fed by the verification ledger's write funnels instead of
+//! walking all n live nodes. These tests pin its contract:
+//!
+//! * **budget = 0** is pure staleness — a round performs no repairs and
+//!   the backlog only grows with churn;
+//! * **budget ≥ dirty set** drains to full convergence, bit-for-bit
+//!   equal to the from-scratch `verify_ring_full()` reference at every
+//!   step (and to what classic full-refresh rounds converge to);
+//! * a **churn burst** followed by small-budget rounds drains the
+//!   backlog monotonically without ever desyncing the ledger;
+//! * total routed lookups across a drain are **O(changes · log n)**,
+//!   counter-asserted — the property that lets 10⁷-node rings run
+//!   maintenance proportional to their churn, not their size.
+
+use chord::{ChordConfig, ChordNetwork, MaintenanceBudget, NodeId};
+use keyspace::KeySpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bootstrap(n: usize, seed: u64) -> (ChordNetwork, StdRng) {
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut rng, n),
+        ChordConfig::default(),
+    );
+    (net, rng)
+}
+
+/// Crashes `crashes` spread-out nodes and joins `joins` fresh points
+/// through the protocol, returning the number of membership events.
+fn churn_burst(net: &mut ChordNetwork, crashes: usize, joins: usize, rng: &mut StdRng) -> usize {
+    let victims: Vec<NodeId> = net
+        .live_ids()
+        .into_iter()
+        .step_by((net.live_len() / crashes.max(1)).max(1))
+        .take(crashes)
+        .collect();
+    for v in &victims {
+        net.crash(*v);
+    }
+    let gw = net.live_ids()[0];
+    for _ in 0..joins {
+        let p = net.space().random_point(rng);
+        net.join(p, gw, rng).unwrap();
+    }
+    crashes + joins
+}
+
+/// Runs batched rounds under `budget` until the backlog is empty,
+/// asserting ledger exactness each round. Returns (rounds, lookups).
+fn drain(net: &mut ChordNetwork, budget: MaintenanceBudget, rng: &mut StdRng) -> (usize, u64) {
+    let mut rounds = 0;
+    let mut lookups = 0;
+    while net.maintenance_backlog() > 0 {
+        let work = net.batched_maintenance_round(budget, rng);
+        lookups += work.lookups;
+        rounds += 1;
+        assert_eq!(
+            net.verify_ring(),
+            net.verify_ring_full(),
+            "ledger desynced in round {rounds}"
+        );
+        assert!(
+            rounds <= 10_000,
+            "drain failed to converge: backlog {} after {rounds} rounds",
+            net.maintenance_backlog()
+        );
+    }
+    (rounds, lookups)
+}
+
+#[test]
+fn bootstrap_ring_has_no_backlog() {
+    let (net, _) = bootstrap(128, 1);
+    assert_eq!(net.maintenance_backlog(), 0, "converged rings owe nothing");
+}
+
+#[test]
+fn zero_budget_is_pure_staleness() {
+    let (mut net, mut rng) = bootstrap(96, 2);
+    let before_report = net.verify_ring();
+    churn_burst(&mut net, 6, 6, &mut rng);
+    let backlog = net.maintenance_backlog();
+    assert!(backlog > 0, "churn must dirty something");
+
+    let work = net.batched_maintenance_round(MaintenanceBudget::per_round(0), &mut rng);
+    assert_eq!(work.sp_refreshed, 0);
+    assert_eq!(work.fingers_refreshed, 0);
+    assert_eq!(work.lookups, 0);
+    assert_eq!(work.backlog, backlog, "nothing repaired, nothing forgotten");
+    assert_eq!(net.maintenance_backlog(), backlog);
+    // The ring stays exactly as stale as the churn left it.
+    assert_ne!(net.verify_ring(), before_report);
+    assert_eq!(net.verify_ring(), net.verify_ring_full());
+}
+
+#[test]
+fn unlimited_budget_drains_to_the_full_refresh_fixpoint() {
+    let (mut net, mut rng) = bootstrap(200, 3);
+    churn_burst(&mut net, 10, 10, &mut rng);
+
+    // Reference: the classic full-refresh path on an identical twin
+    // (same seed stream -> same churn -> same routing state).
+    let (mut reference, mut ref_rng) = bootstrap(200, 3);
+    churn_burst(&mut reference, 10, 10, &mut ref_rng);
+    reference.converge(&mut ref_rng);
+    let ref_report = reference.verify_ring();
+    assert!(ref_report.is_converged(), "{ref_report:?}");
+
+    let (rounds, _) = drain(&mut net, MaintenanceBudget::unlimited(), &mut rng);
+    assert!(rounds > 0);
+    let report = net.verify_ring();
+    // Backlog zero means *nothing* is stale: converged ring, every
+    // finger populated and correct — bit-for-bit the from-scratch
+    // reference, and the same fixpoint full refresh converges to.
+    assert_eq!(report, net.verify_ring_full());
+    assert!(report.is_converged(), "{report:?}");
+    assert!((report.finger_accuracy - 1.0).abs() < 1e-12, "{report:?}");
+    assert_eq!(report.live, ref_report.live);
+    assert_eq!(report.correct_successors, ref_report.correct_successors);
+    // The drain's fixpoint is at least as good as the classic path's:
+    // `converge()` refreshes each finger level exactly once (possibly
+    // while the ring is still stale), while the drain retries until
+    // every level matches the ground truth.
+    assert!(report.finger_accuracy >= ref_report.finger_accuracy);
+}
+
+#[test]
+fn churn_burst_backlog_drains_monotonically_under_a_small_budget() {
+    let (mut net, mut rng) = bootstrap(150, 4);
+    churn_burst(&mut net, 12, 12, &mut rng);
+    let mut backlog = net.maintenance_backlog();
+    assert!(backlog > 50, "burst too small to exercise the queue");
+
+    let budget = MaintenanceBudget::per_round(16);
+    let mut rounds = 0;
+    while net.maintenance_backlog() > 0 {
+        let work = net.batched_maintenance_round(budget, &mut rng);
+        rounds += 1;
+        assert!(
+            work.sp_refreshed + work.fingers_refreshed <= 16,
+            "budget exceeded: {work:?}"
+        );
+        // Monotone drain: a round may surface a few new entries through
+        // its own repairs (a notify fixing a neighbour), but the backlog
+        // must trend to zero, never ratchet upward.
+        assert!(
+            work.backlog <= backlog + 4,
+            "backlog grew {backlog} -> {} in round {rounds}",
+            work.backlog
+        );
+        backlog = work.backlog;
+        assert_eq!(net.verify_ring(), net.verify_ring_full(), "round {rounds}");
+        assert!(rounds <= 5_000, "never drained: backlog {backlog}");
+    }
+    assert!(net.verify_ring().is_converged());
+    assert!(
+        rounds >= 4,
+        "a 16-entry budget must need several rounds, got {rounds}"
+    );
+}
+
+#[test]
+fn drain_work_is_proportional_to_changes_not_ring_size() {
+    // The acceptance counter-assert: lookups across a drain are
+    // O(changes * log n) with a small constant, nowhere near the O(n)
+    // per round of the classic path.
+    let n = 4_096;
+    let (mut net, mut rng) = bootstrap(n, 5);
+    let changes = churn_burst(&mut net, 16, 16, &mut rng);
+    let (_, lookups) = drain(&mut net, MaintenanceBudget::unlimited(), &mut rng);
+    let log_n = (n as f64).log2();
+    let bound = 4.0 * changes as f64 * log_n;
+    assert!(
+        (lookups as f64) <= bound,
+        "drain spent {lookups} lookups > 4 * {changes} changes * log2({n}) = {bound:.0}"
+    );
+    // ...and strictly below a single classic round's n lookups.
+    assert!(
+        lookups < n as u64,
+        "batched drain ({lookups}) must undercut one full round ({n})"
+    );
+}
+
+#[test]
+fn batched_rounds_are_deterministic() {
+    let run = |seed: u64| {
+        let (mut net, mut rng) = bootstrap(120, seed);
+        churn_burst(&mut net, 8, 8, &mut rng);
+        let mut trace = Vec::new();
+        while net.maintenance_backlog() > 0 {
+            let work = net.batched_maintenance_round(MaintenanceBudget::per_round(24), &mut rng);
+            trace.push((work.sp_refreshed, work.fingers_refreshed, work.backlog));
+            assert!(trace.len() < 5_000);
+        }
+        (trace, net.verify_ring())
+    };
+    assert_eq!(run(6), run(6), "same seed, same drain trajectory");
+}
+
+#[test]
+fn interleaved_churn_and_budgeted_rounds_stay_exact() {
+    // Churn keeps arriving while a small budget lags behind: the ledger
+    // and dirty set must stay exact through the standing backlog.
+    let (mut net, mut rng) = bootstrap(100, 7);
+    for step in 0..12 {
+        let victim = net.live_ids()[step * 5 % net.live_len()];
+        net.crash(victim);
+        let gw = net.live_ids()[0];
+        let p = net.space().random_point(&mut rng);
+        net.join(p, gw, &mut rng).unwrap();
+        net.batched_maintenance_round(MaintenanceBudget::per_round(8), &mut rng);
+        assert_eq!(net.verify_ring(), net.verify_ring_full(), "step {step}");
+    }
+    // Once churn stops, the standing backlog drains fully.
+    drain(&mut net, MaintenanceBudget::unlimited(), &mut rng);
+    assert!(net.verify_ring().is_converged());
+}

@@ -6,21 +6,29 @@
 //!
 //! * [`keyspace`] — the discrete ring `ℤ_M` and sorted peer rings.
 //! * [`peer_sampling`] — the paper's algorithms (estimate-n, choose-random-peer).
+//! * [`ringidx`] — the incremental ordered ring index behind every oracle view.
 //! * [`chord`] — the Chord DHT substrate with measured routing costs.
 //! * [`simnet`] — deterministic simulation substrate (clock, events, churn).
 //! * [`stats`] — the statistical verification toolkit.
 //! * [`baselines`] — the competing samplers the paper argues against.
+//! * [`adversary`] — coalition attacks and the verified-sampling defense.
 //! * [`apps`] — application-level workloads built on uniform sampling.
 //! * [`scenarios`] — declarative adversarial workloads and multi-seed sweeps.
+//!
+//! The repo-level `README.md` maps the whole workspace;
+//! `docs/ARCHITECTURE.md` traces a lookup and a membership event through
+//! every layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use adversary;
 pub use apps;
 pub use baselines;
 pub use chord;
 pub use keyspace;
 pub use peer_sampling;
+pub use ringidx;
 pub use scenarios;
 pub use simnet;
 pub use stats;

@@ -33,7 +33,7 @@
 //! # Implementation
 //!
 //! A tiered vector: one `Vec` of sorted chunks, each at most
-//! [`MAX_CHUNK`] entries. Point lookups binary-search the chunk list and
+//! `MAX_CHUNK` (1024) entries. Point lookups binary-search the chunk list and
 //! then the chunk — O(log n). Inserts and removes shift at most one chunk —
 //! O(√n)-flavoured constant work (≤ 1024 `memmove`d entries) with O(log n)
 //! search, amortized by chunk splits and merges. `nth` walks chunk lengths,
@@ -262,13 +262,24 @@ impl<I: Copy + Ord> RingIndex<I> {
     /// past `a`. Following the Chord convention, `a == b` denotes the full
     /// ring (all entries, starting just past `a`).
     pub fn range(&self, a: Point, b: Point) -> Vec<(Point, I)> {
+        let mut out = Vec::new();
+        self.for_each_in_range(a, b, |p, id| out.push((p, id)));
+        out
+    }
+
+    /// Calls `f` for each entry on the clockwise arc `(a, b]`, in ring
+    /// order starting just past `a`, without allocating — the delta-feed
+    /// form of [`range`](RingIndex::range). Incremental-verification and
+    /// dirty-set feeds issue one of these per finger level per membership
+    /// event (~64 per event), each expecting O(1) hits, so the per-call
+    /// `Vec` was pure overhead. `a == b` denotes the full ring.
+    pub fn for_each_in_range(&self, a: Point, b: Point, mut f: impl FnMut(Point, I)) {
         if self.is_empty() {
-            return Vec::new();
+            return;
         }
         let arc = self.space.distance(a, b);
         let full_ring = a == b;
         let start = self.upper_bound(a).unwrap_or((0, 0));
-        let mut out = Vec::new();
         let mut pos = start;
         for _ in 0..self.len {
             let e = self.get(pos);
@@ -278,10 +289,9 @@ impl<I: Copy + Ord> RingIndex<I> {
                     break;
                 }
             }
-            out.push(e);
+            f(e.0, e.1);
             pos = self.next_pos(pos).unwrap_or((0, 0));
         }
-        out
     }
 
     /// The `k`-th entry in clockwise order, or `None` if `k >= len()`.
@@ -553,6 +563,27 @@ mod tests {
             vec![70, 95, 10, 40]
         );
         assert_eq!(i.range(Point::new(41), Point::new(69)).len(), 0);
+    }
+
+    #[test]
+    fn for_each_in_range_matches_range_without_allocating_results() {
+        let i = idx(&[70, 10, 40, 95]);
+        let cases = [
+            (10, 70),
+            (80, 20),
+            (40, 40), // full ring
+            (41, 69), // empty arc
+            (95, 10),
+        ];
+        for (a, b) in cases {
+            let mut seen = Vec::new();
+            i.for_each_in_range(Point::new(a), Point::new(b), |p, id| seen.push((p, id)));
+            assert_eq!(seen, i.range(Point::new(a), Point::new(b)), "({a}, {b}]");
+        }
+        let empty: RingIndex<u64> = RingIndex::new(space());
+        empty.for_each_in_range(Point::new(0), Point::new(50), |_, _| {
+            panic!("no entries to visit")
+        });
     }
 
     #[test]

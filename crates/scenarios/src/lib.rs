@@ -54,6 +54,6 @@ pub use placement::{place_index, place_points};
 pub use run::{run_scenario_seed, SeedRunRecord, COMMITTEE_SIZE};
 pub use spec::{
     AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, CoalitionStrategySpec,
-    DefenseModel, PlacementModel, SamplerTuning, ScenarioSpec, WorkloadMix,
+    DefenseModel, MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, WorkloadMix,
 };
 pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

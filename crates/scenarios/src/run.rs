@@ -83,6 +83,16 @@ pub struct SeedRunRecord {
     /// Defended draws whose quorum round detected disagreement and
     /// redrew (0 without a defense arm) — each one is a blocked attack.
     pub quorum_failures: u64,
+    /// Fraction of populated finger entries disagreeing with the ground
+    /// truth at sampling time (`1 − finger_accuracy`; 0 on oracle
+    /// backends, which have no routing state to go stale).
+    pub finger_staleness: f64,
+    /// Dirty entries the batched maintenance left unrepaired at sampling
+    /// time — the staleness a finite `MaintenanceSpec::Batched` budget
+    /// buys its savings with. 0 on oracle backends and under
+    /// `MaintenanceSpec::FullRefresh` (the classic path has no dirty
+    /// queue to drain).
+    pub maintenance_backlog: u64,
 }
 
 /// Runs one scenario under one backend for one seed.
@@ -319,6 +329,8 @@ fn run_oracle(
         committee_capture_p: 0.0,
         committee_capture_p_uniform: 0.0,
         quorum_failures: 0,
+        finger_staleness: 0.0,
+        maintenance_backlog: 0,
     }
 }
 
@@ -373,6 +385,9 @@ fn run_chord(
                 SimDuration::from_ticks(spec.chord.stabilize_every_ticks),
                 derive_seed(seed, stream::CHURN),
             );
+            if let Some(budget) = spec.chord.maintenance.budget() {
+                sim = sim.with_maintenance_budget(budget);
+            }
             sim.run_to_end();
             churned = sim.into_network();
             &churned
@@ -542,6 +557,14 @@ fn run_chord(
     } else {
         byz_hits as f64 / tally.ok as f64
     };
+    // Staleness at sampling time: what the maintenance budget did not
+    // repair (the verify_ring read is O(1) off the incremental ledger).
+    let finger_staleness = 1.0 - net.verify_ring().finger_accuracy;
+    let maintenance_backlog = if spec.chord.maintenance.budget().is_some() {
+        net.maintenance_backlog() as u64
+    } else {
+        0
+    };
     SeedRunRecord {
         backend: Backend::Chord.name().to_string(),
         seed,
@@ -565,6 +588,8 @@ fn run_chord(
             COMMITTEE_SIZE,
         ),
         quorum_failures,
+        finger_staleness,
+        maintenance_backlog,
     }
 }
 

@@ -247,6 +247,44 @@ impl Default for SamplerTuning {
     }
 }
 
+/// How the chord overlay spends maintenance work during churny runs
+/// (serde mirror of `chord::MaintenanceBudget` plus the classic path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaintenanceSpec {
+    /// The classic full round: every live node stabilizes and fixes one
+    /// finger level per tick — O(n) routed lookups per round, the
+    /// pre-batching behaviour (and still the default).
+    FullRefresh,
+    /// Batched incremental maintenance, draining the whole dirty set
+    /// each tick: amortized O(changes · log n) work per round. The only
+    /// way 10⁷-node chord arms fit a wall-clock budget.
+    BatchedDrain,
+    /// Batched incremental maintenance under a per-tick entry cap:
+    /// at most `budget_per_round` dirty entries (stale
+    /// successor/predecessor flags + finger levels) repaired per tick.
+    /// Deliberately lets a backlog stand, trading staleness (surfaced as
+    /// `maintenance_backlog` / `finger_staleness` in records) for work;
+    /// `0` is pure staleness.
+    Batched {
+        /// Dirty entries repaired per maintenance tick.
+        budget_per_round: u32,
+    },
+}
+
+impl MaintenanceSpec {
+    /// The chord budget this spec compiles to; `None` selects the
+    /// classic full-refresh round.
+    pub fn budget(self) -> Option<chord::MaintenanceBudget> {
+        match self {
+            MaintenanceSpec::FullRefresh => None,
+            MaintenanceSpec::BatchedDrain => Some(chord::MaintenanceBudget::unlimited()),
+            MaintenanceSpec::Batched { budget_per_round } => {
+                Some(chord::MaintenanceBudget::per_round(budget_per_round))
+            }
+        }
+    }
+}
+
 /// Chord substrate tuning (ignored by the oracle backend).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChordTuning {
@@ -254,6 +292,9 @@ pub struct ChordTuning {
     pub successor_list_len: usize,
     /// Maintenance tick interval during churny runs.
     pub stabilize_every_ticks: u64,
+    /// What a maintenance tick does: classic full refresh, batched
+    /// drain, or a budgeted batched round.
+    pub maintenance: MaintenanceSpec,
 }
 
 impl Default for ChordTuning {
@@ -261,6 +302,7 @@ impl Default for ChordTuning {
         ChordTuning {
             successor_list_len: 8,
             stabilize_every_ticks: 250,
+            maintenance: MaintenanceSpec::FullRefresh,
         }
     }
 }
@@ -704,14 +746,57 @@ mod tests {
             "churn": "Static",
             "workload": {"draws": 100, "estimate_n": true},
             "sampler": {"n_upper_inflation": 2.0, "max_trials": 64},
-            "chord": {"successor_list_len": 4, "stabilize_every_ticks": 100},
+            "chord": {"successor_list_len": 4, "stabilize_every_ticks": 100,
+                      "maintenance": {"Batched": {"budget_per_round": 32}}},
             "backends": ["Oracle", "Chord"]
         }"#;
         let spec: ScenarioSpec = serde_json::from_str(text).unwrap();
         assert_eq!(spec.name, "tiny");
         assert_eq!(spec.placement, PlacementModel::Skewed { exponent: 3.0 });
         assert!(spec.workload.estimate_n);
+        assert_eq!(
+            spec.chord.maintenance,
+            MaintenanceSpec::Batched {
+                budget_per_round: 32
+            }
+        );
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn maintenance_specs_roundtrip_and_compile_to_budgets() {
+        let variants = [
+            MaintenanceSpec::FullRefresh,
+            MaintenanceSpec::BatchedDrain,
+            MaintenanceSpec::Batched {
+                budget_per_round: 0,
+            },
+            MaintenanceSpec::Batched {
+                budget_per_round: 128,
+            },
+        ];
+        for m in variants {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: MaintenanceSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m, "{json}");
+        }
+        assert_eq!(MaintenanceSpec::FullRefresh.budget(), None);
+        assert_eq!(
+            MaintenanceSpec::BatchedDrain.budget(),
+            Some(chord::MaintenanceBudget::unlimited())
+        );
+        assert_eq!(
+            MaintenanceSpec::Batched {
+                budget_per_round: 7
+            }
+            .budget(),
+            Some(chord::MaintenanceBudget::per_round(7))
+        );
+        // The default tuning keeps the classic path: batching is opt-in.
+        assert_eq!(
+            ChordTuning::default().maintenance,
+            MaintenanceSpec::FullRefresh
+        );
     }
 
     #[test]

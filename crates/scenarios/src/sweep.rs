@@ -55,6 +55,12 @@ pub struct BackendAggregate {
     /// Mean defended-draw quorum failures per seed (0 without a defense
     /// arm).
     pub quorum_failures_mean: f64,
+    /// Mean fraction of finger entries stale at sampling time (0 on
+    /// oracle backends).
+    pub finger_staleness_mean: f64,
+    /// Mean dirty maintenance entries outstanding at sampling time (0
+    /// outside batched-maintenance chord arms).
+    pub maintenance_backlog_mean: f64,
 }
 
 impl BackendAggregate {
@@ -73,6 +79,8 @@ impl BackendAggregate {
         let mut capture = Welford::new();
         let mut capture_uniform = Welford::new();
         let mut quorum_failures = Welford::new();
+        let mut staleness = Welford::new();
+        let mut backlog = Welford::new();
         for r in records {
             live.push(r.live_peers as f64);
             let total = r.samples_ok + r.samples_failed;
@@ -95,6 +103,8 @@ impl BackendAggregate {
             capture.push(r.committee_capture_p);
             capture_uniform.push(r.committee_capture_p_uniform);
             quorum_failures.push(r.quorum_failures as f64);
+            staleness.push(r.finger_staleness);
+            backlog.push(r.maintenance_backlog as f64);
         }
         BackendAggregate {
             backend: backend.name().to_string(),
@@ -114,6 +124,8 @@ impl BackendAggregate {
             committee_capture_p_mean: capture.mean(),
             committee_capture_p_uniform_mean: capture_uniform.mean(),
             quorum_failures_mean: quorum_failures.mean(),
+            finger_staleness_mean: staleness.mean(),
+            maintenance_backlog_mean: backlog.mean(),
         }
     }
 }
