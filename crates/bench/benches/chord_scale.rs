@@ -15,8 +15,12 @@
 //!   the incrementally maintained ledger) vs the seed's from-scratch
 //!   `verify_ring_full()` re-scan, after a churn batch. Bar: ≥ 20×
 //!   faster.
+//! * **telemetry overhead** — the disabled-tracing instrumentation a
+//!   routed lookup executes (counter adds, histogram record, flag check)
+//!   vs the lookup itself. Bar: ≤ 2%. Plus the recorder's resident
+//!   footprint amortized per node. Bar: ≤ 4 B/node.
 //!
-//! With `RP_ENFORCE_BENCH=1` the process exits non-zero when either bar
+//! With `RP_ENFORCE_BENCH=1` the process exits non-zero when any bar
 //! is missed — CI runs it that way so a regression fails the job.
 
 use std::time::Instant;
@@ -34,6 +38,19 @@ const GROUP_N: usize = 10_000;
 
 const MEMORY_BAR: f64 = 8.0;
 const VERIFY_BAR: f64 = 20.0;
+/// Budget for disabled-telemetry instrumentation on the lookup hot path:
+/// the counter adds, the histogram record, and the tracing flag check a
+/// routed `find_successor` executes may not cost more than 2% of the
+/// lookup itself. The events are measured standalone (they are identical
+/// code with tracing on or off — tracing only changes whether hop records
+/// are built), so the figure is the *ceiling* of what instrumenting an
+/// uninstrumented lookup could add.
+const TELEMETRY_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+/// Budget for the recorder's resident footprint, amortized per node: the
+/// preallocated counter slots plus the lazily allocated hop-histogram
+/// buckets are a fixed ~10 KB per network, so at the acceptance size they
+/// must amortize to well under 4 B/node.
+const RECORDER_BYTES_BUDGET: f64 = 4.0;
 /// Budget for the verification ledger (`ChordNetwork::verifier_bytes`).
 /// The `Vec<Vec<u32>>` reverse indexes cost ~101 B/node; the compact
 /// sorted-run multimaps plus the derived-successor column measure
@@ -85,6 +102,23 @@ fn bench_verify_poll(c: &mut Criterion) {
         &GROUP_N,
         |b, _| b.iter(|| black_box(net.verify_ring_full())),
     );
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let net = build(GROUP_N, 7);
+    let origin = net.node_ids()[0];
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(21);
+    let targets = space.random_points(&mut rng, 1024);
+    let mut group = c.benchmark_group("lookup");
+    group.bench_with_input(BenchmarkId::new("chord", GROUP_N), &GROUP_N, |b, _| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % targets.len();
+            black_box(net.find_successor(origin, targets[i], &mut rng))
+        })
+    });
     group.finish();
 }
 
@@ -149,6 +183,36 @@ fn emit_json_point() -> bool {
     // larger of the converged and mid-drain figures.
     maintenance_bytes = maintenance_bytes.max(net.maintenance_bytes() as f64 / SCALE_N as f64);
 
+    // Telemetry overhead on the lookup hot path, with tracing disabled
+    // (the default). A routed lookup executes one tracing-flag load, one
+    // counter add and one histogram record; measure a full routed lookup,
+    // then that event bundle standalone, and gate the ratio.
+    let origin = net
+        .live_ids()
+        .first()
+        .copied()
+        .expect("scale net has live nodes");
+    let space = KeySpace::full();
+    let targets = space.random_points(&mut rng, 1024);
+    let mut t = 0usize;
+    let lookup_ns = measure(20_000, || {
+        t = (t + 1) % targets.len();
+        net.find_successor(origin, targets[t], &mut rng)
+    });
+    let recorder = net.metrics().recorder();
+    let counters = net.counters();
+    assert!(
+        !recorder.tracing_enabled(),
+        "overhead gate measures the default path"
+    );
+    let telemetry_event_ns = measure(1_000_000, || {
+        black_box(recorder.tracing_enabled());
+        recorder.add(counters.lookup_hops, 1);
+        recorder.record(counters.hop_hist, 8);
+    });
+    let telemetry_overhead_pct = telemetry_event_ns / lookup_ns.max(1e-9) * 100.0;
+    let recorder_bytes = recorder.bytes() as f64 / SCALE_N as f64;
+
     let body = format!(
         "[\n  {{\"bench\": \"chord_scale\", \"n\": {SCALE_N}, \
          \"routing_bytes_per_node\": {compact:.1}, \
@@ -164,6 +228,12 @@ fn emit_json_point() -> bool {
          \"maintenance_full_round_lookups\": {SCALE_N}, \
          \"maintenance_bytes_per_node\": {maintenance_bytes:.1}, \
          \"maintenance_bytes_budget\": {MAINTENANCE_BYTES_BUDGET}, \
+         \"lookup_ns\": {lookup_ns:.0}, \
+         \"telemetry_event_ns\": {telemetry_event_ns:.1}, \
+         \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}, \
+         \"telemetry_overhead_budget_pct\": {TELEMETRY_OVERHEAD_BUDGET_PCT}, \
+         \"recorder_bytes_per_node\": {recorder_bytes:.2}, \
+         \"recorder_bytes_budget\": {RECORDER_BYTES_BUDGET}, \
          \"bulk_join_ms\": {bulk_ms:.0}}}\n]\n"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
@@ -183,6 +253,8 @@ fn emit_json_point() -> bool {
     // dirty-set bookkeeping must stay within its per-node budget.
     let maintenance_ok =
         drained && drain_lookups < SCALE_N as u64 && maintenance_bytes <= MAINTENANCE_BYTES_BUDGET;
+    let telemetry_ok = telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT
+        && recorder_bytes <= RECORDER_BYTES_BUDGET;
     println!(
         "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
          (bar {MEMORY_BAR}x, {})",
@@ -203,10 +275,16 @@ fn emit_json_point() -> bool {
          dirty set {maintenance_bytes:.1} B/node (budget {MAINTENANCE_BYTES_BUDGET}) ({})",
         if maintenance_ok { "ok" } else { "REGRESSED" }
     );
-    memory_ok && verify_ok && verifier_ok && maintenance_ok
+    println!(
+        "telemetry: {telemetry_event_ns:.1} ns/lookup of instrumentation vs {lookup_ns:.0} ns \
+         lookups => {telemetry_overhead_pct:.2}% (budget {TELEMETRY_OVERHEAD_BUDGET_PCT}%); \
+         recorder {recorder_bytes:.2} B/node (budget {RECORDER_BYTES_BUDGET}) ({})",
+        if telemetry_ok { "ok" } else { "REGRESSED" }
+    );
+    memory_ok && verify_ok && verifier_ok && maintenance_ok && telemetry_ok
 }
 
-criterion_group!(benches, bench_verify_poll, bench_bulk_join);
+criterion_group!(benches, bench_verify_poll, bench_lookup, bench_bulk_join);
 
 fn main() {
     benches();

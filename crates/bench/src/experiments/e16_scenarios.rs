@@ -29,7 +29,10 @@
 //!   reported in messages per accepted sample.
 
 use adversary::majority_capture_probability;
-use scenarios::{Backend, MaintenanceSpec, ScenarioSpec, Sweep, SweepReport, COMMITTEE_SIZE};
+use scenarios::{
+    run_scenario_seed_traced, Backend, BackendAggregate, MaintenanceSpec, ScenarioSpec, Sweep,
+    SweepReport, COMMITTEE_SIZE,
+};
 
 use crate::{fmt_f, ExpContext, Table};
 
@@ -62,6 +65,90 @@ fn scale_from_env() -> Option<usize> {
         Ok(n) if n >= 20 => Some(n),
         _ => panic!("RP_SCALE={raw:?} is not a ring size >= 20"),
     }
+}
+
+/// The paper's latency/message bound, as a per-lookup hop gate: a healthy
+/// Chord ring resolves `find_successor` in O(log n) hops, so the run's
+/// 99th-percentile hop count must stay under `4·log₂(live) + 4` (the
+/// histogram never under-reports, so the gate cannot pass on bucketing
+/// slack). Returns `None` when the arm holds, or a description when it
+/// does not. Oracle arms (no routing, hop tail 0) are skipped.
+fn hop_tail_violation(scenario: &str, agg: &BackendAggregate) -> Option<String> {
+    if agg.backend != "chord" || agg.hop_p99_max == 0 {
+        return None;
+    }
+    let bound = 4.0 * agg.live_peers_mean.max(2.0).log2() + 4.0;
+    (agg.hop_p99_max as f64 > bound).then(|| {
+        format!(
+            "{scenario}:chord hop_p99 {} > O(log n) bound {bound:.1}",
+            agg.hop_p99_max
+        )
+    })
+}
+
+/// `RP_TRACE=<path>`: replay one representative chord arm with lookup
+/// tracing on and write the flight recorder as a Chrome `trace_event`
+/// file (load in `chrome://tracing` or Perfetto). The export is
+/// schema-checked in process before it is written, so a malformed trace
+/// fails the run instead of failing the viewer later.
+fn export_trace_if_requested(ctx: &ExpContext) {
+    let Ok(path) = std::env::var("RP_TRACE") else {
+        return;
+    };
+    // The representative arm: Byzantine routers on a small ring, so the
+    // trace shows honest and forged hops side by side.
+    let mut spec = ScenarioSpec::preset_byzantine_routers();
+    spec.n_initial = 96;
+    spec.workload.draws = 200;
+    spec.telemetry.flight_recorder_capacity = 256;
+    let (record, dump) = run_scenario_seed_traced(&spec, Backend::Chord, ctx.stream(16, 3));
+    let json = dump.chrome_trace_json();
+    let value: serde_json::Value =
+        serde_json::from_str(&json).expect("chrome trace export must be valid JSON");
+    let events = value
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("chrome trace export must carry a traceEvents array");
+    assert!(
+        !events.is_empty(),
+        "traced run recorded {} lookups but exported no events",
+        dump.recorded
+    );
+    std::fs::write(&path, &json)
+        .unwrap_or_else(|e| panic!("RP_TRACE={path}: cannot write trace: {e}"));
+    println!(
+        "RP_TRACE: {} events from {} lookups (digest {}) -> {path}",
+        events.len(),
+        dump.recorded,
+        record.trace_digest
+    );
+}
+
+/// On a `CHECK` verdict, replays the first chord arm of the report with
+/// tracing forced on and writes the flight-recorder dump under `target/`
+/// — the hop-level post-mortem for whatever the gate flagged. Records are
+/// pure functions of `(spec, backend, seed)`, so the replay reproduces
+/// the failing run's routing exactly.
+fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> String {
+    if !verdict.starts_with("CHECK") {
+        return verdict;
+    }
+    let Some((spec, seed)) = report.scenarios.iter().find_map(|s| {
+        s.runs
+            .iter()
+            .find(|r| r.backend == "chord")
+            .map(|r| (s.spec.clone(), r.seed))
+    }) else {
+        return verdict;
+    };
+    let (_, dump) = run_scenario_seed_traced(&spec, Backend::Chord, seed);
+    let text = format!(
+        "flight recorder: scenario {:?}, backend chord, seed {seed}\n{}",
+        spec.name,
+        dump.pretty()
+    );
+    let path = persist_named_report(&text, file);
+    format!("{verdict}; flight -> {path}")
 }
 
 /// The scale-stress battery at its reference size: 10⁵ peers on *both*
@@ -121,6 +208,8 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
             "live",
             "fail_rate",
             "msgs/draw",
+            "hop_p99",
+            "draw_p99",
             "tv",
             "staleness",
             "backlog",
@@ -137,10 +226,16 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
                 fmt_f(agg.live_peers_mean),
                 fmt_f(agg.fail_rate_mean),
                 fmt_f(agg.messages_mean),
+                agg.hop_p99_max.to_string(),
+                agg.draw_msgs_p99_max.to_string(),
                 fmt_f(agg.tv_mean),
                 fmt_f(agg.finger_staleness_mean),
                 fmt_f(agg.maintenance_backlog_mean),
             ]);
+            if let Some(violation) = hop_tail_violation(&scenario.spec.name, agg) {
+                ok = false;
+                flagged.push(violation);
+            }
             if agg.fail_rate_mean > 0.05 {
                 ok = false;
                 flagged.push(format!(
@@ -167,7 +262,7 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
             }
         }
     }
-    table.set_verdict(format!(
+    let verdict = format!(
         "{}: 2 arms x {} seeds; json -> {}{}",
         if ok { "HOLDS" } else { "CHECK" },
         report.seeds_per_scenario,
@@ -177,6 +272,11 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
         } else {
             format!("; flagged: {}", flagged.join(", "))
         }
+    );
+    table.set_verdict(dump_flight_on_check(
+        verdict,
+        &report,
+        "e16_scale_flight.txt",
     ));
     table
 }
@@ -188,6 +288,7 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
 /// dedicated coalition step); `RP_COALITION=off` skips the coalition
 /// battery; `RP_SCALE=<n>` runs the scale arms instead of either.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
+    export_trace_if_requested(ctx);
     if let Some(oracle_n) = scale_from_env() {
         return vec![run_scale(ctx, oracle_n)];
     }
@@ -224,6 +325,8 @@ fn run_presets(ctx: &ExpContext) -> Table {
             "live",
             "fail_rate",
             "msgs/draw",
+            "hop_p99",
+            "draw_p99",
             "tv",
             "byz_pop",
             "byz_samples",
@@ -237,13 +340,19 @@ fn run_presets(ctx: &ExpContext) -> Table {
                 fmt_f(agg.live_peers_mean),
                 fmt_f(agg.fail_rate_mean),
                 fmt_f(agg.messages_mean),
+                agg.hop_p99_max.to_string(),
+                agg.draw_msgs_p99_max.to_string(),
                 fmt_f(agg.tv_mean),
                 fmt_f(agg.byzantine_population_share_mean),
                 fmt_f(agg.byzantine_sample_share_mean),
             ]);
         }
     }
-    table.set_verdict(verdict(&report, &json_path));
+    table.set_verdict(dump_flight_on_check(
+        verdict(&report, &json_path),
+        &report,
+        "e16_flight.txt",
+    ));
     table
 }
 
@@ -303,7 +412,11 @@ fn run_coalition(ctx: &ExpContext) -> Table {
             ]);
         }
     }
-    table.set_verdict(coalition_verdict(&report, ctx.quick, &json_path));
+    table.set_verdict(dump_flight_on_check(
+        coalition_verdict(&report, ctx.quick, &json_path),
+        &report,
+        "e16_coalition_flight.txt",
+    ));
     table
 }
 
@@ -420,6 +533,12 @@ fn verdict(report: &SweepReport, json_path: &str) -> String {
     let mut ok = true;
     for scenario in &report.scenarios {
         for agg in &scenario.aggregates {
+            // The paper's O(log n) bound is a *tail* claim: gate the
+            // worst per-seed hop p99, not the mean.
+            if let Some(violation) = hop_tail_violation(&scenario.spec.name, agg) {
+                ok = false;
+                checks.push(violation);
+            }
             // The stale-oracle arm is *supposed* to fail draws (that is
             // the staleness cost it measures); it only has to stay
             // usable.
@@ -562,5 +681,74 @@ mod tests {
         let t = run_scale(&ctx, 1_000);
         assert_eq!(t.rows.len(), 2, "one row per arm");
         assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn hop_gate_skips_oracle_and_bounds_chord() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        spec.n_initial = 96;
+        spec.workload.draws = 300;
+        let report = Sweep::new(vec![spec]).with_seeds(2).run();
+        for agg in &report.scenarios[0].aggregates {
+            assert_eq!(
+                hop_tail_violation("honest-static", agg),
+                None,
+                "healthy {} arm must pass the O(log n) gate",
+                agg.backend
+            );
+        }
+        // A fabricated pathological tail trips the gate.
+        let mut broken = report.scenarios[0]
+            .aggregates
+            .iter()
+            .find(|a| a.backend == "chord")
+            .unwrap()
+            .clone();
+        broken.hop_p99_max = 10_000;
+        let violation = hop_tail_violation("honest-static", &broken).unwrap();
+        assert!(violation.contains("O(log n)"), "{violation}");
+    }
+
+    #[test]
+    fn check_verdicts_dump_the_flight_recorder() {
+        let mut spec = ScenarioSpec::preset_byzantine_routers();
+        spec.n_initial = 96;
+        spec.workload.draws = 200;
+        let report = Sweep::new(vec![spec]).with_seeds(1).run();
+        // HOLDS verdicts pass through untouched — no replay, no file.
+        let holds = dump_flight_on_check("HOLDS: fine".to_string(), &report, "unused.txt");
+        assert_eq!(holds, "HOLDS: fine");
+        // CHECK verdicts replay the first chord arm traced and point at
+        // the dump.
+        let verdict =
+            dump_flight_on_check("CHECK: forced".to_string(), &report, "e16_test_flight.txt");
+        assert!(verdict.contains("flight -> "), "{verdict}");
+        let path = verdict.rsplit("flight -> ").next().unwrap();
+        let dump = std::fs::read_to_string(path).unwrap();
+        assert!(dump.contains("flight recorder: scenario"), "{path}");
+        assert!(dump.contains("hop"), "dump must carry hop paths");
+    }
+
+    #[test]
+    fn representative_trace_export_is_schema_valid_chrome_json() {
+        // The RP_TRACE arm, minus the env-var plumbing (env mutation would
+        // race parallel tests): the traced replay must export parseable
+        // trace_event JSON with one complete event per lookup and hop.
+        let mut spec = ScenarioSpec::preset_byzantine_routers();
+        spec.n_initial = 96;
+        spec.workload.draws = 200;
+        spec.telemetry.flight_recorder_capacity = 256;
+        let (record, dump) = run_scenario_seed_traced(&spec, Backend::Chord, 5);
+        let json = dump.chrome_trace_json();
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = value.get("traceEvents").and_then(|v| v.as_seq()).unwrap();
+        assert!(events.len() >= dump.traces.len());
+        for event in events {
+            assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert!(event.get("name").is_some());
+            assert!(event.get("ts").is_some());
+            assert!(event.get("dur").is_some());
+        }
+        assert!(!record.trace_digest.is_empty());
     }
 }

@@ -161,7 +161,10 @@ impl Dht for ChordDht<'_> {
                     // the target, stretching the SMALL acceptance over
                     // its whole trailing arc. The origin never lies to
                     // itself.
-                    self.net.metrics().incr("lookup.forged_position");
+                    self.net
+                        .metrics()
+                        .recorder()
+                        .incr(self.net.counters().lookup_forged_position);
                     x
                 } else {
                     hit.point

@@ -78,5 +78,5 @@ pub use dht_impl::ChordDht;
 pub use faults::{FaultPlan, NodeFaults};
 pub use lookup::{LookupError, LookupResult};
 pub use maintenance::{MaintenanceBudget, MaintenanceWork};
-pub use network::{ChordNetwork, NodeId, RingReport};
+pub use network::{ChordCounters, ChordNetwork, NodeId, RingReport};
 pub use storage::{GetResult, PutReceipt};

@@ -3,8 +3,50 @@ use core::fmt;
 use keyspace::Point;
 use peer_sampling::Cost;
 use rand::Rng;
+use telemetry::{HopRecord, LookupTrace, TraceOutcome};
 
 use crate::network::{ChordNetwork, NodeId};
+
+/// Per-lookup trace state, allocated only when the recorder's tracing
+/// flag is on — the disabled hot path pays one relaxed atomic load.
+struct TraceBuilder {
+    from: Point,
+    target: Point,
+    hops: Vec<HopRecord>,
+    /// Latency accounted so far, to attribute per-hop deltas (probe
+    /// timeouts included in the hop that paid for them).
+    seen_latency: u64,
+}
+
+impl TraceBuilder {
+    fn hop(&mut self, net: &ChordNetwork, origin: Point, to: NodeId, forged: bool, cost: &Cost) {
+        let to_point = net.node(to).point();
+        let distance = net.space().distance(origin, to_point).get();
+        let finger_level = if distance == 0 {
+            0
+        } else {
+            (64 - distance.leading_zeros()) as u8
+        };
+        self.hops.push(HopRecord {
+            node: to_point.get(),
+            finger_level,
+            forged,
+            latency: cost.latency - self.seen_latency,
+        });
+        self.seen_latency = cost.latency;
+    }
+
+    fn finish(self, net: &ChordNetwork, outcome: TraceOutcome, cost: &Cost) {
+        net.metrics().recorder().push_trace(LookupTrace {
+            from: self.from.get(),
+            target: self.target.get(),
+            hops: self.hops,
+            outcome,
+            messages: cost.messages,
+            latency: cost.latency,
+        });
+    }
+}
 
 /// Error from a routed Chord lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,17 +141,28 @@ impl ChordNetwork {
         if !self.node(from).is_alive() {
             return Err(LookupError::StartDead);
         }
+        let counters = self.counters();
+        let recorder = self.metrics().recorder();
         let latency_model = self.config().latency();
         let mut cost = Cost::FREE;
         let send = |cost: &mut Cost, rng: &mut R| {
             cost.messages += 1;
             cost.latency += latency_model.sample(rng).ticks();
         };
+        let mut trace = recorder.tracing_enabled().then(|| TraceBuilder {
+            from: self.node(from).point(),
+            target,
+            hops: Vec::new(),
+            seen_latency: 0,
+        });
 
         let mut current = from;
         let mut hops = 0u32;
         loop {
             if hops > self.config().max_hops() {
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Unresolved, &cost);
+                }
                 return Err(LookupError::HopLimitExceeded {
                     max_hops: self.config().max_hops(),
                 });
@@ -124,8 +177,12 @@ impl ChordNetwork {
             // origin never lies to itself, so `hops > 0` guards the first
             // iteration.
             if hops > 0 && faults.claims_ownership(current) {
-                self.metrics().incr("lookup.byzantine_claim");
-                self.metrics().add("lookup.hops", hops as u64);
+                recorder.incr(counters.lookup_byzantine_claim);
+                recorder.add(counters.lookup_hops, hops as u64);
+                recorder.record(counters.hop_hist, hops as u64);
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Captured(cur_point.get()), &cost);
+                }
                 return Ok(LookupResult {
                     node: current,
                     point: target,
@@ -138,7 +195,11 @@ impl ChordNetwork {
             // owns the whole ring.
             let successors = self.node(current).successors();
             if successors.len() == 1 && successors.first() == Some(current) {
-                self.metrics().add("lookup.hops", hops as u64);
+                recorder.add(counters.lookup_hops, hops as u64);
+                recorder.record(counters.hop_hist, hops as u64);
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Resolved(cur_point.get()), &cost);
+                }
                 return Ok(LookupResult {
                     node: current,
                     point: cur_point,
@@ -153,6 +214,9 @@ impl ChordNetwork {
             // successor (list entries are consecutive ring nodes), at the
             // price of one timed-out probe per dead entry.
             if successors.is_empty() {
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Unresolved, &cost);
+                }
                 return Err(LookupError::SuccessorsAllDead);
             }
             let answer_rank = successors
@@ -166,13 +230,19 @@ impl ChordNetwork {
                         found = Some(cand);
                         break;
                     }
-                    self.metrics().incr("lookup.dead_probe");
+                    recorder.incr(counters.lookup_dead_probe);
                 }
                 if let Some(cand) = found {
-                    self.metrics().add("lookup.hops", (hops + 1) as u64);
+                    recorder.add(counters.lookup_hops, (hops + 1) as u64);
+                    recorder.record(counters.hop_hist, (hops + 1) as u64);
+                    let answer_point = self.node(cand).point();
+                    if let Some(mut t) = trace.take() {
+                        t.hop(self, cur_point, cand, faults.is_byzantine(cand), &cost);
+                        t.finish(self, TraceOutcome::Resolved(answer_point.get()), &cost);
+                    }
                     return Ok(LookupResult {
                         node: cand,
-                        point: self.node(cand).point(),
+                        point: answer_point,
                         hops: hops + 1,
                         cost,
                     });
@@ -185,8 +255,20 @@ impl ChordNetwork {
             // Case 2: forward to the closest preceding live candidate
             // (fingers first, then the successor list).
             let Some(next_hop) = self.closest_preceding(current, target, &mut cost, rng) else {
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Unresolved, &cost);
+                }
                 return Err(LookupError::SuccessorsAllDead);
             };
+            if let Some(t) = trace.as_mut() {
+                t.hop(
+                    self,
+                    cur_point,
+                    next_hop,
+                    faults.is_byzantine(next_hop),
+                    &cost,
+                );
+            }
             current = next_hop;
             hops += 1;
         }
@@ -226,7 +308,9 @@ impl ChordNetwork {
             if self.node(cand).is_alive() {
                 return Some(cand);
             }
-            self.metrics().incr("lookup.dead_probe");
+            self.metrics()
+                .recorder()
+                .incr(self.counters().lookup_dead_probe);
         }
         // No usable finger: fall back to the first live successor, which
         // always makes clockwise progress.
@@ -452,6 +536,77 @@ mod tests {
                 .unwrap();
             assert_eq!(hit.point, net.ground_truth_successor(target));
         }
+    }
+
+    #[test]
+    fn traces_capture_hop_paths_and_attribution() {
+        let net = bootstrap(256, 31);
+        let rec = net.metrics().recorder();
+        rec.set_tracing(true);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+
+        // Honest lookups: hops resolve, per-hop latency sums to the cost.
+        let target = net.space().random_point(&mut r);
+        let hit = net.find_successor(start, target, &mut r).unwrap();
+        let traces = rec.traces();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.from, net.node(start).point().get());
+        assert_eq!(t.target, target.get());
+        assert_eq!(t.hops.len(), hit.hops as usize);
+        assert_eq!(t.messages, hit.cost.messages);
+        assert_eq!(t.latency, hit.cost.latency);
+        assert_eq!(
+            t.hops.iter().map(|h| h.latency).sum::<u64>(),
+            hit.cost.latency,
+            "per-hop latencies must account for the whole walk"
+        );
+        assert!(t.hops.iter().all(|h| !h.forged));
+        assert!(matches!(
+            t.outcome,
+            telemetry::TraceOutcome::Resolved(p) if p == hit.point.get()
+        ));
+
+        // Byzantine capture: the capturing hop is marked forged.
+        let liars: Vec<NodeId> = net.live_ids().into_iter().filter(|&n| n != start).collect();
+        let plan = crate::FaultPlan::for_nodes(liars);
+        let mut captured_seen = false;
+        for _ in 0..20 {
+            let target = net.space().random_point(&mut r);
+            let hit = net
+                .find_successor_with_faults(start, target, &plan, &mut r)
+                .unwrap();
+            if hit.point != net.ground_truth_successor(target) {
+                captured_seen = true;
+            }
+        }
+        assert!(captured_seen);
+        assert!(rec.traces().iter().any(|t| matches!(
+            t.outcome,
+            telemetry::TraceOutcome::Captured(_)
+        ) && t.hops.iter().any(|h| h.forged)));
+
+        // The hop histogram agrees with the per-lookup results.
+        let hist = rec.histogram_snapshot(net.counters().hop_hist);
+        assert_eq!(hist.count(), rec.traces_recorded());
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let net = bootstrap(64, 32);
+        let mut r = rng();
+        let start = net.live_ids()[0];
+        for _ in 0..10 {
+            let target = net.space().random_point(&mut r);
+            net.find_successor(start, target, &mut r).unwrap();
+        }
+        let rec = net.metrics().recorder();
+        assert_eq!(rec.traces_recorded(), 0);
+        assert!(rec.traces().is_empty());
+        // Counters and the hop histogram stay on regardless.
+        assert!(rec.histogram_snapshot(net.counters().hop_hist).count() >= 10);
+        assert!(net.metrics().get("lookup.hops") > 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use keyspace::{Distance, KeySpace, Point};
 use rand::Rng;
 use ringidx::RingIndex;
 use simnet::Metrics;
+use telemetry::{CounterId, HistogramId};
 
 use crate::arena::{NodeRef, RoutingArena};
 use crate::maintenance::{DirtySet, MaintenanceBudget, MaintenanceWork};
@@ -179,6 +180,7 @@ pub struct ChordNetwork {
     config: ChordConfig,
     arena: RoutingArena,
     metrics: Metrics,
+    counters: ChordCounters,
     finger_bits: usize,
     /// Live ring positions in clockwise order: the incremental ground
     /// truth behind every `truth_*` query (O(log n) instead of an arena
@@ -197,16 +199,83 @@ pub struct ChordNetwork {
     shadow: Option<Box<Shadow>>,
 }
 
+/// Pre-registered telemetry handles for every chord hot-path counter plus
+/// the lookup hop-count histogram, interned once per network at
+/// construction — hot-path events are single lock-free atomic adds, never
+/// per-event `String` allocation or registry lookups (the legacy
+/// [`Metrics`] string API remains as a compat shim for cold paths).
+#[derive(Debug, Clone, Copy)]
+pub struct ChordCounters {
+    /// `bulk_join.nodes` — nodes created by [`ChordNetwork::bulk_join`].
+    pub bulk_join_nodes: CounterId,
+    /// `join.messages` — protocol-join routing plus handoff messages.
+    pub join_messages: CounterId,
+    /// `leave.messages` — graceful-departure notifications.
+    pub leave_messages: CounterId,
+    /// `stabilize.messages` — liveness probes per stabilize round.
+    pub stabilize_messages: CounterId,
+    /// `notify.messages` — predecessor-candidate notifications.
+    pub notify_messages: CounterId,
+    /// `fix_finger.messages` — routed finger-refresh lookups.
+    pub fix_finger_messages: CounterId,
+    /// `check_predecessor.messages` — predecessor liveness probes.
+    pub check_predecessor_messages: CounterId,
+    /// `lookup.hops` — total forwarding hops across all lookups.
+    pub lookup_hops: CounterId,
+    /// `lookup.dead_probe` — probes that hit a dead node.
+    pub lookup_dead_probe: CounterId,
+    /// `lookup.byzantine_claim` — lookups captured by a lying hop.
+    pub lookup_byzantine_claim: CounterId,
+    /// `lookup.forged_position` — owners self-reporting a forged point.
+    pub lookup_forged_position: CounterId,
+    /// `storage.put` — store writes.
+    pub storage_put: CounterId,
+    /// `storage.get` — store reads.
+    pub storage_get: CounterId,
+    /// `storage.migrate` — keys migrated on ownership change.
+    pub storage_migrate: CounterId,
+    /// `storage.replicate` — replica repairs.
+    pub storage_replicate: CounterId,
+    /// Per-lookup hop-count distribution (p50/p99/p999 in e16 records).
+    pub hop_hist: HistogramId,
+}
+
+impl ChordCounters {
+    fn register(recorder: &telemetry::Recorder) -> ChordCounters {
+        ChordCounters {
+            bulk_join_nodes: recorder.counter("bulk_join.nodes"),
+            join_messages: recorder.counter("join.messages"),
+            leave_messages: recorder.counter("leave.messages"),
+            stabilize_messages: recorder.counter("stabilize.messages"),
+            notify_messages: recorder.counter("notify.messages"),
+            fix_finger_messages: recorder.counter("fix_finger.messages"),
+            check_predecessor_messages: recorder.counter("check_predecessor.messages"),
+            lookup_hops: recorder.counter("lookup.hops"),
+            lookup_dead_probe: recorder.counter("lookup.dead_probe"),
+            lookup_byzantine_claim: recorder.counter("lookup.byzantine_claim"),
+            lookup_forged_position: recorder.counter("lookup.forged_position"),
+            storage_put: recorder.counter("storage.put"),
+            storage_get: recorder.counter("storage.get"),
+            storage_migrate: recorder.counter("storage.migrate"),
+            storage_replicate: recorder.counter("storage.replicate"),
+            hop_hist: recorder.histogram("lookup.hops"),
+        }
+    }
+}
+
 impl ChordNetwork {
     /// Creates an empty overlay on `space`.
     pub fn new(space: KeySpace, config: ChordConfig) -> ChordNetwork {
         let finger_bits = (128 - (space.modulus() - 1).leading_zeros()) as usize;
         let finger_bits = finger_bits.max(1);
+        let metrics = Metrics::new();
+        let counters = ChordCounters::register(metrics.recorder());
         ChordNetwork {
             space,
             config,
             arena: RoutingArena::new(finger_bits, config.successor_list_len()),
-            metrics: Metrics::new(),
+            metrics,
+            counters,
             finger_bits,
             index: RingIndex::new(space),
             live_set: Vec::new(),
@@ -242,7 +311,14 @@ impl ChordNetwork {
     /// bit), so the whole rebuild does O(log n) binary searches per node
     /// rather than one per finger bit — the difference between seconds
     /// and minutes at n = 10⁶.
-    pub fn bulk_join(&mut self, mut points: Vec<Point>) -> Vec<NodeId> {
+    pub fn bulk_join(&mut self, points: Vec<Point>) -> Vec<NodeId> {
+        let scope = self.metrics.recorder().begin_scope();
+        let created = self.bulk_join_inner(points);
+        self.metrics.recorder().end_scope("bulk_join", scope);
+        created
+    }
+
+    fn bulk_join_inner(&mut self, mut points: Vec<Point>) -> Vec<NodeId> {
         points.sort_unstable();
         points.dedup();
         let mut created = Vec::with_capacity(points.len());
@@ -268,7 +344,9 @@ impl ChordNetwork {
                 created.push(id);
             }
         }
-        self.metrics.add("bulk_join.nodes", created.len() as u64);
+        self.metrics
+            .recorder()
+            .add(self.counters.bulk_join_nodes, created.len() as u64);
 
         // Rebuild every live node's routing state from ring order: the
         // successor list is the next r entries, the predecessor the
@@ -357,6 +435,11 @@ impl ChordNetwork {
     /// The shared message-accounting registry.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The pre-registered telemetry handles for this network's recorder.
+    pub fn counters(&self) -> ChordCounters {
+        self.counters
     }
 
     /// Number of finger-table entries per node (`⌈log₂ M⌉`).
@@ -950,7 +1033,9 @@ impl ChordNetwork {
         rng: &mut R,
     ) -> Result<NodeId, crate::LookupError> {
         let found = self.find_successor(via, point, rng)?;
-        self.metrics.add("join.messages", found.cost.messages + 1);
+        self.metrics
+            .recorder()
+            .add(self.counters.join_messages, found.cost.messages + 1);
         let id = self.push_node(point);
         // Adopt the successor and splice in its list (one message,
         // included in the accounting above).
@@ -976,7 +1061,7 @@ impl ChordNetwork {
             .node(id)
             .predecessor()
             .filter(|&p| p != id && self.node(p).is_alive());
-        self.metrics.add("leave.messages", 2);
+        self.metrics.recorder().add(self.counters.leave_messages, 2);
         // Departing nodes hand their stored data to their successor
         // before breaking links (SIGCOMM §4's key transfer).
         if let Some(succ) = succ.filter(|&s| s != id) {
@@ -1051,7 +1136,9 @@ impl ChordNetwork {
         // Drop dead entries from the successor list (each liveness probe
         // costs a message).
         let probes = self.node(id).successors().len() as u64;
-        self.metrics.add("stabilize.messages", probes.max(1));
+        self.metrics
+            .recorder()
+            .add(self.counters.stabilize_messages, probes.max(1));
         let live: Vec<NodeId> = self
             .node(id)
             .successors()
@@ -1103,7 +1190,7 @@ impl ChordNetwork {
         if !self.node(at).is_alive() || !self.node(candidate).is_alive() {
             return;
         }
-        self.metrics.incr("notify.messages");
+        self.metrics.recorder().incr(self.counters.notify_messages);
         let at_point = self.node(at).point();
         let cand_point = self.node(candidate).point();
         let adopt = match self.node(at).predecessor() {
@@ -1128,7 +1215,9 @@ impl ChordNetwork {
         let target = self.finger_target(self.node(id).point(), bit);
         let entry = match self.find_successor(id, target, rng) {
             Ok(found) => {
-                self.metrics.add("fix_finger.messages", found.cost.messages);
+                self.metrics
+                    .recorder()
+                    .add(self.counters.fix_finger_messages, found.cost.messages);
                 Some(found.node)
             }
             Err(_) => None,
@@ -1141,7 +1230,9 @@ impl ChordNetwork {
         if !self.node(id).is_alive() {
             return;
         }
-        self.metrics.incr("check_predecessor.messages");
+        self.metrics
+            .recorder()
+            .incr(self.counters.check_predecessor_messages);
         if let Some(p) = self.node(id).predecessor() {
             if !self.node(p).is_alive() {
                 self.write_pred(id, None);
@@ -1216,6 +1307,7 @@ impl ChordNetwork {
         budget: MaintenanceBudget,
         rng: &mut R,
     ) -> MaintenanceWork {
+        let scope = self.metrics.recorder().begin_scope();
         let mut work = MaintenanceWork::default();
         let mut remaining = budget.limit();
         let snapshot = self.dirty.queue_len();
@@ -1266,6 +1358,9 @@ impl ChordNetwork {
             self.dirty.requeue_if_dirty(i);
         }
         work.backlog = self.dirty.entries();
+        self.metrics
+            .recorder()
+            .end_scope("maintenance.round", scope);
         work
     }
 
@@ -1288,7 +1383,9 @@ impl ChordNetwork {
             work.lookups += 1;
             match self.find_successor(id, target, rng) {
                 Ok(found) => {
-                    self.metrics.add("fix_finger.messages", found.cost.messages);
+                    self.metrics
+                        .recorder()
+                        .add(self.counters.fix_finger_messages, found.cost.messages);
                     self.write_finger(id, bit, Some(found.node));
                     // The funnel recomputes only on change; force a
                     // re-check so a repair that re-wrote the same stale

@@ -86,7 +86,7 @@ impl ChordNetwork {
             cost.latency += latency.sample(rng).ticks();
             self.store_mut(t).insert(key, value.clone());
         }
-        self.metrics().add("storage.put", 1);
+        self.metrics().recorder().incr(self.counters().storage_put);
         Ok(PutReceipt {
             owner: hit.node,
             replicas_written: targets.len(),
@@ -112,7 +112,7 @@ impl ChordNetwork {
         let hit = self.find_successor(from, key, rng)?;
         let mut cost = hit.cost;
         let latency = self.config().latency();
-        self.metrics().add("storage.get", 1);
+        self.metrics().recorder().incr(self.counters().storage_get);
 
         let mut candidates = vec![hit.node];
         candidates.extend(self.node(hit.node).successors().iter());
@@ -180,7 +180,9 @@ impl ChordNetwork {
             for k in &misplaced {
                 let value = self.node(id).store()[k].clone();
                 self.store_mut(p).insert(*k, value);
-                self.metrics().add("storage.migrate", 1);
+                self.metrics()
+                    .recorder()
+                    .incr(self.counters().storage_migrate);
             }
         }
 
@@ -197,7 +199,9 @@ impl ChordNetwork {
             for &s in &succs {
                 if !self.node(s).store().contains_key(k) {
                     self.store_mut(s).insert(*k, value.clone());
-                    self.metrics().add("storage.replicate", 1);
+                    self.metrics()
+                        .recorder()
+                        .incr(self.counters().storage_replicate);
                 }
             }
         }

@@ -51,9 +51,10 @@ mod spec;
 mod sweep;
 
 pub use placement::{place_index, place_points};
-pub use run::{run_scenario_seed, SeedRunRecord, COMMITTEE_SIZE};
+pub use run::{run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, COMMITTEE_SIZE};
 pub use spec::{
     AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, CoalitionStrategySpec,
-    DefenseModel, MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, WorkloadMix,
+    DefenseModel, MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, TelemetrySpec,
+    WorkloadMix,
 };
 pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

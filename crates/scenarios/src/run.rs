@@ -17,7 +17,9 @@ use serde::Serialize;
 use simnet::churn::{ChurnPhase, ChurnSchedule};
 use simnet::rng::derive_seed;
 use simnet::SimDuration;
-use stats::divergence;
+use stats::{divergence, LogHistogram};
+use std::collections::BTreeMap;
+use telemetry::TraceDump;
 
 use crate::placement::place_index;
 use crate::{AdversaryModel, Backend, ChurnModel, DefenseModel, ScenarioSpec};
@@ -93,6 +95,30 @@ pub struct SeedRunRecord {
     /// `MaintenanceSpec::FullRefresh` (the classic path has no dirty
     /// queue to drain).
     pub maintenance_backlog: u64,
+    /// Median per-lookup hop count off the chord hop histogram (0 on
+    /// oracle backends, which answer in one synthetic step).
+    pub hop_p50: u64,
+    /// 99th-percentile per-lookup hop count — the tail the paper's
+    /// O(log n) bound is about. Log-bucketed (≤ 1/16 relative error,
+    /// never under-reported), so it is safe to gate verdicts on.
+    pub hop_p99: u64,
+    /// 99.9th-percentile per-lookup hop count.
+    pub hop_p999: u64,
+    /// Median messages per successful draw (both backends; the oracle
+    /// charges its synthetic ceil(log2 n) cost here).
+    pub draw_msgs_p50: u64,
+    /// 99th-percentile messages per successful draw — a defended arm's
+    /// redundancy multiplier shows up here, not in the mean.
+    pub draw_msgs_p99: u64,
+    /// FNV-1a digest over every lookup trace recorded during the run
+    /// (hex; empty when `telemetry.trace_lookups` is off or the backend
+    /// does not route). Two runs of the same `(spec, backend, seed)`
+    /// produce the same digest — a cheap cross-machine replay check.
+    pub trace_digest: String,
+    /// Full counter snapshot from the backend's telemetry recorder
+    /// (chord arms; empty on oracle backends, which have no instrumented
+    /// substrate). Sorted by name, so report JSON is deterministic.
+    pub counters: BTreeMap<String, u64>,
 }
 
 /// Runs one scenario under one backend for one seed.
@@ -102,6 +128,38 @@ pub struct SeedRunRecord {
 /// Panics if the spec fails [`ScenarioSpec::validate`] or names a
 /// degenerate simulation (e.g. churn that wipes out the whole overlay).
 pub fn run_scenario_seed(spec: &ScenarioSpec, backend: Backend, seed: u64) -> SeedRunRecord {
+    run_seed_inner(spec, backend, seed, false).0
+}
+
+/// Runs one scenario with lookup tracing forced on, returning the record
+/// alongside the flight-recorder dump — the post-mortem entry point e16
+/// uses to replay a failing `(spec, backend, seed)` cell.
+///
+/// The record is identical to [`run_scenario_seed`]'s except for its
+/// `trace_digest` field (tracing perturbs nothing else). Oracle backends
+/// do not route, so their dump is empty.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_scenario_seed`].
+pub fn run_scenario_seed_traced(
+    spec: &ScenarioSpec,
+    backend: Backend,
+    seed: u64,
+) -> (SeedRunRecord, TraceDump) {
+    let (record, dump) = run_seed_inner(spec, backend, seed, true);
+    (
+        record,
+        dump.unwrap_or_else(|| TraceDump::from_recorder(&telemetry::Recorder::new())),
+    )
+}
+
+fn run_seed_inner(
+    spec: &ScenarioSpec,
+    backend: Backend,
+    seed: u64,
+    force_trace: bool,
+) -> (SeedRunRecord, Option<TraceDump>) {
     if let Err(problems) = spec.validate() {
         panic!("invalid scenario {:?}: {problems:?}", spec.name);
     }
@@ -111,11 +169,12 @@ pub fn run_scenario_seed(spec: &ScenarioSpec, backend: Backend, seed: u64) -> Se
     // paired oracle/chord run sees the same initial ring.
     let members = place_index(&spec.placement, space, spec.n_initial, &mut placement_rng);
     match backend {
-        Backend::Oracle => run_oracle(spec, seed, space, members, None),
-        Backend::StaleOracle { lag_ticks } => {
-            run_oracle(spec, seed, space, members, Some(lag_ticks))
-        }
-        Backend::Chord => run_chord(spec, seed, space, members),
+        Backend::Oracle => (run_oracle(spec, seed, space, members, None), None),
+        Backend::StaleOracle { lag_ticks } => (
+            run_oracle(spec, seed, space, members, Some(lag_ticks)),
+            None,
+        ),
+        Backend::Chord => run_chord(spec, seed, space, members, force_trace),
     }
 }
 
@@ -281,12 +340,14 @@ fn run_oracle(
 
     let mut draw_rng = StdRng::seed_from_u64(derive_seed(seed, stream::DRAWS));
     let mut tally = DrawTally::default();
+    let mut draw_msgs = LogHistogram::new();
     let mut counts = vec![0u64; live];
     for _ in 0..spec.workload.draws {
         match sampler.sample(view, &mut draw_rng) {
             Ok(s) => {
                 if stale.is_none() {
                     tally.record(s.trials, s.cost);
+                    draw_msgs.record(s.cost.messages);
                     counts[s.peer] += 1;
                     continue;
                 }
@@ -297,6 +358,7 @@ fn run_oracle(
                 // in the uniformity histogram.
                 if members.contains_point(s.point) {
                     tally.record(s.trials, s.cost);
+                    draw_msgs.record(s.cost.messages);
                     counts[truth.ring().successor_of(s.point)] += 1;
                 } else {
                     tally.failed += 1;
@@ -331,6 +393,13 @@ fn run_oracle(
         quorum_failures: 0,
         finger_staleness: 0.0,
         maintenance_backlog: 0,
+        hop_p50: 0,
+        hop_p99: 0,
+        hop_p999: 0,
+        draw_msgs_p50: draw_msgs.p50(),
+        draw_msgs_p99: draw_msgs.p99(),
+        trace_digest: String::new(),
+        counters: BTreeMap::new(),
     }
 }
 
@@ -339,7 +408,8 @@ fn run_chord(
     seed: u64,
     space: KeySpace,
     members: RingIndex<u64>,
-) -> SeedRunRecord {
+    force_trace: bool,
+) -> (SeedRunRecord, Option<TraceDump>) {
     let config = ChordConfig::default().with_successor_list_len(spec.chord.successor_list_len);
 
     // A coalition adversary compiles *before* the overlay exists: it
@@ -396,6 +466,16 @@ fn run_chord(
 
     let live = net.live_ids();
     assert!(live.len() >= 2, "churn left fewer than two live peers");
+
+    // Tracing covers the *measured* workload only: switching it on after
+    // overlay construction keeps bulk-join / churn lookups out of the
+    // flight recorder, so the digest fingerprints the draws alone.
+    let tracing = force_trace || spec.telemetry.trace_lookups;
+    if tracing {
+        let recorder = net.metrics().recorder();
+        recorder.set_trace_capacity(spec.telemetry.flight_recorder_capacity.max(1) as usize);
+        recorder.set_tracing(true);
+    }
 
     // Resolve the coalition's sybil points to overlay ids before picking
     // the observer, so the anchor is never a coalition plant.
@@ -474,6 +554,7 @@ fn run_chord(
         live.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let mut draw_rng = StdRng::seed_from_u64(derive_seed(seed, stream::DRAWS));
     let mut tally = DrawTally::default();
+    let mut draw_msgs = LogHistogram::new();
     let mut counts = vec![0u64; live.len()];
     let mut byz_hits = 0u64;
     let mut quorum_failures = 0u64;
@@ -482,12 +563,14 @@ fn run_chord(
     // The per-draw bookkeeping both arms share, so defended and
     // undefended accounting cannot diverge.
     let record_draw = |tally: &mut DrawTally,
+                       draw_msgs: &mut LogHistogram,
                        counts: &mut [u64],
                        byz_hits: &mut u64,
                        peer: NodeId,
                        trials: u32,
                        cost: peer_sampling::Cost| {
         tally.record(trials, cost);
+        draw_msgs.record(cost.messages);
         if let Some(&i) = index_of.get(&peer) {
             counts[i] += 1;
         }
@@ -507,6 +590,7 @@ fn run_chord(
                 match sampler.sample(&dht, &mut draw_rng) {
                     Ok(s) => record_draw(
                         &mut tally,
+                        &mut draw_msgs,
                         &mut counts,
                         &mut byz_hits,
                         s.peer,
@@ -530,6 +614,10 @@ fn run_chord(
             estimate_failed = est_failed;
             let sampler = DefendedSampler::new(config);
             for _ in 0..spec.workload.draws {
+                // Each defended draw is a labelled cost scope, so the
+                // report's breakdown attributes quorum redundancy to the
+                // draws that paid it rather than to the run as a whole.
+                let scope = net.metrics().recorder().begin_scope();
                 // Tracked sampling: quorum failures on *exhausted* draws
                 // (the fully-blocked case) still reach the counter.
                 match sampler.sample_tracked(&view_refs, &mut draw_rng, &mut quorum_failures) {
@@ -537,6 +625,7 @@ fn run_chord(
                         quorum_failures += s.quorum_failures as u64;
                         record_draw(
                             &mut tally,
+                            &mut draw_msgs,
                             &mut counts,
                             &mut byz_hits,
                             s.peer,
@@ -546,6 +635,7 @@ fn run_chord(
                     }
                     Err(_) => tally.failed += 1,
                 }
+                net.metrics().recorder().end_scope("draw.defended", scope);
             }
         }
     }
@@ -565,7 +655,15 @@ fn run_chord(
     } else {
         0
     };
-    SeedRunRecord {
+    let recorder = net.metrics().recorder();
+    let hop_hist = recorder.histogram_snapshot(net.counters().hop_hist);
+    let trace_digest = if tracing {
+        format!("{:016x}", recorder.trace_digest())
+    } else {
+        String::new()
+    };
+    let dump = tracing.then(|| TraceDump::from_recorder(recorder));
+    let record = SeedRunRecord {
         backend: Backend::Chord.name().to_string(),
         seed,
         live_peers: live.len() as u64,
@@ -590,7 +688,15 @@ fn run_chord(
         quorum_failures,
         finger_staleness,
         maintenance_backlog,
-    }
+        hop_p50: hop_hist.p50(),
+        hop_p99: hop_hist.p99(),
+        hop_p999: hop_hist.p999(),
+        draw_msgs_p50: draw_msgs.p50(),
+        draw_msgs_p99: draw_msgs.p99(),
+        trace_digest,
+        counters: net.metrics().snapshot(),
+    };
+    (record, dump)
 }
 
 #[cfg(test)]
@@ -749,5 +855,81 @@ mod tests {
         let mut spec = ScenarioSpec::preset_honest_static();
         spec.workload.draws = 0;
         let _ = run_scenario_seed(&spec, Backend::Oracle, 1);
+    }
+
+    #[test]
+    fn tail_percentiles_and_counters_populate_per_backend() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        let chord = run_scenario_seed(&spec, Backend::Chord, 31);
+        // Chord routes: hop tails are measured and ordered.
+        assert!(chord.hop_p99 > 0, "routed lookups must record hops");
+        assert!(chord.hop_p50 <= chord.hop_p99 && chord.hop_p99 <= chord.hop_p999);
+        // The paper's bound at this size, with the histogram's 1/16 slack.
+        let log_n = (chord.live_peers as f64).log2();
+        assert!(
+            (chord.hop_p99 as f64) <= 4.0 * log_n + 4.0,
+            "hop p99 {} breaks O(log n) on a healthy ring",
+            chord.hop_p99
+        );
+        assert!(chord.draw_msgs_p50 > 0 && chord.draw_msgs_p50 <= chord.draw_msgs_p99);
+        assert!(!chord.counters.is_empty(), "chord arms snapshot counters");
+        assert!(chord.counters.contains_key("lookup.hops"), "{:?}", {
+            chord.counters.keys().collect::<Vec<_>>()
+        });
+        assert!(chord.trace_digest.is_empty(), "tracing defaults off");
+        // The oracle has no routing substrate: hop tails and counters are
+        // empty, but per-draw message tails still report synthetic cost.
+        let oracle = run_scenario_seed(&spec, Backend::Oracle, 31);
+        assert_eq!(oracle.hop_p99, 0);
+        assert!(oracle.draw_msgs_p50 > 0);
+        assert!(oracle.counters.is_empty());
+        assert!(oracle.trace_digest.is_empty());
+    }
+
+    #[test]
+    fn traced_runs_differ_only_in_the_digest_field() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        let plain = run_scenario_seed(&spec, Backend::Chord, 37);
+        let (traced, dump) = run_scenario_seed_traced(&spec, Backend::Chord, 37);
+        assert!(!traced.trace_digest.is_empty());
+        assert_eq!(traced.trace_digest, format!("{:016x}", dump.digest));
+        assert!(dump.recorded > 0, "draws must leave traces");
+        assert!(!dump.traces.is_empty());
+        assert!(dump.traces.len() as u64 <= dump.recorded);
+        // Tracing must not perturb the simulation: same record otherwise.
+        let mut masked = traced.clone();
+        masked.trace_digest = String::new();
+        assert_eq!(masked, plain);
+        // Replays are deterministic down to the digest.
+        let (again, dump2) = run_scenario_seed_traced(&spec, Backend::Chord, 37);
+        assert_eq!(again, traced);
+        assert_eq!(dump2, dump);
+    }
+
+    #[test]
+    fn spec_level_tracing_populates_the_digest_and_oracle_dumps_are_empty() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        spec.telemetry.trace_lookups = true;
+        spec.telemetry.flight_recorder_capacity = 8;
+        let r = run_scenario_seed(&spec, Backend::Chord, 41);
+        assert!(!r.trace_digest.is_empty());
+        let (oracle, dump) = run_scenario_seed_traced(&spec, Backend::Oracle, 41);
+        assert!(oracle.trace_digest.is_empty(), "no routing, no traces");
+        assert_eq!(dump.recorded, 0);
+        assert!(dump.traces.is_empty());
+    }
+
+    #[test]
+    fn defended_draws_are_attributed_with_tail_costs() {
+        let mut spec = ScenarioSpec::preset_sybil_arc_capture().with_defense(3);
+        quick(&mut spec);
+        let r = run_scenario_seed(&spec, Backend::Chord, 43);
+        // Quorum redundancy multiplies the per-draw message tail over the
+        // mean: p99 must sit at or above the defended mean cost.
+        assert!(r.draw_msgs_p99 as f64 >= r.mean_messages);
+        assert!(r.counters.contains_key("lookup.hops"));
     }
 }

@@ -285,6 +285,37 @@ impl MaintenanceSpec {
     }
 }
 
+/// Observability knobs (see the `telemetry` crate and
+/// `docs/OBSERVABILITY.md`).
+///
+/// Counters and the hop histogram are always on — they are lock-free
+/// atomics whose cost is unmeasurable against routed lookups — so the only
+/// knob is span-style lookup tracing, which allocates per-hop records and
+/// is therefore opt-in. Tracing never perturbs the simulation: traces draw
+/// nothing from any RNG and add no messages or latency, so a record stays
+/// a pure function of `(spec, backend, seed)` with tracing on or off (only
+/// the report's `trace_digest` field changes, from empty to populated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Record the full hop path of every `find_successor` walk into the
+    /// flight-recorder ring buffer (chord backends only; the oracle does
+    /// not route).
+    pub trace_lookups: bool,
+    /// Flight-recorder capacity in traces: the ring keeps the most recent
+    /// this-many lookups for post-mortem dumps. The trace *digest* covers
+    /// every trace ever pushed, so it is capacity-independent.
+    pub flight_recorder_capacity: u32,
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> TelemetrySpec {
+        TelemetrySpec {
+            trace_lookups: false,
+            flight_recorder_capacity: 64,
+        }
+    }
+}
+
 /// Chord substrate tuning (ignored by the oracle backend).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChordTuning {
@@ -339,6 +370,8 @@ pub struct ScenarioSpec {
     pub sampler: SamplerTuning,
     /// Chord substrate tuning.
     pub chord: ChordTuning,
+    /// Observability knobs.
+    pub telemetry: TelemetrySpec,
     /// Backends to run the spec against.
     pub backends: Vec<Backend>,
 }
@@ -359,6 +392,7 @@ impl ScenarioSpec {
             },
             sampler: SamplerTuning::default(),
             chord: ChordTuning::default(),
+            telemetry: TelemetrySpec::default(),
             backends: vec![Backend::Oracle, Backend::Chord],
         }
     }
@@ -568,6 +602,11 @@ impl ScenarioSpec {
                 self.sampler.n_upper_inflation
             ));
         }
+        if self.telemetry.trace_lookups && self.telemetry.flight_recorder_capacity == 0 {
+            problems.push(
+                "telemetry.flight_recorder_capacity must be positive when tracing".to_string(),
+            );
+        }
         match &self.placement {
             PlacementModel::Uniform => {}
             PlacementModel::Clustered {
@@ -748,6 +787,7 @@ mod tests {
             "sampler": {"n_upper_inflation": 2.0, "max_trials": 64},
             "chord": {"successor_list_len": 4, "stabilize_every_ticks": 100,
                       "maintenance": {"Batched": {"budget_per_round": 32}}},
+            "telemetry": {"trace_lookups": true, "flight_recorder_capacity": 16},
             "backends": ["Oracle", "Chord"]
         }"#;
         let spec: ScenarioSpec = serde_json::from_str(text).unwrap();
@@ -760,7 +800,29 @@ mod tests {
                 budget_per_round: 32
             }
         );
+        assert!(spec.telemetry.trace_lookups);
+        assert_eq!(spec.telemetry.flight_recorder_capacity, 16);
         spec.validate().unwrap();
+    }
+
+    #[test]
+    fn telemetry_defaults_off_and_validates_capacity() {
+        let spec = ScenarioSpec::preset_honest_static();
+        assert!(!spec.telemetry.trace_lookups, "tracing is opt-in");
+        assert_eq!(spec.telemetry.flight_recorder_capacity, 64);
+        // Tracing into a zero-capacity flight recorder is a spec bug.
+        let mut traced = ScenarioSpec::preset_honest_static();
+        traced.telemetry = TelemetrySpec {
+            trace_lookups: true,
+            flight_recorder_capacity: 0,
+        };
+        assert!(traced.validate().is_err());
+        traced.telemetry.flight_recorder_capacity = 8;
+        traced.validate().unwrap();
+        // An idle recorder may advertise any capacity.
+        let mut idle = ScenarioSpec::preset_honest_static();
+        idle.telemetry.flight_recorder_capacity = 0;
+        idle.validate().unwrap();
     }
 
     #[test]

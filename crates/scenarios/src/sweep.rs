@@ -61,6 +61,20 @@ pub struct BackendAggregate {
     /// Mean dirty maintenance entries outstanding at sampling time (0
     /// outside batched-maintenance chord arms).
     pub maintenance_backlog_mean: f64,
+    /// Mean 99th-percentile per-lookup hop count across seeds (0 on
+    /// oracle backends).
+    pub hop_p99_mean: f64,
+    /// Worst 99th-percentile hop count across seeds — the figure the
+    /// O(log n) verdict gates bound.
+    pub hop_p99_max: u64,
+    /// Mean 99th-percentile messages per draw across seeds.
+    pub draw_msgs_p99_mean: f64,
+    /// Worst 99th-percentile messages per draw across seeds.
+    pub draw_msgs_p99_max: u64,
+    /// Telemetry counters summed across seeds (BTreeMap, so report JSON
+    /// lists them in sorted order regardless of how the rayon sweep
+    /// interleaved the per-seed tasks). Empty for oracle backends.
+    pub counters: std::collections::BTreeMap<String, u64>,
 }
 
 impl BackendAggregate {
@@ -81,6 +95,15 @@ impl BackendAggregate {
         let mut quorum_failures = Welford::new();
         let mut staleness = Welford::new();
         let mut backlog = Welford::new();
+        let mut hop_p99 = Welford::new();
+        let mut hop_p99_max = 0u64;
+        let mut draw_p99 = Welford::new();
+        let mut draw_p99_max = 0u64;
+        // Per-worker recorders are merged here by summation into one
+        // sorted map, so the aggregate is independent of rayon's task
+        // interleaving (each record is already a pure function of its
+        // seed; the fold order over a BTreeMap is canonical).
+        let mut counters = std::collections::BTreeMap::new();
         for r in records {
             live.push(r.live_peers as f64);
             let total = r.samples_ok + r.samples_failed;
@@ -105,6 +128,13 @@ impl BackendAggregate {
             quorum_failures.push(r.quorum_failures as f64);
             staleness.push(r.finger_staleness);
             backlog.push(r.maintenance_backlog as f64);
+            hop_p99.push(r.hop_p99 as f64);
+            hop_p99_max = hop_p99_max.max(r.hop_p99);
+            draw_p99.push(r.draw_msgs_p99 as f64);
+            draw_p99_max = draw_p99_max.max(r.draw_msgs_p99);
+            for (name, value) in &r.counters {
+                *counters.entry(name.clone()).or_insert(0u64) += value;
+            }
         }
         BackendAggregate {
             backend: backend.name().to_string(),
@@ -126,6 +156,11 @@ impl BackendAggregate {
             quorum_failures_mean: quorum_failures.mean(),
             finger_staleness_mean: staleness.mean(),
             maintenance_backlog_mean: backlog.mean(),
+            hop_p99_mean: hop_p99.mean(),
+            hop_p99_max,
+            draw_msgs_p99_mean: draw_p99.mean(),
+            draw_msgs_p99_max: draw_p99_max,
+            counters,
         }
     }
 }
@@ -352,6 +387,63 @@ mod tests {
         let b = sweep.run();
         assert_eq!(a, b, "records must not depend on scheduling");
         assert_eq!(a.to_json_pretty(), b.to_json_pretty());
+    }
+
+    #[test]
+    fn counter_snapshots_are_byte_identical_across_repeated_runs() {
+        // The telemetry counter maps ride in every chord record and in
+        // the per-backend aggregates; neither may depend on how rayon
+        // striped the tasks. Three runs, byte-for-byte identical JSON.
+        let sweep = Sweep::new(tiny_specs()).with_seeds(3).with_master_seed(7);
+        let baseline = sweep.run().to_json();
+        for _ in 0..2 {
+            assert_eq!(sweep.run().to_json(), baseline);
+        }
+        let report = sweep.run();
+        for scenario in &report.scenarios {
+            let chord = scenario
+                .aggregates
+                .iter()
+                .find(|a| a.backend == Backend::Chord.name())
+                .unwrap();
+            assert!(!chord.counters.is_empty());
+            // Aggregate counters are the exact sum of the per-seed maps.
+            let mut summed = std::collections::BTreeMap::new();
+            for r in scenario.runs.iter().filter(|r| r.backend == "chord") {
+                for (name, value) in &r.counters {
+                    *summed.entry(name.clone()).or_insert(0u64) += value;
+                }
+            }
+            assert_eq!(chord.counters, summed);
+            let oracle = scenario
+                .aggregates
+                .iter()
+                .find(|a| a.backend == Backend::Oracle.name())
+                .unwrap();
+            assert!(oracle.counters.is_empty());
+        }
+    }
+
+    #[test]
+    fn aggregates_carry_tail_columns() {
+        let report = Sweep::new(tiny_specs()).with_seeds(2).run();
+        for scenario in &report.scenarios {
+            let chord = scenario
+                .aggregates
+                .iter()
+                .find(|a| a.backend == Backend::Chord.name())
+                .unwrap();
+            assert!(chord.hop_p99_max > 0);
+            assert!(chord.hop_p99_mean <= chord.hop_p99_max as f64);
+            assert!(chord.draw_msgs_p99_max > 0);
+            let oracle = scenario
+                .aggregates
+                .iter()
+                .find(|a| a.backend == Backend::Oracle.name())
+                .unwrap();
+            assert_eq!(oracle.hop_p99_max, 0, "the oracle does not route");
+            assert!(oracle.draw_msgs_p99_max > 0, "synthetic cost still tails");
+        }
     }
 
     #[test]

@@ -1,14 +1,23 @@
 use core::fmt;
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use telemetry::Recorder;
 
 /// A thread-safe registry of named monotonic counters.
 ///
 /// Chord increments counters per message kind (`lookup.hop`, `stabilize`,
 /// `notify`, …) while the sampler and the experiment harness read snapshots
-/// before and after an operation to attribute costs. `BTreeMap` keeps
-/// snapshots deterministically ordered for table output.
+/// before and after an operation to attribute costs. Snapshots are
+/// deterministically ordered for table output.
+///
+/// Since the telemetry rework this type is a thin compatibility shim over
+/// [`telemetry::Recorder`]: the string-keyed methods resolve names through
+/// the recorder's registry (a lock plus a scan per call) and are kept only
+/// for cold paths and existing tests. **Hot paths should pre-register
+/// handles** via [`Metrics::recorder`] →
+/// [`Recorder::counter`](telemetry::Recorder::counter) and increment
+/// through [`telemetry::CounterId`], which is a single lock-free atomic
+/// add per event.
 ///
 /// # Example
 ///
@@ -23,7 +32,7 @@ use parking_lot::Mutex;
 /// ```
 #[derive(Debug, Default)]
 pub struct Metrics {
-    counters: Mutex<BTreeMap<String, u64>>,
+    recorder: Recorder,
 }
 
 impl Metrics {
@@ -32,40 +41,47 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// The underlying recorder: interned counter/histogram handles,
+    /// lookup traces, and cost attribution scopes live there.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Increments `name` by one.
+    ///
+    /// Deprecated for hot paths: registers/looks up the name on every
+    /// call. Pre-register a `CounterId` via [`Metrics::recorder`] instead.
     pub fn incr(&self, name: &str) {
         self.add(name, 1);
     }
 
     /// Increments `name` by `delta`.
+    ///
+    /// Deprecated for hot paths: registers/looks up the name on every
+    /// call. Pre-register a `CounterId` via [`Metrics::recorder`] instead.
     pub fn add(&self, name: &str, delta: u64) {
-        let mut map = self.counters.lock();
-        *map.entry(name.to_owned()).or_insert(0) += delta;
+        let id = self.recorder.counter(name);
+        self.recorder.add(id, delta);
     }
 
     /// Current value of `name` (0 if never incremented).
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.lock().get(name).copied().unwrap_or(0)
+        self.recorder.counter_named(name)
     }
 
     /// Sum of all counters whose name starts with `prefix`.
     pub fn sum_prefixed(&self, prefix: &str) -> u64 {
-        self.counters
-            .lock()
-            .iter()
-            .filter(|(k, _)| k.starts_with(prefix))
-            .map(|(_, &v)| v)
-            .sum()
+        self.recorder.sum_prefixed(prefix)
     }
 
-    /// A point-in-time copy of every counter.
+    /// A point-in-time copy of every counter that has been incremented.
     pub fn snapshot(&self) -> BTreeMap<String, u64> {
-        self.counters.lock().clone()
+        self.recorder.snapshot()
     }
 
-    /// Resets every counter to zero.
+    /// Resets every counter to zero (registered handles stay valid).
     pub fn reset(&self) {
-        self.counters.lock().clear();
+        self.recorder.reset();
     }
 }
 

@@ -1,0 +1,49 @@
+//! Deterministic, low-overhead observability for the simulation stack.
+//!
+//! The paper's headline claims are *cost* claims — O(log n) messages and
+//! latency per random-peer draw — so the repro needs more than flat
+//! aggregate counters: it needs tail distributions, per-operation hop
+//! traces, and per-phase cost attribution, all without perturbing either
+//! the deterministic RNG streams or the n=10^7 wall-clock budgets.
+//!
+//! * [`Recorder`] — interned [`CounterId`]/[`HistogramId`] handles over
+//!   preallocated atomic slots: no per-event `String` allocation or map
+//!   lookup on the hot path. Histograms are log-bucketed
+//!   ([`stats::LogHistogram`] math) and report p50/p90/p99/p999/max.
+//! * [`LookupTrace`] / flight recorder — each `find_successor` walk can
+//!   record its full hop path (node, finger level, forged/honest, per-hop
+//!   latency) into a bounded ring buffer, gated by a single relaxed
+//!   atomic-bool check when disabled.
+//! * [`ScopeToken`] cost attribution — label a region (a defended draw, a
+//!   maintenance drain round, a `bulk_join`) and get the counter deltas it
+//!   caused, instead of one global counter soup.
+//! * [`TraceDump`] exporters — deterministic pretty text and Chrome
+//!   `trace_event` JSON (load in `chrome://tracing` or Perfetto), plus an
+//!   FNV-1a digest over the full trace stream for byte-stable record
+//!   fields.
+//!
+//! # Example
+//!
+//! ```
+//! use telemetry::Recorder;
+//!
+//! let r = Recorder::new();
+//! let hops = r.counter("lookup.hops");
+//! let hist = r.histogram("lookup.hops");
+//! let scope = r.begin_scope();
+//! r.add(hops, 3);
+//! r.record(hist, 3);
+//! r.end_scope("draw", scope);
+//! assert_eq!(r.counter_value(hops), 3);
+//! assert_eq!(r.histogram_snapshot(hist).max(), 3);
+//! assert_eq!(r.scope_breakdown()["draw"].counters["lookup.hops"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod recorder;
+mod trace;
+
+pub use recorder::{CounterId, HistogramId, Recorder, ScopeBreakdown, ScopeToken};
+pub use trace::{HopRecord, LookupTrace, TraceDump, TraceOutcome};

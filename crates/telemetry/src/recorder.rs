@@ -1,0 +1,575 @@
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use stats::LogHistogram;
+
+use crate::trace::{FlightRecorder, LookupTrace};
+
+/// Fixed counter-slot capacity. Registration past this panics — the
+/// simulation registers a few dozen counters, so 128 leaves ample slack
+/// while keeping the always-allocated footprint at 1 KiB per recorder.
+const COUNTER_CAPACITY: usize = 128;
+
+/// Fixed histogram-slot capacity. Bucket arrays are allocated lazily on
+/// first record, so unused slots cost one `OnceLock` each.
+const HISTOGRAM_CAPACITY: usize = 16;
+
+/// Interned handle for a named counter; obtained once from
+/// [`Recorder::counter`], then used for lock-free increments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Interned handle for a named histogram; obtained once from
+/// [`Recorder::histogram`], then used for lock-free records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(u32);
+
+/// One histogram's atomic storage: lazily-allocated log buckets plus the
+/// exactly-tracked extrema needed to clamp reported percentiles.
+#[derive(Debug)]
+struct HistSlot {
+    buckets: OnceLock<Box<[AtomicU64]>>,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistSlot {
+    fn new() -> HistSlot {
+        HistSlot {
+            buckets: OnceLock::new(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn buckets(&self) -> &[AtomicU64] {
+        self.buckets.get_or_init(|| {
+            (0..LogHistogram::BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect()
+        })
+    }
+
+    fn reset(&self) {
+        if let Some(buckets) = self.buckets.get() {
+            for b in buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+        }
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Per-label cost accumulator: how many scopes completed under the label
+/// and the summed counter deltas they caused (indexed by counter slot).
+#[derive(Debug, Default)]
+struct ScopeAccum {
+    ops: u64,
+    deltas: Vec<u64>,
+}
+
+/// Snapshot of counter values taken at [`Recorder::begin_scope`]; hand it
+/// back to [`Recorder::end_scope`] to attribute the deltas to a label.
+///
+/// Scopes assume the single-threaded simulation loop: two scopes running
+/// concurrently over the same recorder would both claim the same deltas.
+#[derive(Debug)]
+#[must_use = "pass the token to end_scope to record the attribution"]
+pub struct ScopeToken {
+    start: Vec<u64>,
+}
+
+/// Resolved per-label cost breakdown returned by
+/// [`Recorder::scope_breakdown`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeBreakdown {
+    /// Number of completed scopes under this label.
+    pub ops: u64,
+    /// Summed counter deltas attributed to the label (zero deltas omitted).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Interned-handle metrics recorder: atomic counters, log-bucketed
+/// histograms, a bounded lookup-trace flight recorder, and cost
+/// attribution scopes. See the crate docs for the architecture.
+///
+/// Counter and histogram updates are relaxed atomic operations on
+/// preallocated slots — safe for concurrent use and near-free on the
+/// simulation hot path. Registration (name → handle) takes a lock and is
+/// meant to happen once at setup.
+#[derive(Debug)]
+pub struct Recorder {
+    counters: Box<[AtomicU64]>,
+    counter_names: Mutex<Vec<String>>,
+    hist_slots: Box<[HistSlot]>,
+    hist_names: Mutex<Vec<String>>,
+    tracing: AtomicBool,
+    flight: Mutex<FlightRecorder>,
+    scopes: Mutex<BTreeMap<&'static str, ScopeAccum>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder with a default flight-recorder capacity
+    /// of 64 traces.
+    pub fn new() -> Recorder {
+        Recorder {
+            counters: (0..COUNTER_CAPACITY).map(|_| AtomicU64::new(0)).collect(),
+            counter_names: Mutex::new(Vec::new()),
+            hist_slots: (0..HISTOGRAM_CAPACITY).map(|_| HistSlot::new()).collect(),
+            hist_names: Mutex::new(Vec::new()),
+            tracing: AtomicBool::new(false),
+            flight: Mutex::new(FlightRecorder::new(64)),
+            scopes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    // ---- counters ----
+
+    /// Registers (or looks up) a counter by name and returns its handle.
+    /// Idempotent; meant for setup paths, not per-event use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 128 distinct counters are registered.
+    pub fn counter(&self, name: &str) -> CounterId {
+        let mut names = self.counter_names.lock();
+        if let Some(idx) = names.iter().position(|n| n == name) {
+            return CounterId(idx as u32);
+        }
+        assert!(
+            names.len() < COUNTER_CAPACITY,
+            "counter capacity ({COUNTER_CAPACITY}) exhausted registering {name:?}"
+        );
+        names.push(name.to_owned());
+        CounterId((names.len() - 1) as u32)
+    }
+
+    /// Increments a counter by one (relaxed atomic; lock-free).
+    #[inline]
+    pub fn incr(&self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increments a counter by `delta` (relaxed atomic; lock-free).
+    #[inline]
+    pub fn add(&self, id: CounterId, delta: u64) {
+        self.counters[id.0 as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value of a counter.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0 as usize].load(Ordering::Relaxed)
+    }
+
+    /// Current value of a counter by name (0 if never registered).
+    pub fn counter_named(&self, name: &str) -> u64 {
+        let names = self.counter_names.lock();
+        match names.iter().position(|n| n == name) {
+            Some(idx) => self.counters[idx].load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefixed(&self, prefix: &str) -> u64 {
+        let names = self.counter_names.lock();
+        names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(i, _)| self.counters[i].load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Deterministically ordered snapshot of every counter with a nonzero
+    /// value (matching the legacy `Metrics` behaviour, where only touched
+    /// names appeared).
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        let names = self.counter_names.lock();
+        names
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let v = self.counters[i].load(Ordering::Relaxed);
+                (v > 0).then(|| (n.clone(), v))
+            })
+            .collect()
+    }
+
+    // ---- histograms ----
+
+    /// Registers (or looks up) a histogram by name and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 16 distinct histograms are registered.
+    pub fn histogram(&self, name: &str) -> HistogramId {
+        let mut names = self.hist_names.lock();
+        if let Some(idx) = names.iter().position(|n| n == name) {
+            return HistogramId(idx as u32);
+        }
+        assert!(
+            names.len() < HISTOGRAM_CAPACITY,
+            "histogram capacity ({HISTOGRAM_CAPACITY}) exhausted registering {name:?}"
+        );
+        names.push(name.to_owned());
+        HistogramId((names.len() - 1) as u32)
+    }
+
+    /// Records one observation into a histogram (relaxed atomics).
+    #[inline]
+    pub fn record(&self, id: HistogramId, value: u64) {
+        let slot = &self.hist_slots[id.0 as usize];
+        slot.buckets()[LogHistogram::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        slot.min.fetch_min(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Copies a histogram's buckets out into an owned [`LogHistogram`]
+    /// for percentile queries and merging.
+    pub fn histogram_snapshot(&self, id: HistogramId) -> LogHistogram {
+        let slot = &self.hist_slots[id.0 as usize];
+        match slot.buckets.get() {
+            Some(buckets) => {
+                let counts: Vec<u64> = buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                LogHistogram::from_bucket_counts(
+                    &counts,
+                    slot.min.load(Ordering::Relaxed),
+                    slot.max.load(Ordering::Relaxed),
+                )
+            }
+            None => LogHistogram::new(),
+        }
+    }
+
+    // ---- lookup traces / flight recorder ----
+
+    /// Enables or disables lookup tracing. Disabled is the default and
+    /// costs one relaxed load per lookup on the hot path.
+    pub fn set_tracing(&self, enabled: bool) {
+        self.tracing.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether lookup traces are currently being recorded.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Resizes the flight-recorder ring buffer (dropping retained traces).
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        *self.flight.lock() = FlightRecorder::new(capacity.max(1));
+    }
+
+    /// Pushes a completed lookup trace into the flight recorder. A no-op
+    /// when tracing is disabled, so callers may build traces
+    /// unconditionally only if they also check [`Recorder::tracing_enabled`].
+    pub fn push_trace(&self, trace: LookupTrace) {
+        if self.tracing_enabled() {
+            self.flight.lock().push(trace);
+        }
+    }
+
+    /// The retained traces, oldest first.
+    pub fn traces(&self) -> Vec<LookupTrace> {
+        self.flight.lock().traces()
+    }
+
+    /// Total traces ever recorded (including ones evicted from the ring).
+    pub fn traces_recorded(&self) -> u64 {
+        self.flight.lock().recorded()
+    }
+
+    /// FNV-1a digest over every trace ever pushed (eviction does not
+    /// change it), for byte-stable record fields.
+    pub fn trace_digest(&self) -> u64 {
+        self.flight.lock().digest()
+    }
+
+    // ---- cost attribution scopes ----
+
+    /// Starts an attribution scope by snapshotting current counter values.
+    pub fn begin_scope(&self) -> ScopeToken {
+        let registered = self.counter_names.lock().len();
+        ScopeToken {
+            start: self.counters[..registered]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Ends an attribution scope, folding the counter deltas since
+    /// [`Recorder::begin_scope`] into the accumulator for `label`.
+    pub fn end_scope(&self, label: &'static str, token: ScopeToken) {
+        let registered = self.counter_names.lock().len();
+        let mut scopes = self.scopes.lock();
+        let accum = scopes.entry(label).or_default();
+        accum.ops += 1;
+        if accum.deltas.len() < registered {
+            accum.deltas.resize(registered, 0);
+        }
+        for (i, delta) in accum.deltas.iter_mut().enumerate().take(registered) {
+            let now = self.counters[i].load(Ordering::Relaxed);
+            // Counters registered mid-scope started at zero.
+            let start = token.start.get(i).copied().unwrap_or(0);
+            *delta += now.saturating_sub(start);
+        }
+    }
+
+    /// Per-label cost breakdowns, labels and counter names sorted.
+    pub fn scope_breakdown(&self) -> BTreeMap<String, ScopeBreakdown> {
+        let names = self.counter_names.lock();
+        self.scopes
+            .lock()
+            .iter()
+            .map(|(label, accum)| {
+                let counters = accum
+                    .deltas
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &d)| d > 0)
+                    .map(|(i, &d)| (names[i].clone(), d))
+                    .collect();
+                (
+                    (*label).to_owned(),
+                    ScopeBreakdown {
+                        ops: accum.ops,
+                        counters,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    // ---- lifecycle / accounting ----
+
+    /// Zeroes every counter and histogram and clears traces, scopes, and
+    /// the trace digest. Registered names and handles stay valid.
+    pub fn reset(&self) {
+        for c in self.counters.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+        for slot in self.hist_slots.iter() {
+            slot.reset();
+        }
+        let cap = self.flight.lock().capacity();
+        *self.flight.lock() = FlightRecorder::new(cap);
+        self.scopes.lock().clear();
+    }
+
+    /// Approximate resident bytes of the recorder's storage (counter
+    /// slots, allocated histogram buckets, interned names); the scale
+    /// bench gates this per node.
+    pub fn bytes(&self) -> usize {
+        let counters = COUNTER_CAPACITY * 8;
+        let hists: usize = self
+            .hist_slots
+            .iter()
+            .map(|s| {
+                24 + if s.buckets.get().is_some() {
+                    LogHistogram::BUCKETS * 8
+                } else {
+                    0
+                }
+            })
+            .sum();
+        let names: usize = self
+            .counter_names
+            .lock()
+            .iter()
+            .chain(self.hist_names.lock().iter())
+            .map(|n| n.len() + 24)
+            .sum();
+        counters + hists + names
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{HopRecord, TraceOutcome};
+
+    fn tiny_trace(from: u64) -> LookupTrace {
+        LookupTrace {
+            from,
+            target: 42,
+            hops: vec![HopRecord {
+                node: 7,
+                finger_level: 3,
+                forged: false,
+                latency: 5,
+            }],
+            outcome: TraceOutcome::Resolved(7),
+            messages: 1,
+            latency: 5,
+        }
+    }
+
+    #[test]
+    fn counter_registration_is_idempotent() {
+        let r = Recorder::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.incr(a);
+        r.add(b, 4);
+        assert_eq!(r.counter_value(a), 5);
+        assert_eq!(r.counter_named("x"), 5);
+        assert_eq!(r.counter_named("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_skips_untouched_counters() {
+        let r = Recorder::new();
+        let _zero = r.counter("never");
+        let hit = r.counter("hit");
+        r.incr(hit);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap["hit"], 1);
+    }
+
+    #[test]
+    fn sum_prefixed_matches_legacy_semantics() {
+        let r = Recorder::new();
+        r.add(r.counter("lookup.hops"), 3);
+        r.add(r.counter("lookup.start"), 1);
+        r.add(r.counter("stabilize"), 10);
+        assert_eq!(r.sum_prefixed("lookup."), 4);
+        assert_eq!(r.sum_prefixed(""), 14);
+        assert_eq!(r.sum_prefixed("nothing"), 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_reports_percentiles() {
+        let r = Recorder::new();
+        let h = r.histogram("hops");
+        for v in 1..=100 {
+            r.record(h, v);
+        }
+        let snap = r.histogram_snapshot(h);
+        assert_eq!(snap.count(), 100);
+        assert_eq!(snap.max(), 100);
+        assert!(snap.p99() >= 99);
+        let empty = r.histogram_snapshot(r.histogram("unused"));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn tracing_gate_controls_flight_recorder() {
+        let r = Recorder::new();
+        assert!(!r.tracing_enabled());
+        r.push_trace(tiny_trace(1));
+        assert_eq!(r.traces_recorded(), 0);
+        r.set_tracing(true);
+        r.push_trace(tiny_trace(1));
+        r.push_trace(tiny_trace(2));
+        assert_eq!(r.traces_recorded(), 2);
+        assert_eq!(r.traces().len(), 2);
+        assert_ne!(r.trace_digest(), 0);
+    }
+
+    #[test]
+    fn flight_recorder_ring_evicts_oldest_but_digest_covers_all() {
+        let r = Recorder::new();
+        r.set_trace_capacity(2);
+        r.set_tracing(true);
+        for i in 0..5 {
+            r.push_trace(tiny_trace(i));
+        }
+        let retained = r.traces();
+        assert_eq!(retained.len(), 2);
+        assert_eq!(retained[0].from, 3);
+        assert_eq!(retained[1].from, 4);
+        assert_eq!(r.traces_recorded(), 5);
+
+        // Digest depends on all five, not just the retained two.
+        let r2 = Recorder::new();
+        r2.set_trace_capacity(2);
+        r2.set_tracing(true);
+        for i in 3..5 {
+            r2.push_trace(tiny_trace(i));
+        }
+        assert_ne!(r.trace_digest(), r2.trace_digest());
+    }
+
+    #[test]
+    fn scopes_attribute_counter_deltas() {
+        let r = Recorder::new();
+        let msgs = r.counter("msgs");
+        r.add(msgs, 100); // outside any scope
+        let t = r.begin_scope();
+        r.add(msgs, 7);
+        r.end_scope("draw", t);
+        let t = r.begin_scope();
+        r.add(msgs, 5);
+        let late = r.counter("late");
+        r.add(late, 2);
+        r.end_scope("draw", t);
+        let breakdown = r.scope_breakdown();
+        assert_eq!(breakdown["draw"].ops, 2);
+        assert_eq!(breakdown["draw"].counters["msgs"], 12);
+        assert_eq!(breakdown["draw"].counters["late"], 2);
+    }
+
+    #[test]
+    fn reset_preserves_registrations() {
+        let r = Recorder::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        r.add(c, 9);
+        r.record(h, 9);
+        r.set_tracing(true);
+        r.push_trace(tiny_trace(0));
+        let t = r.begin_scope();
+        r.end_scope("s", t);
+        r.reset();
+        assert_eq!(r.counter_value(c), 0);
+        assert!(r.histogram_snapshot(h).is_empty());
+        assert!(r.traces().is_empty());
+        assert_eq!(r.trace_digest(), FlightRecorder::new(1).digest());
+        assert!(r.scope_breakdown().is_empty());
+        assert_eq!(r.counter("c"), c, "registration survives reset");
+    }
+
+    #[test]
+    fn bytes_accounts_for_lazy_buckets() {
+        let r = Recorder::new();
+        let before = r.bytes();
+        let h = r.histogram("h");
+        r.record(h, 1);
+        assert!(r.bytes() > before + 7000, "bucket allocation must show up");
+    }
+
+    #[test]
+    fn concurrent_updates_all_land() {
+        let r = std::sync::Arc::new(Recorder::new());
+        let c = r.counter("shared");
+        let h = r.histogram("shared");
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    r.incr(c);
+                    r.record(h, i % 64);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(r.counter_value(c), 8000);
+        assert_eq!(r.histogram_snapshot(h).count(), 8000);
+    }
+}

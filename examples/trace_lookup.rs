@@ -1,0 +1,96 @@
+//! One defended draw on a sybil-seized ring, with the hop-level flight
+//! recorder switched on: every `find_successor` walk the quorum round
+//! issued, hop by hop, with honest-vs-forged attribution per hop.
+//!
+//! The scene: a 64-peer honest ring, seized by a `SybilArcCapture`
+//! coalition (sybils squat the largest gap-arcs and forge their reported
+//! positions). An honest client then draws one peer through the
+//! quorum-verified `DefendedSampler` over 3 disjoint-entry views. With
+//! `Recorder::set_tracing(true)`, each routed lookup leaves a full trace
+//! in the telemetry flight recorder — the same machinery `RP_TRACE=<path>`
+//! uses to export Chrome `trace_event` files from e16 runs.
+//!
+//! ```text
+//! cargo run --release --example trace_lookup
+//! ```
+
+use adversary::{compile_coalition, sybil_ids, CoalitionStrategy, DefendedSampler};
+use chord::{ChordConfig, ChordDht, ChordNetwork, FaultPlan};
+use keyspace::KeySpace;
+use peer_sampling::SamplerConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scenarios::{place_index, PlacementModel};
+use telemetry::TraceDump;
+
+fn main() {
+    // A 64-peer uniform honest ring, then the coalition compiles its
+    // placement against it: 7 sybils (~10% of the final population) seize
+    // the largest gap-arcs.
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(2004);
+    let members = place_index(&PlacementModel::Uniform, space, 64, &mut rng);
+    let coalition = compile_coalition(CoalitionStrategy::SybilArcCapture, &members, 7);
+    let mut points = members.points();
+    points.extend(coalition.sybil_points.iter().copied());
+    let net = ChordNetwork::bootstrap(space, points, ChordConfig::default());
+
+    // Resolve sybil points to overlay ids and compile their forged
+    // behaviour into a fault plan; the measuring client stays honest.
+    let sybils = sybil_ids(&net, &coalition.sybil_points);
+    let plan = FaultPlan::with_behavior(sybils.iter().copied(), coalition.behavior);
+    let anchor = net
+        .live_ids()
+        .into_iter()
+        .find(|id| !sybils.contains(id))
+        .expect("a 10% coalition leaves honest peers");
+
+    // Flight recorder on: every routed lookup from here records its hop
+    // path. Tracing perturbs nothing — no RNG draws, no cost — so the
+    // draw below is identical with or without it.
+    let recorder = net.metrics().recorder();
+    recorder.set_trace_capacity(64);
+    recorder.set_tracing(true);
+
+    // One defended draw: 3 disjoint-entry verified views, strict majority.
+    let views = adversary::spread_verified_views(&net, anchor, &plan, 3, 77);
+    let view_refs: Vec<&ChordDht> = views.iter().collect();
+    let sampler = DefendedSampler::new(SamplerConfig::new(net.live_len() as u64));
+    let mut draw_rng = StdRng::seed_from_u64(42);
+    let sample = sampler
+        .sample(&view_refs, &mut draw_rng)
+        .expect("defended draw resolves");
+
+    println!(
+        "ring: {} peers ({} sybils squatting gap-arcs); client: honest node {anchor:?}",
+        net.live_len(),
+        sybils.len()
+    );
+    println!(
+        "defended draw: peer {:?} at 0x{:016x} in {} trials, {} messages / {} latency ticks, \
+         {} quorum disagreements\n",
+        sample.peer,
+        sample.point.get(),
+        sample.trials,
+        sample.cost.messages,
+        sample.cost.latency,
+        sample.quorum_failures,
+    );
+
+    // The flight recorder holds every lookup the quorum round issued.
+    let dump = TraceDump::from_recorder(recorder);
+    let forged_hops: usize = dump
+        .traces
+        .iter()
+        .flat_map(|t| &t.hops)
+        .filter(|h| h.forged)
+        .count();
+    let total_hops: usize = dump.traces.iter().map(|t| t.hops.len()).sum();
+    println!("{}", dump.pretty());
+    println!(
+        "{} lookups traced ({} retained), {total_hops} hops, {forged_hops} through coalition \
+         nodes; the quorum round cross-checks the disagreeing answers away.",
+        dump.recorded,
+        dump.traces.len()
+    );
+}
