@@ -19,6 +19,10 @@
 //! * [`committee`] — **Byzantine agreement** \[8\]: elect a committee by
 //!   sampling; a biased sampler lets an adversary corrupt the most-likely
 //!   peers and capture committee majorities far more often.
+//!
+//! The crate also hosts the harness-facing [`report`] module: the
+//! regression diff behind `exp -- report`, which compares two e16 sweep
+//! reports or two `BENCH_*.json` trajectories metric-by-metric.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,3 +31,4 @@ pub mod committee;
 pub mod links;
 pub mod load;
 pub mod polling;
+pub mod report;

@@ -3,9 +3,9 @@
 //!
 //! Besides the criterion groups (at n = 10⁴ so `cargo bench` stays
 //! pleasant), the run measures the headline numbers at the acceptance
-//! size n = 10⁵ and writes one machine-readable point to
-//! `BENCH_chord_scale.json` at the repo root (overwritten each run; the
-//! cross-PR trajectory is the file's git history):
+//! size n = 10⁵ and appends one machine-readable point to the
+//! `BENCH_chord_scale.json` history at the repo root (entries keyed by
+//! `RP_BENCH_SHA`, deduped per revision — see `bench::history`):
 //!
 //! * **bytes/node** — the struct-of-arrays arena
 //!   (`ChordNetwork::routing_bytes`) vs the pre-arena per-node
@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use chord::{ChordConfig, ChordNetwork, MaintenanceBudget, NodeId};
+use chord::{ChordConfig, ChordNetwork, MaintenanceBudget, NodeId, SloConfig, Watchdog};
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use keyspace::KeySpace;
 use rand::rngs::StdRng;
@@ -46,6 +46,12 @@ const VERIFY_BAR: f64 = 20.0;
 /// are built), so the figure is the *ceiling* of what instrumenting an
 /// uninstrumented lookup could add.
 const TELEMETRY_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+/// Budget for one full watchdog window observation (recorder window
+/// close + sampled ring spot-check + SLO evaluation + series append),
+/// amortized against the draws that fill a window: the harness closes a
+/// window every `max(500, 5·live)` draws, so at the acceptance size the
+/// observation must cost under 2% of the lookups those draws execute.
+const WATCHDOG_OVERHEAD_BUDGET_PCT: f64 = 2.0;
 /// Budget for the recorder's resident footprint, amortized per node: the
 /// preallocated counter slots plus the lazily allocated hop-histogram
 /// buckets are a fixed ~10 KB per network, so at the acceptance size they
@@ -213,8 +219,19 @@ fn emit_json_point() -> bool {
     let telemetry_overhead_pct = telemetry_event_ns / lookup_ns.max(1e-9) * 100.0;
     let recorder_bytes = recorder.bytes() as f64 / SCALE_N as f64;
 
-    let body = format!(
-        "[\n  {{\"bench\": \"chord_scale\", \"n\": {SCALE_N}, \
+    // Watchdog overhead: one full window observation (close the recorder
+    // window, sampled spot-check, SLO rules, series append) vs the
+    // lookups of the draws that fill one harness window.
+    let mut watchdog = Watchdog::new(SloConfig::default(), 0x57A7);
+    let watchdog_observe_ns = measure(200, || {
+        let window = recorder.reset_window();
+        watchdog.observe(&net, window, None);
+    });
+    let window_draws = 500.max(5 * net.live_len()) as f64;
+    let watchdog_overhead_pct = watchdog_observe_ns / (window_draws * lookup_ns).max(1e-9) * 100.0;
+
+    let row = format!(
+        "{{\"bench\": \"chord_scale\", \"n\": {SCALE_N}, \
          \"routing_bytes_per_node\": {compact:.1}, \
          \"legacy_bytes_per_node\": {legacy:.1}, \
          \"verifier_bytes_per_node\": {verifier:.1}, \
@@ -232,17 +249,21 @@ fn emit_json_point() -> bool {
          \"telemetry_event_ns\": {telemetry_event_ns:.1}, \
          \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}, \
          \"telemetry_overhead_budget_pct\": {TELEMETRY_OVERHEAD_BUDGET_PCT}, \
+         \"watchdog_observe_ns\": {watchdog_observe_ns:.0}, \
+         \"watchdog_overhead_pct\": {watchdog_overhead_pct:.3}, \
+         \"watchdog_overhead_budget_pct\": {WATCHDOG_OVERHEAD_BUDGET_PCT}, \
          \"recorder_bytes_per_node\": {recorder_bytes:.2}, \
          \"recorder_bytes_budget\": {RECORDER_BYTES_BUDGET}, \
-         \"bulk_join_ms\": {bulk_ms:.0}}}\n]\n"
+         \"bulk_join_ms\": {bulk_ms:.0}}}"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
-    // repo root so the PR driver can diff it across revisions.
+    // repo root so the PR driver can diff it across revisions. Appended
+    // as a history entry keyed by RP_BENCH_SHA (see bench::history).
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_chord_scale.json");
-    match std::fs::write(&path, &body) {
-        Ok(()) => println!("json point -> {}", path.display()),
-        Err(e) => println!("json point not persisted ({e}); {body}"),
+    match bench::history::append_entry(&path, std::slice::from_ref(&row)) {
+        Ok(sha) => println!("json point [{sha}] -> {}", path.display()),
+        Err(e) => println!("json point not persisted ({e}); {row}"),
     }
 
     let memory_ok = memory_ratio >= MEMORY_BAR;
@@ -255,6 +276,7 @@ fn emit_json_point() -> bool {
         drained && drain_lookups < SCALE_N as u64 && maintenance_bytes <= MAINTENANCE_BYTES_BUDGET;
     let telemetry_ok = telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT
         && recorder_bytes <= RECORDER_BYTES_BUDGET;
+    let watchdog_ok = watchdog_overhead_pct <= WATCHDOG_OVERHEAD_BUDGET_PCT;
     println!(
         "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
          (bar {MEMORY_BAR}x, {})",
@@ -281,7 +303,12 @@ fn emit_json_point() -> bool {
          recorder {recorder_bytes:.2} B/node (budget {RECORDER_BYTES_BUDGET}) ({})",
         if telemetry_ok { "ok" } else { "REGRESSED" }
     );
-    memory_ok && verify_ok && verifier_ok && maintenance_ok && telemetry_ok
+    println!(
+        "watchdog: {watchdog_observe_ns:.0} ns/window observation vs {window_draws:.0} draws \
+         per window => {watchdog_overhead_pct:.3}% (budget {WATCHDOG_OVERHEAD_BUDGET_PCT}%) ({})",
+        if watchdog_ok { "ok" } else { "REGRESSED" }
+    );
+    memory_ok && verify_ok && verifier_ok && maintenance_ok && telemetry_ok && watchdog_ok
 }
 
 criterion_group!(benches, bench_verify_poll, bench_lookup, bench_bulk_join);

@@ -2,10 +2,11 @@
 //! ring construction at n = 10³ / 10⁴.
 //!
 //! Besides the criterion groups, the run measures the headline comparison
-//! itself and writes one machine-readable point to `BENCH_ringidx.json`
-//! at the repo root (overwritten each run; the cross-PR trajectory is the
-//! file's git history). The acceptance bar for the index is a ≥10×
-//! successor-query speedup at n = 10⁴.
+//! itself and appends one machine-readable point to the
+//! `BENCH_ringidx.json` history at the repo root (entries keyed by
+//! `RP_BENCH_SHA`, deduped per revision — see `bench::history`). The
+//! acceptance bar for the index is a ≥10× successor-query speedup at
+//! n = 10⁴.
 
 use std::time::Instant;
 
@@ -97,13 +98,13 @@ fn emit_json_point() {
             scan_ns / index_ns.max(1e-9),
         ));
     }
-    let body = format!("[\n  {}\n]\n", lines.join(",\n  "));
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
-    // repo root so the PR driver can diff it across revisions.
+    // repo root so the PR driver can diff it across revisions. Appended
+    // as a history entry keyed by RP_BENCH_SHA (see bench::history).
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ringidx.json");
-    match std::fs::write(&path, &body) {
-        Ok(()) => println!("json point -> {}", path.display()),
-        Err(e) => println!("json point not persisted ({e}); {body}"),
+    match bench::history::append_entry(&path, &lines) {
+        Ok(sha) => println!("json point [{sha}] -> {}", path.display()),
+        Err(e) => println!("json point not persisted ({e}); [{}]", lines.join(", ")),
     }
 }
 

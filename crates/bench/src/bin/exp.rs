@@ -6,16 +6,63 @@
 //! cargo run --release -p bench --bin exp -- --md all     # markdown output
 //! RP_QUICK=1 cargo run -p bench --bin exp -- all         # fast smoke run
 //! RP_SEED=42 cargo run --release -p bench --bin exp -- e5  # different seed
+//!
+//! cargo run --release -p bench --bin exp -- report base.json cand.json
+//!                      # diff two e16 reports / BENCH_* trajectories;
+//!                      # exits 1 when any gated metric regressed
 //! ```
 
 use bench::{experiments, ExpContext};
+
+/// `exp -- report <baseline> <candidate>`: regression-diff two reports.
+///
+/// Exit codes: 0 = no regressions, 1 = regressions found, 2 = usage or
+/// unreadable/unrecognized input.
+fn run_report(paths: &[String]) -> ! {
+    let [baseline, candidate] = paths else {
+        eprintln!("usage: exp report <baseline.json> <candidate.json>");
+        std::process::exit(2);
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    match apps::report::diff_reports(&read(baseline), &read(candidate)) {
+        Ok(diff) => {
+            for line in &diff.lines {
+                println!("{line}");
+            }
+            if diff.clean() {
+                println!(
+                    "report: no regressions ({} metrics compared)",
+                    diff.lines.len()
+                );
+                std::process::exit(0);
+            }
+            eprintln!("report: {} regression(s):", diff.regressions.len());
+            for r in &diff.regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("report: {e}");
+            std::process::exit(2);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--md");
     let ids: Vec<String> = args.into_iter().filter(|a| a != "--md").collect();
+    if ids.first().map(String::as_str) == Some("report") {
+        run_report(&ids[1..]);
+    }
     if ids.is_empty() {
-        eprintln!("usage: exp [--md] <e1..e16 | all>...");
+        eprintln!("usage: exp [--md] <e1..e16 | all | report <base> <cand>>...");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }

@@ -141,9 +141,27 @@ fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> St
     }) else {
         return verdict;
     };
-    let (_, dump) = run_scenario_seed_traced(&spec, Backend::Chord, seed);
+    let (record, dump) = run_scenario_seed_traced(&spec, Backend::Chord, seed);
+    // The windowed series and attributed health events travel with the
+    // hop-level flight traces: the post-mortem shows *when* the run went
+    // bad, not just which lookups were in flight.
+    let mut health = String::new();
+    health.push_str(&format!(
+        "health: {} windows, {} breaches, ttd {}, ttr {}\n",
+        record.watchdog_windows,
+        record.health_breaches,
+        record.time_to_detect,
+        record.time_to_recover
+    ));
+    for line in &record.health_events {
+        health.push_str(&format!("  {line}\n"));
+    }
+    for (gauge, column) in &record.series {
+        let rendered: Vec<String> = column.iter().map(|v| format!("{v:.3}")).collect();
+        health.push_str(&format!("series {gauge}: [{}]\n", rendered.join(", ")));
+    }
     let text = format!(
-        "flight recorder: scenario {:?}, backend chord, seed {seed}\n{}",
+        "flight recorder: scenario {:?}, backend chord, seed {seed}\n{health}{}",
         spec.name,
         dump.pretty()
     );
@@ -213,6 +231,8 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
             "tv",
             "staleness",
             "backlog",
+            "ttd",
+            "ttr",
         ],
     );
     let mut ok = true;
@@ -231,6 +251,8 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
                 fmt_f(agg.tv_mean),
                 fmt_f(agg.finger_staleness_mean),
                 fmt_f(agg.maintenance_backlog_mean),
+                agg.time_to_detect_max.to_string(),
+                agg.time_to_recover_min.to_string(),
             ]);
             if let Some(violation) = hop_tail_violation(&scenario.spec.name, agg) {
                 ok = false;
@@ -258,6 +280,16 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
                 flagged.push(format!(
                     "{}: staleness {:.3}",
                     scenario.spec.name, agg.finger_staleness_mean
+                ));
+            }
+            // The batched arm must end every seed healthy: whatever the
+            // churn phase breached, the final drain rounds recover it
+            // before the run ends (ttr −1 = recovery unconfirmed).
+            if agg.backend == "chord" && agg.time_to_recover_min < 0 {
+                ok = false;
+                flagged.push(format!(
+                    "{}: unhealthy at run end (ttr {})",
+                    scenario.spec.name, agg.time_to_recover_min
                 ));
             }
         }
@@ -330,6 +362,8 @@ fn run_presets(ctx: &ExpContext) -> Table {
             "tv",
             "byz_pop",
             "byz_samples",
+            "ttd",
+            "ttr",
         ],
     );
     for scenario in &report.scenarios {
@@ -345,6 +379,8 @@ fn run_presets(ctx: &ExpContext) -> Table {
                 fmt_f(agg.tv_mean),
                 fmt_f(agg.byzantine_population_share_mean),
                 fmt_f(agg.byzantine_sample_share_mean),
+                agg.time_to_detect_max.to_string(),
+                agg.time_to_recover_min.to_string(),
             ]);
         }
     }
@@ -395,6 +431,8 @@ fn run_coalition(ctx: &ExpContext) -> Table {
             "capture_uniform",
             "msgs/draw",
             "quorum_fails",
+            "ttd",
+            "ttr",
         ],
     );
     for scenario in &report.scenarios {
@@ -409,6 +447,8 @@ fn run_coalition(ctx: &ExpContext) -> Table {
                 format!("{:.1e}", agg.committee_capture_p_uniform_mean),
                 fmt_f(agg.messages_mean),
                 fmt_f(agg.quorum_failures_mean),
+                agg.time_to_detect_max.to_string(),
+                agg.time_to_recover_min.to_string(),
             ]);
         }
     }
@@ -496,6 +536,25 @@ fn coalition_verdict(report: &SweepReport, quick: bool, json_path: &str) -> Stri
                 defended.messages_mean, attack.messages_mean
             ));
         }
+        // The watchdog's chi-drift rule must flag the undefended attack
+        // within 2 draw windows of the fault (active from window 0) on
+        // every seed...
+        if !(0..=2).contains(&attack.time_to_detect_max) {
+            ok = false;
+            checks.push(format!(
+                "{name}: attack ttd {} outside [0, 2]",
+                attack.time_to_detect_max
+            ));
+        }
+        // ...and the defended arm must end every seed healthy (recovery
+        // confirmed, or no breach at all).
+        if defended.time_to_recover_min < 0 {
+            ok = false;
+            checks.push(format!(
+                "{name}: defended arm unhealthy at run end (ttr {})",
+                defended.time_to_recover_min
+            ));
+        }
     }
     format!(
         "{}: {} attack/defense pairs x {} seeds; json -> {}{}",
@@ -569,6 +628,18 @@ fn verdict(report: &SweepReport, json_path: &str) -> String {
                     checks.push(format!(
                         "{}:{} fail={:.3}",
                         scenario.spec.name, agg.backend, agg.fail_rate_mean
+                    ));
+                }
+                // The watchdog must flag the churn fault promptly on
+                // every seed: crash churn is active from window 0, so
+                // the first breach may lag it by at most 2 windows.
+                "crash-churn"
+                    if agg.backend == "chord" && !(0..=2).contains(&agg.time_to_detect_max) =>
+                {
+                    ok = false;
+                    checks.push(format!(
+                        "crash-churn:chord ttd {} outside [0, 2]",
+                        agg.time_to_detect_max
                     ));
                 }
                 // The capture attack must show up on the routed backend...

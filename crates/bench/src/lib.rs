@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod history;
 
 use std::fmt::Write as _;
 

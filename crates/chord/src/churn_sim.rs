@@ -8,6 +8,7 @@ use simnet::{EventQueue, SimDuration, SimTime};
 
 use crate::maintenance::MaintenanceBudget;
 use crate::network::{ChordNetwork, NodeId};
+use crate::watchdog::Watchdog;
 use crate::ChordConfig;
 
 /// What the simulation processes at each event-queue firing.
@@ -89,6 +90,9 @@ pub struct ChurnSimulation {
     /// under this budget instead of the classic full O(n) round.
     budget: Option<MaintenanceBudget>,
     timeline: Vec<(SimTime, usize)>,
+    /// When attached, each maintenance tick first closes a telemetry
+    /// window and lets the watchdog observe the *pre-repair* overlay.
+    watchdog: Option<Watchdog>,
 }
 
 impl ChurnSimulation {
@@ -185,6 +189,7 @@ impl ChurnSimulation {
             replication: None,
             budget: None,
             timeline: Vec::new(),
+            watchdog: None,
         }
     }
 
@@ -213,6 +218,33 @@ impl ChurnSimulation {
     pub fn with_maintenance_budget(mut self, budget: MaintenanceBudget) -> ChurnSimulation {
         self.budget = Some(budget);
         self
+    }
+
+    /// Attaches a health watchdog: every maintenance tick first closes
+    /// the current telemetry window and hands it — together with the
+    /// *pre-repair* overlay state — to [`Watchdog::observe`], so what
+    /// the watchdog sees is the damage maintenance is about to fix, not
+    /// the freshly repaired ring. Attachment also starts a clean window
+    /// boundary, keeping bootstrap counters out of window 0.
+    ///
+    /// The watchdog runs on its own RNG stream, so attaching it changes
+    /// neither the churn trajectory nor the resulting overlay.
+    pub fn with_watchdog(mut self, watchdog: Watchdog) -> ChurnSimulation {
+        let _ = self.net.metrics().recorder().reset_window();
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// The attached watchdog, if any.
+    pub fn watchdog(&self) -> Option<&Watchdog> {
+        self.watchdog.as_ref()
+    }
+
+    /// Detaches and returns the watchdog (e.g. to keep observing the
+    /// overlay through a post-churn measurement phase after
+    /// [`ChurnSimulation::into_network`]).
+    pub fn take_watchdog(&mut self) -> Option<Watchdog> {
+        self.watchdog.take()
     }
 
     /// Current simulated time.
@@ -301,6 +333,10 @@ impl ChurnSimulation {
                 }
             }
             Event::Maintenance => {
+                if let Some(watchdog) = self.watchdog.as_mut() {
+                    let window = self.net.metrics().recorder().reset_window();
+                    watchdog.observe(&self.net, window, None);
+                }
                 match self.budget {
                     Some(budget) => {
                         self.net.batched_maintenance_round(budget, &mut self.rng);

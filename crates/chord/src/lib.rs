@@ -70,6 +70,7 @@ mod multimap;
 mod network;
 mod shadow;
 mod storage;
+pub mod watchdog;
 
 pub use arena::{Fingers, NodeRef, Successors};
 pub use churn_sim::{ChurnReport, ChurnSimulation};
@@ -80,3 +81,4 @@ pub use lookup::{LookupError, LookupResult};
 pub use maintenance::{MaintenanceBudget, MaintenanceWork};
 pub use network::{ChordCounters, ChordNetwork, NodeId, RingReport};
 pub use storage::{GetResult, PutReceipt};
+pub use watchdog::{HealthEvent, HealthKind, SloConfig, SloRule, Watchdog};

@@ -1490,12 +1490,27 @@ impl ChordNetwork {
     /// live set is never cloned (this runs on rings where an O(n) copy
     /// per poll is the thing being avoided).
     pub fn verify_ring_sampled<R: Rng + ?Sized>(&self, k: usize, rng: &mut R) -> RingReport {
+        self.verify_ring_sampled_attributed(k, rng).0
+    }
+
+    /// [`verify_ring_sampled`](ChordNetwork::verify_ring_sampled) with
+    /// per-node attribution: also returns the ring points of the sampled
+    /// nodes that failed any check (wrong successor, wrong predecessor,
+    /// or a stale populated finger), in ring-rank order. The health
+    /// watchdog pins its breach events on these. Consumes the RNG
+    /// identically to the unattributed form.
+    pub fn verify_ring_sampled_attributed<R: Rng + ?Sized>(
+        &self,
+        k: usize,
+        rng: &mut R,
+    ) -> (RingReport, Vec<u64>) {
         let n = self.live_set.len();
         let k = k.min(n);
         let mut correct_successors = 0;
         let mut correct_predecessors = 0;
         let mut fingers_total = 0usize;
         let mut fingers_right = 0usize;
+        let mut defects = Vec::new();
         // Sparse partial Fisher–Yates: the virtual array 0..n starts as
         // the identity and only displaced slots are materialized, so
         // ranks are distinct (a permutation prefix) in O(k) memory for
@@ -1518,8 +1533,11 @@ impl ChordNetwork {
             correct_predecessors += usize::from(p);
             fingers_total += ft;
             fingers_right += fr;
+            if !s || !p || fr < ft {
+                defects.push(self.node(id).point().get());
+            }
         }
-        RingReport {
+        let report = RingReport {
             correct_successors,
             correct_predecessors,
             finger_accuracy: if fingers_total == 0 {
@@ -1528,7 +1546,8 @@ impl ChordNetwork {
                 fingers_right as f64 / fingers_total as f64
             },
             live: k,
-        }
+        };
+        (report, defects)
     }
 
     /// From-scratch correctness predicates of one live node: (successor

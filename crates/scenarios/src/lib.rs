@@ -51,7 +51,9 @@ mod spec;
 mod sweep;
 
 pub use placement::{place_index, place_points};
-pub use run::{run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, COMMITTEE_SIZE};
+pub use run::{
+    run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, COMMITTEE_SIZE, DRAW_WINDOW,
+};
 pub use spec::{
     AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, CoalitionStrategySpec,
     DefenseModel, MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, TelemetrySpec,

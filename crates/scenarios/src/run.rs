@@ -7,7 +7,9 @@
 //! on for deterministic reports.
 
 use adversary::{compile_coalition, majority_capture_probability, sybil_ids, DefendedSampler};
-use chord::{ChordConfig, ChordDht, ChurnSimulation, FaultPlan, NodeId};
+use chord::{
+    ChordConfig, ChordDht, ChordNetwork, ChurnSimulation, FaultPlan, NodeId, SloConfig, Watchdog,
+};
 use keyspace::{KeySpace, Point};
 use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
 use rand::rngs::StdRng;
@@ -37,7 +39,15 @@ mod stream {
     pub const FAULTS: u64 = 2;
     pub const DRAWS: u64 = 3;
     pub const LATENCY: u64 = 4;
+    pub const WATCHDOG: u64 = 5;
 }
+
+/// Target draws per watchdog observation window on chord arms. The
+/// realized window is `max(DRAW_WINDOW, 5 · live)` so the chi-square
+/// drift rule always sees enough per-cell mass to be evaluable; a final
+/// partial window is always flushed, so the post-churn ring state is
+/// observed at least once per run.
+pub const DRAW_WINDOW: u64 = 500;
 
 /// Metrics of one `(spec, backend, seed)` execution.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -110,6 +120,31 @@ pub struct SeedRunRecord {
     /// 99th-percentile messages per successful draw — a defended arm's
     /// redundancy multiplier shows up here, not in the mean.
     pub draw_msgs_p99: u64,
+    /// Observation windows the health watchdog closed over the run: one
+    /// per maintenance round during churn, then one per
+    /// [`DRAW_WINDOW`]-sized draw batch (0 on oracle backends, which
+    /// have no overlay to watch).
+    pub watchdog_windows: u64,
+    /// SLO breach edges the watchdog emitted (each is one rule going
+    /// from holding to violated; recoveries are not counted here).
+    pub health_breaches: u64,
+    /// Window index of the first SLO breach — the time-to-detect figure
+    /// for scenarios whose fault is active from window 0. −1 when no
+    /// rule ever breached.
+    pub time_to_detect: i64,
+    /// Windows from first breach to last recovery: 0 when nothing ever
+    /// breached, −1 when some rule was still violated at run end
+    /// (recovery unconfirmed).
+    pub time_to_recover: i64,
+    /// Every watchdog event, rendered one line each
+    /// ([`chord::HealthEvent::render`]): attributed, byte-stable, in
+    /// emission order.
+    pub health_events: Vec<String>,
+    /// Longitudinal gauge columns from the watchdog's window ring, one
+    /// entry per observed window per gauge (live, backlog, staleness,
+    /// defect_rate, hop_p50, hop_p99, forged_rate, draw_cost). Empty on
+    /// oracle backends.
+    pub series: BTreeMap<String, Vec<f64>>,
     /// FNV-1a digest over every lookup trace recorded during the run
     /// (hex; empty when `telemetry.trace_lookups` is off or the backend
     /// does not route). Two runs of the same `(spec, backend, seed)`
@@ -398,9 +433,48 @@ fn run_oracle(
         hop_p999: 0,
         draw_msgs_p50: draw_msgs.p50(),
         draw_msgs_p99: draw_msgs.p99(),
+        watchdog_windows: 0,
+        health_breaches: 0,
+        time_to_detect: -1,
+        time_to_recover: 0,
+        health_events: Vec::new(),
+        series: BTreeMap::new(),
         trace_digest: String::new(),
         counters: BTreeMap::new(),
     }
+}
+
+/// Closes the current draw window: per-peer draw deltas since the last
+/// close feed the chi-square drift rule, and the recorder's windowed
+/// counter/histogram deltas feed the longitudinal gauges.
+fn close_draw_window(
+    watchdog: &mut Watchdog,
+    net: &ChordNetwork,
+    base: &mut [u64],
+    counts: &[u64],
+) {
+    let delta: Vec<u64> = counts.iter().zip(base.iter()).map(|(c, b)| c - b).collect();
+    let window = net.metrics().recorder().reset_window();
+    watchdog.observe(net, window, Some(&delta));
+    base.copy_from_slice(counts);
+}
+
+/// The watchdog's gauge columns as named series, in window order.
+fn watchdog_series(watchdog: &Watchdog) -> BTreeMap<String, Vec<f64>> {
+    use chord::watchdog::gauge;
+    [
+        gauge::LIVE,
+        gauge::BACKLOG,
+        gauge::STALENESS,
+        gauge::DEFECT_RATE,
+        gauge::HOP_P50,
+        gauge::HOP_P99,
+        gauge::FORGED_RATE,
+        gauge::DRAW_COST,
+    ]
+    .into_iter()
+    .map(|name| (name.to_string(), watchdog.series().gauge_column(name)))
+    .collect()
 }
 
 fn run_chord(
@@ -442,6 +516,7 @@ fn run_chord(
     // (Coalition specs validate as static, so sybil joins never race
     // churn.)
     let churned;
+    let mut watchdog = None;
     let net = match churn_schedule(&spec.churn) {
         None => {
             churned = chord::ChordNetwork::bootstrap(space, points, config);
@@ -458,7 +533,15 @@ fn run_chord(
             if let Some(budget) = spec.chord.maintenance.budget() {
                 sim = sim.with_maintenance_budget(budget);
             }
+            // The watchdog rides the churn phase: one window per
+            // maintenance round, observed pre-repair. It draws from its
+            // own stream, so attaching it perturbs no other randomness.
+            sim = sim.with_watchdog(Watchdog::new(
+                SloConfig::default(),
+                derive_seed(seed, stream::WATCHDOG),
+            ));
             sim.run_to_end();
+            watchdog = sim.take_watchdog();
             churned = sim.into_network();
             &churned
         }
@@ -476,6 +559,14 @@ fn run_chord(
         recorder.set_trace_capacity(spec.telemetry.flight_recorder_capacity.max(1) as usize);
         recorder.set_tracing(true);
     }
+
+    // Static arms start the watchdog clock here; either way the recorder
+    // window closes at the draw boundary, so draw windows carry draw
+    // activity only (bootstrap and post-horizon churn deltas excluded).
+    let mut watchdog = watchdog.unwrap_or_else(|| {
+        Watchdog::new(SloConfig::default(), derive_seed(seed, stream::WATCHDOG))
+    });
+    let _ = net.metrics().recorder().reset_window();
 
     // Resolve the coalition's sybil points to overlay ids before picking
     // the observer, so the anchor is never a coalition plant.
@@ -560,6 +651,11 @@ fn run_chord(
     let mut quorum_failures = 0u64;
     let estimate_failed;
 
+    // Draw-phase observation windows (see [`DRAW_WINDOW`]).
+    let draw_window = (DRAW_WINDOW as usize).max(5 * live.len()) as u64;
+    let mut window_base = vec![0u64; live.len()];
+    let mut draws_in_window = 0u64;
+
     // The per-draw bookkeeping both arms share, so defended and
     // undefended accounting cannot diverge.
     let record_draw = |tally: &mut DrawTally,
@@ -599,6 +695,11 @@ fn run_chord(
                     ),
                     Err(_) => tally.failed += 1,
                 }
+                draws_in_window += 1;
+                if draws_in_window == draw_window {
+                    close_draw_window(&mut watchdog, net, &mut window_base, &counts);
+                    draws_in_window = 0;
+                }
             }
         }
         DefenseModel::Quorum { entries } => {
@@ -636,8 +737,18 @@ fn run_chord(
                     Err(_) => tally.failed += 1,
                 }
                 net.metrics().recorder().end_scope("draw.defended", scope);
+                draws_in_window += 1;
+                if draws_in_window == draw_window {
+                    close_draw_window(&mut watchdog, net, &mut window_base, &counts);
+                    draws_in_window = 0;
+                }
             }
         }
+    }
+    // Flush the final partial window: every run observes the post-churn
+    // ring state at least once, so recoveries are confirmable.
+    if draws_in_window > 0 {
+        close_draw_window(&mut watchdog, net, &mut window_base, &counts);
     }
 
     let (tv, ratio, chi_p) = uniformity(&counts);
@@ -693,6 +804,16 @@ fn run_chord(
         hop_p999: hop_hist.p999(),
         draw_msgs_p50: draw_msgs.p50(),
         draw_msgs_p99: draw_msgs.p99(),
+        watchdog_windows: watchdog.windows_observed(),
+        health_breaches: watchdog.breaches(),
+        time_to_detect: watchdog.time_to_detect(),
+        time_to_recover: watchdog.time_to_recover(),
+        health_events: watchdog
+            .events()
+            .iter()
+            .map(chord::HealthEvent::render)
+            .collect(),
+        series: watchdog_series(&watchdog),
         trace_digest,
         counters: net.metrics().snapshot(),
     };

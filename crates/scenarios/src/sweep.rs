@@ -71,6 +71,25 @@ pub struct BackendAggregate {
     pub draw_msgs_p99_mean: f64,
     /// Worst 99th-percentile messages per draw across seeds.
     pub draw_msgs_p99_max: u64,
+    /// Mean watchdog observation windows per seed (0 on oracle arms).
+    pub watchdog_windows_mean: f64,
+    /// Mean SLO breach edges per seed.
+    pub health_breaches_mean: f64,
+    /// Worst time-to-detect across seeds, in watchdog windows. −1 when
+    /// any seed never detected a breach (including the no-fault case),
+    /// so a detection gate of the form `0 ≤ ttd ≤ k` demands detection
+    /// on *every* seed.
+    pub time_to_detect_max: i64,
+    /// Smallest time-to-recover across seeds. −1 (any seed still
+    /// breached at run end) dominates the minimum, so a recovery gate of
+    /// `ttr ≥ 0` demands confirmed recovery on every seed.
+    pub time_to_recover_min: i64,
+    /// Element-wise mean across seeds of each per-seed windowed gauge
+    /// column — the longitudinal profile of the arm. Ragged seeds (ring
+    /// eviction) average the windows present. Order-independent: means
+    /// commute, so the aggregate is identical however rayon interleaved
+    /// the tasks.
+    pub series_mean: std::collections::BTreeMap<String, Vec<f64>>,
     /// Telemetry counters summed across seeds (BTreeMap, so report JSON
     /// lists them in sorted order regardless of how the rayon sweep
     /// interleaved the per-seed tasks). Empty for oracle backends.
@@ -99,6 +118,13 @@ impl BackendAggregate {
         let mut hop_p99_max = 0u64;
         let mut draw_p99 = Welford::new();
         let mut draw_p99_max = 0u64;
+        let mut watchdog_windows = Welford::new();
+        let mut health_breaches = Welford::new();
+        let mut ttd_max = i64::MIN;
+        let mut any_undetected = false;
+        let mut ttr_min = i64::MAX;
+        let mut series_sum: std::collections::BTreeMap<String, (Vec<f64>, Vec<u64>)> =
+            std::collections::BTreeMap::new();
         // Per-worker recorders are merged here by summation into one
         // sorted map, so the aggregate is independent of rayon's task
         // interleaving (each record is already a pure function of its
@@ -132,10 +158,40 @@ impl BackendAggregate {
             hop_p99_max = hop_p99_max.max(r.hop_p99);
             draw_p99.push(r.draw_msgs_p99 as f64);
             draw_p99_max = draw_p99_max.max(r.draw_msgs_p99);
+            watchdog_windows.push(r.watchdog_windows as f64);
+            health_breaches.push(r.health_breaches as f64);
+            if r.time_to_detect < 0 {
+                any_undetected = true;
+            } else {
+                ttd_max = ttd_max.max(r.time_to_detect);
+            }
+            ttr_min = ttr_min.min(r.time_to_recover);
+            for (name, column) in &r.series {
+                let (sums, counts) = series_sum.entry(name.clone()).or_default();
+                if sums.len() < column.len() {
+                    sums.resize(column.len(), 0.0);
+                    counts.resize(column.len(), 0);
+                }
+                for (i, v) in column.iter().enumerate() {
+                    sums[i] += v;
+                    counts[i] += 1;
+                }
+            }
             for (name, value) in &r.counters {
                 *counters.entry(name.clone()).or_insert(0u64) += value;
             }
         }
+        let series_mean = series_sum
+            .into_iter()
+            .map(|(name, (sums, counts))| {
+                let means = sums
+                    .into_iter()
+                    .zip(counts)
+                    .map(|(s, c)| if c == 0 { 0.0 } else { s / c as f64 })
+                    .collect();
+                (name, means)
+            })
+            .collect();
         BackendAggregate {
             backend: backend.name().to_string(),
             seeds: records.len() as u64,
@@ -160,6 +216,15 @@ impl BackendAggregate {
             hop_p99_max,
             draw_msgs_p99_mean: draw_p99.mean(),
             draw_msgs_p99_max: draw_p99_max,
+            watchdog_windows_mean: watchdog_windows.mean(),
+            health_breaches_mean: health_breaches.mean(),
+            time_to_detect_max: if any_undetected || ttd_max == i64::MIN {
+                -1
+            } else {
+                ttd_max
+            },
+            time_to_recover_min: if ttr_min == i64::MAX { 0 } else { ttr_min },
+            series_mean,
             counters,
         }
     }
@@ -391,15 +456,42 @@ mod tests {
 
     #[test]
     fn counter_snapshots_are_byte_identical_across_repeated_runs() {
-        // The telemetry counter maps ride in every chord record and in
-        // the per-backend aggregates; neither may depend on how rayon
-        // striped the tasks. Three runs, byte-for-byte identical JSON.
-        let sweep = Sweep::new(tiny_specs()).with_seeds(3).with_master_seed(7);
+        // The telemetry counter maps, watchdog health-event streams and
+        // windowed series ride in every chord record and in the
+        // per-backend aggregates; none may depend on how rayon striped
+        // the tasks. Three runs, byte-for-byte identical JSON. The
+        // crash-churn spec is included so at least one arm emits a
+        // non-empty health stream with a real time-to-detect.
+        let mut specs = tiny_specs();
+        let mut churn = ScenarioSpec::preset_crash_churn();
+        churn.n_initial = 96;
+        churn.workload.draws = 400;
+        specs.push(churn);
+        let sweep = Sweep::new(specs).with_seeds(3).with_master_seed(7);
         let baseline = sweep.run().to_json();
         for _ in 0..2 {
             assert_eq!(sweep.run().to_json(), baseline);
         }
         let report = sweep.run();
+        // The crash burst is detected on every seed, immediately, and the
+        // identical JSON above pins the event stream byte-for-byte.
+        let churn_chord = report.scenarios[2]
+            .aggregates
+            .iter()
+            .find(|a| a.backend == Backend::Chord.name())
+            .unwrap();
+        assert!((0..=2).contains(&churn_chord.time_to_detect_max));
+        assert!(churn_chord.health_breaches_mean >= 1.0);
+        assert!(churn_chord.watchdog_windows_mean > 1.0);
+        assert!(!churn_chord.series_mean.is_empty());
+        for r in report.scenarios[2]
+            .runs
+            .iter()
+            .filter(|r| r.backend == "chord")
+        {
+            assert!(!r.health_events.is_empty(), "churn must breach some rule");
+            assert!(r.health_events[0].contains("breach"));
+        }
         for scenario in &report.scenarios {
             let chord = scenario
                 .aggregates

@@ -79,6 +79,14 @@ impl Metrics {
         self.recorder.snapshot()
     }
 
+    /// Closes the current observation window and returns its per-counter
+    /// deltas — see [`Recorder::reset_window`](telemetry::Recorder::reset_window)
+    /// for the delta semantics (computed per slot, never by diffing
+    /// zero-skipping snapshots).
+    pub fn reset_window(&self) -> telemetry::WindowSnapshot {
+        self.recorder.reset_window()
+    }
+
     /// Resets every counter to zero (registered handles stay valid).
     pub fn reset(&self) {
         self.recorder.reset();

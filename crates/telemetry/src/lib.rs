@@ -17,6 +17,15 @@
 //! * [`ScopeToken`] cost attribution — label a region (a defended draw, a
 //!   maintenance drain round, a `bulk_join`) and get the counter deltas it
 //!   caused, instead of one global counter soup.
+//! * [`WindowSnapshot`] / [`TimeSeries`] — longitudinal view: closing an
+//!   observation window ([`Recorder::reset_window`]) yields per-window
+//!   counter *deltas* (computed per slot, so zero-skipping snapshots can
+//!   never drop a column) and per-window histogram tails; a fixed-capacity
+//!   ring keeps the recent history for breach dumps, and merging all
+//!   windows reproduces the whole-run histogram within bucketing error.
+//! * [`HealthEventRecord`] — attributed SLO breach/recovery events pushed
+//!   by the `chord` watchdog (rule, window, bound, offending nodes,
+//!   cost-attribution scope).
 //! * [`TraceDump`] exporters — deterministic pretty text and Chrome
 //!   `trace_event` JSON (load in `chrome://tracing` or Perfetto), plus an
 //!   FNV-1a digest over the full trace stream for byte-stable record
@@ -43,7 +52,9 @@
 #![warn(missing_docs)]
 
 mod recorder;
+mod timeseries;
 mod trace;
 
 pub use recorder::{CounterId, HistogramId, Recorder, ScopeBreakdown, ScopeToken};
+pub use timeseries::{HealthEventRecord, TimeSeries, WindowSnapshot};
 pub use trace::{HopRecord, LookupTrace, TraceDump, TraceOutcome};

@@ -5,6 +5,7 @@ use std::sync::OnceLock;
 use parking_lot::Mutex;
 use stats::LogHistogram;
 
+use crate::timeseries::{HealthEventRecord, WindowSnapshot};
 use crate::trace::{FlightRecorder, LookupTrace};
 
 /// Fixed counter-slot capacity. Registration past this panics — the
@@ -63,6 +64,17 @@ impl HistSlot {
     }
 }
 
+/// Window base values for [`Recorder::reset_window`]: the cumulative
+/// counter/bucket readings at the last window boundary, kept **per slot**
+/// so deltas can never lose a counter the way a zero-skipping
+/// [`Recorder::snapshot`] difference would.
+#[derive(Debug, Default)]
+struct WindowState {
+    index: u64,
+    counter_base: Vec<u64>,
+    hist_base: Vec<Vec<u64>>,
+}
+
 /// Per-label cost accumulator: how many scopes completed under the label
 /// and the summed counter deltas they caused (indexed by counter slot).
 #[derive(Debug, Default)]
@@ -109,6 +121,8 @@ pub struct Recorder {
     tracing: AtomicBool,
     flight: Mutex<FlightRecorder>,
     scopes: Mutex<BTreeMap<&'static str, ScopeAccum>>,
+    window: Mutex<WindowState>,
+    health: Mutex<Vec<HealthEventRecord>>,
 }
 
 impl Recorder {
@@ -123,6 +137,8 @@ impl Recorder {
             tracing: AtomicBool::new(false),
             flight: Mutex::new(FlightRecorder::new(64)),
             scopes: Mutex::new(BTreeMap::new()),
+            window: Mutex::new(WindowState::default()),
+            health: Mutex::new(Vec::new()),
         }
     }
 
@@ -245,6 +261,95 @@ impl Recorder {
         }
     }
 
+    // ---- observation windows ----
+
+    /// Closes the current observation window and returns it: the delta of
+    /// every registered counter and histogram since the previous
+    /// `reset_window` call (or since construction / [`Recorder::reset`]
+    /// for the first window), then advances the window boundary. The
+    /// cumulative counters and histograms themselves are **not** touched,
+    /// so end-of-run totals are unaffected by windowing.
+    ///
+    /// # Why not diff two `snapshot()` calls?
+    ///
+    /// [`Recorder::snapshot`] deliberately skips zero-valued counters
+    /// (legacy `Metrics` behaviour). Subtracting such maps drops any
+    /// counter that was nonzero in a previous window but untouched in
+    /// this one — its key is simply absent on one side. Window deltas are
+    /// therefore computed per counter *slot* against per-slot base values
+    /// (the same all-slots-by-index walk [`Recorder::end_scope`] uses),
+    /// and the returned [`WindowSnapshot::counters`] map includes zero
+    /// deltas for every registered counter.
+    ///
+    /// Per-window histogram extrema are bucket-derived (the exact min/max
+    /// atomics are cumulative): max is the upper edge of the highest
+    /// nonzero delta bucket — never *below* the true window max, so
+    /// clamped quantiles never under-report — and min the lower edge of
+    /// the lowest. Merging all windows thus reproduces the whole-run
+    /// histogram's bucket counts exactly and its quantiles to within the
+    /// 1/16 bucketing error.
+    pub fn reset_window(&self) -> WindowSnapshot {
+        let names = self.counter_names.lock();
+        let hist_names = self.hist_names.lock();
+        let mut state = self.window.lock();
+        let registered = names.len();
+        if state.counter_base.len() < registered {
+            state.counter_base.resize(registered, 0);
+        }
+        let mut counters = BTreeMap::new();
+        for (i, name) in names.iter().enumerate() {
+            let now = self.counters[i].load(Ordering::Relaxed);
+            let delta = now.saturating_sub(state.counter_base[i]);
+            state.counter_base[i] = now;
+            counters.insert(name.clone(), delta);
+        }
+        if state.hist_base.len() < hist_names.len() {
+            state.hist_base.resize(hist_names.len(), Vec::new());
+        }
+        let mut hists = Vec::with_capacity(hist_names.len());
+        for (i, name) in hist_names.iter().enumerate() {
+            let hist = match self.hist_slots[i].buckets.get() {
+                Some(buckets) => {
+                    let base = &mut state.hist_base[i];
+                    if base.len() < buckets.len() {
+                        base.resize(buckets.len(), 0);
+                    }
+                    let mut deltas = vec![0u64; buckets.len()];
+                    for (j, bucket) in buckets.iter().enumerate() {
+                        let now = bucket.load(Ordering::Relaxed);
+                        deltas[j] = now.saturating_sub(base[j]);
+                        base[j] = now;
+                    }
+                    window_hist_from_deltas(&deltas)
+                }
+                None => LogHistogram::new(),
+            };
+            hists.push((name.clone(), hist));
+        }
+        let index = state.index;
+        state.index += 1;
+        WindowSnapshot {
+            index,
+            counters,
+            hists,
+            gauges: BTreeMap::new(),
+        }
+    }
+
+    /// Appends an attributed health event to the flight log. Always on
+    /// (unlike lookup traces): the watchdog emits edge-triggered events —
+    /// one breach plus one recovery per episode — so volume is bounded by
+    /// overlay health, not by traffic.
+    pub fn push_health(&self, event: HealthEventRecord) {
+        self.health.lock().push(event);
+    }
+
+    /// Every health event pushed since construction or [`Recorder::reset`],
+    /// in emission order.
+    pub fn health_events(&self) -> Vec<HealthEventRecord> {
+        self.health.lock().clone()
+    }
+
     // ---- lookup traces / flight recorder ----
 
     /// Enables or disables lookup tracing. Disabled is the default and
@@ -347,8 +452,10 @@ impl Recorder {
 
     // ---- lifecycle / accounting ----
 
-    /// Zeroes every counter and histogram and clears traces, scopes, and
-    /// the trace digest. Registered names and handles stay valid.
+    /// Zeroes every counter and histogram and clears traces, scopes, the
+    /// trace digest, and the window boundary (the next
+    /// [`Recorder::reset_window`] is window 0 again). Registered names
+    /// and handles stay valid.
     pub fn reset(&self) {
         for c in self.counters.iter() {
             c.store(0, Ordering::Relaxed);
@@ -359,6 +466,8 @@ impl Recorder {
         let cap = self.flight.lock().capacity();
         *self.flight.lock() = FlightRecorder::new(cap);
         self.scopes.lock().clear();
+        *self.window.lock() = WindowState::default();
+        self.health.lock().clear();
     }
 
     /// Approximate resident bytes of the recorder's storage (counter
@@ -384,13 +493,40 @@ impl Recorder {
             .chain(self.hist_names.lock().iter())
             .map(|n| n.len() + 24)
             .sum();
-        counters + hists + names
+        let window = {
+            let state = self.window.lock();
+            state.counter_base.len() * 8
+                + state.hist_base.iter().map(|b| b.len() * 8).sum::<usize>()
+        };
+        counters + hists + names + window
     }
 }
 
 impl Default for Recorder {
     fn default() -> Recorder {
         Recorder::new()
+    }
+}
+
+/// Builds a per-window histogram from delta bucket counts. The exact
+/// min/max atomics track the cumulative run, so the window extrema are
+/// bucket-derived: max = inclusive upper edge of the highest nonzero
+/// bucket (≥ the true window max, so clamped quantiles never
+/// under-report), min = lower edge of the lowest nonzero bucket.
+fn window_hist_from_deltas(deltas: &[u64]) -> LogHistogram {
+    let lo = deltas.iter().position(|&d| d > 0);
+    let hi = deltas.iter().rposition(|&d| d > 0);
+    match (lo, hi) {
+        (Some(lo), Some(hi)) => {
+            let min = if lo == 0 {
+                0
+            } else {
+                LogHistogram::bucket_upper(lo - 1) + 1
+            };
+            let max = LogHistogram::bucket_upper(hi);
+            LogHistogram::from_bucket_counts(deltas, min, max)
+        }
+        _ => LogHistogram::new(),
     }
 }
 
@@ -540,6 +676,70 @@ mod tests {
         assert_eq!(r.trace_digest(), FlightRecorder::new(1).digest());
         assert!(r.scope_breakdown().is_empty());
         assert_eq!(r.counter("c"), c, "registration survives reset");
+    }
+
+    #[test]
+    fn window_deltas_never_drop_previously_nonzero_counters() {
+        let r = Recorder::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        r.add(a, 5);
+        let w0 = r.reset_window();
+        assert_eq!(w0.index, 0);
+        assert_eq!(w0.counters["a"], 5);
+        assert_eq!(w0.counters["b"], 0, "untouched counters still appear");
+        // "a" stays at 5 through window 1: a naive difference of two
+        // zero-skipping snapshot() maps would drop it entirely, because
+        // its delta is zero on both sides; per-slot bases keep the key.
+        r.add(b, 3);
+        let w1 = r.reset_window();
+        assert_eq!(w1.index, 1);
+        assert_eq!(
+            w1.counters["a"], 0,
+            "counter nonzero in a past window must stay present"
+        );
+        assert_eq!(w1.counters["b"], 3);
+        assert_eq!(r.counter_value(a), 5, "cumulative totals untouched");
+    }
+
+    #[test]
+    fn window_histograms_are_deltas_and_cumulative_survives() {
+        let r = Recorder::new();
+        let h = r.histogram("hops");
+        for v in [1u64, 2, 3] {
+            r.record(h, v);
+        }
+        let w0 = r.reset_window();
+        for v in [100u64, 200] {
+            r.record(h, v);
+        }
+        let w1 = r.reset_window();
+        let h0 = w0.hist("hops").unwrap();
+        let h1 = w1.hist("hops").unwrap();
+        assert_eq!(h0.count(), 3);
+        assert_eq!(h1.count(), 2);
+        // Bucket-derived extrema: at most one bucket (+1 at this
+        // magnitude) above the true max of 3.
+        assert!(h0.max() >= 3 && h0.max() <= 4);
+        assert!(h1.p99() >= 200);
+        // Window 1's tail must not include window 0's samples.
+        assert!(h1.min() > 3);
+        assert_eq!(r.histogram_snapshot(h).count(), 5);
+        assert_eq!(r.histogram_snapshot(h).max(), 200);
+    }
+
+    #[test]
+    fn reset_rewinds_window_index_and_bases() {
+        let r = Recorder::new();
+        let c = r.counter("c");
+        r.add(c, 7);
+        let w0 = r.reset_window();
+        assert_eq!((w0.index, w0.counters["c"]), (0, 7));
+        r.reset();
+        r.add(c, 2);
+        let w = r.reset_window();
+        assert_eq!(w.index, 0, "reset rewinds the window clock");
+        assert_eq!(w.counters["c"], 2, "bases rewind with the counters");
     }
 
     #[test]
