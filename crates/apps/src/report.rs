@@ -306,6 +306,16 @@ fn diff_sweeps(base: &Value, cand: &Value) -> ReportDiff {
             }
         }
         diff_watchdog_columns(&arm, base_agg, cand_agg, &mut diff);
+        // Columns the candidate reports but the baseline predates are
+        // surfaced, not silently skipped: a freshly-gated metric (say a
+        // new success-ratio verdict column) must show up in the diff
+        // even though there is nothing to compare it against yet.
+        for (key, val) in cand_agg.as_map().into_iter().flatten() {
+            if base_agg.get(key).is_none() && num(val).is_some() {
+                diff.lines
+                    .push(format!("{arm} {key}: new metric, not compared"));
+            }
+        }
     }
     for ((scenario, backend), _) in &cand_index {
         if !base_index
@@ -528,6 +538,33 @@ mod tests {
         // New arms in the candidate are benign.
         let reverse = diff_reports(empty, &sweep_json(9, 0, -1)).unwrap();
         assert!(reverse.clean());
+    }
+
+    #[test]
+    fn new_verdict_column_is_reported_not_silently_skipped() {
+        let base = sweep_json(9, 0, -1);
+        let cand = base.replace(
+            "\"tv_worst\": 0.08,",
+            "\"tv_worst\": 0.08, \"outage_success_ratio_min\": 0.995,",
+        );
+        assert_ne!(base, cand);
+        let diff = diff_reports(&base, &cand).unwrap();
+        // Uncomparable but visible — and never a regression.
+        assert!(diff.clean(), "{:?}", diff.regressions);
+        assert!(
+            diff.lines
+                .iter()
+                .any(|l| l.contains("outage_success_ratio_min: new metric, not compared")),
+            "{:?}",
+            diff.lines
+        );
+        // The same column on both sides is compared, not re-flagged.
+        let both = diff_reports(&cand, &cand).unwrap();
+        assert!(
+            !both.lines.iter().any(|l| l.contains("new metric")),
+            "{:?}",
+            both.lines
+        );
     }
 
     fn bench_history(lookup_ns: u64, speedup: f64) -> String {

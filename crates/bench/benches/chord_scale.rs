@@ -25,7 +25,9 @@
 
 use std::time::Instant;
 
-use chord::{ChordConfig, ChordNetwork, MaintenanceBudget, NodeId, SloConfig, Watchdog};
+use chord::{
+    AdaptiveConfig, ChordConfig, ChordNetwork, MaintenanceBudget, NodeId, SloConfig, Watchdog,
+};
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use keyspace::KeySpace;
 use rand::rngs::StdRng;
@@ -68,6 +70,11 @@ const VERIFIER_BYTES_BUDGET: f64 = 40.0;
 /// ~8.3 B/node steady-state. Gated so maintenance bookkeeping cannot
 /// silently erode the scale headroom the other two budgets protect.
 const MAINTENANCE_BYTES_BUDGET: f64 = 16.0;
+/// Budget for the adaptive peer-score table (`ChordNetwork::score_bytes`):
+/// two u8 columns (success EWMA + consecutive failures) per node, ~2 B
+/// steady-state. Gated at 8 so adaptive routing stays a rounding error
+/// next to the ~134 B/node of routing state it ranks.
+const SCORE_BYTES_BUDGET: f64 = 8.0;
 
 fn build(n: usize, seed: u64) -> ChordNetwork {
     let space = KeySpace::full();
@@ -230,6 +237,12 @@ fn emit_json_point() -> bool {
     let window_draws = 500.max(5 * net.live_len()) as f64;
     let watchdog_overhead_pct = watchdog_observe_ns / (window_draws * lookup_ns).max(1e-9) * 100.0;
 
+    // Adaptive peer-score state, with scoring enabled on the full-scale
+    // ring (measured last: enabling it changes finger ranking, which
+    // would perturb the lookup figures above).
+    net.enable_adaptive_routing(AdaptiveConfig::default());
+    let score_bytes = net.score_bytes() as f64 / SCALE_N as f64;
+
     let row = format!(
         "{{\"bench\": \"chord_scale\", \"n\": {SCALE_N}, \
          \"routing_bytes_per_node\": {compact:.1}, \
@@ -254,6 +267,8 @@ fn emit_json_point() -> bool {
          \"watchdog_overhead_budget_pct\": {WATCHDOG_OVERHEAD_BUDGET_PCT}, \
          \"recorder_bytes_per_node\": {recorder_bytes:.2}, \
          \"recorder_bytes_budget\": {RECORDER_BYTES_BUDGET}, \
+         \"score_bytes_per_node\": {score_bytes:.2}, \
+         \"score_bytes_budget\": {SCORE_BYTES_BUDGET}, \
          \"bulk_join_ms\": {bulk_ms:.0}}}"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
@@ -277,6 +292,7 @@ fn emit_json_point() -> bool {
     let telemetry_ok = telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT
         && recorder_bytes <= RECORDER_BYTES_BUDGET;
     let watchdog_ok = watchdog_overhead_pct <= WATCHDOG_OVERHEAD_BUDGET_PCT;
+    let score_ok = score_bytes <= SCORE_BYTES_BUDGET;
     println!(
         "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
          (bar {MEMORY_BAR}x, {})",
@@ -308,7 +324,17 @@ fn emit_json_point() -> bool {
          per window => {watchdog_overhead_pct:.3}% (budget {WATCHDOG_OVERHEAD_BUDGET_PCT}%) ({})",
         if watchdog_ok { "ok" } else { "REGRESSED" }
     );
-    memory_ok && verify_ok && verifier_ok && maintenance_ok && telemetry_ok && watchdog_ok
+    println!(
+        "peer scores: {score_bytes:.2} B/node (budget {SCORE_BYTES_BUDGET}) ({})",
+        if score_ok { "ok" } else { "REGRESSED" }
+    );
+    memory_ok
+        && verify_ok
+        && verifier_ok
+        && maintenance_ok
+        && telemetry_ok
+        && watchdog_ok
+        && score_ok
 }
 
 criterion_group!(benches, bench_verify_poll, bench_lookup, bench_bulk_join);

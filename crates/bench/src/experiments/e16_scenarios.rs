@@ -313,26 +313,231 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
     table
 }
 
-/// Runs the preset sweep and the coalition battery and renders one
-/// summary table for each.
+/// Runs the preset sweep, the coalition battery and the failure-domain
+/// battery, rendering one summary table for each.
 ///
 /// `RP_COALITION=only` skips the preset sweep (the CI smoke job's
 /// dedicated coalition step); `RP_COALITION=off` skips the coalition
-/// battery; `RP_SCALE=<n>` runs the scale arms instead of either.
+/// battery; `RP_DOMAINS=1`/`only` runs just the failure-domain battery
+/// (the `domain-smoke` CI job) and `RP_DOMAINS=0`/`off` skips it;
+/// `RP_SCALE=<n>` runs the scale arms instead of everything else.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     export_trace_if_requested(ctx);
     if let Some(oracle_n) = scale_from_env() {
         return vec![run_scale(ctx, oracle_n)];
     }
+    let domains = std::env::var("RP_DOMAINS").unwrap_or_default();
+    match domains.as_str() {
+        "1" | "only" => return vec![run_domains(ctx)],
+        "" | "0" | "off" | "on" => {}
+        // A CI typo must fail the job loudly, not silently run the wrong
+        // battery set (same policy as RP_SCALE / RP_COALITION).
+        other => panic!("RP_DOMAINS={other:?} is not one of 1/only/on/off/0"),
+    }
     let mode = std::env::var("RP_COALITION").unwrap_or_default();
-    match mode.as_str() {
+    let mut tables = match mode.as_str() {
         "only" => vec![run_coalition(ctx)],
         "off" => vec![run_presets(ctx)],
         "" | "on" => vec![run_presets(ctx), run_coalition(ctx)],
-        // A CI typo must fail the job loudly, not silently run the wrong
-        // battery set (same policy as RP_SCALE).
         other => panic!("RP_COALITION={other:?} is not one of only/off/on"),
+    };
+    if matches!(domains.as_str(), "" | "on") {
+        tables.push(run_domains(ctx));
     }
+    tables
+}
+
+/// The failure-domain battery at sizes whose outage edges land exactly on
+/// watchdog window boundaries (the realized window is
+/// `max(500, 5·n_initial)` draws), so the per-window success-ratio rule
+/// sees one clean window, two outage windows, and one healed window on
+/// every arm.
+fn domain_battery_specs(ctx: &ExpContext) -> Vec<ScenarioSpec> {
+    let mut specs = ScenarioSpec::domain_battery();
+    for spec in &mut specs {
+        if ctx.quick {
+            spec.n_initial = 96; // window 500
+            spec.workload.draws = 2_000;
+        } else {
+            spec.n_initial = 256; // window 1280
+            spec.workload.draws = 5_120;
+        }
+    }
+    specs
+}
+
+/// The failure-domain battery: one correlated rack/region outage (25% of
+/// the ring crashing as a single arc mid-run, healing later) crossed with
+/// the resilience knobs — {baseline, scored, retry, scored+retry} — all
+/// chord-only, all undefended.
+fn run_domains(ctx: &ExpContext) -> Table {
+    let seeds = if ctx.quick { 2 } else { 3 };
+    let report = Sweep::new(domain_battery_specs(ctx))
+        .with_master_seed(ctx.stream(16, 4))
+        .with_seeds(seeds)
+        .run();
+    let json = report.to_json_pretty();
+    let json_path = persist_named_report(&json, "e16_domains.json");
+
+    let mut table = Table::new(
+        "E16-domains: correlated domain outage vs adaptive routing (chord)",
+        "a rack-sized correlated crash partitions plain routing; peer scoring plus \
+         retry/fallback degradation holds lookup success through the outage at an \
+         attributed extra cost, and the watchdog pins the breach on the failed domains",
+        &[
+            "scenario",
+            "live",
+            "fail_rate",
+            "msgs/draw",
+            "latency",
+            "outage_ok_min",
+            "retries",
+            "fallbacks",
+            "dom_events",
+            "ttd",
+            "ttr",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            table.push_row(vec![
+                scenario.spec.name.clone(),
+                fmt_f(agg.live_peers_mean),
+                fmt_f(agg.fail_rate_mean),
+                fmt_f(agg.messages_mean),
+                fmt_f(agg.latency_mean),
+                fmt_f(agg.outage_success_ratio_min),
+                agg.counters
+                    .get("lookup.retries")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                agg.counters
+                    .get("lookup.fallback_depth")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                agg.counters
+                    .get("domain.events")
+                    .copied()
+                    .unwrap_or(0)
+                    .to_string(),
+                agg.time_to_detect_max.to_string(),
+                agg.time_to_recover_min.to_string(),
+            ]);
+        }
+    }
+    table.set_verdict(dump_flight_on_check(
+        domains_verdict(&report, seeds, &json_path),
+        &report,
+        "e16_domains_flight.txt",
+    ));
+    table
+}
+
+/// The failure-domain acceptance gates: the outage must hurt the plain
+/// arm, the full adaptive arm must hold ≥ 99% success *during* the
+/// outage with its degradation cost attributed, every arm's watchdog
+/// must detect the outage promptly and confirm recovery by run end, and
+/// the success/latency deltas vs the non-adaptive baseline are reported.
+fn domains_verdict(report: &SweepReport, seeds: u32, json_path: &str) -> String {
+    let agg = |name: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.spec.name == name)
+            .map(|s| &s.aggregates[0])
+    };
+    let mut checks = Vec::new();
+    let mut ok = true;
+    let (Some(base), Some(adaptive)) =
+        (agg("domain-outage-baseline"), agg("domain-outage-adaptive"))
+    else {
+        return format!("CHECK: battery arms missing; json -> {json_path}");
+    };
+    // Same outage, same draws, on both comparison arms.
+    if base.outage_draws_sum == 0 || base.outage_draws_sum != adaptive.outage_draws_sum {
+        ok = false;
+        checks.push(format!(
+            "outage draws mismatch (baseline {}, adaptive {})",
+            base.outage_draws_sum, adaptive.outage_draws_sum
+        ));
+    }
+    // The correlated crash must actually break plain routing...
+    if base.outage_success_ratio_mean >= 0.99 {
+        ok = false;
+        checks.push(format!(
+            "baseline survived the outage unscathed ({:.4})",
+            base.outage_success_ratio_mean
+        ));
+    }
+    // ...while the full adaptive arm holds the SLO on every seed.
+    if adaptive.outage_success_ratio_min < 0.99 {
+        ok = false;
+        checks.push(format!(
+            "adaptive arm broke the 99% during-outage SLO ({:.4})",
+            adaptive.outage_success_ratio_min
+        ));
+    }
+    // Degradation is paid for and attributed, never free.
+    if adaptive
+        .counters
+        .get("lookup.retries")
+        .copied()
+        .unwrap_or(0)
+        == 0
+        || adaptive
+            .counters
+            .get("lookup.fallback_depth")
+            .copied()
+            .unwrap_or(0)
+            == 0
+    {
+        ok = false;
+        checks.push("adaptive arm shows no attributed retry/fallback cost".to_string());
+    }
+    for scenario in &report.scenarios {
+        let a = &scenario.aggregates[0];
+        let name = &scenario.spec.name;
+        // Two transitions (crash, heal) over two domains, every seed.
+        let events = a.counters.get("domain.events").copied().unwrap_or(0);
+        if events != 4 * u64::from(seeds) {
+            ok = false;
+            checks.push(format!("{name}: domain.events {events} != {}", 4 * seeds));
+        }
+        // The watchdog must flag the outage within 2 windows of the
+        // crash on every seed...
+        if !(0..=2).contains(&a.time_to_detect_max) {
+            ok = false;
+            checks.push(format!(
+                "{name}: ttd {} outside [0, 2]",
+                a.time_to_detect_max
+            ));
+        }
+        // ...and the heal must leave every seed healthy by run end.
+        if a.time_to_recover_min < 0 {
+            ok = false;
+            checks.push(format!(
+                "{name}: unhealthy at run end (ttr {})",
+                a.time_to_recover_min
+            ));
+        }
+    }
+    format!(
+        "{}: 4 arms x {seeds} seeds; outage success {:.3} -> {:.3}, \
+         latency/draw {:.1} -> {:.1}; json -> {}{}",
+        if ok { "HOLDS" } else { "CHECK" },
+        base.outage_success_ratio_mean,
+        adaptive.outage_success_ratio_mean,
+        base.latency_mean,
+        adaptive.latency_mean,
+        json_path,
+        if checks.is_empty() {
+            String::new()
+        } else {
+            format!("; flagged: {}", checks.join(", "))
+        }
+    )
 }
 
 /// The preset battery sweep and its table.
@@ -710,6 +915,42 @@ mod tests {
             "{}",
             t.verdict
         );
+    }
+
+    #[test]
+    fn quick_domain_battery_holds() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run_domains(&ctx);
+        // 4 resilience arms x 1 backend (chord-only).
+        assert_eq!(t.rows.len(), 4);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+        assert!(t.verdict.contains("outage success"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn domain_battery_sizes_align_with_watchdog_windows() {
+        for (quick, window) in [(true, 500u64), (false, 1_280u64)] {
+            let ctx = ExpContext {
+                quick,
+                ..ExpContext::default()
+            };
+            for spec in domain_battery_specs(&ctx) {
+                spec.validate().unwrap();
+                assert_eq!(spec.backends, vec![Backend::Chord], "{}", spec.name);
+                // The realized window is max(500, 5·n) and the outage
+                // runs over draws [0.25, 0.75): both edges and the run
+                // end must land on window boundaries, or the watchdog's
+                // final window straddles the heal and ttr never clears.
+                assert_eq!(window, 500.max(5 * spec.n_initial as u64));
+                let draws = u64::from(spec.workload.draws);
+                assert_eq!(draws % window, 0, "{}", spec.name);
+                assert_eq!(draws / 4 % window, 0, "{}", spec.name);
+                assert_eq!(3 * draws / 4 % window, 0, "{}", spec.name);
+            }
+        }
     }
 
     #[test]

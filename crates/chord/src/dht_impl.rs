@@ -142,9 +142,12 @@ impl Dht for ChordDht<'_> {
 
     fn h(&self, x: Point) -> Result<Resolved<NodeId>, DhtError> {
         let mut rng = self.rng.borrow_mut();
+        // The policy entry point delegates verbatim to the plain routed
+        // lookup when no `RetryPolicy` is armed on the network, so honest
+        // and adversarial arms without one are byte-identical to before.
         match self
             .net
-            .find_successor_with_faults(self.start, x, &self.route_faults, &mut *rng)
+            .find_successor_with_policy(self.start, x, &self.route_faults, &mut *rng)
         {
             Ok(hit) => {
                 let point = if self.verified_positions {
@@ -215,6 +218,30 @@ impl Dht for ChordDht<'_> {
                 return Ok(Resolved {
                     peer: cand,
                     point: self.net.node(cand).point(),
+                    cost,
+                });
+            }
+        }
+        // The whole successor list is dead: a correlated outage took the
+        // arc clockwise of `p` with it. Under an armed `RetryPolicy` the
+        // probe degrades instead of failing — the same verified-quorum
+        // directory that backs `h`'s last-resort tier resolves the first
+        // live node strictly after `p`, charged at quorum cost.
+        if let Some(policy) = self.net.retry_policy() {
+            let after = self
+                .net
+                .space()
+                .add(self.net.node(p).point(), keyspace::Distance::new(1));
+            if let Some(owner) = self.net.truth_successor_id(after) {
+                cost.messages += policy.quorum_messages;
+                cost.latency += latency.sample(&mut *rng).ticks();
+                self.net
+                    .metrics()
+                    .recorder()
+                    .add(self.net.counters().lookup_fallback_depth, 3);
+                return Ok(Resolved {
+                    peer: owner,
+                    point: self.net.node(owner).point(),
                     cost,
                 });
             }
@@ -452,6 +479,56 @@ mod tests {
         let hit = dht.h(own_point).unwrap();
         assert_eq!(hit.peer, anchor);
         assert_eq!(hit.point, own_point);
+    }
+
+    #[test]
+    fn h_degrades_gracefully_under_a_retry_policy() {
+        let mut net = bootstrap(64, 51);
+        net.enable_adaptive_routing(crate::AdaptiveConfig::default());
+        net.enable_retry_policy(crate::RetryPolicy::default());
+        let mut ring = net.live_ids();
+        ring.sort_by_key(|&id| net.node(id).point());
+        // A dead arc longer than the successor list partitions plain
+        // routing; `h` must still resolve every target through fallback.
+        let arc = ring[10..26].to_vec();
+        for &v in &arc {
+            net.crash(v);
+        }
+        let dht = ChordDht::new(&net, ring[0], 52);
+        for &v in &arc {
+            let x = net.node(v).point();
+            let hit = dht.h(x).unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(x));
+            assert!(net.node(hit.peer).is_alive());
+        }
+        assert!(net.metrics().get("lookup.fallback_depth") > 0);
+    }
+
+    #[test]
+    fn next_degrades_gracefully_under_a_retry_policy() {
+        let mut net = bootstrap(64, 53);
+        let mut ring = net.live_ids();
+        ring.sort_by_key(|&id| net.node(id).point());
+        // Kill the whole successor window after ring[9]: every entry in
+        // its list is dead, so a plain `next` probe has nothing left.
+        let arc = ring[10..26].to_vec();
+        for &v in &arc {
+            net.crash(v);
+        }
+        let plain = ChordDht::new(&net, ring[0], 54);
+        assert!(matches!(
+            plain.next(ring[9]).unwrap_err(),
+            DhtError::RoutingFailed { .. }
+        ));
+        net.enable_retry_policy(crate::RetryPolicy::default());
+        let fallback = ChordDht::new(&net, ring[0], 54);
+        let nxt = fallback.next(ring[9]).unwrap();
+        assert_eq!(nxt.peer, ring[26], "first live node after the dead arc");
+        assert!(
+            nxt.cost.messages > crate::RetryPolicy::default().quorum_messages,
+            "the degraded probe pays the dead probes plus the quorum"
+        );
+        assert!(net.metrics().get("lookup.fallback_depth") > 0);
     }
 
     #[test]

@@ -68,6 +68,7 @@ mod lookup;
 mod maintenance;
 mod multimap;
 mod network;
+pub mod score;
 mod shadow;
 mod storage;
 pub mod watchdog;
@@ -80,5 +81,6 @@ pub use faults::{FaultPlan, NodeFaults};
 pub use lookup::{LookupError, LookupResult};
 pub use maintenance::{MaintenanceBudget, MaintenanceWork};
 pub use network::{ChordCounters, ChordNetwork, NodeId, RingReport};
+pub use score::{AdaptiveConfig, PeerScores, RetryPolicy};
 pub use storage::{GetResult, PutReceipt};
-pub use watchdog::{HealthEvent, HealthKind, SloConfig, SloRule, Watchdog};
+pub use watchdog::{HealthEvent, HealthKind, LookupOutcomes, SloConfig, SloRule, Watchdog};

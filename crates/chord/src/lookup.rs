@@ -138,8 +138,23 @@ impl ChordNetwork {
         faults: &crate::FaultPlan,
         rng: &mut R,
     ) -> Result<LookupResult, LookupError> {
+        self.route_with_faults(from, target, faults, rng)
+            .map_err(|(e, _)| e)
+    }
+
+    /// The routing loop behind
+    /// [`find_successor_with_faults`](ChordNetwork::find_successor_with_faults),
+    /// reporting the cost spent on *failed* lookups too so the retry
+    /// policy can attribute it instead of losing it with the `Err`.
+    fn route_with_faults<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        faults: &crate::FaultPlan,
+        rng: &mut R,
+    ) -> Result<LookupResult, (LookupError, Cost)> {
         if !self.node(from).is_alive() {
-            return Err(LookupError::StartDead);
+            return Err((LookupError::StartDead, Cost::FREE));
         }
         let counters = self.counters();
         let recorder = self.metrics().recorder();
@@ -163,9 +178,12 @@ impl ChordNetwork {
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Unresolved, &cost);
                 }
-                return Err(LookupError::HopLimitExceeded {
-                    max_hops: self.config().max_hops(),
-                });
+                return Err((
+                    LookupError::HopLimitExceeded {
+                        max_hops: self.config().max_hops(),
+                    },
+                    cost,
+                ));
             }
             let cur_point = self.node(current).point();
 
@@ -217,7 +235,7 @@ impl ChordNetwork {
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Unresolved, &cost);
                 }
-                return Err(LookupError::SuccessorsAllDead);
+                return Err((LookupError::SuccessorsAllDead, cost));
             }
             let answer_rank = successors
                 .iter()
@@ -226,7 +244,11 @@ impl ChordNetwork {
                 let mut found = None;
                 for cand in successors.iter().skip(rank) {
                     send(&mut cost, rng); // probe / handoff message
-                    if self.node(cand).is_alive() {
+                    let alive = self.node(cand).is_alive();
+                    if let Some(scores) = self.scores() {
+                        scores.borrow_mut().record(cand, alive);
+                    }
+                    if alive {
                         found = Some(cand);
                         break;
                     }
@@ -258,7 +280,7 @@ impl ChordNetwork {
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Unresolved, &cost);
                 }
-                return Err(LookupError::SuccessorsAllDead);
+                return Err((LookupError::SuccessorsAllDead, cost));
             };
             if let Some(t) = trace.as_mut() {
                 t.hop(
@@ -302,10 +324,27 @@ impl ChordNetwork {
         candidates.sort_by_key(|&c| self.space().distance(at_point, self.node(c).point()));
         candidates.dedup();
 
+        // Adaptive ranking: candidates the score table currently holds
+        // penalized sink to the *front* of the vec — the probe loop below
+        // walks it back-to-front, so they are tried last and a healthy
+        // lower finger level (or successor-list entry) is preferred over
+        // a closer-but-flaky one. The sort is stable, so within each
+        // class the closest-preceding order is untouched; with scoring
+        // disabled this block is skipped and the routing is byte-identical
+        // to the pre-adaptive overlay.
+        if let Some(scores) = self.scores() {
+            let scores = scores.borrow();
+            candidates.sort_by_key(|&c| !scores.penalized(c));
+        }
+
         for &cand in candidates.iter().rev() {
             cost.messages += 1;
             cost.latency += latency_model.sample(rng).ticks();
-            if self.node(cand).is_alive() {
+            let alive = self.node(cand).is_alive();
+            if let Some(scores) = self.scores() {
+                scores.borrow_mut().record(cand, alive);
+            }
+            if alive {
                 return Some(cand);
             }
             self.metrics()
@@ -320,6 +359,126 @@ impl ChordNetwork {
                 cost.messages += 1;
                 cost.latency += latency_model.sample(rng).ticks();
             })
+    }
+
+    /// [`find_successor_with_faults`](ChordNetwork::find_successor_with_faults)
+    /// under the armed [`RetryPolicy`](crate::RetryPolicy) — the
+    /// graceful-degradation entry point used by the DHT facade.
+    ///
+    /// With no policy armed this delegates verbatim (byte-identical cost
+    /// and RNG consumption). With a policy, a failed routed attempt is
+    /// retried up to `max_attempts` times, each retry paying a
+    /// deterministic backoff (`backoff_base << (k − 1)` latency ticks, no
+    /// messages) — with adaptive scoring on, the failed attempt's dead
+    /// probes have already re-ranked the next attempt's candidates. If
+    /// every routed attempt fails, the lookup *degrades* instead of
+    /// erroring:
+    ///
+    /// * **successor-walk** (fallback depth 2): pure `next`-pointer
+    ///   progress from the origin for up to `walk_limit` hops, one
+    ///   message per hop — correct on any ring whose live successor
+    ///   chain is intact, no fingers needed;
+    /// * **verified-quorum resolution** (fallback depth 3): an
+    ///   out-of-band query of the quorum-verified position directory,
+    ///   charged `quorum_messages` messages plus one parallel round of
+    ///   latency. Returns the true owner whenever any live node exists.
+    ///
+    /// All failed-attempt cost is carried into the returned
+    /// [`LookupResult::cost`], and every escalation bumps
+    /// `lookup.retries` / `lookup.fallback_depth`, so degraded answers
+    /// arrive with their extra cost attributed.
+    ///
+    /// # Errors
+    ///
+    /// [`LookupError::StartDead`] when `from` is dead (no fallback can
+    /// act for a dead origin); the last routed error only if the ring has
+    /// no live nodes left to resolve against.
+    pub fn find_successor_with_policy<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        faults: &crate::FaultPlan,
+        rng: &mut R,
+    ) -> Result<LookupResult, LookupError> {
+        let Some(policy) = self.retry_policy() else {
+            return self.find_successor_with_faults(from, target, faults, rng);
+        };
+        let counters = self.counters();
+        let recorder = self.metrics().recorder();
+        let mut spent = Cost::FREE;
+        let mut last_err = LookupError::StartDead;
+        for attempt in 1..=policy.max_attempts.max(1) {
+            if attempt > 1 {
+                // Backoff is pure waiting: latency, no messages.
+                spent.latency += policy.backoff_ticks(attempt - 1);
+                recorder.incr(counters.lookup_retries);
+            }
+            match self.route_with_faults(from, target, faults, rng) {
+                Ok(mut hit) => {
+                    hit.cost.messages += spent.messages;
+                    hit.cost.latency += spent.latency;
+                    if attempt > 1 {
+                        recorder.add(counters.lookup_fallback_depth, 1);
+                    }
+                    return Ok(hit);
+                }
+                Err((e, cost)) => {
+                    // A failed attempt still paid for its probes.
+                    spent.messages += cost.messages;
+                    spent.latency += cost.latency;
+                    last_err = e;
+                    if e == LookupError::StartDead {
+                        return Err(e);
+                    }
+                }
+            }
+        }
+
+        let latency_model = self.config().latency();
+
+        // Fallback tier: successor-walk from the origin. Immune to the
+        // stale fingers that defeated routing; every hop is guaranteed
+        // clockwise progress through live nodes.
+        let mut cur = from;
+        let mut walked = 0u32;
+        while walked < policy.walk_limit {
+            let cur_point = self.node(cur).point();
+            let Some(next) = self.first_live_successor(cur).filter(|&s| s != cur) else {
+                break; // the walk itself hit a dead arc: escalate
+            };
+            spent.messages += 1;
+            spent.latency += latency_model.sample(rng).ticks();
+            walked += 1;
+            let next_point = self.node(next).point();
+            if self.between_open_closed(cur_point, target, next_point) {
+                recorder.add(counters.lookup_hops, u64::from(walked));
+                recorder.record(counters.hop_hist, u64::from(walked));
+                recorder.add(counters.lookup_fallback_depth, 2);
+                return Ok(LookupResult {
+                    node: next,
+                    point: next_point,
+                    hops: walked,
+                    cost: spent,
+                });
+            }
+            cur = next;
+        }
+
+        // Last-resort tier: verified-quorum resolution against the
+        // ground-truth directory — always correct while anything lives,
+        // charged as a quorum of parallel queries.
+        if let Some(owner) = self.truth_successor_id(target) {
+            spent.messages += policy.quorum_messages;
+            spent.latency += latency_model.sample(rng).ticks();
+            recorder.add(counters.lookup_fallback_depth, 3);
+            return Ok(LookupResult {
+                node: owner,
+                point: self.node(owner).point(),
+                hops: 0,
+                cost: spent,
+            });
+        }
+        Err(last_err)
     }
 }
 
@@ -607,6 +766,136 @@ mod tests {
         // Counters and the hop histogram stay on regardless.
         assert!(rec.histogram_snapshot(net.counters().hop_hist).count() >= 10);
         assert!(net.metrics().get("lookup.hops") > 0);
+    }
+
+    #[test]
+    fn policy_entry_without_a_policy_is_byte_identical() {
+        let net = bootstrap(128, 43);
+        let start = net.live_ids()[0];
+        let plan = crate::FaultPlan::none();
+        let mut targets = rng();
+        let mut plain_rng = rng();
+        let mut policy_rng = rng();
+        for _ in 0..30 {
+            let target = net.space().random_point(&mut targets);
+            let plain = net.find_successor(start, target, &mut plain_rng).unwrap();
+            let policied = net
+                .find_successor_with_policy(start, target, &plan, &mut policy_rng)
+                .unwrap();
+            assert_eq!(plain.node, policied.node);
+            assert_eq!(plain.cost, policied.cost);
+        }
+        assert_eq!(net.metrics().get("lookup.retries"), 0);
+        assert_eq!(net.metrics().get("lookup.fallback_depth"), 0);
+    }
+
+    #[test]
+    fn policy_degrades_through_a_dead_arc_and_stays_correct() {
+        let mut net = bootstrap(64, 41);
+        net.enable_adaptive_routing(crate::AdaptiveConfig::default());
+        net.enable_retry_policy(crate::RetryPolicy::default());
+        // Crash a contiguous arc longer than the successor-list depth:
+        // the arc's predecessor loses its entire list, which is exactly
+        // the partition plain routing cannot cross.
+        let mut ring: Vec<NodeId> = net.live_ids();
+        ring.sort_by_key(|&id| net.node(id).point());
+        let arc = ring[20..36].to_vec();
+        for &v in &arc {
+            net.crash(v);
+        }
+        let start = ring[0];
+        let target = net.node(arc[8]).point(); // deep inside the dead arc
+        let mut r = rng();
+        assert_eq!(
+            net.find_successor(start, target, &mut r).unwrap_err(),
+            LookupError::SuccessorsAllDead,
+            "plain routing must fail across the dead arc"
+        );
+        let hit = net
+            .find_successor_with_policy(start, target, &crate::FaultPlan::none(), &mut r)
+            .unwrap();
+        assert_eq!(
+            hit.point,
+            net.ground_truth_successor(target),
+            "the degraded answer must still be the true owner"
+        );
+        assert!(
+            net.metrics().get("lookup.retries") >= 1,
+            "a retry must have been attempted"
+        );
+        assert!(
+            net.metrics().get("lookup.fallback_depth") >= 2,
+            "the answer came from a fallback tier"
+        );
+        assert!(
+            hit.cost.messages > 1,
+            "degradation must carry its attributed cost"
+        );
+    }
+
+    #[test]
+    fn walk_tier_rescues_hop_capped_lookups() {
+        // A pathologically low hop cap defeats finger routing while the
+        // successor chain stays fully intact: exactly the case the
+        // successor-walk tier exists for.
+        let space = KeySpace::full();
+        let mut r = rng();
+        let mut net = ChordNetwork::bootstrap(
+            space,
+            space.random_points(&mut r, 64),
+            ChordConfig::default().with_max_hops(1),
+        );
+        net.enable_retry_policy(crate::RetryPolicy {
+            walk_limit: 64,
+            ..crate::RetryPolicy::default()
+        });
+        let start = net.live_ids()[0];
+        let mut rescued = 0;
+        for _ in 0..40 {
+            let target = net.space().random_point(&mut r);
+            let capped = net.find_successor(start, target, &mut r);
+            let hit = net
+                .find_successor_with_policy(start, target, &crate::FaultPlan::none(), &mut r)
+                .unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(target));
+            if capped.is_err() {
+                rescued += 1;
+            }
+        }
+        assert!(rescued > 0, "some lookups must have needed the fallback");
+        assert!(net.metrics().get("lookup.fallback_depth") > 0);
+    }
+
+    #[test]
+    fn adaptive_scoring_learns_to_avoid_dead_fingers() {
+        let mut net = bootstrap(128, 42);
+        net.enable_adaptive_routing(crate::AdaptiveConfig::default());
+        let victims: Vec<NodeId> = net.live_ids().into_iter().step_by(3).take(30).collect();
+        for v in victims {
+            net.crash(v);
+        }
+        let start = net.live_ids()[0];
+        let mut r = rng();
+        let targets: Vec<Point> = (0..60).map(|_| net.space().random_point(&mut r)).collect();
+        // First pass pays dead probes and feeds the score table.
+        for &t in &targets {
+            net.find_successor(start, t, &mut r).unwrap();
+        }
+        let first_pass = net.metrics().get("lookup.dead_probe");
+        assert!(first_pass > 0, "crashed fingers must cost probes initially");
+        // Second pass over the same targets: penalized peers now rank
+        // last, so known-dead fingers are no longer probed first.
+        for &t in &targets {
+            let hit = net.find_successor(start, t, &mut r).unwrap();
+            assert_eq!(hit.point, net.ground_truth_successor(t));
+        }
+        let second_pass = net.metrics().get("lookup.dead_probe") - first_pass;
+        assert!(
+            second_pass < first_pass,
+            "scoring must cut repeat dead probes: {first_pass} then {second_pass}"
+        );
+        assert!(net.score_bytes() > 0);
+        assert!(net.peer_score(start) == crate::score::SCORE_MAX);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use core::fmt;
+use std::cell::RefCell;
 
 use keyspace::{Distance, KeySpace, Point};
 use rand::Rng;
@@ -9,6 +10,7 @@ use telemetry::{CounterId, HistogramId};
 use crate::arena::{NodeRef, RoutingArena};
 use crate::maintenance::{DirtySet, MaintenanceBudget, MaintenanceWork};
 use crate::multimap::CompactMultiMap;
+use crate::score::{AdaptiveConfig, PeerScores, RetryPolicy};
 use crate::shadow::Shadow;
 use crate::ChordConfig;
 
@@ -197,6 +199,16 @@ pub struct ChordNetwork {
     /// Optional mirror of the pre-arena per-node representation, for
     /// equivalence tests and memory benchmarks. See `crate::shadow`.
     shadow: Option<Box<Shadow>>,
+    /// Adaptive per-peer responsiveness scores (see `crate::score`),
+    /// `None` until [`enable_adaptive_routing`]. Behind a `RefCell`
+    /// because lookups take `&self` yet must fold probe outcomes in;
+    /// borrows never escape a single routing step.
+    ///
+    /// [`enable_adaptive_routing`]: ChordNetwork::enable_adaptive_routing
+    scores: Option<RefCell<PeerScores>>,
+    /// Retry/fallback policy applied by policy-path lookups, `None`
+    /// until [`enable_retry_policy`](ChordNetwork::enable_retry_policy).
+    retry: Option<RetryPolicy>,
 }
 
 /// Pre-registered telemetry handles for every chord hot-path counter plus
@@ -236,6 +248,13 @@ pub struct ChordCounters {
     pub storage_migrate: CounterId,
     /// `storage.replicate` — replica repairs.
     pub storage_replicate: CounterId,
+    /// `lookup.retries` — routed re-attempts under a [`RetryPolicy`].
+    pub lookup_retries: CounterId,
+    /// `lookup.fallback_depth` — cumulative degradation depth (1 = answer
+    /// after retry, 2 = successor-walk tier, 3 = verified-quorum tier).
+    pub lookup_fallback_depth: CounterId,
+    /// `domain.events` — correlated domain crash/heal events applied.
+    pub domain_events: CounterId,
     /// Per-lookup hop-count distribution (p50/p99/p999 in e16 records).
     pub hop_hist: HistogramId,
 }
@@ -258,6 +277,9 @@ impl ChordCounters {
             storage_get: recorder.counter("storage.get"),
             storage_migrate: recorder.counter("storage.migrate"),
             storage_replicate: recorder.counter("storage.replicate"),
+            lookup_retries: recorder.counter("lookup.retries"),
+            lookup_fallback_depth: recorder.counter("lookup.fallback_depth"),
+            domain_events: recorder.counter("domain.events"),
             hop_hist: recorder.histogram("lookup.hops"),
         }
     }
@@ -282,6 +304,8 @@ impl ChordNetwork {
             ledger: Ledger::new(),
             dirty: DirtySet::new(),
             shadow: None,
+            scores: None,
+            retry: None,
         }
     }
 
@@ -504,6 +528,61 @@ impl ChordNetwork {
     /// [`verify_ring`](ChordNetwork::verify_ring), not routing).
     pub fn verifier_bytes(&self) -> usize {
         self.ledger.bytes()
+    }
+
+    /// Turns on adaptive peer scoring: routed lookups start folding every
+    /// probe outcome into a per-peer [`PeerScores`] table and ranking
+    /// alternative next-hops (successor-list entries, lower finger
+    /// levels) penalized-last. Deterministic and RNG-free; with scoring
+    /// off, lookup behaviour is byte-identical to the pre-adaptive
+    /// overlay.
+    pub fn enable_adaptive_routing(&mut self, config: AdaptiveConfig) {
+        self.scores = Some(RefCell::new(PeerScores::new(config)));
+    }
+
+    /// Arms the retry/fallback policy used by
+    /// [`find_successor_with_policy`](ChordNetwork::find_successor_with_policy)
+    /// (and by the DHT facade's draws once armed).
+    pub fn enable_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
+    }
+
+    /// The armed retry policy, if any.
+    pub fn retry_policy(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// Whether adaptive peer scoring is enabled.
+    pub fn adaptive_enabled(&self) -> bool {
+        self.scores.is_some()
+    }
+
+    /// Shared view of the peer-score table (`None` until
+    /// [`enable_adaptive_routing`](ChordNetwork::enable_adaptive_routing)).
+    pub(crate) fn scores(&self) -> Option<&RefCell<PeerScores>> {
+        self.scores.as_ref()
+    }
+
+    /// Current EWMA responsiveness score of `id` (max = 255; 255 also for
+    /// peers never probed, and always when scoring is disabled).
+    pub fn peer_score(&self, id: NodeId) -> u8 {
+        self.scores
+            .as_ref()
+            .map_or(crate::score::SCORE_MAX, |s| s.borrow().score(id))
+    }
+
+    /// Whether `id` is currently ranked penalized-last by adaptive
+    /// routing (always `false` when scoring is disabled).
+    pub fn peer_penalized(&self, id: NodeId) -> bool {
+        self.scores
+            .as_ref()
+            .is_some_and(|s| s.borrow().penalized(id))
+    }
+
+    /// Bytes held by the adaptive peer-score table (0 when disabled;
+    /// bench-gated at ≤ 8 B/node in `chord_scale`).
+    pub fn score_bytes(&self) -> usize {
+        self.scores.as_ref().map_or(0, |s| s.borrow().bytes())
     }
 
     /// Starts mirroring every routing write into the pre-arena per-node

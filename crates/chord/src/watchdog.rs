@@ -40,6 +40,12 @@ pub enum SloRule {
     /// Chi-square drift: the window's draw histogram must not reject the
     /// uniform null at the configured significance.
     ChiDrift,
+    /// Windowed lookup success ratio must stay ≥ the configured floor —
+    /// the graceful-degradation gate for correlated-outage scenarios.
+    /// Only evaluated on windows fed an outcome tally (see
+    /// [`Watchdog::observe_with_outcomes`]); breaches are attributed to
+    /// the suspected offenders (e.g. a crashed failure domain's members).
+    SuccessRatio,
 }
 
 impl SloRule {
@@ -49,6 +55,7 @@ impl SloRule {
             SloRule::HopTail => "hop_p99",
             SloRule::Staleness => "staleness",
             SloRule::ChiDrift => "chi_drift",
+            SloRule::SuccessRatio => "success_ratio",
         }
     }
 
@@ -58,6 +65,7 @@ impl SloRule {
             SloRule::HopTail => "lookup",
             SloRule::Staleness => "maintenance.round",
             SloRule::ChiDrift => "draw.defended",
+            SloRule::SuccessRatio => "lookup",
         }
     }
 }
@@ -156,6 +164,12 @@ pub struct SloConfig {
     /// this many draws *per category* on average — below that the
     /// chi-square approximation is noise.
     pub chi_min_per_cell: f64,
+    /// Success-ratio floor: the success-ratio rule breaches when the
+    /// window's `ok / (ok + failed)` lookup ratio falls below this.
+    pub min_success_ratio: f64,
+    /// The success-ratio rule is only evaluated when the window tallied
+    /// at least this many lookups (tiny windows have meaningless ratios).
+    pub min_success_samples: u64,
     /// Retained windows in the watchdog's [`TimeSeries`] ring.
     pub series_capacity: usize,
 }
@@ -170,7 +184,41 @@ impl Default for SloConfig {
             sample_k: 64,
             chi_alpha: 1e-3,
             chi_min_per_cell: 4.0,
+            min_success_ratio: 0.99,
+            min_success_samples: 16,
             series_capacity: 256,
+        }
+    }
+}
+
+/// Per-window lookup outcome tally, fed to the watchdog's success-ratio
+/// rule via [`Watchdog::observe_with_outcomes`] by harnesses that track
+/// draw success (the domain-outage scenarios in particular).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LookupOutcomes {
+    /// Lookups that resolved this window (degraded answers included —
+    /// graceful degradation *is* success, at attributed extra cost).
+    pub ok: u64,
+    /// Lookups that returned an error this window.
+    pub failed: u64,
+    /// Ring points of suspected offenders — e.g. the members of the
+    /// failure domain currently down — attached to breach events
+    /// (capped at 8).
+    pub suspects: Vec<u64>,
+}
+
+impl LookupOutcomes {
+    /// Total lookups tallied.
+    pub fn total(&self) -> u64 {
+        self.ok + self.failed
+    }
+
+    /// `ok / total` (1.0 for an empty tally).
+    pub fn ratio(&self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.total() as f64
         }
     }
 }
@@ -194,9 +242,16 @@ pub mod gauge {
     pub const FORGED_RATE: &str = "forged_rate";
     /// Mean protocol messages per draw in the window (draw windows only).
     pub const DRAW_COST: &str = "draw_cost";
+    /// Windowed lookup success ratio (outcome-fed windows only).
+    pub const SUCCESS: &str = "success_ratio";
 }
 
-const RULES: [SloRule; 3] = [SloRule::HopTail, SloRule::Staleness, SloRule::ChiDrift];
+const RULES: [SloRule; 4] = [
+    SloRule::HopTail,
+    SloRule::Staleness,
+    SloRule::ChiDrift,
+    SloRule::SuccessRatio,
+];
 
 /// Maximum offending nodes attached to one event.
 const ATTRIBUTION_CAP: usize = 8;
@@ -256,8 +311,23 @@ impl Watchdog {
     pub fn observe(
         &mut self,
         net: &ChordNetwork,
+        window: WindowSnapshot,
+        draw_counts: Option<&[u64]>,
+    ) {
+        self.observe_with_outcomes(net, window, draw_counts, None);
+    }
+
+    /// [`observe`](Watchdog::observe) plus a per-window lookup outcome
+    /// tally for the success-ratio rule. Windows observed without a tally
+    /// leave that rule unevaluated (its state unchanged) and stamp no
+    /// success gauge, so harnesses that never tally are byte-identical to
+    /// the pre-rule watchdog.
+    pub fn observe_with_outcomes(
+        &mut self,
+        net: &ChordNetwork,
         mut window: WindowSnapshot,
         draw_counts: Option<&[u64]>,
+        outcomes: Option<&LookupOutcomes>,
     ) {
         window.index = self.window;
         let live = net.live_len();
@@ -303,6 +373,9 @@ impl Watchdog {
                 window.set_gauge(gauge::DRAW_COST, messages as f64 / draws as f64);
             }
         }
+        if let Some(tally) = outcomes {
+            window.set_gauge(gauge::SUCCESS, tally.ratio());
+        }
 
         // Rule evaluation, fixed order. `None` = not evaluable this
         // window (state unchanged); `Some((violated, measured, bound,
@@ -333,6 +406,19 @@ impl Watchdog {
                         p,
                         self.config.chi_alpha,
                         Vec::new(),
+                    ))
+                }),
+                SloRule::SuccessRatio => outcomes.and_then(|tally| {
+                    if tally.total() < self.config.min_success_samples {
+                        return None;
+                    }
+                    let mut suspects = tally.suspects.clone();
+                    suspects.truncate(ATTRIBUTION_CAP);
+                    Some((
+                        tally.ratio() < self.config.min_success_ratio,
+                        tally.ratio(),
+                        self.config.min_success_ratio,
+                        suspects,
                     ))
                 }),
             };
@@ -544,6 +630,87 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.is_empty());
         assert!(a.iter().any(|line| line.contains("breach staleness")));
+    }
+
+    #[test]
+    fn success_ratio_breaches_attributed_and_recovers() {
+        let net = tiny_net(64, 6);
+        let mut wd = Watchdog::new(SloConfig::default(), 15);
+        let healthy = LookupOutcomes {
+            ok: 100,
+            failed: 0,
+            suspects: Vec::new(),
+        };
+        let win = net.metrics().recorder().reset_window();
+        wd.observe_with_outcomes(&net, win, None, Some(&healthy));
+        assert!(wd.healthy());
+        assert_eq!(
+            wd.series().latest().unwrap().gauge(gauge::SUCCESS),
+            1.0,
+            "outcome-fed windows stamp the success gauge"
+        );
+        // Outage window: a fifth of the lookups fail; the breach names
+        // the downed domain's members.
+        let outage = LookupOutcomes {
+            ok: 80,
+            failed: 20,
+            suspects: vec![0xdead, 0xbeef],
+        };
+        let win = net.metrics().recorder().reset_window();
+        wd.observe_with_outcomes(&net, win, None, Some(&outage));
+        assert!(!wd.healthy());
+        assert_eq!(wd.time_to_detect(), 1);
+        let breach = wd.events().last().unwrap();
+        assert_eq!(breach.rule, SloRule::SuccessRatio);
+        assert_eq!(breach.kind, HealthKind::Breach);
+        assert_eq!(breach.measured, 0.8);
+        assert_eq!(breach.bound, 0.99);
+        assert_eq!(breach.nodes, vec![0xdead, 0xbeef]);
+        // Recovery window.
+        let win = net.metrics().recorder().reset_window();
+        wd.observe_with_outcomes(&net, win, None, Some(&healthy));
+        assert!(wd.healthy());
+        assert_eq!(wd.time_to_recover(), 1);
+        // An under-sampled tally leaves the rule unevaluated.
+        let tiny = LookupOutcomes {
+            ok: 1,
+            failed: 5,
+            suspects: Vec::new(),
+        };
+        let win = net.metrics().recorder().reset_window();
+        wd.observe_with_outcomes(&net, win, None, Some(&tiny));
+        assert!(wd.healthy(), "6 samples are under the 16-sample floor");
+    }
+
+    #[test]
+    fn plain_observe_never_touches_the_success_rule() {
+        let net = tiny_net(64, 7);
+        let mut wd = Watchdog::new(SloConfig::default(), 17);
+        for _ in 0..3 {
+            observe_once(&mut wd, &net, None);
+        }
+        assert!(wd.healthy());
+        assert!(wd.events().is_empty());
+        assert!(
+            !wd.series()
+                .latest()
+                .unwrap()
+                .gauges
+                .contains_key(gauge::SUCCESS),
+            "no tally, no success gauge"
+        );
+    }
+
+    #[test]
+    fn outcome_ratio_arithmetic() {
+        assert_eq!(LookupOutcomes::default().ratio(), 1.0);
+        let t = LookupOutcomes {
+            ok: 3,
+            failed: 1,
+            suspects: Vec::new(),
+        };
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.ratio(), 0.75);
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use run::{
     run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, COMMITTEE_SIZE, DRAW_WINDOW,
 };
 pub use spec::{
-    AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec, CoalitionStrategySpec,
-    DefenseModel, MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, TelemetrySpec,
-    WorkloadMix,
+    AdaptiveRoutingSpec, AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec,
+    CoalitionStrategySpec, DefenseModel, FailureDomainSpec, MaintenanceSpec, PlacementModel,
+    SamplerTuning, ScenarioSpec, TelemetrySpec, WorkloadMix,
 };
 pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

@@ -8,7 +8,8 @@
 
 use adversary::{compile_coalition, majority_capture_probability, sybil_ids, DefendedSampler};
 use chord::{
-    ChordConfig, ChordDht, ChordNetwork, ChurnSimulation, FaultPlan, NodeId, SloConfig, Watchdog,
+    AdaptiveConfig, ChordConfig, ChordDht, ChordNetwork, ChurnSimulation, FaultPlan,
+    LookupOutcomes, MaintenanceBudget, NodeId, RetryPolicy, SloConfig, Watchdog,
 };
 use keyspace::{KeySpace, Point};
 use peer_sampling::{Dht, NetworkSizeEstimator, OracleDht, Sampler, SamplerConfig};
@@ -40,6 +41,9 @@ mod stream {
     pub const DRAWS: u64 = 3;
     pub const LATENCY: u64 = 4;
     pub const WATCHDOG: u64 = 5;
+    /// Post-outage repair: heal-time rejoins and the maintenance drain
+    /// that re-converges the ring after a correlated domain crash.
+    pub const REPAIR: u64 = 6;
 }
 
 /// Target draws per watchdog observation window on chord arms. The
@@ -136,6 +140,15 @@ pub struct SeedRunRecord {
     /// breached, −1 when some rule was still violated at run end
     /// (recovery unconfirmed).
     pub time_to_recover: i64,
+    /// Draws attempted while a correlated domain outage was active (0
+    /// when the spec has no `domains` structure).
+    pub outage_draws: u64,
+    /// Draws that succeeded while the outage was active — with retry /
+    /// fallback routing on, degraded-but-correct answers count here.
+    pub outage_ok: u64,
+    /// `outage_ok / outage_draws` (1.0 when no draw ran under an
+    /// outage) — the figure the domain-outage verdicts gate on.
+    pub outage_success_ratio: f64,
     /// Every watchdog event, rendered one line each
     /// ([`chord::HealthEvent::render`]): attributed, byte-stable, in
     /// emission order.
@@ -357,6 +370,11 @@ fn run_oracle(
                         }
                     }
                 }
+                // Domain outages are injected by the harness at draw
+                // checkpoints (see the chord path), never through the
+                // schedule, so these never reach the oracle replay.
+                simnet::churn::ChurnKind::DomainCrash { .. }
+                | simnet::churn::ChurnKind::DomainHeal { .. } => {}
             }
         }
     }
@@ -437,6 +455,9 @@ fn run_oracle(
         health_breaches: 0,
         time_to_detect: -1,
         time_to_recover: 0,
+        outage_draws: 0,
+        outage_ok: 0,
+        outage_success_ratio: 1.0,
         health_events: Vec::new(),
         series: BTreeMap::new(),
         trace_digest: String::new(),
@@ -447,22 +468,220 @@ fn run_oracle(
 /// Closes the current draw window: per-peer draw deltas since the last
 /// close feed the chi-square drift rule, and the recorder's windowed
 /// counter/histogram deltas feed the longitudinal gauges.
+///
+/// Domain-outage runs additionally hand the watchdog a per-window
+/// lookup-outcome tally (the success-ratio rule) and suppress the
+/// chi-square drift input for windows the outage touched — a correlated
+/// crash *makes* the draw distribution non-uniform, and flagging that as
+/// sampler drift would misattribute the fault.
 fn close_draw_window(
     watchdog: &mut Watchdog,
     net: &ChordNetwork,
     base: &mut [u64],
     counts: &[u64],
+    outcomes: Option<&LookupOutcomes>,
+    suppress_drift: bool,
 ) {
     let delta: Vec<u64> = counts.iter().zip(base.iter()).map(|(c, b)| c - b).collect();
     let window = net.metrics().recorder().reset_window();
-    watchdog.observe(net, window, Some(&delta));
+    let draw_counts = if suppress_drift {
+        None
+    } else {
+        Some(delta.as_slice())
+    };
+    watchdog.observe_with_outcomes(net, window, draw_counts, outcomes);
     base.copy_from_slice(counts);
 }
 
-/// The watchdog's gauge columns as named series, in window order.
-fn watchdog_series(watchdog: &Watchdog) -> BTreeMap<String, Vec<f64>> {
+/// Drives a spec's correlated domain outage through the chord draw loop:
+/// crashes domains `0..crash_domains` as a unit at the crash checkpoint,
+/// rejoins exactly the downed members at the heal checkpoint (then drains
+/// the repair backlog), and tallies per-window lookup outcomes for the
+/// watchdog's success-ratio rule, attributed to the offending domains.
+struct OutageDriver {
+    map: simnet::DomainMap,
+    crash_domains: u32,
+    /// Draw indices at which the outage begins / ends.
+    crash_at: u64,
+    heal_at: u64,
+    active: bool,
+    /// Whether the outage overlapped the watchdog window being tallied.
+    window_touched: bool,
+    /// `(point, original id)` per downed member, so healing rejoins
+    /// exactly the members that failed and reports can map the rejoined
+    /// node (a fresh id) back to its pre-outage draw-histogram cell.
+    downed: Vec<(Point, NodeId)>,
+    outage_draws: u64,
+    outage_ok: u64,
+    window_ok: u64,
+    window_failed: u64,
+}
+
+impl OutageDriver {
+    fn new(spec: &crate::FailureDomainSpec, space: KeySpace, draws: u64) -> OutageDriver {
+        OutageDriver {
+            map: simnet::DomainMap::sectors(spec.domains, space.modulus()),
+            crash_domains: spec.crash_domains,
+            crash_at: (draws as f64 * spec.outage_start).floor() as u64,
+            heal_at: (draws as f64 * spec.outage_end).floor() as u64,
+            active: false,
+            window_touched: false,
+            downed: Vec::new(),
+            outage_draws: 0,
+            outage_ok: 0,
+            window_ok: 0,
+            window_failed: 0,
+        }
+    }
+
+    /// Whether `p` lies in one of the domains scripted to crash.
+    fn in_crashed_domains(&self, p: Point) -> bool {
+        self.map.domain_of(p.get()) < self.crash_domains
+    }
+
+    /// The crashed domain labels — the watchdog attribution payload.
+    fn suspects(&self) -> Vec<u64> {
+        (0..u64::from(self.crash_domains)).collect()
+    }
+
+    /// Kills every live member of the crashed domains in one instant
+    /// (the measuring anchor survives by construction: it is chosen
+    /// outside the crashed domains).
+    fn apply_crash(&mut self, net: &mut ChordNetwork, anchor: NodeId) {
+        let victims: Vec<NodeId> = net
+            .live_ids()
+            .into_iter()
+            .filter(|&id| id != anchor && self.in_crashed_domains(net.node(id).point()))
+            .collect();
+        for v in victims {
+            if net.live_len() < 2 {
+                break;
+            }
+            self.downed.push((net.node(v).point(), v));
+            net.crash(v);
+        }
+        net.metrics()
+            .recorder()
+            .add(net.counters().domain_events, u64::from(self.crash_domains));
+        self.active = true;
+        self.window_touched = true;
+    }
+
+    /// Rejoins the downed members at their original ring points (via the
+    /// anchor), draining the maintenance backlog between passes so
+    /// rejoins that raced the still-damaged ring get a second chance
+    /// over a repaired one. Returns `new id → original id` aliases so
+    /// draw accounting keeps one histogram cell per ring point across
+    /// the outage.
+    fn apply_heal(
+        &mut self,
+        net: &mut ChordNetwork,
+        anchor: NodeId,
+        repair_rng: &mut StdRng,
+    ) -> std::collections::HashMap<NodeId, NodeId> {
+        let mut aliases = std::collections::HashMap::new();
+        let mut pending = std::mem::take(&mut self.downed);
+        // Successor-list correctness propagates backwards one node per
+        // stabilize round, so re-converging a rejoined arc takes Θ(arc)
+        // rounds, not O(1): cap the drain proportionally.
+        let drain_cap = 8 + 2 * pending.len();
+        for _ in 0..2 {
+            let mut failed = Vec::new();
+            for (point, original) in pending {
+                match net.join(point, anchor, repair_rng) {
+                    Ok(id) => {
+                        aliases.insert(id, original);
+                    }
+                    Err(_) => failed.push((point, original)),
+                }
+            }
+            // Drain the repair backlog (bounded: repairs can re-dirty
+            // neighbours) so retries and post-outage draws route over a
+            // re-converged ring.
+            for _ in 0..drain_cap {
+                if net.maintenance_backlog() == 0 {
+                    break;
+                }
+                net.batched_maintenance_round(MaintenanceBudget::unlimited(), repair_rng);
+            }
+            pending = failed;
+            if pending.is_empty() {
+                break;
+            }
+        }
+        net.metrics()
+            .recorder()
+            .add(net.counters().domain_events, u64::from(self.crash_domains));
+        self.active = false;
+        // The heal window stays suppressed for drift purposes: the heal
+        // itself (rejoins + repair lookups) skews that window's deltas.
+        self.window_touched = true;
+        aliases
+    }
+
+    /// One draw's outcome, while the driver is attached.
+    fn record_draw(&mut self, ok: bool) {
+        if ok {
+            self.window_ok += 1;
+        } else {
+            self.window_failed += 1;
+        }
+        if self.active {
+            self.window_touched = true;
+            self.outage_draws += 1;
+            if ok {
+                self.outage_ok += 1;
+            }
+        }
+    }
+
+    /// Closes the window tally: the outcome payload for the watchdog and
+    /// whether the chi-square drift input should be suppressed.
+    fn close_window(&mut self) -> (LookupOutcomes, bool) {
+        let outcomes = LookupOutcomes {
+            ok: self.window_ok,
+            failed: self.window_failed,
+            suspects: if self.window_touched {
+                self.suspects()
+            } else {
+                Vec::new()
+            },
+        };
+        let suppress = self.window_touched;
+        self.window_ok = 0;
+        self.window_failed = 0;
+        self.window_touched = self.active;
+        (outcomes, suppress)
+    }
+
+    fn success_ratio(&self) -> f64 {
+        if self.outage_draws == 0 {
+            1.0
+        } else {
+            self.outage_ok as f64 / self.outage_draws as f64
+        }
+    }
+}
+
+/// The watchdog-close payload for the current window: the outcome tally
+/// (domain runs only) and whether to suppress the drift input.
+fn outage_close_args(outage: &mut Option<OutageDriver>) -> (Option<LookupOutcomes>, bool) {
+    match outage.as_mut() {
+        Some(o) => {
+            let (outcomes, suppress) = o.close_window();
+            (Some(outcomes), suppress)
+        }
+        None => (None, false),
+    }
+}
+
+/// The watchdog's gauge columns as named series, in window order. The
+/// success-ratio column only exists on runs that fed the watchdog
+/// outcome tallies (domain-outage arms) — elsewhere the gauge is never
+/// stamped and a column of implicit zeros would read as 0% success.
+fn watchdog_series(watchdog: &Watchdog, with_success: bool) -> BTreeMap<String, Vec<f64>> {
     use chord::watchdog::gauge;
-    [
+    let mut names = vec![
         gauge::LIVE,
         gauge::BACKLOG,
         gauge::STALENESS,
@@ -471,10 +690,14 @@ fn watchdog_series(watchdog: &Watchdog) -> BTreeMap<String, Vec<f64>> {
         gauge::HOP_P99,
         gauge::FORGED_RATE,
         gauge::DRAW_COST,
-    ]
-    .into_iter()
-    .map(|name| (name.to_string(), watchdog.series().gauge_column(name)))
-    .collect()
+    ];
+    if with_success {
+        names.push(gauge::SUCCESS);
+    }
+    names
+        .into_iter()
+        .map(|name| (name.to_string(), watchdog.series().gauge_column(name)))
+        .collect()
 }
 
 fn run_chord(
@@ -514,14 +737,11 @@ fn run_chord(
     // Build the overlay: straight bootstrap when static, an event-driven
     // churn run (joins through the protocol, crashes silent) otherwise.
     // (Coalition specs validate as static, so sybil joins never race
-    // churn.)
-    let churned;
+    // churn.) Owned mutably: a domain outage crashes and heals members
+    // mid-draw-loop.
     let mut watchdog = None;
-    let net = match churn_schedule(&spec.churn) {
-        None => {
-            churned = chord::ChordNetwork::bootstrap(space, points, config);
-            &churned
-        }
+    let mut churned = match churn_schedule(&spec.churn) {
+        None => chord::ChordNetwork::bootstrap(space, points, config),
         Some(schedule) => {
             let mut sim = ChurnSimulation::with_schedule_over(
                 points,
@@ -542,12 +762,22 @@ fn run_chord(
             ));
             sim.run_to_end();
             watchdog = sim.take_watchdog();
-            churned = sim.into_network();
-            &churned
+            sim.into_network()
         }
     };
+    // Arm the resilience knobs before any measured lookup routes: peer
+    // scoring learns from per-hop probe outcomes, the retry policy
+    // degrades failed lookups through fallback tiers (see `chord::score`).
+    // Both are deterministic and off the RNG path, so arming them never
+    // perturbs another stream.
+    if spec.adaptive.peer_scoring {
+        churned.enable_adaptive_routing(AdaptiveConfig::default());
+    }
+    if spec.adaptive.retry {
+        churned.enable_retry_policy(RetryPolicy::default());
+    }
 
-    let live = net.live_ids();
+    let live = churned.live_ids();
     assert!(live.len() >= 2, "churn left fewer than two live peers");
 
     // Tracing covers the *measured* workload only: switching it on after
@@ -555,7 +785,7 @@ fn run_chord(
     // flight recorder, so the digest fingerprints the draws alone.
     let tracing = force_trace || spec.telemetry.trace_lookups;
     if tracing {
-        let recorder = net.metrics().recorder();
+        let recorder = churned.metrics().recorder();
         recorder.set_trace_capacity(spec.telemetry.flight_recorder_capacity.max(1) as usize);
         recorder.set_tracing(true);
     }
@@ -566,25 +796,40 @@ fn run_chord(
     let mut watchdog = watchdog.unwrap_or_else(|| {
         Watchdog::new(SloConfig::default(), derive_seed(seed, stream::WATCHDOG))
     });
-    let _ = net.metrics().recorder().reset_window();
+    let _ = churned.metrics().recorder().reset_window();
 
     // Resolve the coalition's sybil points to overlay ids before picking
     // the observer, so the anchor is never a coalition plant.
     let sybils: Vec<NodeId> = coalition
         .as_ref()
-        .map(|c| sybil_ids(net, &c.sybil_points))
+        .map(|c| sybil_ids(&churned, &c.sybil_points))
         .unwrap_or_default();
     let sybil_set: std::collections::HashSet<NodeId> = sybils.iter().copied().collect();
+
+    // The correlated-outage driver (specs with domain structure). Its
+    // checkpoints are draw indices, applied inside the draw loop.
+    let mut outage = spec
+        .domains
+        .as_ref()
+        .map(|d| OutageDriver::new(d, space, u64::from(spec.workload.draws)));
 
     // The sampling client is always an honest peer: the measurement model
     // is an honest node asking "whom do I reach?", so the anchor is fixed
     // first and exempted from adversary sampling. At fraction = 1 this
     // caps the adversary at live − 1 nodes (everyone but the observer).
+    // Under a domain outage it is additionally chosen outside the
+    // crashed domains — the observer's rack stays up; it is the *routes*
+    // through the dead arc that degrade.
     let anchor = live
         .iter()
         .copied()
-        .find(|id| !sybil_set.contains(id))
-        .expect("a coalition below half the ring leaves honest peers");
+        .find(|&id| {
+            !sybil_set.contains(&id)
+                && outage
+                    .as_ref()
+                    .is_none_or(|o| !o.in_crashed_domains(churned.node(id).point()))
+        })
+        .expect("a sub-half coalition and a sub-total outage leave an honest observer");
 
     // Uniform sample without replacement from the non-anchor peers
     // (partial Fisher–Yates over the fault stream).
@@ -656,17 +901,24 @@ fn run_chord(
     let mut window_base = vec![0u64; live.len()];
     let mut draws_in_window = 0u64;
 
+    // Rejoined outage members come back under fresh overlay ids; this
+    // maps them to their pre-outage ids so the uniformity histogram
+    // keeps one cell per ring point across the outage.
+    let mut aliases: std::collections::HashMap<NodeId, NodeId> = std::collections::HashMap::new();
+
     // The per-draw bookkeeping both arms share, so defended and
     // undefended accounting cannot diverge.
     let record_draw = |tally: &mut DrawTally,
                        draw_msgs: &mut LogHistogram,
                        counts: &mut [u64],
                        byz_hits: &mut u64,
+                       aliases: &std::collections::HashMap<NodeId, NodeId>,
                        peer: NodeId,
                        trials: u32,
                        cost: peer_sampling::Cost| {
         tally.record(trials, cost);
         draw_msgs.record(cost.messages);
+        let peer = aliases.get(&peer).copied().unwrap_or(peer);
         if let Some(&i) = index_of.get(&peer) {
             counts[i] += 1;
         }
@@ -677,32 +929,89 @@ fn run_chord(
 
     match spec.defense {
         DefenseModel::None => {
-            let dht = ChordDht::new(net, anchor, derive_seed(seed, stream::LATENCY))
-                .with_fault_plan(plan);
-            let (config, est_failed) = build_sampler_config(spec, &dht, anchor, live.len());
+            let latency_seed = derive_seed(seed, stream::LATENCY);
+            // The sampler is configured once, against the pre-outage
+            // ring (a deployment would not retune mid-outage).
+            let (config, est_failed) = {
+                let dht =
+                    ChordDht::new(&churned, anchor, latency_seed).with_fault_plan(plan.clone());
+                build_sampler_config(spec, &dht, anchor, live.len())
+            };
             estimate_failed = est_failed;
             let sampler = Sampler::new(config);
-            for _ in 0..spec.workload.draws {
-                match sampler.sample(&dht, &mut draw_rng) {
-                    Ok(s) => record_draw(
-                        &mut tally,
-                        &mut draw_msgs,
-                        &mut counts,
-                        &mut byz_hits,
-                        s.peer,
-                        s.trials,
-                        s.cost,
-                    ),
-                    Err(_) => tally.failed += 1,
+            let mut repair_rng = StdRng::seed_from_u64(derive_seed(seed, stream::REPAIR));
+            let total = u64::from(spec.workload.draws);
+            let mut next_draw = 0u64;
+            // The draw loop runs in segments bounded by the outage
+            // checkpoints: membership transitions need `&mut` access to
+            // the overlay, so the DHT view (a shared borrow) is rebuilt
+            // after each one. The latency seed is reused verbatim — the
+            // default latency model is constant, so the view's RNG draws
+            // nothing and the rebuild perturbs no stream.
+            while next_draw < total {
+                if let Some(o) = outage.as_mut() {
+                    if next_draw == o.crash_at {
+                        o.apply_crash(&mut churned, anchor);
+                    }
+                    if next_draw == o.heal_at {
+                        aliases.extend(o.apply_heal(&mut churned, anchor, &mut repair_rng));
+                    }
                 }
-                draws_in_window += 1;
-                if draws_in_window == draw_window {
-                    close_draw_window(&mut watchdog, net, &mut window_base, &counts);
-                    draws_in_window = 0;
+                let segment_end = outage
+                    .as_ref()
+                    .and_then(|o| {
+                        [o.crash_at, o.heal_at]
+                            .into_iter()
+                            .filter(|&b| b > next_draw && b < total)
+                            .min()
+                    })
+                    .unwrap_or(total);
+                let dht =
+                    ChordDht::new(&churned, anchor, latency_seed).with_fault_plan(plan.clone());
+                for _ in next_draw..segment_end {
+                    let ok = match sampler.sample(&dht, &mut draw_rng) {
+                        Ok(s) => {
+                            record_draw(
+                                &mut tally,
+                                &mut draw_msgs,
+                                &mut counts,
+                                &mut byz_hits,
+                                &aliases,
+                                s.peer,
+                                s.trials,
+                                s.cost,
+                            );
+                            true
+                        }
+                        Err(_) => {
+                            tally.failed += 1;
+                            false
+                        }
+                    };
+                    if let Some(o) = outage.as_mut() {
+                        o.record_draw(ok);
+                    }
+                    draws_in_window += 1;
+                    if draws_in_window == draw_window {
+                        let (outcomes, suppress) = outage_close_args(&mut outage);
+                        close_draw_window(
+                            &mut watchdog,
+                            &churned,
+                            &mut window_base,
+                            &counts,
+                            outcomes.as_ref(),
+                            suppress,
+                        );
+                        draws_in_window = 0;
+                    }
                 }
+                next_draw = segment_end;
             }
         }
         DefenseModel::Quorum { entries } => {
+            // Specs with domain structure validate as undefended, so the
+            // quorum path never sees an outage checkpoint.
+            let net = &churned;
             let views = adversary::spread_verified_views(
                 net,
                 anchor,
@@ -729,6 +1038,7 @@ fn run_chord(
                             &mut draw_msgs,
                             &mut counts,
                             &mut byz_hits,
+                            &aliases,
                             s.peer,
                             s.trials,
                             s.cost,
@@ -739,7 +1049,7 @@ fn run_chord(
                 net.metrics().recorder().end_scope("draw.defended", scope);
                 draws_in_window += 1;
                 if draws_in_window == draw_window {
-                    close_draw_window(&mut watchdog, net, &mut window_base, &counts);
+                    close_draw_window(&mut watchdog, net, &mut window_base, &counts, None, false);
                     draws_in_window = 0;
                 }
             }
@@ -748,8 +1058,17 @@ fn run_chord(
     // Flush the final partial window: every run observes the post-churn
     // ring state at least once, so recoveries are confirmable.
     if draws_in_window > 0 {
-        close_draw_window(&mut watchdog, net, &mut window_base, &counts);
+        let (outcomes, suppress) = outage_close_args(&mut outage);
+        close_draw_window(
+            &mut watchdog,
+            &churned,
+            &mut window_base,
+            &counts,
+            outcomes.as_ref(),
+            suppress,
+        );
     }
+    let net = &churned;
 
     let (tv, ratio, chi_p) = uniformity(&counts);
     let byz_population_share = byzantine.len() as f64 / live.len() as f64;
@@ -808,12 +1127,15 @@ fn run_chord(
         health_breaches: watchdog.breaches(),
         time_to_detect: watchdog.time_to_detect(),
         time_to_recover: watchdog.time_to_recover(),
+        outage_draws: outage.as_ref().map_or(0, |o| o.outage_draws),
+        outage_ok: outage.as_ref().map_or(0, |o| o.outage_ok),
+        outage_success_ratio: outage.as_ref().map_or(1.0, |o| o.success_ratio()),
         health_events: watchdog
             .events()
             .iter()
             .map(chord::HealthEvent::render)
             .collect(),
-        series: watchdog_series(&watchdog),
+        series: watchdog_series(&watchdog, outage.is_some()),
         trace_digest,
         counters: net.metrics().snapshot(),
     };
@@ -1041,6 +1363,114 @@ mod tests {
         assert!(oracle.trace_digest.is_empty(), "no routing, no traces");
         assert_eq!(dump.recorded, 0);
         assert!(dump.traces.is_empty());
+    }
+
+    fn quick_domain_arm(name: &str, draws: u32) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::domain_battery()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("battery arm exists");
+        quick(&mut spec);
+        spec.workload.draws = draws;
+        spec
+    }
+
+    #[test]
+    fn domain_outage_measures_degradation_and_adaptive_recovery() {
+        let baseline = quick_domain_arm("domain-outage-baseline", 1_500);
+        let adaptive = quick_domain_arm("domain-outage-adaptive", 1_500);
+        let base = run_scenario_seed(&baseline, Backend::Chord, 51);
+        let resilient = run_scenario_seed(&adaptive, Backend::Chord, 51);
+
+        // Both arms ran the same outage window: [0.25, 0.75) of 1500.
+        assert_eq!(base.outage_draws, 750);
+        assert_eq!(resilient.outage_draws, 750);
+        // A quarter of the ring dying as one arc must actually hurt the
+        // plain arm (dead successor chains longer than r fail routes)...
+        assert!(
+            base.outage_success_ratio < 0.99,
+            "baseline survived the outage unscathed: {}",
+            base.outage_success_ratio
+        );
+        // ...while retry + fallback routing holds the SLO through it.
+        assert!(
+            resilient.outage_success_ratio >= 0.99,
+            "adaptive arm broke the SLO: {}",
+            resilient.outage_success_ratio
+        );
+        assert!(resilient.outage_success_ratio > base.outage_success_ratio);
+        // Degradation is paid for and attributed, not free.
+        assert!(resilient.counters["lookup.retries"] > 0);
+        assert!(resilient.counters["lookup.fallback_depth"] > 0);
+        // Two transitions (crash, heal) over two domains each.
+        assert_eq!(base.counters["domain.events"], 4);
+        assert_eq!(resilient.counters["domain.events"], 4);
+        // Outage runs stay a pure function of (spec, backend, seed).
+        assert_eq!(run_scenario_seed(&adaptive, Backend::Chord, 51), resilient);
+        assert_eq!(run_scenario_seed(&baseline, Backend::Chord, 51), base);
+    }
+
+    #[test]
+    fn domain_outage_breaches_the_success_slo_attributed_to_domains() {
+        // 2000 draws put the outage edges on window boundaries: window 0
+        // clean, windows 1–2 under the outage, window 3 healed.
+        let spec = quick_domain_arm("domain-outage-baseline", 2_000);
+        let r = run_scenario_seed(&spec, Backend::Chord, 53);
+        assert!(r.health_breaches >= 1, "the outage must be detected");
+        assert!(r.time_to_detect >= 0);
+        assert!(
+            r.time_to_recover >= 0,
+            "the healed final window must confirm recovery: {:?}",
+            r.health_events
+        );
+        let success_breach = r
+            .health_events
+            .iter()
+            .find(|e| e.contains("breach success_ratio"))
+            .unwrap_or_else(|| panic!("no success-ratio breach in {:?}", r.health_events));
+        // The breach is attributed to the crashed domain labels.
+        assert!(
+            success_breach.contains("nodes=[0000000000000000,0000000000000001]"),
+            "{success_breach}"
+        );
+        // The success-ratio gauge rides the longitudinal series.
+        let success = &r.series["success_ratio"];
+        assert_eq!(success.len() as u64, r.watchdog_windows);
+        assert!(success.iter().any(|&v| v < 0.99), "{success:?}");
+        assert!(
+            success.last().is_some_and(|&v| v >= 0.99),
+            "healed window must close clean: {success:?}"
+        );
+    }
+
+    #[test]
+    fn retry_without_outage_changes_no_accounting() {
+        // A chord-only honest spec with the full adaptive arm on, no
+        // domain structure: every draw succeeds the plain way, so the
+        // retry/fallback counters must stay zero and the record must be
+        // identical to the plain arm's except for those counter keys.
+        let mut plain = ScenarioSpec::preset_honest_static();
+        quick(&mut plain);
+        plain.backends = vec![Backend::Chord];
+        let mut armed = plain.clone();
+        armed.adaptive = crate::AdaptiveRoutingSpec {
+            peer_scoring: false,
+            retry: true,
+        };
+        let p = run_scenario_seed(&plain, Backend::Chord, 59);
+        let a = run_scenario_seed(&armed, Backend::Chord, 59);
+        // The snapshot omits untouched counters, so "the retry machinery
+        // never fired" reads as the keys being absent entirely — and the
+        // whole counter map matching the plain arm's.
+        assert!(!a.counters.contains_key("lookup.retries"));
+        assert!(!a.counters.contains_key("lookup.fallback_depth"));
+        assert_eq!(a.counters, p.counters);
+        assert_eq!(a.outage_draws, 0);
+        assert_eq!(a.outage_success_ratio, 1.0);
+        assert_eq!(a.samples_ok, p.samples_ok);
+        assert_eq!(a.mean_messages, p.mean_messages);
+        assert_eq!(a.tv_from_uniform, p.tv_from_uniform);
+        assert_eq!(a.series, p.series);
     }
 
     #[test]

@@ -316,6 +316,68 @@ impl Default for TelemetrySpec {
     }
 }
 
+/// Correlated failure domains and a scripted mid-workload outage.
+///
+/// The ring is partitioned into `domains` equal sectors (racks/regions;
+/// see `simnet::DomainMap`) and domains `0..crash_domains` crash *as a
+/// unit* partway through the draw loop: every live member dies in the
+/// same instant at `outage_start` (a fraction of the configured draws)
+/// and the survivors rejoin at `outage_end`. Unlike Poisson churn —
+/// independent per-node failures with maintenance running throughout —
+/// this is the correlated regime the paper's i.i.d. assumptions exclude:
+/// a contiguous arc of the ring vanishes at once, successor lists die
+/// in blocks, and lookups must degrade through fallbacks until repair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureDomainSpec {
+    /// Number of equal ring sectors (racks). Must be >= 2.
+    pub domains: u32,
+    /// How many sectors (domains `0..crash_domains`) crash together.
+    /// Must be >= 1 and < `domains`, so some of the ring survives.
+    pub crash_domains: u32,
+    /// Draw-loop fraction in `[0, 1)` at which the outage begins.
+    pub outage_start: f64,
+    /// Draw-loop fraction in `(outage_start, 1]` at which the crashed
+    /// members rejoin and maintenance drains the repair backlog.
+    pub outage_end: f64,
+}
+
+impl FailureDomainSpec {
+    /// Fraction of the ring (by sector measure) the outage takes down.
+    pub fn crashed_fraction(&self) -> f64 {
+        f64::from(self.crash_domains) / f64::from(self.domains.max(1))
+    }
+}
+
+/// Client/substrate resilience knobs for the chord backend: adaptive
+/// peer scoring and retry/fallback routing (see `chord::PeerScores` and
+/// `chord::RetryPolicy`). Chord-only — the oracle has no routing to
+/// score or retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AdaptiveRoutingSpec {
+    /// Maintain per-peer EWMA responsiveness scores and rank alternative
+    /// next-hops (lower finger levels) to probe penalized peers last.
+    pub peer_scoring: bool,
+    /// Retry failed lookups with deterministic backoff, then degrade
+    /// through successor-walk and verified-quorum fallbacks instead of
+    /// surfacing the error.
+    pub retry: bool,
+}
+
+impl AdaptiveRoutingSpec {
+    /// Whether any resilience knob is on.
+    pub fn is_active(&self) -> bool {
+        self.peer_scoring || self.retry
+    }
+
+    /// Both knobs on — the full graceful-degradation arm.
+    pub fn full() -> AdaptiveRoutingSpec {
+        AdaptiveRoutingSpec {
+            peer_scoring: true,
+            retry: true,
+        }
+    }
+}
+
 /// Chord substrate tuning (ignored by the oracle backend).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChordTuning {
@@ -372,6 +434,12 @@ pub struct ScenarioSpec {
     pub chord: ChordTuning,
     /// Observability knobs.
     pub telemetry: TelemetrySpec,
+    /// Correlated failure domains and the scripted outage window.
+    /// `None` (the default, and what omitting the key in JSON reads as)
+    /// means no domain structure.
+    pub domains: Option<FailureDomainSpec>,
+    /// Adaptive routing / retry resilience knobs (chord-only).
+    pub adaptive: AdaptiveRoutingSpec,
     /// Backends to run the spec against.
     pub backends: Vec<Backend>,
 }
@@ -393,6 +461,8 @@ impl ScenarioSpec {
             sampler: SamplerTuning::default(),
             chord: ChordTuning::default(),
             telemetry: TelemetrySpec::default(),
+            domains: None,
+            adaptive: AdaptiveRoutingSpec::default(),
             backends: vec![Backend::Oracle, Backend::Chord],
         }
     }
@@ -566,6 +636,53 @@ impl ScenarioSpec {
         specs
     }
 
+    /// A correlated rack outage with the full resilience arm on: the
+    /// ring is cut into 8 sectors and 2 of them (25% of the ring, the
+    /// top of the ISSUE's 10–25% band) crash as a unit a quarter of the
+    /// way through the draws, healing at the three-quarter mark.
+    /// Chord-only (the oracle has no routing state for a correlated
+    /// crash to damage) and static-churn (the outage *is* the
+    /// membership dynamics; layering Poisson churn on top would
+    /// confound the attribution).
+    pub fn preset_domain_outage() -> ScenarioSpec {
+        ScenarioSpec {
+            domains: Some(FailureDomainSpec {
+                domains: 8,
+                crash_domains: 2,
+                outage_start: 0.25,
+                outage_end: 0.75,
+            }),
+            adaptive: AdaptiveRoutingSpec::full(),
+            backends: vec![Backend::Chord],
+            ..ScenarioSpec::baseline("domain-outage")
+        }
+    }
+
+    /// The domain-outage battery: the same correlated outage with the
+    /// resilience knobs toggled — `baseline` (neither), `scored`
+    /// (peer scoring only), `retry` (retry/fallback only) and
+    /// `adaptive` (both) — so the report isolates what each knob buys
+    /// *during* the outage.
+    pub fn domain_battery() -> Vec<ScenarioSpec> {
+        let arms = [
+            ("domain-outage-baseline", false, false),
+            ("domain-outage-scored", true, false),
+            ("domain-outage-retry", false, true),
+            ("domain-outage-adaptive", true, true),
+        ];
+        arms.into_iter()
+            .map(|(name, peer_scoring, retry)| {
+                let mut spec = ScenarioSpec::preset_domain_outage();
+                spec.name = name.to_string();
+                spec.adaptive = AdaptiveRoutingSpec {
+                    peer_scoring,
+                    retry,
+                };
+                spec
+            })
+            .collect()
+    }
+
     /// The standard adversarial battery, one preset per model family.
     pub fn presets() -> Vec<ScenarioSpec> {
         vec![
@@ -665,6 +782,63 @@ impl ScenarioSpec {
                         .to_string(),
                 );
             }
+        }
+        if let Some(domains) = &self.domains {
+            if domains.domains < 2 {
+                problems.push(format!("failure domains {} < 2", domains.domains));
+            }
+            if domains.crash_domains == 0 {
+                problems.push("crash_domains must be >= 1 (else there is no outage)".to_string());
+            }
+            if domains.crash_domains >= domains.domains {
+                problems.push(format!(
+                    "crash_domains {} must leave survivors (domains = {})",
+                    domains.crash_domains, domains.domains
+                ));
+            }
+            if !(domains.outage_start >= 0.0 && domains.outage_start < 1.0) {
+                problems.push(format!(
+                    "outage_start {} outside [0, 1)",
+                    domains.outage_start
+                ));
+            }
+            if !(domains.outage_end > domains.outage_start && domains.outage_end <= 1.0) {
+                problems.push(format!(
+                    "outage_end {} outside ({}, 1]",
+                    domains.outage_end, domains.outage_start
+                ));
+            }
+            // The outage crashes a correlated arc of *routing* state;
+            // the oracle backends have none, and would report a
+            // domain-outage arm that never experienced an outage.
+            if self.backends.iter().any(|b| *b != Backend::Chord) {
+                problems.push(
+                    "failure domains are chord-only (the oracle has no routing state for a \
+                     correlated crash to damage)"
+                        .to_string(),
+                );
+            }
+            if !self.churn.is_static() {
+                problems.push(
+                    "failure-domain outages require static churn (the outage is the membership \
+                     dynamics; layered churn would confound attribution)"
+                        .to_string(),
+                );
+            }
+            if self.defense.is_active() {
+                problems.push(
+                    "failure-domain outages run undefended (one resilience mechanism per arm: \
+                     quorum defense and retry/fallback would confound each other's attribution)"
+                        .to_string(),
+                );
+            }
+        }
+        if self.adaptive.is_active() && self.backends.iter().any(|b| *b != Backend::Chord) {
+            problems.push(
+                "adaptive routing / retry is chord-only (oracle backends would silently run \
+                 plain under an adaptive name)"
+                    .to_string(),
+            );
         }
         for backend in &self.backends {
             if matches!(backend, Backend::StaleOracle { lag_ticks: 0 }) {
@@ -788,12 +962,17 @@ mod tests {
             "chord": {"successor_list_len": 4, "stabilize_every_ticks": 100,
                       "maintenance": {"Batched": {"budget_per_round": 32}}},
             "telemetry": {"trace_lookups": true, "flight_recorder_capacity": 16},
+            "adaptive": {"peer_scoring": false, "retry": false},
             "backends": ["Oracle", "Chord"]
         }"#;
         let spec: ScenarioSpec = serde_json::from_str(text).unwrap();
         assert_eq!(spec.name, "tiny");
         assert_eq!(spec.placement, PlacementModel::Skewed { exponent: 3.0 });
         assert!(spec.workload.estimate_n);
+        // `domains` is omitted above: pre-domain spec files must keep
+        // parsing, with the missing key reading as "no domain structure".
+        assert_eq!(spec.domains, None);
+        assert!(!spec.adaptive.is_active());
         assert_eq!(
             spec.chord.maintenance,
             MaintenanceSpec::Batched {
@@ -992,6 +1171,84 @@ mod tests {
         assert!(spec.n_initial >= 10_000);
         assert!(!spec.churn.is_static(), "scale must exercise churn");
         assert_eq!(spec.backends, vec![Backend::Oracle, Backend::Chord]);
+    }
+
+    #[test]
+    fn domain_outage_preset_is_valid_chord_only_and_roundtrips() {
+        let spec = ScenarioSpec::preset_domain_outage();
+        spec.validate().unwrap();
+        assert_eq!(spec.backends, vec![Backend::Chord]);
+        assert!(spec.churn.is_static());
+        let domains = spec.domains.expect("preset must carry domain structure");
+        // The ISSUE's outage band: 10–25% of the ring down at once.
+        let frac = domains.crashed_fraction();
+        assert!((0.10..=0.25).contains(&frac), "crashed fraction {frac}");
+        assert!(domains.outage_start < domains.outage_end);
+        assert!(spec.adaptive.peer_scoring && spec.adaptive.retry);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn domain_battery_toggles_each_resilience_knob() {
+        let battery = ScenarioSpec::domain_battery();
+        assert_eq!(battery.len(), 4, "±scoring x ±retry");
+        let names: std::collections::HashSet<_> = battery.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), battery.len(), "names must be unique");
+        let mut knobs: Vec<(bool, bool)> = Vec::new();
+        for spec in &battery {
+            spec.validate().unwrap_or_else(|problems| {
+                panic!("{} invalid: {problems:?}", spec.name);
+            });
+            // Every arm shares the same outage; only the knobs differ.
+            assert_eq!(spec.domains, ScenarioSpec::preset_domain_outage().domains);
+            assert_eq!(spec.backends, vec![Backend::Chord], "{}", spec.name);
+            knobs.push((spec.adaptive.peer_scoring, spec.adaptive.retry));
+        }
+        knobs.sort_unstable();
+        assert_eq!(
+            knobs,
+            vec![(false, false), (false, true), (true, false), (true, true)],
+            "the battery must cover the full knob grid"
+        );
+    }
+
+    #[test]
+    fn domain_validation_rejects_bad_shapes() {
+        // Degenerate sector counts and outage windows.
+        let mut spec = ScenarioSpec::preset_domain_outage();
+        spec.domains = Some(FailureDomainSpec {
+            domains: 1,
+            crash_domains: 1,
+            outage_start: 0.9,
+            outage_end: 0.1,
+        });
+        let problems = spec.validate().unwrap_err();
+        assert!(problems.len() >= 3, "{problems:?}");
+        // Crashing every domain leaves nobody to answer lookups.
+        let mut all_down = ScenarioSpec::preset_domain_outage();
+        all_down.domains.as_mut().unwrap().crash_domains = 8;
+        assert!(all_down.validate().is_err());
+        // Domain outages on an oracle backend never happen: rejected.
+        let mut oracle = ScenarioSpec::preset_domain_outage();
+        oracle.backends = vec![Backend::Oracle, Backend::Chord];
+        assert!(oracle.validate().is_err());
+        // Layering Poisson churn over the outage is rejected.
+        let mut churny = ScenarioSpec::preset_domain_outage();
+        churny.churn = ScenarioSpec::preset_crash_churn().churn;
+        assert!(churny.validate().is_err());
+        // One resilience mechanism per arm: quorum + domains is rejected.
+        let mut defended = ScenarioSpec::preset_domain_outage();
+        defended.defense = DefenseModel::Quorum { entries: 3 };
+        assert!(defended.validate().is_err());
+        // Adaptive routing on a mixed-backend spec is rejected even
+        // without domain structure.
+        let mut mixed = ScenarioSpec::preset_honest_static();
+        mixed.adaptive = AdaptiveRoutingSpec::full();
+        assert!(mixed.validate().is_err());
+        mixed.backends = vec![Backend::Chord];
+        mixed.validate().unwrap();
     }
 
     #[test]

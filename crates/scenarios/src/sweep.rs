@@ -84,6 +84,15 @@ pub struct BackendAggregate {
     /// breached at run end) dominates the minimum, so a recovery gate of
     /// `ttr ≥ 0` demands confirmed recovery on every seed.
     pub time_to_recover_min: i64,
+    /// Total draws issued while a correlated domain outage was active,
+    /// summed across seeds (0 outside failure-domain scenarios).
+    pub outage_draws_sum: u64,
+    /// Mean during-outage lookup success ratio across seeds (1.0 when no
+    /// outage ran — the vacuous case).
+    pub outage_success_ratio_mean: f64,
+    /// Worst during-outage success ratio across seeds — the figure the
+    /// domain-outage verdicts gate (≥ 0.99 with the adaptive arm on).
+    pub outage_success_ratio_min: f64,
     /// Element-wise mean across seeds of each per-seed windowed gauge
     /// column — the longitudinal profile of the arm. Ragged seeds (ring
     /// eviction) average the windows present. Order-independent: means
@@ -123,6 +132,9 @@ impl BackendAggregate {
         let mut ttd_max = i64::MIN;
         let mut any_undetected = false;
         let mut ttr_min = i64::MAX;
+        let mut outage_draws_sum = 0u64;
+        let mut outage_ratio = Welford::new();
+        let mut outage_ratio_min = 1.0f64;
         let mut series_sum: std::collections::BTreeMap<String, (Vec<f64>, Vec<u64>)> =
             std::collections::BTreeMap::new();
         // Per-worker recorders are merged here by summation into one
@@ -166,6 +178,9 @@ impl BackendAggregate {
                 ttd_max = ttd_max.max(r.time_to_detect);
             }
             ttr_min = ttr_min.min(r.time_to_recover);
+            outage_draws_sum += r.outage_draws;
+            outage_ratio.push(r.outage_success_ratio);
+            outage_ratio_min = outage_ratio_min.min(r.outage_success_ratio);
             for (name, column) in &r.series {
                 let (sums, counts) = series_sum.entry(name.clone()).or_default();
                 if sums.len() < column.len() {
@@ -224,6 +239,13 @@ impl BackendAggregate {
                 ttd_max
             },
             time_to_recover_min: if ttr_min == i64::MAX { 0 } else { ttr_min },
+            outage_draws_sum,
+            outage_success_ratio_mean: if records.is_empty() {
+                1.0
+            } else {
+                outage_ratio.mean()
+            },
+            outage_success_ratio_min: outage_ratio_min,
             series_mean,
             counters,
         }
@@ -514,6 +536,36 @@ mod tests {
                 .unwrap();
             assert!(oracle.counters.is_empty());
         }
+    }
+
+    #[test]
+    fn domain_outage_sweep_reports_are_byte_identical_across_runs() {
+        // Satellite determinism gate: the full adaptive arm (scoring +
+        // retry + correlated outage) keeps reports a pure function of
+        // (spec, master seed) — three runs, byte-for-byte identical —
+        // and the outage columns surface in the aggregates.
+        let mut spec = ScenarioSpec::preset_domain_outage();
+        spec.n_initial = 96;
+        spec.workload.draws = 600;
+        let sweep = Sweep::new(vec![spec]).with_seeds(2).with_master_seed(23);
+        let baseline = sweep.run().to_json();
+        for _ in 0..2 {
+            assert_eq!(sweep.run().to_json(), baseline);
+        }
+        let report = sweep.run();
+        let chord = report.scenarios[0]
+            .aggregates
+            .iter()
+            .find(|a| a.backend == Backend::Chord.name())
+            .unwrap();
+        assert!(chord.outage_draws_sum > 0, "the outage must cover draws");
+        assert!(chord.outage_success_ratio_min <= chord.outage_success_ratio_mean);
+        assert!(
+            chord.outage_success_ratio_min >= 0.99,
+            "adaptive routing must hold the SLO: {}",
+            chord.outage_success_ratio_min
+        );
+        assert!(chord.counters.contains_key("domain.events"));
     }
 
     #[test]

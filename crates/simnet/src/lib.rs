@@ -14,7 +14,10 @@
 //! * [`rng`] — SplitMix64 seed derivation so every component of every
 //!   experiment gets an independent, reproducible random stream.
 //! * [`churn`] — Poisson join/leave workload generation for the E11
-//!   experiments.
+//!   experiments, plus correlated domain-outage events.
+//! * [`DomainMap`] — rack/region failure-domain labels over ring
+//!   positions, addressed as units by the churn schedule's
+//!   domain-crash/partition events and by chord's domain fault plans.
 //!
 //! # Example: draining events in deterministic order
 //!
@@ -33,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+mod domains;
 mod event;
 mod latency;
 mod metrics;
 pub mod rng;
 mod time;
 
+pub use domains::DomainMap;
 pub use event::EventQueue;
 pub use latency::LatencyModel;
 pub use metrics::Metrics;

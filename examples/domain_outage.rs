@@ -1,0 +1,201 @@
+//! A correlated rack outage, end to end: domain crash, attributed SLO
+//! breach, adaptive re-route holding lookups through the outage, heal
+//! and confirmed recovery.
+//!
+//! The scene: a converged 96-peer chord ring whose keyspace is cut into
+//! 8 rack-sized failure domains ([`simnet::DomainMap`]). Racks 0 and 1 —
+//! a quarter of the ring, as one contiguous arc — crash as a unit.
+//! Plain routing loses every lookup whose target lands in the dead arc
+//! and the watchdog's `success_ratio` rule breaches, *attributed to the
+//! downed rack labels*. Arming adaptive peer scoring plus the
+//! retry/fallback policy restores the SLO while the racks are still
+//! down: lookups degrade (retries, successor-walk, verified-quorum)
+//! instead of failing, and the extra cost lands in `lookup.retries` /
+//! `lookup.fallback_depth`. The racks then rejoin, batched maintenance
+//! drains the backlog, and the final window confirms recovery — the
+//! same arc the e16 `domain-outage-*` battery gates.
+//!
+//! ```text
+//! cargo run --release --example domain_outage
+//! ```
+
+use chord::watchdog::gauge;
+use chord::{
+    AdaptiveConfig, ChordConfig, ChordNetwork, FaultPlan, LookupOutcomes, MaintenanceBudget,
+    NodeId, RetryPolicy, SloConfig, Watchdog,
+};
+use keyspace::{KeySpace, Point};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::DomainMap;
+
+/// The racks that go down together (one contiguous quarter of the ring).
+const DOWN_RACKS: [u32; 2] = [0, 1];
+
+fn main() {
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(2004);
+    let mut net = ChordNetwork::bootstrap(
+        space,
+        space.random_points(&mut rng, 96),
+        ChordConfig::default(),
+    );
+    let racks = DomainMap::sectors(8, space.modulus());
+    let config = SloConfig::default();
+    println!(
+        "watchdog SLO: lookup success ratio >= {}, defect fraction <= {}\n",
+        config.min_success_ratio, config.max_staleness,
+    );
+    let mut watchdog = Watchdog::new(config, 0x57A7_D065);
+
+    // The measuring anchor lives in rack 7, far from the blast radius.
+    let anchor = *net
+        .live_ids()
+        .iter()
+        .find(|&&id| racks.domain_of(net.node(id).point().get()) == 7)
+        .expect("rack 7 is populated");
+    let targets = space.random_points(&mut rng, 500);
+
+    // Window 0 — converged baseline: every lookup resolves first try.
+    let outcomes = run_draws(&net, anchor, &targets, &mut rng, &[]);
+    observe(&mut watchdog, &net, &outcomes, "converged ring");
+
+    // Racks 0 and 1 crash as a unit between windows.
+    let victims: Vec<NodeId> = net
+        .live_ids()
+        .into_iter()
+        .filter(|&id| DOWN_RACKS.contains(&racks.domain_of(net.node(id).point().get())))
+        .collect();
+    let dead_points: Vec<Point> = victims.iter().map(|&id| net.node(id).point()).collect();
+    for &v in &victims {
+        net.crash(v);
+    }
+    println!(
+        "\nracks {DOWN_RACKS:?} down: {} of 96 nodes crashed as one arc",
+        victims.len()
+    );
+
+    // Window 1 — plain routing: lookups into the dead arc fail outright
+    // and the breach is pinned on the downed rack labels.
+    let outcomes = run_draws(&net, anchor, &targets, &mut rng, &DOWN_RACKS);
+    observe(&mut watchdog, &net, &outcomes, "outage, plain routing");
+
+    // Adaptive scoring + retry/fallback arm between windows — nothing
+    // about the outage changes, only how lookups respond to it.
+    net.enable_adaptive_routing(AdaptiveConfig::default());
+    net.enable_retry_policy(RetryPolicy::default());
+
+    // Window 2 — same dead racks, adaptive routing: every lookup still
+    // resolves (degraded, never wrong), so the success SLO recovers
+    // while the outage is still in progress.
+    let outcomes = run_draws(&net, anchor, &targets, &mut rng, &DOWN_RACKS);
+    observe(&mut watchdog, &net, &outcomes, "outage, adaptive routing");
+    println!(
+        "  degradation cost: {} retries, {} summed fallback depth, {} dead probes",
+        net.metrics().get("lookup.retries"),
+        net.metrics().get("lookup.fallback_depth"),
+        net.metrics().get("lookup.dead_probe"),
+    );
+
+    // The racks heal: every lost point rejoins through the anchor. Two
+    // passes with a maintenance drain between them, because routing *to*
+    // a dead-arc point dies at the pre-arc node's all-dead successor
+    // list — pass 1's drain re-stitches the ring past the arc, pass 2's
+    // joins then land. Successor-list correctness propagates backwards
+    // one node per round, so each drain gets Θ(arc) rounds.
+    let mut rejoined = 0usize;
+    let mut rounds = 0u32;
+    let mut pending = dead_points.clone();
+    let drain_cap = 8 + 2 * pending.len();
+    for _pass in 0..2 {
+        pending.retain(|&p| net.join(p, anchor, &mut rng).is_err());
+        for _ in 0..drain_cap {
+            if net.maintenance_backlog() == 0 {
+                break;
+            }
+            net.batched_maintenance_round(MaintenanceBudget::unlimited(), &mut rng);
+            rounds += 1;
+        }
+        rejoined = dead_points.len() - pending.len();
+        if pending.is_empty() {
+            break;
+        }
+    }
+    println!(
+        "\nheal: {rejoined}/{} nodes rejoined, backlog drained in {rounds} rounds",
+        dead_points.len()
+    );
+
+    // Window 3 — healed ring, outage over: all rules back in bound.
+    let outcomes = run_draws(&net, anchor, &targets, &mut rng, &[]);
+    observe(&mut watchdog, &net, &outcomes, "healed ring");
+
+    println!("\nhealth log:");
+    for event in watchdog.events() {
+        println!("  {}", event.render());
+    }
+    println!(
+        "\nverdict: {} windows, {} breach edge(s), time-to-detect {} window(s), \
+         time-to-recover {} window(s), healthy at end: {}",
+        watchdog.windows_observed(),
+        watchdog.breaches(),
+        watchdog.time_to_detect(),
+        watchdog.time_to_recover(),
+        watchdog.healthy(),
+    );
+    assert!(watchdog.healthy(), "heal + drain must restore every SLO");
+    assert_eq!(
+        watchdog.time_to_detect(),
+        1,
+        "the outage is detected the window it lands"
+    );
+}
+
+/// One window's worth of lookups from `anchor`, tallied for the
+/// success-ratio rule; the downed rack labels ride along as the breach
+/// attribution payload.
+fn run_draws(
+    net: &ChordNetwork,
+    anchor: NodeId,
+    targets: &[Point],
+    rng: &mut StdRng,
+    down_racks: &[u32],
+) -> LookupOutcomes {
+    let mut outcomes = LookupOutcomes {
+        suspects: down_racks.iter().map(|&d| u64::from(d)).collect(),
+        ..LookupOutcomes::default()
+    };
+    for &t in targets {
+        match net.find_successor_with_policy(anchor, t, &FaultPlan::none(), rng) {
+            Ok(_) => outcomes.ok += 1,
+            Err(_) => outcomes.failed += 1,
+        }
+    }
+    outcomes
+}
+
+/// Closes the recorder window, feeds the watchdog, prints the result.
+fn observe(watchdog: &mut Watchdog, net: &ChordNetwork, outcomes: &LookupOutcomes, label: &str) {
+    let window = net.metrics().recorder().reset_window();
+    watchdog.observe_with_outcomes(net, window, None, Some(outcomes));
+    let series = watchdog.series();
+    let last = |name: &str| {
+        series
+            .gauge_column(name)
+            .last()
+            .copied()
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "w{}: {label}: live {:.0}, success ratio {:.3}, defect fraction {:.3} ({})",
+        watchdog.windows_observed() - 1,
+        last(gauge::LIVE),
+        outcomes.ratio(),
+        last(gauge::DEFECT_RATE),
+        if watchdog.healthy() {
+            "healthy"
+        } else {
+            "BREACHED"
+        },
+    );
+}
