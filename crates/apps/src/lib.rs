@@ -20,14 +20,17 @@
 //!   sampling; a biased sampler lets an adversary corrupt the most-likely
 //!   peers and capture committee majorities far more often.
 //!
-//! The crate also hosts the harness-facing [`report`] module: the
-//! regression diff behind `exp -- report`, which compares two e16 sweep
-//! reports or two `BENCH_*.json` trajectories metric-by-metric.
+//! The crate also hosts the harness-facing [`report`] and [`dash`]
+//! modules: the regression diff behind `exp -- report`, which compares
+//! two e16 sweep reports or two `BENCH_*.json` trajectories
+//! metric-by-metric, and the byte-deterministic HTML dashboard behind
+//! `exp -- dash` that renders the same inputs for human eyes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod committee;
+pub mod dash;
 pub mod links;
 pub mod load;
 pub mod polling;

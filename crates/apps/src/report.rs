@@ -567,6 +567,38 @@ mod tests {
         );
     }
 
+    #[test]
+    fn pr8_era_baseline_sees_exemplar_and_span_columns_as_new_not_regressed() {
+        // A baseline recorded before the explainability columns existed
+        // (no exemplar_count_sum / top_span_cost / span_costs) must diff
+        // cleanly against a candidate that carries them: the numeric
+        // additions surface under the "new metric, not compared" rule and
+        // nothing regresses.
+        let baseline = sweep_json(9, 0, -1);
+        let candidate = baseline.replace(
+            "\"tv_worst\": 0.08,",
+            "\"tv_worst\": 0.08, \"exemplar_count_sum\": 12, \"top_span_cost\": 900, \
+             \"top_span\": \"lookup;finger_walk\", \
+             \"span_costs\": {\"lookup;finger_walk\": 900, \"lookup;retry_backoff\": 48},",
+        );
+        assert_ne!(baseline, candidate);
+        let diff = diff_reports(&baseline, &candidate).unwrap();
+        assert!(diff.clean(), "{:?}", diff.regressions);
+        for key in ["exemplar_count_sum", "top_span_cost"] {
+            assert!(
+                diff.lines
+                    .iter()
+                    .any(|l| l.contains(&format!("{key}: new metric, not compared"))),
+                "{key} not surfaced: {:?}",
+                diff.lines
+            );
+        }
+        // Same columns on both sides: compared or ignored, never re-flagged.
+        let both = diff_reports(&candidate, &candidate).unwrap();
+        assert!(both.clean());
+        assert!(!both.lines.iter().any(|l| l.contains("new metric")));
+    }
+
     fn bench_history(lookup_ns: u64, speedup: f64) -> String {
         format!(
             r#"[{{"sha": "abc", "timestamp": 1, "rows": [

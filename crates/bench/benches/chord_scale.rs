@@ -18,7 +18,9 @@
 //! * **telemetry overhead** — the disabled-tracing instrumentation a
 //!   routed lookup executes (counter adds, histogram record, flag check)
 //!   vs the lookup itself. Bar: ≤ 2%. Plus the recorder's resident
-//!   footprint amortized per node. Bar: ≤ 4 B/node.
+//!   footprint amortized per node. Bar: ≤ 4 B/node. The always-on
+//!   explainability bundle (op ordinal + span attribution + exemplar
+//!   capture) is gated separately at ≤ 2% of a routed lookup.
 //!
 //! With `RP_ENFORCE_BENCH=1` the process exits non-zero when any bar
 //! is missed — CI runs it that way so a regression fails the job.
@@ -48,6 +50,14 @@ const VERIFY_BAR: f64 = 20.0;
 /// are built), so the figure is the *ceiling* of what instrumenting an
 /// uninstrumented lookup could add.
 const TELEMETRY_OVERHEAD_BUDGET_PCT: f64 = 2.0;
+/// Budget for the always-on explainability instrumentation a routed
+/// attempt executes: one op-ordinal draw (`next_op_ordinal`), one span
+/// cost attribution (`SpanProfiler::add`), and the exemplar bitmap check
+/// riding the histogram record (`record_with_exemplar` vs plain
+/// `record`). Measured as a standalone bundle — a ceiling on what the
+/// profiler adds to an uninstrumented lookup — and gated at 2% of the
+/// routed lookup it decorates.
+const PROFILER_OVERHEAD_BUDGET_PCT: f64 = 2.0;
 /// Budget for one full watchdog window observation (recorder window
 /// close + sampled ring spot-check + SLO evaluation + series append),
 /// amortized against the draws that fill a window: the harness closes a
@@ -224,6 +234,19 @@ fn emit_json_point() -> bool {
         recorder.record(counters.hop_hist, 8);
     });
     let telemetry_overhead_pct = telemetry_event_ns / lookup_ns.max(1e-9) * 100.0;
+
+    // The explainability bundle every routed attempt now also executes:
+    // op-ordinal draw, span cost add, exemplar-capture histogram record.
+    // After the first iteration the exemplar bitmap bit is set, so the
+    // loop measures the steady-state fast path a long run actually pays.
+    let profiler = recorder.profiler();
+    let probe_span = profiler.span("bench;overhead_probe");
+    let profiler_event_ns = measure(1_000_000, || {
+        let ordinal = recorder.next_op_ordinal();
+        profiler.add(probe_span, 1);
+        recorder.record_with_exemplar(counters.hop_hist, 8, ordinal);
+    });
+    let profiler_overhead_pct = profiler_event_ns / lookup_ns.max(1e-9) * 100.0;
     let recorder_bytes = recorder.bytes() as f64 / SCALE_N as f64;
 
     // Watchdog overhead: one full window observation (close the recorder
@@ -262,6 +285,9 @@ fn emit_json_point() -> bool {
          \"telemetry_event_ns\": {telemetry_event_ns:.1}, \
          \"telemetry_overhead_pct\": {telemetry_overhead_pct:.2}, \
          \"telemetry_overhead_budget_pct\": {TELEMETRY_OVERHEAD_BUDGET_PCT}, \
+         \"profiler_event_ns\": {profiler_event_ns:.1}, \
+         \"profiler_overhead_pct\": {profiler_overhead_pct:.2}, \
+         \"profiler_overhead_budget_pct\": {PROFILER_OVERHEAD_BUDGET_PCT}, \
          \"watchdog_observe_ns\": {watchdog_observe_ns:.0}, \
          \"watchdog_overhead_pct\": {watchdog_overhead_pct:.3}, \
          \"watchdog_overhead_budget_pct\": {WATCHDOG_OVERHEAD_BUDGET_PCT}, \
@@ -291,6 +317,7 @@ fn emit_json_point() -> bool {
         drained && drain_lookups < SCALE_N as u64 && maintenance_bytes <= MAINTENANCE_BYTES_BUDGET;
     let telemetry_ok = telemetry_overhead_pct <= TELEMETRY_OVERHEAD_BUDGET_PCT
         && recorder_bytes <= RECORDER_BYTES_BUDGET;
+    let profiler_ok = profiler_overhead_pct <= PROFILER_OVERHEAD_BUDGET_PCT;
     let watchdog_ok = watchdog_overhead_pct <= WATCHDOG_OVERHEAD_BUDGET_PCT;
     let score_ok = score_bytes <= SCORE_BYTES_BUDGET;
     println!(
@@ -320,6 +347,12 @@ fn emit_json_point() -> bool {
         if telemetry_ok { "ok" } else { "REGRESSED" }
     );
     println!(
+        "profiler: {profiler_event_ns:.1} ns/attempt of span+exemplar instrumentation vs \
+         {lookup_ns:.0} ns lookups => {profiler_overhead_pct:.2}% \
+         (budget {PROFILER_OVERHEAD_BUDGET_PCT}%) ({})",
+        if profiler_ok { "ok" } else { "REGRESSED" }
+    );
+    println!(
         "watchdog: {watchdog_observe_ns:.0} ns/window observation vs {window_draws:.0} draws \
          per window => {watchdog_overhead_pct:.3}% (budget {WATCHDOG_OVERHEAD_BUDGET_PCT}%) ({})",
         if watchdog_ok { "ok" } else { "REGRESSED" }
@@ -333,6 +366,7 @@ fn emit_json_point() -> bool {
         && verifier_ok
         && maintenance_ok
         && telemetry_ok
+        && profiler_ok
         && watchdog_ok
         && score_ok
 }

@@ -10,6 +10,11 @@
 //! cargo run --release -p bench --bin exp -- report base.json cand.json
 //!                      # diff two e16 reports / BENCH_* trajectories;
 //!                      # exits 1 when any gated metric regressed
+//! cargo run --release -p bench --bin exp -- dash report.json [base.json]
+//!                      # render a self-contained HTML dashboard (to
+//!                      # target/dash.html, or RP_DASH=<path>); with a
+//!                      # baseline, embeds the diff and exits 1 on
+//!                      # regression
 //! ```
 
 use bench::{experiments, ExpContext};
@@ -54,6 +59,57 @@ fn run_report(paths: &[String]) -> ! {
     }
 }
 
+/// `exp -- dash <report> [baseline]`: render the HTML dashboard.
+///
+/// Writes to `target/dash.html` unless `RP_DASH=<path>` overrides it.
+/// Exit codes mirror `exp -- report`: 0 = rendered (no baseline, or no
+/// regressions), 1 = rendered but the baseline diff regressed, 2 = usage
+/// or unreadable/unrecognized input.
+fn run_dash(paths: &[String]) -> ! {
+    let (report_path, baseline_path) = match paths {
+        [report] => (report, None),
+        [report, baseline] => (report, Some(baseline)),
+        _ => {
+            eprintln!("usage: exp dash <report.json> [baseline.json]");
+            std::process::exit(2);
+        }
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let report = read(report_path);
+    let baseline = baseline_path.map(read);
+    match apps::dash::render_dashboard(&report, baseline.as_deref()) {
+        Ok(dash) => {
+            let out = std::env::var("RP_DASH").unwrap_or_else(|_| "target/dash.html".to_string());
+            if let Some(dir) = std::path::Path::new(&out).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            if let Err(e) = std::fs::write(&out, &dash.html) {
+                eprintln!("dash: cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            println!(
+                "dash: {} bytes -> {out}{}",
+                dash.html.len(),
+                if baseline.is_some() {
+                    format!(" ({} regression(s))", dash.regressions)
+                } else {
+                    String::new()
+                }
+            );
+            std::process::exit(if dash.regressions > 0 { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("dash: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let markdown = args.iter().any(|a| a == "--md");
@@ -61,8 +117,11 @@ fn main() {
     if ids.first().map(String::as_str) == Some("report") {
         run_report(&ids[1..]);
     }
+    if ids.first().map(String::as_str) == Some("dash") {
+        run_dash(&ids[1..]);
+    }
     if ids.is_empty() {
-        eprintln!("usage: exp [--md] <e1..e16 | all | report <base> <cand>>...");
+        eprintln!("usage: exp [--md] <e1..e16 | all | report <base> <cand> | dash <report>>...");
         eprintln!("experiments: {}", experiments::ALL.join(", "));
         std::process::exit(2);
     }

@@ -133,7 +133,7 @@ fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> St
     if !verdict.starts_with("CHECK") {
         return verdict;
     }
-    let Some((spec, seed)) = report.scenarios.iter().find_map(|s| {
+    let Some((mut spec, seed)) = report.scenarios.iter().find_map(|s| {
         s.runs
             .iter()
             .find(|r| r.backend == "chord")
@@ -141,6 +141,13 @@ fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> St
     }) else {
         return verdict;
     };
+    // The replay's flight ring keeps the *last* N traces while tail
+    // exemplars keep the *first* claimant per window bucket, so a
+    // production-sized ring would usually have evicted the cited ops by
+    // run end. Record fields are capacity-independent (the digest covers
+    // every push), so widening the ring for the post-mortem changes
+    // nothing but trace retention.
+    spec.telemetry.flight_recorder_capacity = 1 << 20;
     let (record, dump) = run_scenario_seed_traced(&spec, Backend::Chord, seed);
     // The windowed series and attributed health events travel with the
     // hop-level flight traces: the post-mortem shows *when* the run went
@@ -160,6 +167,7 @@ fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> St
         let rendered: Vec<String> = column.iter().map(|v| format!("{v:.3}")).collect();
         health.push_str(&format!("series {gauge}: [{}]\n", rendered.join(", ")));
     }
+    health.push_str(&explain_tail(&record, &dump));
     let text = format!(
         "flight recorder: scenario {:?}, backend chord, seed {seed}\n{health}{}",
         spec.name,
@@ -167,6 +175,54 @@ fn dump_flight_on_check(verdict: String, report: &SweepReport, file: &str) -> St
     );
     let path = persist_named_report(&text, file);
     format!("{verdict}; flight -> {path}")
+}
+
+/// The "why" section of a flight dump: the top span contributors (where
+/// the simulated routing cost actually went — a degraded run's leader is
+/// a retry/fallback span, not the finger walk) and every tail exemplar
+/// resolved back to its retained trace, so a breaching histogram bucket
+/// names a concrete replayable lookup instead of an anonymous count.
+fn explain_tail(record: &scenarios::SeedRunRecord, dump: &telemetry::TraceDump) -> String {
+    let mut out = String::new();
+    let mut spans: Vec<(&String, u64)> = record
+        .span_costs
+        .iter()
+        .filter(|&(_, &cost)| cost > 0)
+        .map(|(name, &cost)| (name, cost))
+        .collect();
+    spans.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let total: u64 = spans.iter().map(|(_, c)| c).sum();
+    out.push_str("top spans:\n");
+    for (name, cost) in spans.iter().take(3) {
+        out.push_str(&format!(
+            "  {name}: {cost} ({:.1}%)\n",
+            100.0 * *cost as f64 / total.max(1) as f64
+        ));
+    }
+    let by_ordinal: std::collections::BTreeMap<u64, &telemetry::LookupTrace> =
+        dump.traces.iter().map(|t| (t.ordinal, t)).collect();
+    out.push_str(&format!(
+        "tail exemplars ({} captured):\n",
+        record.tail_exemplars.len()
+    ));
+    for e in &record.tail_exemplars {
+        match by_ordinal.get(&e.trace_id) {
+            Some(t) => out.push_str(&format!(
+                "  exemplar window {} value {} (bucket <= {}) -> op {}: {} hops, {:?}\n",
+                e.window,
+                e.value,
+                e.bucket_upper,
+                t.ordinal,
+                t.hops.len(),
+                t.outcome
+            )),
+            None => out.push_str(&format!(
+                "  exemplar window {} value {} (bucket <= {}) -> op {} (not retained)\n",
+                e.window, e.value, e.bucket_upper, e.trace_id
+            )),
+        }
+    }
+    out
 }
 
 /// The scale-stress battery at its reference size: 10⁵ peers on *both*
@@ -1039,6 +1095,82 @@ mod tests {
         let dump = std::fs::read_to_string(path).unwrap();
         assert!(dump.contains("flight recorder: scenario"), "{path}");
         assert!(dump.contains("hop"), "dump must carry hop paths");
+    }
+
+    #[test]
+    fn flight_dump_explains_an_induced_hop_tail_breach() {
+        // The explainability acceptance arm: a crash burst takes half the
+        // ring down for most of the draw loop, the adaptive knobs degrade
+        // through retries and fallbacks, and the resulting CHECK dump must
+        // (a) name at least one tail exemplar that resolves to a retained
+        // trace whose replayed hop count is exactly the exemplar's
+        // recorded value (i.e. the lookup sits in the breaching bucket),
+        // and (b) rank a retry/fallback span — not the healthy finger
+        // walk — as the top cost contributor.
+        let mut spec = ScenarioSpec::preset_domain_outage();
+        spec.name = "crash-burst-explain".to_string();
+        spec.n_initial = 96;
+        spec.workload.draws = 2_000;
+        spec.domains = Some(scenarios::FailureDomainSpec {
+            domains: 4,
+            crash_domains: 2,
+            outage_start: 0.05,
+            outage_end: 0.95,
+        });
+        let report = Sweep::new(vec![spec.clone()]).with_seeds(1).run();
+        let verdict = dump_flight_on_check(
+            "CHECK: forced".to_string(),
+            &report,
+            "e16_explain_flight.txt",
+        );
+        let path = verdict.rsplit("flight -> ").next().unwrap();
+        let dump = std::fs::read_to_string(path).unwrap();
+        // The watchdog attributed the burst...
+        assert!(dump.contains("breach"), "no watchdog breach in dump");
+        // ...the span breakdown names the injected cause first...
+        let top = dump
+            .lines()
+            .skip_while(|l| !l.starts_with("top spans:"))
+            .nth(1)
+            .expect("dump must carry a top-spans section");
+        let degradation = [
+            "lookup;demoted_skip",
+            "lookup;retry_backoff",
+            "lookup;successor_walk",
+            "lookup;verified_quorum",
+        ];
+        assert!(
+            degradation.iter().any(|s| top.contains(s)),
+            "top span must be a degradation span, got: {top}"
+        );
+        // ...and at least one exemplar resolves to a retained trace whose
+        // replayed hop count lands in the cited bucket.
+        let mut resolved = 0;
+        for line in dump.lines().filter(|l| l.contains("-> op ")) {
+            let value: u64 = line
+                .split("value ")
+                .nth(1)
+                .and_then(|r| r.split(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            let upper: u64 = line
+                .split("bucket <= ")
+                .nth(1)
+                .and_then(|r| r.split(')').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap();
+            if let Some(hops) = line
+                .split(": ")
+                .nth(1)
+                .and_then(|r| r.split(" hops").next())
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                assert_eq!(hops, value, "replayed hop count must match: {line}");
+                assert!(value <= upper, "exemplar outside its bucket: {line}");
+                resolved += 1;
+            }
+        }
+        assert!(resolved > 0, "no exemplar resolved to a retained trace");
     }
 
     #[test]

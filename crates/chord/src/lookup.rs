@@ -3,7 +3,7 @@ use core::fmt;
 use keyspace::Point;
 use peer_sampling::Cost;
 use rand::Rng;
-use telemetry::{HopRecord, LookupTrace, TraceOutcome};
+use telemetry::{FallbackTier, HopRecord, LookupTrace, TraceOutcome};
 
 use crate::network::{ChordNetwork, NodeId};
 
@@ -16,6 +16,11 @@ struct TraceBuilder {
     /// Latency accounted so far, to attribute per-hop deltas (probe
     /// timeouts included in the hop that paid for them).
     seen_latency: u64,
+    /// Retry attempt stamped on every routed hop (0 = first try).
+    attempt: u8,
+    /// Operation ordinal (from `Recorder::next_op_ordinal`) — the id
+    /// histogram exemplars carry, so tail buckets join back to traces.
+    ordinal: u64,
 }
 
 impl TraceBuilder {
@@ -32,8 +37,24 @@ impl TraceBuilder {
             finger_level,
             forged,
             latency: cost.latency - self.seen_latency,
+            attempt: self.attempt,
+            tier: FallbackTier::Direct,
         });
         self.seen_latency = cost.latency;
+    }
+
+    /// A synthetic fallback-tier hop (successor-walk step or quorum
+    /// round); `finger_level` is 0 — no finger resolved it.
+    fn fallback_hop(&mut self, node: Point, tier: FallbackTier, total_latency: u64) {
+        self.hops.push(HopRecord {
+            node: node.get(),
+            finger_level: 0,
+            forged: false,
+            latency: total_latency - self.seen_latency,
+            attempt: self.attempt,
+            tier,
+        });
+        self.seen_latency = total_latency;
     }
 
     fn finish(self, net: &ChordNetwork, outcome: TraceOutcome, cost: &Cost) {
@@ -44,6 +65,7 @@ impl TraceBuilder {
             outcome,
             messages: cost.messages,
             latency: cost.latency,
+            ordinal: self.ordinal,
         });
     }
 }
@@ -138,7 +160,7 @@ impl ChordNetwork {
         faults: &crate::FaultPlan,
         rng: &mut R,
     ) -> Result<LookupResult, LookupError> {
-        self.route_with_faults(from, target, faults, rng)
+        self.route_with_faults(from, target, faults, 0, rng)
             .map_err(|(e, _)| e)
     }
 
@@ -146,11 +168,43 @@ impl ChordNetwork {
     /// [`find_successor_with_faults`](ChordNetwork::find_successor_with_faults),
     /// reporting the cost spent on *failed* lookups too so the retry
     /// policy can attribute it instead of losing it with the `Err`.
+    /// `attempt` is stamped on every traced hop (0 = first try).
+    ///
+    /// Wraps the routing loop with span attribution: routed latency is
+    /// charged to `lookup;finger_walk`, minus the share burnt probing
+    /// score-demoted candidates, which goes to `lookup;demoted_skip`.
     fn route_with_faults<R: Rng + ?Sized>(
         &self,
         from: NodeId,
         target: Point,
         faults: &crate::FaultPlan,
+        attempt: u8,
+        rng: &mut R,
+    ) -> Result<LookupResult, (LookupError, Cost)> {
+        let mut skip = 0u64;
+        let out = self.route_attempt(from, target, faults, attempt, &mut skip, rng);
+        let total = match &out {
+            Ok(hit) => hit.cost.latency,
+            Err((_, cost)) => cost.latency,
+        };
+        let profiler = self.metrics().recorder().profiler();
+        profiler.add(self.counters().span_finger_walk, total - skip);
+        if skip > 0 {
+            profiler.add(self.counters().span_demoted_skip, skip);
+        }
+        out
+    }
+
+    /// One routed attempt (the iterative walk itself); `skip` accumulates
+    /// the latency of dead probes against score-demoted candidates, for
+    /// the `lookup;demoted_skip` span.
+    fn route_attempt<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        faults: &crate::FaultPlan,
+        attempt: u8,
+        skip: &mut u64,
         rng: &mut R,
     ) -> Result<LookupResult, (LookupError, Cost)> {
         if !self.node(from).is_alive() {
@@ -158,6 +212,9 @@ impl ChordNetwork {
         }
         let counters = self.counters();
         let recorder = self.metrics().recorder();
+        // Drawn whether or not tracing is on, so exemplar ids agree
+        // between traced and untraced replays of the same seed.
+        let ordinal = recorder.next_op_ordinal();
         let latency_model = self.config().latency();
         let mut cost = Cost::FREE;
         let send = |cost: &mut Cost, rng: &mut R| {
@@ -169,6 +226,8 @@ impl ChordNetwork {
             target,
             hops: Vec::new(),
             seen_latency: 0,
+            attempt,
+            ordinal,
         });
 
         let mut current = from;
@@ -197,7 +256,7 @@ impl ChordNetwork {
             if hops > 0 && faults.claims_ownership(current) {
                 recorder.incr(counters.lookup_byzantine_claim);
                 recorder.add(counters.lookup_hops, hops as u64);
-                recorder.record(counters.hop_hist, hops as u64);
+                recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Captured(cur_point.get()), &cost);
                 }
@@ -214,7 +273,7 @@ impl ChordNetwork {
             let successors = self.node(current).successors();
             if successors.len() == 1 && successors.first() == Some(current) {
                 recorder.add(counters.lookup_hops, hops as u64);
-                recorder.record(counters.hop_hist, hops as u64);
+                recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Resolved(cur_point.get()), &cost);
                 }
@@ -256,7 +315,7 @@ impl ChordNetwork {
                 }
                 if let Some(cand) = found {
                     recorder.add(counters.lookup_hops, (hops + 1) as u64);
-                    recorder.record(counters.hop_hist, (hops + 1) as u64);
+                    recorder.record_with_exemplar(counters.hop_hist, (hops + 1) as u64, ordinal);
                     let answer_point = self.node(cand).point();
                     if let Some(mut t) = trace.take() {
                         t.hop(self, cur_point, cand, faults.is_byzantine(cand), &cost);
@@ -276,7 +335,8 @@ impl ChordNetwork {
 
             // Case 2: forward to the closest preceding live candidate
             // (fingers first, then the successor list).
-            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, rng) else {
+            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, skip, rng)
+            else {
                 if let Some(t) = trace.take() {
                     t.finish(self, TraceOutcome::Unresolved, &cost);
                 }
@@ -298,12 +358,15 @@ impl ChordNetwork {
 
     /// The closest node preceding `target` among `at`'s fingers and
     /// successor list, probing candidates from closest-preceding downward
-    /// and skipping dead ones (each probe costs a message).
+    /// and skipping dead ones (each probe costs a message). `skip`
+    /// accumulates latency burnt on probes of score-demoted candidates
+    /// that were dead anyway, for span attribution.
     fn closest_preceding<R: Rng + ?Sized>(
         &self,
         at: NodeId,
         target: Point,
         cost: &mut Cost,
+        skip: &mut u64,
         rng: &mut R,
     ) -> Option<NodeId> {
         let at_point = self.node(at).point();
@@ -339,13 +402,21 @@ impl ChordNetwork {
 
         for &cand in candidates.iter().rev() {
             cost.messages += 1;
-            cost.latency += latency_model.sample(rng).ticks();
+            let probe_latency = latency_model.sample(rng).ticks();
+            cost.latency += probe_latency;
+            let was_penalized = self
+                .scores()
+                .map(|s| s.borrow().penalized(cand))
+                .unwrap_or(false);
             let alive = self.node(cand).is_alive();
             if let Some(scores) = self.scores() {
                 scores.borrow_mut().record(cand, alive);
             }
             if alive {
                 return Some(cand);
+            }
+            if was_penalized {
+                *skip += probe_latency;
             }
             self.metrics()
                 .recorder()
@@ -410,10 +481,14 @@ impl ChordNetwork {
         for attempt in 1..=policy.max_attempts.max(1) {
             if attempt > 1 {
                 // Backoff is pure waiting: latency, no messages.
-                spent.latency += policy.backoff_ticks(attempt - 1);
+                let backoff = policy.backoff_ticks(attempt - 1);
+                spent.latency += backoff;
                 recorder.incr(counters.lookup_retries);
+                recorder
+                    .profiler()
+                    .add(counters.span_retry_backoff, backoff);
             }
-            match self.route_with_faults(from, target, faults, rng) {
+            match self.route_with_faults(from, target, faults, attempt - 1, rng) {
                 Ok(mut hit) => {
                     hit.cost.messages += spent.messages;
                     hit.cost.latency += spent.latency;
@@ -435,10 +510,24 @@ impl ChordNetwork {
         }
 
         let latency_model = self.config().latency();
+        // The fallback tiers are one logical operation: one ordinal
+        // (drawn traced or not, keeping exemplar ids replay-stable) and
+        // one trace carrying synthetic walk/quorum hops.
+        let fallback_ordinal = recorder.next_op_ordinal();
+        let last_attempt = policy.max_attempts.max(1) - 1;
+        let mut trace = recorder.tracing_enabled().then(|| TraceBuilder {
+            from: self.node(from).point(),
+            target,
+            hops: Vec::new(),
+            seen_latency: spent.latency,
+            attempt: last_attempt,
+            ordinal: fallback_ordinal,
+        });
 
         // Fallback tier: successor-walk from the origin. Immune to the
         // stale fingers that defeated routing; every hop is guaranteed
         // clockwise progress through live nodes.
+        let walk_start = spent.latency;
         let mut cur = from;
         let mut walked = 0u32;
         while walked < policy.walk_limit {
@@ -450,10 +539,23 @@ impl ChordNetwork {
             spent.latency += latency_model.sample(rng).ticks();
             walked += 1;
             let next_point = self.node(next).point();
+            if let Some(t) = trace.as_mut() {
+                t.fallback_hop(next_point, telemetry::FallbackTier::Walk, spent.latency);
+            }
             if self.between_open_closed(cur_point, target, next_point) {
                 recorder.add(counters.lookup_hops, u64::from(walked));
-                recorder.record(counters.hop_hist, u64::from(walked));
+                recorder.record_with_exemplar(
+                    counters.hop_hist,
+                    u64::from(walked),
+                    fallback_ordinal,
+                );
                 recorder.add(counters.lookup_fallback_depth, 2);
+                recorder
+                    .profiler()
+                    .add(counters.span_successor_walk, spent.latency - walk_start);
+                if let Some(t) = trace.take() {
+                    t.finish(self, TraceOutcome::Resolved(next_point.get()), &spent);
+                }
                 return Ok(LookupResult {
                     node: next,
                     point: next_point,
@@ -463,20 +565,37 @@ impl ChordNetwork {
             }
             cur = next;
         }
+        if spent.latency > walk_start {
+            recorder
+                .profiler()
+                .add(counters.span_successor_walk, spent.latency - walk_start);
+        }
 
         // Last-resort tier: verified-quorum resolution against the
         // ground-truth directory — always correct while anything lives,
         // charged as a quorum of parallel queries.
         if let Some(owner) = self.truth_successor_id(target) {
             spent.messages += policy.quorum_messages;
-            spent.latency += latency_model.sample(rng).ticks();
+            let quorum_latency = latency_model.sample(rng).ticks();
+            spent.latency += quorum_latency;
             recorder.add(counters.lookup_fallback_depth, 3);
+            recorder
+                .profiler()
+                .add(counters.span_verified_quorum, quorum_latency);
+            let owner_point = self.node(owner).point();
+            if let Some(mut t) = trace.take() {
+                t.fallback_hop(owner_point, telemetry::FallbackTier::Quorum, spent.latency);
+                t.finish(self, TraceOutcome::Resolved(owner_point.get()), &spent);
+            }
             return Ok(LookupResult {
                 node: owner,
-                point: self.node(owner).point(),
+                point: owner_point,
                 hops: 0,
                 cost: spent,
             });
+        }
+        if let Some(t) = trace.take() {
+            t.finish(self, TraceOutcome::Unresolved, &spent);
         }
         Err(last_err)
     }
@@ -896,6 +1015,92 @@ mod tests {
         );
         assert!(net.score_bytes() > 0);
         assert!(net.peer_score(start) == crate::score::SCORE_MAX);
+    }
+
+    #[test]
+    fn spans_and_trace_annotations_explain_degraded_lookups() {
+        let mut net = bootstrap(64, 41);
+        net.enable_adaptive_routing(crate::AdaptiveConfig::default());
+        net.enable_retry_policy(crate::RetryPolicy::default());
+        net.metrics().recorder().set_tracing(true);
+        let mut ring: Vec<NodeId> = net.live_ids();
+        ring.sort_by_key(|&id| net.node(id).point());
+        let arc = ring[20..36].to_vec();
+        for &v in &arc {
+            net.crash(v);
+        }
+        let start = ring[0];
+        let target = net.node(arc[8]).point();
+        let mut r = rng();
+        // A few healthy lookups first: they claim hop-histogram exemplar
+        // slots and leave replayable traces behind them.
+        for _ in 0..10 {
+            let t = net.space().random_point(&mut r);
+            net.find_successor_with_policy(start, t, &crate::FaultPlan::none(), &mut r)
+                .unwrap();
+        }
+        let hit = net
+            .find_successor_with_policy(start, target, &crate::FaultPlan::none(), &mut r)
+            .unwrap();
+        assert_eq!(hit.point, net.ground_truth_successor(target));
+
+        // The profiler attributes the slow lookup to its actual causes:
+        // backoff plus a fallback tier, not just the finger walk.
+        let totals = net.metrics().recorder().profiler().totals();
+        assert!(totals["lookup;retry_backoff"].cost > 0, "{totals:?}");
+        assert!(
+            totals["lookup;successor_walk"].cost > 0 || totals["lookup;verified_quorum"].cost > 0,
+            "{totals:?}"
+        );
+        let collapsed = net.metrics().recorder().profiler().collapsed();
+        assert!(collapsed.contains("lookup;finger_walk "));
+
+        // The degradation path is visible on the trace itself.
+        let traces = net.metrics().recorder().traces();
+        let fallback = traces.last().unwrap();
+        assert!(fallback
+            .hops
+            .iter()
+            .any(|h| h.tier != telemetry::FallbackTier::Direct));
+        assert!(fallback.hops.iter().all(|h| h.attempt > 0));
+
+        // Exemplars link the hop histogram's buckets back to ordinals of
+        // retained traces.
+        let hist = net
+            .metrics()
+            .recorder()
+            .histogram_snapshot(net.counters().hop_hist);
+        assert!(!hist.exemplars().is_empty());
+        let ordinals: Vec<u64> = traces.iter().map(|t| t.ordinal).collect();
+        assert!(hist
+            .exemplars()
+            .iter()
+            .any(|e| ordinals.contains(&e.trace_id)));
+    }
+
+    #[test]
+    fn untraced_lookups_draw_the_same_ordinals() {
+        // Exemplar trace ids must agree between traced and untraced runs
+        // of the same seed, or a tail exemplar could never be replayed.
+        let run = |tracing: bool| {
+            let net = bootstrap(64, 44);
+            net.metrics().recorder().set_tracing(tracing);
+            let mut r = rng();
+            let start = net.live_ids()[0];
+            for _ in 0..50 {
+                let target = net.space().random_point(&mut r);
+                net.find_successor(start, target, &mut r).unwrap();
+            }
+            net.metrics()
+                .recorder()
+                .histogram_snapshot(net.counters().hop_hist)
+                .exemplars()
+                .to_vec()
+        };
+        let traced = run(true);
+        let untraced = run(false);
+        assert!(!traced.is_empty());
+        assert_eq!(traced, untraced);
     }
 
     #[test]

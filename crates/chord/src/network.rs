@@ -5,7 +5,7 @@ use keyspace::{Distance, KeySpace, Point};
 use rand::Rng;
 use ringidx::RingIndex;
 use simnet::Metrics;
-use telemetry::{CounterId, HistogramId};
+use telemetry::{CounterId, HistogramId, SpanId};
 
 use crate::arena::{NodeRef, RoutingArena};
 use crate::maintenance::{DirtySet, MaintenanceBudget, MaintenanceWork};
@@ -257,6 +257,23 @@ pub struct ChordCounters {
     pub domain_events: CounterId,
     /// Per-lookup hop-count distribution (p50/p99/p999 in e16 records).
     pub hop_hist: HistogramId,
+    /// `lookup;finger_walk` span — routed-walk latency net of demoted
+    /// skips (ticks).
+    pub span_finger_walk: SpanId,
+    /// `lookup;demoted_skip` span — latency of probes burnt on
+    /// score-demoted candidates that turned out dead (ticks).
+    pub span_demoted_skip: SpanId,
+    /// `lookup;retry_backoff` span — deterministic backoff waits between
+    /// routed re-attempts (ticks).
+    pub span_retry_backoff: SpanId,
+    /// `lookup;successor_walk` span — walk-tier fallback latency (ticks).
+    pub span_successor_walk: SpanId,
+    /// `lookup;verified_quorum` span — quorum-tier fallback latency
+    /// (ticks).
+    pub span_verified_quorum: SpanId,
+    /// `maintenance;repair` span — batched-round repair actions
+    /// (sp + finger refreshes; unit is repairs, not ticks).
+    pub span_maintenance_repair: SpanId,
 }
 
 impl ChordCounters {
@@ -281,6 +298,12 @@ impl ChordCounters {
             lookup_fallback_depth: recorder.counter("lookup.fallback_depth"),
             domain_events: recorder.counter("domain.events"),
             hop_hist: recorder.histogram("lookup.hops"),
+            span_finger_walk: recorder.profiler().span("lookup;finger_walk"),
+            span_demoted_skip: recorder.profiler().span("lookup;demoted_skip"),
+            span_retry_backoff: recorder.profiler().span("lookup;retry_backoff"),
+            span_successor_walk: recorder.profiler().span("lookup;successor_walk"),
+            span_verified_quorum: recorder.profiler().span("lookup;verified_quorum"),
+            span_maintenance_repair: recorder.profiler().span("maintenance;repair"),
         }
     }
 }
@@ -1437,6 +1460,13 @@ impl ChordNetwork {
             self.dirty.requeue_if_dirty(i);
         }
         work.backlog = self.dirty.entries();
+        let repairs = (work.sp_refreshed + work.fingers_refreshed) as u64;
+        if repairs > 0 {
+            self.metrics
+                .recorder()
+                .profiler()
+                .add(self.counters.span_maintenance_repair, repairs);
+        }
         self.metrics
             .recorder()
             .end_scope("maintenance.round", scope);

@@ -52,7 +52,8 @@ mod sweep;
 
 pub use placement::{place_index, place_points};
 pub use run::{
-    run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, COMMITTEE_SIZE, DRAW_WINDOW,
+    run_scenario_seed, run_scenario_seed_traced, SeedRunRecord, TailExemplar, COMMITTEE_SIZE,
+    DRAW_WINDOW,
 };
 pub use spec::{
     AdaptiveRoutingSpec, AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec,

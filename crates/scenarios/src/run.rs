@@ -53,6 +53,24 @@ mod stream {
 /// observed at least once per run.
 pub const DRAW_WINDOW: u64 = 500;
 
+/// One tail exemplar off the chord hop histogram: which window and
+/// log-bucket it came from, and the operation ordinal of the first lookup
+/// that landed there. The ordinal matches [`telemetry::LookupTrace`]'s
+/// `ordinal` field in a traced replay of the same `(spec, backend,
+/// seed)`, so a p99/p999 figure links to a concrete replayable walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TailExemplar {
+    /// Watchdog window index the exemplar was captured in.
+    pub window: u64,
+    /// Inclusive upper edge of the histogram bucket the sample landed in.
+    pub bucket_upper: u64,
+    /// The recorded value (per-lookup hop count).
+    pub value: u64,
+    /// Operation ordinal of the exemplar lookup (ids agree between
+    /// traced and untraced runs).
+    pub trace_id: u64,
+}
+
 /// Metrics of one `(spec, backend, seed)` execution.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SeedRunRecord {
@@ -158,6 +176,18 @@ pub struct SeedRunRecord {
     /// defect_rate, hop_p50, hop_p99, forged_rate, draw_cost). Empty on
     /// oracle backends.
     pub series: BTreeMap<String, Vec<f64>>,
+    /// Per-window hop-histogram tail exemplars, in window order (empty on
+    /// oracle backends). Captured whether or not tracing is on, so the
+    /// trace ids stay valid for a traced replay.
+    pub tail_exemplars: Vec<TailExemplar>,
+    /// `tail_exemplars.len()` — the numeric column aggregates and diffs
+    /// gate on.
+    pub exemplar_count: u64,
+    /// Span-profiler totals: simulated cost attributed to each lookup /
+    /// maintenance phase (`lookup;finger_walk`, `lookup;retry_backoff`,
+    /// …), name-sorted. Includes zero rows, so the column set is stable
+    /// across arms. Empty on oracle backends.
+    pub span_costs: BTreeMap<String, u64>,
     /// FNV-1a digest over every lookup trace recorded during the run
     /// (hex; empty when `telemetry.trace_lookups` is off or the backend
     /// does not route). Two runs of the same `(spec, backend, seed)`
@@ -460,6 +490,9 @@ fn run_oracle(
         outage_success_ratio: 1.0,
         health_events: Vec::new(),
         series: BTreeMap::new(),
+        tail_exemplars: Vec::new(),
+        exemplar_count: 0,
+        span_costs: BTreeMap::new(),
         trace_digest: String::new(),
         counters: BTreeMap::new(),
     }
@@ -1023,6 +1056,14 @@ fn run_chord(
             let (config, est_failed) = build_sampler_config(spec, view_refs[0], anchor, live.len());
             estimate_failed = est_failed;
             let sampler = DefendedSampler::new(config);
+            // Registered here, not in `chord` — the adversary crate has
+            // no telemetry dependency, so the defended-draw phase is
+            // annotated at the call site that drives it.
+            let span_verify = net
+                .metrics()
+                .recorder()
+                .profiler()
+                .span("draw;defended_verify");
             for _ in 0..spec.workload.draws {
                 // Each defended draw is a labelled cost scope, so the
                 // report's breakdown attributes quorum redundancy to the
@@ -1033,6 +1074,10 @@ fn run_chord(
                 match sampler.sample_tracked(&view_refs, &mut draw_rng, &mut quorum_failures) {
                     Ok(s) => {
                         quorum_failures += s.quorum_failures as u64;
+                        net.metrics()
+                            .recorder()
+                            .profiler()
+                            .add(span_verify, s.cost.latency);
                         record_draw(
                             &mut tally,
                             &mut draw_msgs,
@@ -1093,6 +1138,31 @@ fn run_chord(
         String::new()
     };
     let dump = tracing.then(|| TraceDump::from_recorder(recorder));
+    // Tail exemplars ride each closed window's hop histogram (the final
+    // partial window was flushed above, so nothing is still pending in
+    // the open slot).
+    let mut tail_exemplars = Vec::new();
+    for window in watchdog.series().iter() {
+        for (name, hist) in &window.hists {
+            if name != "lookup.hops" {
+                continue;
+            }
+            for e in hist.exemplars() {
+                tail_exemplars.push(TailExemplar {
+                    window: window.index,
+                    bucket_upper: LogHistogram::bucket_upper(e.bucket),
+                    value: e.value,
+                    trace_id: e.trace_id,
+                });
+            }
+        }
+    }
+    let span_costs: BTreeMap<String, u64> = recorder
+        .profiler()
+        .totals()
+        .into_iter()
+        .map(|(name, t)| (name, t.cost))
+        .collect();
     let record = SeedRunRecord {
         backend: Backend::Chord.name().to_string(),
         seed,
@@ -1136,6 +1206,9 @@ fn run_chord(
             .map(chord::HealthEvent::render)
             .collect(),
         series: watchdog_series(&watchdog, outage.is_some()),
+        exemplar_count: tail_exemplars.len() as u64,
+        tail_exemplars,
+        span_costs,
         trace_digest,
         counters: net.metrics().snapshot(),
     };
@@ -1163,6 +1236,53 @@ mod tests {
             let c = run_scenario_seed(&spec, backend, 43);
             assert_ne!(a, c, "{backend:?} must vary with the seed");
         }
+    }
+
+    #[test]
+    fn records_carry_exemplars_and_span_costs() {
+        let mut spec = ScenarioSpec::preset_crash_churn();
+        quick(&mut spec);
+        // Retain every draw-phase trace so exemplar ids must resolve
+        // (draws issue several routed attempts each; exemplars are
+        // keep-first, so a small ring would evict exactly their traces).
+        spec.telemetry.flight_recorder_capacity = 1 << 20;
+        let r = run_scenario_seed(&spec, Backend::Chord, 42);
+        assert!(r.exemplar_count > 0, "chord arms must claim exemplars");
+        assert_eq!(r.exemplar_count as usize, r.tail_exemplars.len());
+        assert!(r.span_costs["lookup;finger_walk"] > 0);
+        assert!(r.span_costs.contains_key("maintenance;repair"));
+
+        // A traced replay of the same cell resolves exemplar ids to
+        // concrete traces whose hop count is the exemplar's value.
+        let (replayed, dump) = run_scenario_seed_traced(&spec, Backend::Chord, 42);
+        assert_eq!(replayed.tail_exemplars, r.tail_exemplars);
+        assert_eq!(replayed.span_costs, r.span_costs);
+        let by_ordinal: BTreeMap<u64, &telemetry::LookupTrace> =
+            dump.traces.iter().map(|t| (t.ordinal, t)).collect();
+        let matched: Vec<&TailExemplar> = r
+            .tail_exemplars
+            .iter()
+            .filter(|e| by_ordinal.contains_key(&e.trace_id))
+            .collect();
+        assert!(
+            !matched.is_empty(),
+            "some exemplar must resolve to a retained trace"
+        );
+        for e in matched {
+            let t = by_ordinal[&e.trace_id];
+            assert_eq!(
+                t.hops.len() as u64,
+                e.value,
+                "the replayed trace must land in the exemplar's bucket"
+            );
+            assert!(e.value <= e.bucket_upper);
+        }
+
+        // Oracle arms have no routing substrate: no exemplars, no spans.
+        let o = run_scenario_seed(&spec, Backend::Oracle, 42);
+        assert_eq!(o.exemplar_count, 0);
+        assert!(o.tail_exemplars.is_empty());
+        assert!(o.span_costs.is_empty());
     }
 
     #[test]

@@ -93,6 +93,19 @@ pub struct BackendAggregate {
     /// Worst during-outage success ratio across seeds — the figure the
     /// domain-outage verdicts gate (≥ 0.99 with the adaptive arm on).
     pub outage_success_ratio_min: f64,
+    /// Hop-histogram tail-exemplar slots claimed, summed across seeds (0
+    /// on oracle arms) — every tail bucket that can be replayed by
+    /// ordinal.
+    pub exemplar_count_sum: u64,
+    /// Name of the costliest profiler span summed across seeds (empty on
+    /// oracle arms; ties break name-ascending, so the pick is
+    /// deterministic).
+    pub top_span: String,
+    /// That span's summed cost — the numeric column diffs gate on.
+    pub top_span_cost: u64,
+    /// Span-profiler costs summed across seeds, name-sorted (empty on
+    /// oracle arms).
+    pub span_costs: std::collections::BTreeMap<String, u64>,
     /// Element-wise mean across seeds of each per-seed windowed gauge
     /// column — the longitudinal profile of the arm. Ragged seeds (ring
     /// eviction) average the windows present. Order-independent: means
@@ -135,6 +148,9 @@ impl BackendAggregate {
         let mut outage_draws_sum = 0u64;
         let mut outage_ratio = Welford::new();
         let mut outage_ratio_min = 1.0f64;
+        let mut exemplar_count_sum = 0u64;
+        let mut span_costs: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
         let mut series_sum: std::collections::BTreeMap<String, (Vec<f64>, Vec<u64>)> =
             std::collections::BTreeMap::new();
         // Per-worker recorders are merged here by summation into one
@@ -195,7 +211,24 @@ impl BackendAggregate {
             for (name, value) in &r.counters {
                 *counters.entry(name.clone()).or_insert(0u64) += value;
             }
+            exemplar_count_sum += r.exemplar_count;
+            for (name, cost) in &r.span_costs {
+                *span_costs.entry(name.clone()).or_insert(0u64) += cost;
+            }
         }
+        // Costliest span, cost-descending with name-ascending ties — the
+        // BTreeMap iteration order plus strict `>` makes the pick
+        // deterministic.
+        let (top_span, top_span_cost) =
+            span_costs
+                .iter()
+                .fold((String::new(), 0u64), |best, (name, &cost)| {
+                    if cost > best.1 && cost > 0 {
+                        (name.clone(), cost)
+                    } else {
+                        best
+                    }
+                });
         let series_mean = series_sum
             .into_iter()
             .map(|(name, (sums, counts))| {
@@ -246,6 +279,10 @@ impl BackendAggregate {
                 outage_ratio.mean()
             },
             outage_success_ratio_min: outage_ratio_min,
+            exemplar_count_sum,
+            top_span,
+            top_span_cost,
+            span_costs,
             series_mean,
             counters,
         }

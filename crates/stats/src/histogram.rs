@@ -136,6 +136,20 @@ impl fmt::Display for CategoricalHistogram {
 const SUB_BITS: u32 = 4;
 const SUB: u64 = 1 << SUB_BITS;
 
+/// One tail exemplar: a concrete operation id pinned to the histogram
+/// bucket its value landed in, so a percentile figure can be traced back
+/// to a replayable operation (see `telemetry`'s flight recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index the exemplar's value landed in
+    /// (see [`LogHistogram::bucket_index`]).
+    pub bucket: usize,
+    /// The recorded value.
+    pub value: u64,
+    /// Caller-supplied operation id (e.g. a lookup-trace ordinal).
+    pub trace_id: u64,
+}
+
 /// Log-bucketed histogram over `u64` values with bounded relative error.
 ///
 /// Values below 16 land in exact unit buckets; above that, each power-of-two
@@ -148,6 +162,10 @@ const SUB: u64 = 1 << SUB_BITS;
 /// returning the *upper edge* of the selected bucket
 /// clamped to the exact observed maximum — quantiles never under-report,
 /// which keeps them safe for tail-bound assertions.
+///
+/// A histogram can optionally carry [`Exemplar`]s — at most one per
+/// bucket, keep-first — linking tail buckets to concrete operation ids;
+/// see [`LogHistogram::record_with_exemplar`].
 ///
 /// # Example
 ///
@@ -169,12 +187,18 @@ pub struct LogHistogram {
     total: u64,
     min: u64,
     max: u64,
+    exemplars: Vec<Exemplar>,
 }
 
 impl LogHistogram {
     /// Number of buckets: 16 exact unit buckets plus 16 sub-buckets for
     /// each of the 60 remaining octaves of the `u64` range.
     pub const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+    /// Maximum exemplars one histogram retains (one slot per distinct
+    /// bucket, keep-first, so the cap only binds on very spread-out
+    /// distributions).
+    pub const MAX_EXEMPLARS: usize = 32;
 
     /// Creates an empty histogram.
     pub fn new() -> LogHistogram {
@@ -183,6 +207,7 @@ impl LogHistogram {
             total: 0,
             min: u64::MAX,
             max: 0,
+            exemplars: Vec::new(),
         }
     }
 
@@ -247,7 +272,49 @@ impl LogHistogram {
             total,
             min: if total == 0 { u64::MAX } else { min },
             max: if total == 0 { 0 } else { max },
+            exemplars: Vec::new(),
         }
+    }
+
+    /// Records one observation and offers `trace_id` as the bucket's
+    /// exemplar. The first observation to land in a bucket wins its slot
+    /// (deterministic keep-first); later offers for the same bucket are
+    /// ignored, as is everything past [`LogHistogram::MAX_EXEMPLARS`]
+    /// distinct buckets.
+    pub fn record_with_exemplar(&mut self, value: u64, trace_id: u64) {
+        self.record(value);
+        self.offer_exemplar(value, trace_id);
+    }
+
+    /// Offers an exemplar without recording a new observation (used when
+    /// the count was already tallied elsewhere, e.g. in atomic storage).
+    pub fn offer_exemplar(&mut self, value: u64, trace_id: u64) {
+        let bucket = Self::bucket_index(value);
+        match self.exemplars.binary_search_by_key(&bucket, |e| e.bucket) {
+            Ok(_) => {} // keep-first: the slot is taken
+            Err(pos) => {
+                if self.exemplars.len() < Self::MAX_EXEMPLARS {
+                    self.exemplars.insert(
+                        pos,
+                        Exemplar {
+                            bucket,
+                            value,
+                            trace_id,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The retained exemplars, sorted by bucket index.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
+    /// Drops every exemplar (window-reset path; counts are untouched).
+    pub fn clear_exemplars(&mut self) {
+        self.exemplars.clear();
     }
 
     /// Total observations recorded.
@@ -325,7 +392,9 @@ impl LogHistogram {
         self.percentile(99.9)
     }
 
-    /// Merges another histogram's counts into this one.
+    /// Merges another histogram's counts into this one. Exemplars keep
+    /// the keep-first policy: this histogram's slots win, `other`'s fill
+    /// buckets still empty (in bucket order), up to the retention cap.
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
@@ -333,6 +402,9 @@ impl LogHistogram {
         self.total += other.total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for e in &other.exemplars {
+            self.offer_exemplar(e.value, e.trace_id);
+        }
     }
 
     /// Raw bucket counts (length [`LogHistogram::BUCKETS`]).
@@ -573,6 +645,47 @@ mod tests {
         let mut h = LogHistogram::new();
         h.record(1);
         let _ = h.percentile(-1.0);
+    }
+
+    #[test]
+    fn exemplars_keep_first_per_bucket_and_stay_bucket_sorted() {
+        let mut h = LogHistogram::new();
+        h.record_with_exemplar(100, 7);
+        h.record_with_exemplar(101, 8); // same bucket as 100: ignored
+        h.record_with_exemplar(3, 9);
+        assert_eq!(h.count(), 3);
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!((ex[0].value, ex[0].trace_id), (3, 9));
+        assert_eq!((ex[1].value, ex[1].trace_id), (100, 7));
+        assert!(ex[0].bucket < ex[1].bucket, "sorted by bucket");
+        assert_eq!(ex[1].bucket, LogHistogram::bucket_index(100));
+        h.clear_exemplars();
+        assert!(h.exemplars().is_empty());
+        assert_eq!(h.count(), 3, "clearing exemplars keeps counts");
+    }
+
+    #[test]
+    fn exemplar_capacity_is_bounded() {
+        let mut h = LogHistogram::new();
+        for i in 0..200u64 {
+            // Distinct octaves so every record targets a fresh bucket.
+            h.record_with_exemplar(1 << (i % 60), i);
+        }
+        assert!(h.exemplars().len() <= LogHistogram::MAX_EXEMPLARS);
+    }
+
+    #[test]
+    fn merge_unions_exemplars_keep_first() {
+        let mut a = LogHistogram::new();
+        a.record_with_exemplar(50, 1);
+        let mut b = LogHistogram::new();
+        b.record_with_exemplar(51, 2); // same bucket: a's slot wins
+        b.record_with_exemplar(4000, 3); // new bucket: adopted
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        let ids: Vec<u64> = a.exemplars().iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![1, 3]);
     }
 
     #[test]

@@ -46,4 +46,4 @@ pub mod proportion;
 
 pub use chisquare::{ChiSquare, ChiSquareError};
 pub use describe::{Summary, Welford};
-pub use histogram::{CategoricalHistogram, LogHistogram};
+pub use histogram::{CategoricalHistogram, Exemplar, LogHistogram};

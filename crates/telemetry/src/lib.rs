@@ -29,7 +29,16 @@
 //! * [`TraceDump`] exporters — deterministic pretty text and Chrome
 //!   `trace_event` JSON (load in `chrome://tracing` or Perfetto), plus an
 //!   FNV-1a digest over the full trace stream for byte-stable record
-//!   fields.
+//!   fields. Hops carry retry-attempt and fallback-tier annotations
+//!   ([`FallbackTier`]) so a degraded lookup's path explains itself.
+//! * Tail exemplars — [`Recorder::record_with_exemplar`] stores the
+//!   operation ordinal of the first sample to land in each histogram
+//!   bucket per window ([`stats::Exemplar`]), so a p99/p999 figure links
+//!   to a concrete replayable [`LookupTrace`] (matched via
+//!   `LookupTrace::ordinal`).
+//! * [`SpanProfiler`] — deterministic per-phase cost attribution
+//!   (finger walk vs retry/backoff vs successor-walk vs quorum vs
+//!   maintenance repair) with collapsed-stack flamegraph export.
 //!
 //! # Example
 //!
@@ -51,10 +60,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod profiler;
 mod recorder;
 mod timeseries;
 mod trace;
 
+pub use profiler::{SpanId, SpanProfiler, SpanTotal};
 pub use recorder::{CounterId, HistogramId, Recorder, ScopeBreakdown, ScopeToken};
 pub use timeseries::{HealthEventRecord, TimeSeries, WindowSnapshot};
-pub use trace::{HopRecord, LookupTrace, TraceDump, TraceOutcome};
+pub use trace::{FallbackTier, HopRecord, LookupTrace, TraceDump, TraceOutcome};

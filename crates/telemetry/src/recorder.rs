@@ -3,8 +3,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 use parking_lot::Mutex;
-use stats::LogHistogram;
+use stats::{Exemplar, LogHistogram};
 
+use crate::profiler::SpanProfiler;
 use crate::timeseries::{HealthEventRecord, WindowSnapshot};
 use crate::trace::{FlightRecorder, LookupTrace};
 
@@ -27,13 +28,21 @@ pub struct CounterId(u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HistogramId(u32);
 
+/// Words in the per-slot exemplar bucket bitmap (one bit per histogram
+/// bucket, rounded up).
+const EXEMPLAR_WORDS: usize = LogHistogram::BUCKETS.div_ceil(64);
+
 /// One histogram's atomic storage: lazily-allocated log buckets plus the
-/// exactly-tracked extrema needed to clamp reported percentiles.
+/// exactly-tracked extrema needed to clamp reported percentiles, plus the
+/// per-window exemplar slots (keep-first per bucket; the `seen` bitmap
+/// keeps the common already-claimed path to one relaxed load).
 #[derive(Debug)]
 struct HistSlot {
     buckets: OnceLock<Box<[AtomicU64]>>,
     min: AtomicU64,
     max: AtomicU64,
+    exemplar_seen: Box<[AtomicU64]>,
+    exemplars: Mutex<Vec<Exemplar>>,
 }
 
 impl HistSlot {
@@ -42,6 +51,8 @@ impl HistSlot {
             buckets: OnceLock::new(),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            exemplar_seen: (0..EXEMPLAR_WORDS).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: Mutex::new(Vec::new()),
         }
     }
 
@@ -53,6 +64,41 @@ impl HistSlot {
         })
     }
 
+    /// Offers `trace_id` as the exemplar for `value`'s bucket. Keep-first
+    /// per bucket per window: the hot already-claimed path is one relaxed
+    /// bitmap load, the claiming path takes the slot lock once.
+    fn offer_exemplar(&self, bucket: usize, value: u64, trace_id: u64) {
+        let (word, bit) = (bucket / 64, 1u64 << (bucket % 64));
+        if self.exemplar_seen[word].load(Ordering::Relaxed) & bit != 0 {
+            return;
+        }
+        let mut slots = self.exemplars.lock();
+        // Re-check under the lock (concurrent claimers race benignly in
+        // tests; the simulation loop is single-threaded).
+        if self.exemplar_seen[word].fetch_or(bit, Ordering::Relaxed) & bit != 0 {
+            return;
+        }
+        if slots.len() < LogHistogram::MAX_EXEMPLARS {
+            slots.push(Exemplar {
+                bucket,
+                value,
+                trace_id,
+            });
+        }
+    }
+
+    /// Drains this window's exemplars (bucket-sorted) and reopens every
+    /// slot for the next window.
+    fn take_exemplars(&self) -> Vec<Exemplar> {
+        let mut slots = self.exemplars.lock();
+        for word in self.exemplar_seen.iter() {
+            word.store(0, Ordering::Relaxed);
+        }
+        let mut out = std::mem::take(&mut *slots);
+        out.sort_by_key(|e| e.bucket);
+        out
+    }
+
     fn reset(&self) {
         if let Some(buckets) = self.buckets.get() {
             for b in buckets {
@@ -61,6 +107,7 @@ impl HistSlot {
         }
         self.min.store(u64::MAX, Ordering::Relaxed);
         self.max.store(0, Ordering::Relaxed);
+        let _ = self.take_exemplars();
     }
 }
 
@@ -123,6 +170,8 @@ pub struct Recorder {
     scopes: Mutex<BTreeMap<&'static str, ScopeAccum>>,
     window: Mutex<WindowState>,
     health: Mutex<Vec<HealthEventRecord>>,
+    op_seq: AtomicU64,
+    profiler: SpanProfiler,
 }
 
 impl Recorder {
@@ -139,6 +188,8 @@ impl Recorder {
             scopes: Mutex::new(BTreeMap::new()),
             window: Mutex::new(WindowState::default()),
             health: Mutex::new(Vec::new()),
+            op_seq: AtomicU64::new(0),
+            profiler: SpanProfiler::new(),
         }
     }
 
@@ -244,6 +295,39 @@ impl Recorder {
         slot.max.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Records one observation and offers `trace_id` as its bucket's
+    /// exemplar for the current window (deterministic keep-first per
+    /// bucket; see [`stats::Exemplar`]). The already-claimed path adds
+    /// one relaxed bitmap load to [`Recorder::record`], so the call is
+    /// safe on the lookup hot path. Exemplar capture is *always on* —
+    /// ids are op ordinals, which exist with tracing on or off, so
+    /// traced and untraced runs stay byte-identical.
+    #[inline]
+    pub fn record_with_exemplar(&self, id: HistogramId, value: u64, trace_id: u64) {
+        let slot = &self.hist_slots[id.0 as usize];
+        let bucket = LogHistogram::bucket_index(value);
+        slot.buckets()[bucket].fetch_add(1, Ordering::Relaxed);
+        slot.min.fetch_min(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+        slot.offer_exemplar(bucket, value, trace_id);
+    }
+
+    /// Draws the next operation ordinal — the deterministic id linking a
+    /// histogram exemplar to the lookup trace with the same
+    /// [`LookupTrace::ordinal`]. Drawn unconditionally (one relaxed
+    /// `fetch_add`) so ordinals agree between traced and untraced runs.
+    #[inline]
+    pub fn next_op_ordinal(&self) -> u64 {
+        self.op_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The deterministic span profiler (per-phase simulated cost
+    /// attribution; see [`SpanProfiler`]).
+    #[inline]
+    pub fn profiler(&self) -> &SpanProfiler {
+        &self.profiler
+    }
+
     /// Copies a histogram's buckets out into an owned [`LogHistogram`]
     /// for percentile queries and merging.
     pub fn histogram_snapshot(&self, id: HistogramId) -> LogHistogram {
@@ -251,11 +335,17 @@ impl Recorder {
         match slot.buckets.get() {
             Some(buckets) => {
                 let counts: Vec<u64> = buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-                LogHistogram::from_bucket_counts(
+                let mut hist = LogHistogram::from_bucket_counts(
                     &counts,
                     slot.min.load(Ordering::Relaxed),
                     slot.max.load(Ordering::Relaxed),
-                )
+                );
+                // Attach the open window's exemplars (peek, don't drain —
+                // `reset_window` still owns handing them to the window).
+                for e in slot.exemplars.lock().iter() {
+                    hist.offer_exemplar(e.value, e.trace_id);
+                }
+                hist
             }
             None => LogHistogram::new(),
         }
@@ -308,7 +398,7 @@ impl Recorder {
         }
         let mut hists = Vec::with_capacity(hist_names.len());
         for (i, name) in hist_names.iter().enumerate() {
-            let hist = match self.hist_slots[i].buckets.get() {
+            let mut hist = match self.hist_slots[i].buckets.get() {
                 Some(buckets) => {
                     let base = &mut state.hist_base[i];
                     if base.len() < buckets.len() {
@@ -324,6 +414,11 @@ impl Recorder {
                 }
                 None => LogHistogram::new(),
             };
+            // This window's exemplars travel with its delta histogram
+            // (keep-first per bucket, slots reopened for the next window).
+            for e in self.hist_slots[i].take_exemplars() {
+                hist.offer_exemplar(e.value, e.trace_id);
+            }
             hists.push((name.clone(), hist));
         }
         let index = state.index;
@@ -468,6 +563,8 @@ impl Recorder {
         self.scopes.lock().clear();
         *self.window.lock() = WindowState::default();
         self.health.lock().clear();
+        self.op_seq.store(0, Ordering::Relaxed);
+        self.profiler.reset();
     }
 
     /// Approximate resident bytes of the recorder's storage (counter
@@ -479,11 +576,13 @@ impl Recorder {
             .hist_slots
             .iter()
             .map(|s| {
-                24 + if s.buckets.get().is_some() {
-                    LogHistogram::BUCKETS * 8
-                } else {
-                    0
-                }
+                24 + EXEMPLAR_WORDS * 8
+                    + s.exemplars.lock().len() * std::mem::size_of::<Exemplar>()
+                    + if s.buckets.get().is_some() {
+                        LogHistogram::BUCKETS * 8
+                    } else {
+                        0
+                    }
             })
             .sum();
         let names: usize = self
@@ -498,7 +597,7 @@ impl Recorder {
             state.counter_base.len() * 8
                 + state.hist_base.iter().map(|b| b.len() * 8).sum::<usize>()
         };
-        counters + hists + names + window
+        counters + hists + names + window + self.profiler.bytes()
     }
 }
 
@@ -533,7 +632,7 @@ fn window_hist_from_deltas(deltas: &[u64]) -> LogHistogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::trace::{HopRecord, TraceOutcome};
+    use crate::trace::{FallbackTier, HopRecord, TraceOutcome};
 
     fn tiny_trace(from: u64) -> LookupTrace {
         LookupTrace {
@@ -544,10 +643,13 @@ mod tests {
                 finger_level: 3,
                 forged: false,
                 latency: 5,
+                attempt: 0,
+                tier: FallbackTier::Direct,
             }],
             outcome: TraceOutcome::Resolved(7),
             messages: 1,
             latency: 5,
+            ordinal: 0,
         }
     }
 

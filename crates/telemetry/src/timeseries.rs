@@ -238,6 +238,37 @@ mod tests {
         assert_eq!(ts.capacity(), 1);
     }
 
+    /// Ring eviction drops whole windows, never mutates survivors: the
+    /// retained windows' delta histograms keep their bucket counts *and*
+    /// their exemplar slots after older windows fall off the front.
+    #[test]
+    fn eviction_preserves_surviving_deltas_and_exemplars() {
+        let r = Recorder::new();
+        let h = r.histogram("hops");
+        let mut ts = TimeSeries::new(2);
+        // Window i records one value (i+1) with trace id 100+i.
+        for i in 0..5u64 {
+            r.record_with_exemplar(h, i + 1, 100 + i);
+            ts.push(r.reset_window());
+        }
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.recorded(), 5);
+        let retained: Vec<&WindowSnapshot> = ts.iter().collect();
+        for (w, i) in retained.iter().zip(3u64..) {
+            assert_eq!(w.index, i);
+            let hist = w.hist("hops").expect("delta hist survives eviction");
+            assert_eq!(hist.count(), 1);
+            let ex = hist.exemplars();
+            assert_eq!(ex.len(), 1, "window {i} kept its exemplar");
+            assert_eq!(ex[0].value, i + 1);
+            assert_eq!(ex[0].trace_id, 100 + i);
+        }
+        // Merging the survivors unions their exemplars too.
+        let merged = ts.merged_histogram("hops");
+        let ids: Vec<u64> = merged.exemplars().iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![103, 104]);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -279,6 +310,53 @@ mod tests {
                     );
                 }
             }
+        }
+
+        /// Wraparound property: with capacity smaller than the number of
+        /// windows pushed, merging the survivors is bucket-exact against a
+        /// reference histogram built from only the non-evicted suffix, and
+        /// the surviving windows' exemplars (one per window here) are
+        /// exactly the suffix's trace ids, in order.
+        #[test]
+        fn merge_stays_bucket_exact_after_wraparound(
+            windows in proptest::collection::vec(
+                proptest::collection::vec(1u64..1_000_000, 1..20),
+                2..10,
+            ),
+            capacity in 1usize..6,
+        ) {
+            let r = Recorder::new();
+            let h = r.histogram("hops");
+            let mut ts = TimeSeries::new(capacity);
+            for (i, values) in windows.iter().enumerate() {
+                for &v in values {
+                    // First value of each window claims the exemplar slot
+                    // for its bucket; trace id encodes the window index.
+                    r.record_with_exemplar(h, v, i as u64);
+                }
+                ts.push(r.reset_window());
+            }
+            let survivors = windows.len().min(capacity);
+            let suffix = &windows[windows.len() - survivors..];
+            let mut reference = LogHistogram::new();
+            for values in suffix {
+                for &v in values {
+                    reference.record(v);
+                }
+            }
+            let merged = ts.merged_histogram("hops");
+            prop_assert_eq!(ts.len(), survivors);
+            prop_assert_eq!(merged.bucket_counts(), reference.bucket_counts());
+            prop_assert_eq!(merged.count(), reference.count());
+            // Every surviving window still resolves to a suffix trace id,
+            // and the merged union keeps first-claim-wins semantics: each
+            // exemplar's id names a window that is still retained.
+            let first_kept = (windows.len() - survivors) as u64;
+            for e in merged.exemplars() {
+                prop_assert!(e.trace_id >= first_kept,
+                    "exemplar {} cites an evicted window", e.trace_id);
+            }
+            prop_assert!(!merged.exemplars().is_empty());
         }
     }
 }

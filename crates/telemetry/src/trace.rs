@@ -1,6 +1,38 @@
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
+/// Which degradation tier issued a hop (the retry/fallback path; see
+/// `chord::RetryPolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FallbackTier {
+    /// Ordinary finger routing (no fallback active).
+    #[default]
+    Direct,
+    /// The bounded successor-walk fallback tier.
+    Walk,
+    /// The verified-quorum fallback tier.
+    Quorum,
+}
+
+impl FallbackTier {
+    /// Stable lowercase label used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            FallbackTier::Direct => "direct",
+            FallbackTier::Walk => "walk",
+            FallbackTier::Quorum => "quorum",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            FallbackTier::Direct => 0,
+            FallbackTier::Walk => 1,
+            FallbackTier::Quorum => 2,
+        }
+    }
+}
+
 /// One hop of a `find_successor` walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HopRecord {
@@ -14,6 +46,12 @@ pub struct HopRecord {
     pub forged: bool,
     /// Simulated latency of this hop's message, in ticks.
     pub latency: u64,
+    /// Which retry attempt issued this hop (0 = the first try; nonzero
+    /// means the lookup was re-routed after backoff).
+    pub attempt: u8,
+    /// Which degradation tier issued this hop — the *why was this lookup
+    /// slow* annotation the retry/fallback path writes.
+    pub tier: FallbackTier,
 }
 
 /// How a traced lookup ended.
@@ -43,6 +81,12 @@ pub struct LookupTrace {
     pub messages: u64,
     /// Total sequential latency in ticks.
     pub latency: u64,
+    /// Run-wide operation ordinal (from `Recorder::next_op_ordinal`).
+    /// This is the id histogram exemplars store, so a tail bucket can be
+    /// joined back to its trace even after ring eviction; it is drawn
+    /// whether or not tracing is enabled, so ids agree across traced and
+    /// untraced replays of the same seed.
+    pub ordinal: u64,
 }
 
 /// Bounded ring buffer of lookup traces with an eviction-stable digest.
@@ -81,6 +125,7 @@ impl FlightRecorder {
         self.digest = fnv_u64(self.digest, trace.target);
         self.digest = fnv_u64(self.digest, trace.messages);
         self.digest = fnv_u64(self.digest, trace.latency);
+        self.digest = fnv_u64(self.digest, trace.ordinal);
         for hop in &trace.hops {
             self.digest = fnv_u64(self.digest, hop.node);
             self.digest = fnv_u64(
@@ -88,6 +133,7 @@ impl FlightRecorder {
                 (u64::from(hop.finger_level) << 1) | u64::from(hop.forged),
             );
             self.digest = fnv_u64(self.digest, hop.latency);
+            self.digest = fnv_u64(self.digest, (u64::from(hop.attempt) << 2) | hop.tier.code());
         }
         self.digest = fnv_u64(
             self.digest,
@@ -164,7 +210,8 @@ impl TraceDump {
                     "{{\"name\":\"lookup {i} 0x{from:016x}->0x{target:016x}\",",
                     "\"cat\":\"lookup\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},",
                     "\"pid\":1,\"tid\":1,\"args\":{{\"hops\":{hops},",
-                    "\"messages\":{msgs},\"outcome\":\"{outcome}\"}}}}"
+                    "\"messages\":{msgs},\"outcome\":\"{outcome}\",",
+                    "\"ordinal\":{ordinal}}}}}"
                 ),
                 i = i,
                 from = trace.from,
@@ -174,6 +221,7 @@ impl TraceDump {
                 hops = trace.hops.len(),
                 msgs = trace.messages,
                 outcome = outcome,
+                ordinal = trace.ordinal,
             ));
             let mut hop_clock = clock;
             for hop in &trace.hops {
@@ -182,13 +230,16 @@ impl TraceDump {
                         "{{\"name\":\"hop->0x{node:016x}\",\"cat\":\"hop\",",
                         "\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\"pid\":1,",
                         "\"tid\":2,\"args\":{{\"finger_level\":{level},",
-                        "\"forged\":{forged}}}}}"
+                        "\"forged\":{forged},\"attempt\":{attempt},",
+                        "\"tier\":\"{tier}\"}}}}"
                     ),
                     node = hop.node,
                     ts = hop_clock,
                     dur = hop.latency.max(1),
                     level = hop.finger_level,
                     forged = hop.forged,
+                    attempt = hop.attempt,
+                    tier = hop.tier.label(),
                 ));
                 hop_clock += hop.latency.max(1);
             }
@@ -226,7 +277,8 @@ impl TraceDump {
             };
             let _ = writeln!(
                 out,
-                "trace #{i}: 0x{:016x} -> 0x{:016x}  {outcome}  hops={} msgs={} latency={}",
+                "trace #{i} (op {}): 0x{:016x} -> 0x{:016x}  {outcome}  hops={} msgs={} latency={}",
+                trace.ordinal,
                 trace.from,
                 trace.target,
                 trace.hops.len(),
@@ -234,9 +286,14 @@ impl TraceDump {
                 trace.latency
             );
             for (h, hop) in trace.hops.iter().enumerate() {
+                let degraded = match (hop.attempt, hop.tier) {
+                    (0, FallbackTier::Direct) => String::new(),
+                    (a, FallbackTier::Direct) => format!(" retry={a}"),
+                    (a, tier) => format!(" retry={a} tier={}", tier.label()),
+                };
                 let _ = writeln!(
                     out,
-                    "  hop {:>2}: -> 0x{:016x}  level={:<2} latency={:<6} {}",
+                    "  hop {:>2}: -> 0x{:016x}  level={:<2} latency={:<6} {}{degraded}",
                     h + 1,
                     hop.node,
                     hop.finger_level,
@@ -264,17 +321,22 @@ mod tests {
                         finger_level: 17,
                         forged: false,
                         latency: 3,
+                        attempt: 0,
+                        tier: FallbackTier::Direct,
                     },
                     HopRecord {
                         node: 0x40,
                         finger_level: 4,
                         forged: true,
                         latency: 2,
+                        attempt: 2,
+                        tier: FallbackTier::Walk,
                     },
                 ],
                 outcome: TraceOutcome::Captured(0x40),
                 messages: 3,
                 latency: 5,
+                ordinal: 7,
             }],
             digest: 0xdead_beef,
             recorded: 9,
@@ -290,6 +352,10 @@ mod tests {
         assert!(json.contains("\"finger_level\":17"));
         assert!(json.contains("\"forged\":true"));
         assert!(json.contains("\"outcome\":\"captured\""));
+        assert!(json.contains("\"ordinal\":7"));
+        assert!(json.contains("\"attempt\":2"));
+        assert!(json.contains("\"tier\":\"walk\""));
+        assert!(json.contains("\"tier\":\"direct\""));
         // Balanced braces/brackets — cheap structural sanity check.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();
@@ -304,6 +370,31 @@ mod tests {
         assert!(text.contains("FORGED"));
         assert!(text.contains("honest"));
         assert!(text.contains("digest 00000000deadbeef"));
+        assert!(text.contains("(op 7)"));
+        assert!(text.contains("retry=2 tier=walk"));
+        // First-try direct hops carry no degradation annotation.
+        let first_hop = text.lines().find(|l| l.contains("hop  1")).unwrap();
+        assert!(!first_hop.contains("retry"));
+    }
+
+    #[test]
+    fn digest_covers_degradation_annotations_and_ordinal() {
+        let base = sample_dump().traces[0].clone();
+        let mut retried = base.clone();
+        retried.hops[0].attempt = 1;
+        let mut quorum = base.clone();
+        quorum.hops[1].tier = FallbackTier::Quorum;
+        let mut renumbered = base.clone();
+        renumbered.ordinal = 8;
+        let digest_of = |t: &LookupTrace| {
+            let mut fr = FlightRecorder::new(4);
+            fr.push(t.clone());
+            fr.digest()
+        };
+        let d = digest_of(&base);
+        assert_ne!(d, digest_of(&retried));
+        assert_ne!(d, digest_of(&quorum));
+        assert_ne!(d, digest_of(&renumbered));
     }
 
     #[test]
@@ -315,6 +406,7 @@ mod tests {
             outcome: TraceOutcome::Unresolved,
             messages: 0,
             latency: 0,
+            ordinal: 0,
         };
         let t2 = LookupTrace {
             from: 3,
