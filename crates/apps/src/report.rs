@@ -24,7 +24,8 @@
 //!
 //! **Bench histories** compare the *latest* entry of each side (legacy
 //! flat-row files count as a single entry). Metric direction is inferred
-//! from the key: `*speedup*`/`*ratio*` are higher-is-better, everything
+//! from the key: `*speedup*`/`*ratio*` are higher-is-better — except
+//! `*overhead*` keys, which are costs — and everything
 //! else numeric (ns, ms, pct, bytes, lookups) is lower-is-better;
 //! configuration keys (`bench`, `n`, `*_bar`, `*_budget*`) and scenario
 //! constants are skipped. Bands are wide (35% rel) because wall-clock
@@ -139,6 +140,21 @@ const SWEEP_GATES: &[Gate] = &[
         better: Direction::Lower,
         rel: 0.5,
         abs: 1.0,
+    },
+    // Async-engine columns (PR 10). The in-flight-age tail is tick-noisy
+    // across seeds, and the adaptive arm's deadline count is a cost, not
+    // a correctness bit — both get wide bands.
+    Gate {
+        key: "engine_age_p999_mean",
+        better: Direction::Lower,
+        rel: 0.30,
+        abs: 32.0,
+    },
+    Gate {
+        key: "engine_timeouts_sum",
+        better: Direction::Lower,
+        rel: 0.5,
+        abs: 8.0,
     },
 ];
 
@@ -331,41 +347,47 @@ fn diff_sweeps(base: &Value, cand: &Value) -> ReportDiff {
 }
 
 /// Loss rules for the watchdog verdict columns (−1 sentinels make plain
-/// numeric bands meaningless here).
+/// numeric bands meaningless here). The draw-phase watchdog columns and
+/// the engine phase's in-flight-age columns share the same semantics, so
+/// they share the same rules.
 fn diff_watchdog_columns(arm: &str, base: &Value, cand: &Value, diff: &mut ReportDiff) {
-    if let (Some(b), Some(c)) = (
-        base.get("time_to_detect_max").and_then(int),
-        cand.get("time_to_detect_max").and_then(int),
-    ) {
-        let regressed = b >= 0 && (c < 0 || c > b + TTD_SLACK_WINDOWS);
-        diff.lines.push(format!(
-            "{arm} time_to_detect_max: {b} -> {c} ({})",
-            if regressed { "REGRESSED" } else { "ok" }
-        ));
-        if regressed {
-            diff.regressions.push(format!(
-                "{arm} time_to_detect_max: baseline detected in {b} windows, candidate {}",
-                if c < 0 {
-                    "never detects".to_string()
-                } else {
-                    format!("takes {c}")
-                }
+    for detect_key in ["time_to_detect_max", "engine_ttd_max"] {
+        if let (Some(b), Some(c)) = (
+            base.get(detect_key).and_then(int),
+            cand.get(detect_key).and_then(int),
+        ) {
+            let regressed = b >= 0 && (c < 0 || c > b + TTD_SLACK_WINDOWS);
+            diff.lines.push(format!(
+                "{arm} {detect_key}: {b} -> {c} ({})",
+                if regressed { "REGRESSED" } else { "ok" }
             ));
+            if regressed {
+                diff.regressions.push(format!(
+                    "{arm} {detect_key}: baseline detected in {b} windows, candidate {}",
+                    if c < 0 {
+                        "never detects".to_string()
+                    } else {
+                        format!("takes {c}")
+                    }
+                ));
+            }
         }
     }
-    if let (Some(b), Some(c)) = (
-        base.get("time_to_recover_min").and_then(int),
-        cand.get("time_to_recover_min").and_then(int),
-    ) {
-        let regressed = b >= 0 && c < 0;
-        diff.lines.push(format!(
-            "{arm} time_to_recover_min: {b} -> {c} ({})",
-            if regressed { "REGRESSED" } else { "ok" }
-        ));
-        if regressed {
-            diff.regressions.push(format!(
-                "{arm} time_to_recover_min: baseline recovered, candidate still breached at run end"
+    for recover_key in ["time_to_recover_min", "engine_ttr_min"] {
+        if let (Some(b), Some(c)) = (
+            base.get(recover_key).and_then(int),
+            cand.get(recover_key).and_then(int),
+        ) {
+            let regressed = b >= 0 && c < 0;
+            diff.lines.push(format!(
+                "{arm} {recover_key}: {b} -> {c} ({})",
+                if regressed { "REGRESSED" } else { "ok" }
             ));
+            if regressed {
+                diff.regressions.push(format!(
+                    "{arm} {recover_key}: baseline recovered, candidate still breached at run end"
+                ));
+            }
         }
     }
 }
@@ -398,7 +420,11 @@ fn bench_key_skipped(key: &str) -> bool {
 }
 
 fn bench_direction(key: &str) -> Direction {
-    if key.contains("speedup") || key.contains("ratio") {
+    // Overhead ratios (e.g. `engine_overhead_ratio`) are cost divided by
+    // baseline: lower is better, despite the `ratio` suffix.
+    if key.contains("overhead") {
+        Direction::Lower
+    } else if key.contains("speedup") || key.contains("ratio") {
         Direction::Higher
     } else {
         Direction::Lower
@@ -599,6 +625,68 @@ mod tests {
         assert!(!both.lines.iter().any(|l| l.contains("new metric")));
     }
 
+    /// A sweep report with one engine-battery chord arm (PR 10 columns).
+    fn engine_sweep_json(p999: u64, timeouts: u64, ttd: i64, ttr: i64) -> String {
+        format!(
+            r#"{{
+  "seed": 7, "seeds_per_scenario": 2,
+  "scenarios": [
+    {{
+      "spec": {{"name": "engine-slowdomain-adaptive"}},
+      "runs": [],
+      "aggregates": [
+        {{"backend": "chord", "fail_rate_mean": 0.0,
+          "engine_age_p999_mean": {p999}.0, "engine_timeouts_sum": {timeouts},
+          "engine_ttd_max": {ttd}, "engine_ttr_min": {ttr}}}
+      ]
+    }}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn engine_columns_get_bands_and_loss_rules() {
+        let base = engine_sweep_json(400, 8, 1, 4);
+        assert!(diff_reports(&base, &base).unwrap().clean());
+        // A doubled in-flight-age tail regresses.
+        let slow = diff_reports(&base, &engine_sweep_json(800, 8, 1, 4)).unwrap();
+        assert!(
+            slow.regressions
+                .iter()
+                .any(|r| r.contains("engine_age_p999_mean")),
+            "{:?}",
+            slow.regressions
+        );
+        // Losing slow-sector detection regresses; a later-but-in-slack
+        // detection does not.
+        let lost = diff_reports(&base, &engine_sweep_json(400, 8, -1, 0)).unwrap();
+        assert!(
+            lost.regressions
+                .iter()
+                .any(|r| r.contains("engine_ttd_max") && r.contains("never detects")),
+            "{:?}",
+            lost.regressions
+        );
+        assert!(diff_reports(&base, &engine_sweep_json(400, 8, 2, 4))
+            .unwrap()
+            .clean());
+        // A run that no longer recovers by run end regresses.
+        let stuck = diff_reports(&base, &engine_sweep_json(400, 8, 1, -1)).unwrap();
+        assert!(
+            stuck
+                .regressions
+                .iter()
+                .any(|r| r.contains("engine_ttr_min")),
+            "{:?}",
+            stuck.regressions
+        );
+        // A pre-engine baseline sees the columns as new, never regressed.
+        let old = sweep_json(9, 0, -1).replace("crash-churn", "engine-slowdomain-adaptive");
+        let diff = diff_reports(&old, &engine_sweep_json(400, 8, 1, 4)).unwrap();
+        assert!(diff.clean(), "{:?}", diff.regressions);
+    }
+
     fn bench_history(lookup_ns: u64, speedup: f64) -> String {
         format!(
             r#"[{{"sha": "abc", "timestamp": 1, "rows": [
@@ -633,6 +721,30 @@ mod tests {
         assert!(diff_reports(&base, &bench_history(2000, 600.0))
             .unwrap()
             .clean());
+    }
+
+    #[test]
+    fn overhead_ratios_are_lower_is_better_despite_the_ratio_suffix() {
+        let row = |ratio: f64| {
+            format!(
+                r#"[{{"sha": "abc", "timestamp": 1, "rows": [
+                    {{"bench": "chord_scale", "n": 100000,
+                      "engine_overhead_ratio": {ratio}, "engine_overhead_bar": 1.1}}]}}]"#
+            )
+        };
+        // 0.95x -> 2.4x: the engine got slower relative to the sync walk;
+        // a naive `*ratio*`-means-higher rule would call this an improvement.
+        let worse = diff_reports(&row(0.95), &row(2.4)).unwrap();
+        assert!(
+            worse
+                .regressions
+                .iter()
+                .any(|r| r.contains("engine_overhead_ratio")),
+            "{:?}",
+            worse.regressions
+        );
+        // Getting cheaper is clean.
+        assert!(diff_reports(&row(0.95), &row(0.80)).unwrap().clean());
     }
 
     #[test]

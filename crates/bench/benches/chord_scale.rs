@@ -28,7 +28,8 @@
 use std::time::Instant;
 
 use chord::{
-    AdaptiveConfig, ChordConfig, ChordNetwork, MaintenanceBudget, NodeId, SloConfig, Watchdog,
+    AdaptiveConfig, ChordConfig, ChordNetwork, EngineConfig, FaultPlan, LookupEngine,
+    MaintenanceBudget, NodeId, SloConfig, Watchdog,
 };
 use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use keyspace::KeySpace;
@@ -80,6 +81,13 @@ const VERIFIER_BYTES_BUDGET: f64 = 40.0;
 /// ~8.3 B/node steady-state. Gated so maintenance bookkeeping cannot
 /// silently erode the scale headroom the other two budgets protect.
 const MAINTENANCE_BYTES_BUDGET: f64 = 16.0;
+/// Budget for the async engine's message decomposition: a lookup driven
+/// through the event loop at unit-constant latency makes the same
+/// routing decisions as the sync walk, so everything above 1.0× is pure
+/// engine bookkeeping — message structs, queue pushes/pops, per-request
+/// state. Gated at ≤ 1.10× the policy-aware sync walk so "async" never
+/// quietly becomes "slow".
+const ENGINE_OVERHEAD_BAR: f64 = 1.10;
 /// Budget for the adaptive peer-score table (`ChordNetwork::score_bytes`):
 /// two u8 columns (success EWMA + consecutive failures) per node, ~2 B
 /// steady-state. Gated at 8 so adaptive routing stays a rounding error
@@ -260,6 +268,53 @@ fn emit_json_point() -> bool {
     let window_draws = 500.max(5 * net.live_len()) as f64;
     let watchdog_overhead_pct = watchdog_observe_ns / (window_draws * lookup_ns).max(1e-9) * 100.0;
 
+    // Async-engine overhead: the same lookups, decomposed into messages
+    // and driven through the event loop at unit latency, vs the
+    // policy-aware sync walk they must answer identically to. Driven
+    // sequentially (submit one, drain it) so both sides walk the ring
+    // with the same access pattern and the ratio isolates the engine's
+    // own bookkeeping — message structs, queue pushes/pops, request
+    // state — rather than the cache effects of multiplexing. Measured as
+    // the median of paired back-to-back rounds: on a shared single-core
+    // runner, clock-frequency drift between two long measurements easily
+    // fakes a 2x "regression", so each round times both sides under the
+    // same conditions and the median discards the outlier rounds.
+    let rounds = 9u64;
+    let mut sync_rounds = Vec::new();
+    let mut engine_rounds = Vec::new();
+    let mut ratios = Vec::new();
+    for round in 0..rounds {
+        let sync_ns = measure(2_500, || {
+            t = (t + 1) % targets.len();
+            net.find_successor_with_policy(origin, targets[t], &FaultPlan::none(), &mut rng)
+        });
+        let mut engine = LookupEngine::new(EngineConfig {
+            seed: round,
+            ..EngineConfig::default()
+        });
+        let mut e = 0usize;
+        let engine_ns = measure(2_500, || {
+            e = (e + 1) % targets.len();
+            engine.submit(&net, origin, targets[e]);
+            engine.drain(&net, &FaultPlan::none());
+        });
+        assert_eq!(
+            engine.completions().len(),
+            2_500,
+            "engine must complete the whole round"
+        );
+        sync_rounds.push(sync_ns);
+        engine_rounds.push(engine_ns);
+        ratios.push(engine_ns / sync_ns.max(1e-9));
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    let policy_lookup_ns = median(&mut sync_rounds);
+    let engine_ns = median(&mut engine_rounds);
+    let engine_overhead = median(&mut ratios);
+
     // Adaptive peer-score state, with scoring enabled on the full-scale
     // ring (measured last: enabling it changes finger ranking, which
     // would perturb the lookup figures above).
@@ -295,6 +350,10 @@ fn emit_json_point() -> bool {
          \"recorder_bytes_budget\": {RECORDER_BYTES_BUDGET}, \
          \"score_bytes_per_node\": {score_bytes:.2}, \
          \"score_bytes_budget\": {SCORE_BYTES_BUDGET}, \
+         \"policy_lookup_ns\": {policy_lookup_ns:.0}, \
+         \"engine_lookup_ns\": {engine_ns:.0}, \
+         \"engine_overhead_ratio\": {engine_overhead:.3}, \
+         \"engine_overhead_bar\": {ENGINE_OVERHEAD_BAR}, \
          \"bulk_join_ms\": {bulk_ms:.0}}}"
     );
     // CARGO_MANIFEST_DIR = crates/bench; the trajectory file lives at the
@@ -320,6 +379,7 @@ fn emit_json_point() -> bool {
     let profiler_ok = profiler_overhead_pct <= PROFILER_OVERHEAD_BUDGET_PCT;
     let watchdog_ok = watchdog_overhead_pct <= WATCHDOG_OVERHEAD_BUDGET_PCT;
     let score_ok = score_bytes <= SCORE_BYTES_BUDGET;
+    let engine_ok = engine_overhead <= ENGINE_OVERHEAD_BAR;
     println!(
         "memory: {compact:.1} B/node vs legacy {legacy:.1} B/node => {memory_ratio:.1}x \
          (bar {MEMORY_BAR}x, {})",
@@ -361,6 +421,12 @@ fn emit_json_point() -> bool {
         "peer scores: {score_bytes:.2} B/node (budget {SCORE_BYTES_BUDGET}) ({})",
         if score_ok { "ok" } else { "REGRESSED" }
     );
+    println!(
+        "async engine: {engine_ns:.0} ns/lookup through the event loop vs \
+         {policy_lookup_ns:.0} ns sync walk => {engine_overhead:.3}x \
+         (bar {ENGINE_OVERHEAD_BAR}x, {})",
+        if engine_ok { "ok" } else { "REGRESSED" }
+    );
     memory_ok
         && verify_ok
         && verifier_ok
@@ -369,6 +435,7 @@ fn emit_json_point() -> bool {
         && profiler_ok
         && watchdog_ok
         && score_ok
+        && engine_ok
 }
 
 criterion_group!(benches, bench_verify_poll, bench_lookup, bench_bulk_join);

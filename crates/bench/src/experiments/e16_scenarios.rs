@@ -369,13 +369,16 @@ fn run_scale(ctx: &ExpContext, oracle_n: usize) -> Table {
     table
 }
 
-/// Runs the preset sweep, the coalition battery and the failure-domain
-/// battery, rendering one summary table for each.
+/// Runs the preset sweep, the coalition battery, the failure-domain
+/// battery and the async-engine battery, rendering one summary table for
+/// each.
 ///
 /// `RP_COALITION=only` skips the preset sweep (the CI smoke job's
 /// dedicated coalition step); `RP_COALITION=off` skips the coalition
 /// battery; `RP_DOMAINS=1`/`only` runs just the failure-domain battery
 /// (the `domain-smoke` CI job) and `RP_DOMAINS=0`/`off` skips it;
+/// `RP_ENGINE=1`/`only` runs just the async-engine battery (the
+/// `engine-smoke` CI job) and `RP_ENGINE=0`/`off` skips it;
 /// `RP_SCALE=<n>` runs the scale arms instead of everything else.
 pub fn run(ctx: &ExpContext) -> Vec<Table> {
     export_trace_if_requested(ctx);
@@ -390,6 +393,12 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
         // battery set (same policy as RP_SCALE / RP_COALITION).
         other => panic!("RP_DOMAINS={other:?} is not one of 1/only/on/off/0"),
     }
+    let engine = std::env::var("RP_ENGINE").unwrap_or_default();
+    match engine.as_str() {
+        "1" | "only" => return vec![run_engine(ctx)],
+        "" | "0" | "off" | "on" => {}
+        other => panic!("RP_ENGINE={other:?} is not one of 1/only/on/off/0"),
+    }
     let mode = std::env::var("RP_COALITION").unwrap_or_default();
     let mut tables = match mode.as_str() {
         "only" => vec![run_coalition(ctx)],
@@ -399,6 +408,9 @@ pub fn run(ctx: &ExpContext) -> Vec<Table> {
     };
     if matches!(domains.as_str(), "" | "on") {
         tables.push(run_domains(ctx));
+    }
+    if matches!(engine.as_str(), "" | "on") {
+        tables.push(run_engine(ctx));
     }
     tables
 }
@@ -587,6 +599,250 @@ fn domains_verdict(report: &SweepReport, seeds: u32, json_path: &str) -> String 
         adaptive.outage_success_ratio_mean,
         base.latency_mean,
         adaptive.latency_mean,
+        json_path,
+        if checks.is_empty() {
+            String::new()
+        } else {
+            format!("; flagged: {}", checks.join(", "))
+        }
+    )
+}
+
+/// The async-engine battery sized for the context: the quick shape is
+/// the unit suite's (128-node ring, 2k in-flight lookups per arm); the
+/// full shape pushes 10k lookups through a 10k-wide in-flight window
+/// per arm.
+fn engine_battery_specs(ctx: &ExpContext) -> Vec<ScenarioSpec> {
+    let mut specs = ScenarioSpec::engine_battery();
+    for spec in &mut specs {
+        if ctx.quick {
+            spec.n_initial = 128;
+            spec.workload.draws = 400;
+        } else {
+            spec.n_initial = 256;
+            spec.workload.draws = 1_000;
+            let engine = spec
+                .engine
+                .as_mut()
+                .expect("engine battery arms carry an engine phase");
+            engine.lookups = 10_000;
+            engine.inflight = 10_000;
+        }
+    }
+    specs
+}
+
+/// The in-harness zero-latency equivalence spot check: one ring, one
+/// origin, 256 lookups driven *concurrently* through the engine vs the
+/// sequential sync walk — owner, point, hops and attributed cost must
+/// match bit-for-bit. The arbitrary-ring/fault property battery lives in
+/// `chord/tests/engine_equivalence.rs`; this pins the same contract
+/// inside the experiment harness, so a regression fails the battery and
+/// not just the unit suite.
+fn equivalence_violation(seed: u64) -> Option<String> {
+    use chord::{ChordConfig, ChordNetwork, Completion, EngineConfig, FaultPlan, LookupEngine};
+    use keyspace::KeySpace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let space = KeySpace::full();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = space.random_points(&mut rng, 128);
+    let sync_net = ChordNetwork::bootstrap(space, points.clone(), ChordConfig::default());
+    let async_net = ChordNetwork::bootstrap(space, points, ChordConfig::default());
+    let origin = sync_net.live_ids()[0];
+    let targets: Vec<_> = (0..256).map(|_| space.random_point(&mut rng)).collect();
+
+    let mut engine = LookupEngine::new(EngineConfig {
+        seed,
+        ..EngineConfig::default()
+    });
+    let tags: Vec<u64> = targets
+        .iter()
+        .map(|&t| engine.submit(&async_net, origin, t))
+        .collect();
+    engine.drain(&async_net, &FaultPlan::none());
+    let by_tag: std::collections::BTreeMap<u64, &Completion> =
+        engine.completions().iter().map(|c| (c.tag, c)).collect();
+
+    let mut walk_rng = StdRng::seed_from_u64(seed ^ 0x51DE);
+    for (tag, &t) in tags.iter().zip(&targets) {
+        let done = by_tag.get(tag)?;
+        let sync =
+            sync_net.find_successor_with_policy(origin, t, &FaultPlan::none(), &mut walk_rng);
+        match (&done.result, &sync) {
+            (Ok(a), Ok(s))
+                if a.node == s.node
+                    && a.point == s.point
+                    && a.hops == s.hops
+                    && a.cost == s.cost => {}
+            (Err(a), Err(s)) if a == s => {}
+            (a, s) => {
+                return Some(format!(
+                    "engine/sync divergence on target {t:?}: {a:?} vs {s:?}"
+                ))
+            }
+        }
+    }
+    None
+}
+
+/// The async-engine battery: both `engine-slowdomain` arms — baseline
+/// deadlines-only vs adaptive deadlines+retry/fallback — against a
+/// latency-skewed (not dead) sector mid-run, plus two determinism pins:
+/// the in-harness zero-latency sync-equivalence spot check and a full
+/// byte-identical sweep replay.
+fn run_engine(ctx: &ExpContext) -> Table {
+    let seeds = if ctx.quick { 2 } else { 3 };
+    let specs = engine_battery_specs(ctx);
+    let master = ctx.stream(16, 5);
+    let report = Sweep::new(specs.clone())
+        .with_master_seed(master)
+        .with_seeds(seeds)
+        .run();
+    let replay = Sweep::new(specs)
+        .with_master_seed(master)
+        .with_seeds(seeds)
+        .run();
+    let json = report.to_json_pretty();
+    let replay_identical = json == replay.to_json_pretty();
+    let json_path = persist_named_report(&json, "e16_engine.json");
+
+    let mut table = Table::new(
+        "E16-engine: async in-flight lookups vs a slow domain (chord)",
+        "thousands of lookups in flight over one deterministic event loop; a \
+         latency-skewed sector breaches the in-flight-age SLO within 2 windows, \
+         deadlines+retries pay attributed timeouts, and the whole battery replays \
+         byte-identically",
+        &[
+            "scenario",
+            "live",
+            "lookups",
+            "done",
+            "timeouts",
+            "age_p999",
+            "age_p999_max",
+            "ttd",
+            "ttr",
+        ],
+    );
+    for scenario in &report.scenarios {
+        for agg in &scenario.aggregates {
+            table.push_row(vec![
+                scenario.spec.name.clone(),
+                fmt_f(agg.live_peers_mean),
+                agg.engine_lookups_sum.to_string(),
+                agg.engine_completed_sum.to_string(),
+                agg.engine_timeouts_sum.to_string(),
+                fmt_f(agg.engine_age_p999_mean),
+                agg.engine_age_p999_max.to_string(),
+                agg.engine_ttd_max.to_string(),
+                agg.engine_ttr_min.to_string(),
+            ]);
+        }
+    }
+    let equiv = equivalence_violation(ctx.stream(16, 6));
+    table.set_verdict(dump_flight_on_check(
+        engine_verdict(&report, replay_identical, equiv, seeds, &json_path),
+        &report,
+        "e16_engine_flight.txt",
+    ));
+    table
+}
+
+/// The async-engine acceptance gates: exactly-once completion, prompt
+/// slow-sector detection (ttd ≤ 2 windows) with recovery confirmed by
+/// run end, a visible latency tail on both arms, attributed deadline
+/// cost on the adaptive arm, and bit-for-bit determinism (sync
+/// equivalence + sweep replay). The adaptive arm's p999 is *reported*,
+/// not gated against the baseline: under a regional delay fault the slow
+/// owner probe is unavoidable, so preemptive retry bounds attempts, not
+/// the worst-case age.
+fn engine_verdict(
+    report: &SweepReport,
+    replay_identical: bool,
+    equivalence: Option<String>,
+    seeds: u32,
+    json_path: &str,
+) -> String {
+    let agg = |name: &str| {
+        report
+            .scenarios
+            .iter()
+            .find(|s| s.spec.name == name)
+            .map(|s| &s.aggregates[0])
+    };
+    let mut checks = Vec::new();
+    let mut ok = true;
+    if !replay_identical {
+        ok = false;
+        checks.push("sweep replay diverged (report not byte-identical)".to_string());
+    }
+    if let Some(problem) = equivalence {
+        ok = false;
+        checks.push(problem);
+    }
+    let (Some(base), Some(adaptive)) = (
+        agg("engine-slowdomain-baseline"),
+        agg("engine-slowdomain-adaptive"),
+    ) else {
+        return format!("CHECK: battery arms missing; json -> {json_path}");
+    };
+    for (name, a) in [
+        ("engine-slowdomain-baseline", base),
+        ("engine-slowdomain-adaptive", adaptive),
+    ] {
+        // Every submitted lookup completes exactly once, on every seed.
+        if a.engine_lookups_sum == 0 || a.engine_completed_sum != a.engine_lookups_sum {
+            ok = false;
+            checks.push(format!(
+                "{name}: {}/{} lookups completed",
+                a.engine_completed_sum, a.engine_lookups_sum
+            ));
+        }
+        // The in-flight-age rule must flag the slow sector within 2
+        // windows of the fault onset, on every seed...
+        if !(0..=2).contains(&a.engine_ttd_max) {
+            ok = false;
+            checks.push(format!(
+                "{name}: engine ttd {} outside [0, 2]",
+                a.engine_ttd_max
+            ));
+        }
+        // ...and the heal must leave every seed recovered by run end.
+        if a.engine_ttr_min < 0 {
+            ok = false;
+            checks.push(format!(
+                "{name}: engine unhealthy at run end (ttr {})",
+                a.engine_ttr_min
+            ));
+        }
+        // The fault is visible in the tail: the slowed sector multiplies
+        // one wire delay (4 ticks) by 32, so a p999 under one slow hop
+        // means the skew never reached the in-flight window.
+        if a.engine_age_p999_max < 128 {
+            ok = false;
+            checks.push(format!(
+                "{name}: age p999 {} never saw a slow hop",
+                a.engine_age_p999_max
+            ));
+        }
+    }
+    // The adaptive arm's deadlines actually fired and were accounted.
+    if adaptive.engine_timeouts_sum == 0 {
+        ok = false;
+        checks.push("adaptive arm fired no deadlines".to_string());
+    }
+    format!(
+        "{}: 2 arms x {seeds} seeds; replay {}; age p999 max {} -> {} (baseline -> adaptive); json -> {}{}",
+        if ok { "HOLDS" } else { "CHECK" },
+        if replay_identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+        base.engine_age_p999_max,
+        adaptive.engine_age_p999_max,
         json_path,
         if checks.is_empty() {
             String::new()
@@ -1007,6 +1263,49 @@ mod tests {
                 assert_eq!(3 * draws / 4 % window, 0, "{}", spec.name);
             }
         }
+    }
+
+    #[test]
+    fn quick_engine_battery_holds() {
+        let ctx = ExpContext {
+            quick: true,
+            ..ExpContext::default()
+        };
+        let t = run_engine(&ctx);
+        // 2 resilience arms (baseline, adaptive), chord-only.
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.verdict.starts_with("HOLDS"), "{}", t.verdict);
+        assert!(t.verdict.contains("byte-identical"), "{}", t.verdict);
+    }
+
+    #[test]
+    fn engine_battery_scales_to_ten_thousand_inflight_lookups() {
+        for quick in [true, false] {
+            let ctx = ExpContext {
+                quick,
+                ..ExpContext::default()
+            };
+            for spec in engine_battery_specs(&ctx) {
+                spec.validate().unwrap();
+                assert_eq!(spec.backends, vec![Backend::Chord], "{}", spec.name);
+                let engine = spec.engine.as_ref().unwrap();
+                if quick {
+                    assert_eq!(engine.lookups, 2_000, "{}", spec.name);
+                } else {
+                    // The acceptance shape: 10k lookups through a
+                    // 10k-wide in-flight window.
+                    assert_eq!(engine.lookups, 10_000, "{}", spec.name);
+                    assert_eq!(engine.inflight, 10_000, "{}", spec.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_equivalence_spot_check_passes_and_detects() {
+        // The harness-side pin agrees with the chord property battery.
+        assert_eq!(equivalence_violation(9), None);
+        assert_eq!(equivalence_violation(77), None);
     }
 
     #[test]

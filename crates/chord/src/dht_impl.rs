@@ -266,6 +266,7 @@ fn lookup_to_dht_error(e: LookupError) -> DhtError {
             hops: max_hops as u64,
         },
         LookupError::SuccessorsAllDead => DhtError::RoutingFailed { hops: 0 },
+        LookupError::TimedOut { .. } => DhtError::PeerUnavailable,
     }
 }
 

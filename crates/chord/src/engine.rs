@@ -1,0 +1,733 @@
+//! Async message-passing lookup engine: in-flight lookups through simnet.
+//!
+//! The sync walk ([`find_successor_with_policy`]) resolves a lookup in
+//! one call; this engine decomposes the *same* protocol into serialized
+//! [`Message`]s driven through a [`simnet::EventQueue`], so delay-based
+//! faults become expressible: per-hop [`simnet::LatencyModel`] delays stretch
+//! into simulated wall-clock, a [`SlowOverlay`] can make a ring sector
+//! slow-but-alive, per-attempt deadlines feed the existing
+//! [`RetryPolicy`](crate::RetryPolicy) tiers, and thousands of requests
+//! multiplex over one deterministic event loop.
+//!
+//! Equivalence is the design invariant, pinned by
+//! `tests/engine_equivalence.rs`: every routing decision and every
+//! recorder side effect goes through the exact code the sync walk uses
+//! ([`hop_step`] per delivered `FindSuccessor`, [`fallback_resolve`] when
+//! attempts are exhausted), so a sequentially-driven engine with
+//! deadlines disarmed is **bit-identical** to the sync walk — same
+//! owners, same hops, same costs, same ordinals, same trace digest.
+//! Concurrency then changes *interleaving* only: requests draw latency
+//! from per-request RNG streams and routing consumes randomness nowhere
+//! else, which is what makes 10k interleaved lookups replay
+//! byte-identically and submission order not matter.
+//!
+//! One modeling artifact is deliberate: a request's lifecycle is
+//! attributed to its *origin*. `NextHop`/`Notify` answers return to the
+//! origin, which re-issues the next `FindSuccessor` in the same tick —
+//! iterative Chord, like the sync walk, not recursive routing.
+//!
+//! [`find_successor_with_policy`]: ChordNetwork::find_successor_with_policy
+//! [`hop_step`]: ChordNetwork
+//! [`fallback_resolve`]: ChordNetwork
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use keyspace::Point;
+use peer_sampling::Cost;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::{EventQueue, SimDuration, SimTime};
+use telemetry::TraceOutcome;
+
+use crate::lookup::{HopOutcome, TraceBuilder};
+use crate::msg::{Message, NO_NEXT};
+use crate::network::{ChordNetwork, NodeId};
+use crate::{LookupError, LookupResult};
+
+/// Knobs of one [`LookupEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Per-attempt deadline in ticks; `None` disarms deadlines entirely
+    /// (no timeout events are ever scheduled — the equivalence tests run
+    /// this way so stranded wakeups cannot advance the clock). When a
+    /// deadline fires with a [`RetryPolicy`](crate::RetryPolicy) armed,
+    /// the attempt is preempted into the policy's retry/fallback tiers;
+    /// without one it only counts (`engine.timeouts`) and re-arms.
+    pub timeout_ticks: Option<u64>,
+    /// In-flight cap: requests beyond it queue in submission order and
+    /// are admitted as completions free slots.
+    pub max_inflight: usize,
+    /// Master seed for the per-request RNG streams (latency draws).
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            timeout_ticks: None,
+            max_inflight: usize::MAX,
+            seed: 0,
+        }
+    }
+}
+
+/// A latency-skewed (not dead) ring sector: while `from <= now < until`,
+/// every delivery produced by a hop processed at a node in `nodes` takes
+/// `factor`× its sampled latency in wall-clock. Protocol *cost*
+/// accounting is untouched — the slowdown shows up purely as in-flight
+/// age, which is exactly what the watchdog's in-flight-age SLO measures.
+#[derive(Debug, Clone)]
+pub struct SlowOverlay {
+    /// The slow sector's members.
+    pub nodes: BTreeSet<NodeId>,
+    /// Wall-clock multiplier (≥ 2 to mean anything).
+    pub factor: u64,
+    /// First tick of the slowdown window.
+    pub from: SimTime,
+    /// First tick after the slowdown window.
+    pub until: SimTime,
+}
+
+/// One finished request: the terminal record the determinism tests
+/// digest. Wall-clock fields are simulated time; with deadlines disarmed
+/// and no slow overlay, `completed_at − started_at` equals the result's
+/// accounted latency exactly (the latency-wiring invariant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// Caller-chosen request tag (unique per engine).
+    pub tag: u64,
+    /// When the request entered the engine (backlog included).
+    pub submitted_at: SimTime,
+    /// When it was admitted in-flight and its first attempt began.
+    pub started_at: SimTime,
+    /// When the terminal answer landed at the origin.
+    pub completed_at: SimTime,
+    /// Routed attempts consumed (1 = no retry).
+    pub attempts: u8,
+    /// Deadlines that fired against this request.
+    pub timeouts: u32,
+    /// The lookup's outcome, cost fully attributed as in the sync walk.
+    pub result: Result<LookupResult, LookupError>,
+}
+
+/// Per-request in-flight state (the request table).
+struct Pending {
+    from: NodeId,
+    target: Point,
+    /// Private latency stream — `derive_seed(engine seed, tag)` — so a
+    /// request's draws are independent of interleaving.
+    rng: StdRng,
+    /// 1-based attempt counter.
+    attempt: u8,
+    /// Attempt generation: bumped on every retry, which strands every
+    /// message (and deadline) the preempted attempt still has in flight.
+    generation: u32,
+    /// The walk resolved; the final `Notify` is in flight. Deadlines no
+    /// longer preempt (the answer is already on the wire), making
+    /// completion exactly-once.
+    resolved: bool,
+    /// Cost folded in from failed/preempted attempts plus backoff.
+    spent: Cost,
+    /// Running cost of the current attempt.
+    cost: Cost,
+    /// Demoted-probe latency of the current attempt (span attribution).
+    skip: u64,
+    /// Hops taken by the current attempt.
+    hops: u32,
+    /// Op ordinal of the current attempt (exemplar / trace id).
+    ordinal: u64,
+    trace: Option<TraceBuilder>,
+    submitted_at: SimTime,
+    started_at: SimTime,
+    /// Node whose answer the origin is currently waiting on — the peer a
+    /// firing deadline penalizes in the score table.
+    current: NodeId,
+    timeouts: u32,
+}
+
+/// The deterministic async lookup event loop. See the module docs.
+///
+/// The engine holds no borrow of the network: every method takes
+/// `&ChordNetwork`, so a driver can interleave `run_until` windows with
+/// churn (`crash`/`join`/maintenance, which need `&mut`) — in-flight
+/// requests then observe the ring changing under them, exactly the
+/// production hazard the sync walk cannot express.
+pub struct LookupEngine {
+    config: EngineConfig,
+    queue: EventQueue<Message>,
+    now: SimTime,
+    pending: BTreeMap<u64, Pending>,
+    backlog: VecDeque<(u64, NodeId, Point)>,
+    completions: Vec<Completion>,
+    seen_tags: BTreeSet<u64>,
+    slow: Option<SlowOverlay>,
+    next_tag: u64,
+}
+
+impl LookupEngine {
+    /// Creates an idle engine at tick 0.
+    pub fn new(config: EngineConfig) -> LookupEngine {
+        LookupEngine {
+            config,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            pending: BTreeMap::new(),
+            backlog: VecDeque::new(),
+            completions: Vec::new(),
+            seen_tags: BTreeSet::new(),
+            slow: None,
+            next_tag: 0,
+        }
+    }
+
+    /// Installs (or clears) the slow-sector overlay.
+    pub fn set_slow_overlay(&mut self, slow: Option<SlowOverlay>) {
+        self.slow = slow;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Requests admitted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Requests waiting for an in-flight slot.
+    pub fn backlog(&self) -> usize {
+        self.backlog.len()
+    }
+
+    /// Everything completed so far, in completion order.
+    pub fn completions(&self) -> &[Completion] {
+        &self.completions
+    }
+
+    /// Submits a lookup with the next sequential tag; returns the tag.
+    pub fn submit(&mut self, net: &ChordNetwork, from: NodeId, target: Point) -> u64 {
+        let tag = self.next_tag;
+        self.submit_tagged(net, tag, from, target);
+        tag
+    }
+
+    /// Submits a lookup under a caller-chosen `tag` (the permutation
+    /// tests submit one workload in shuffled order but with stable
+    /// per-request identity, hence stable per-request RNG streams).
+    ///
+    /// # Panics
+    ///
+    /// If `tag` was already submitted to this engine.
+    pub fn submit_tagged(&mut self, net: &ChordNetwork, tag: u64, from: NodeId, target: Point) {
+        assert!(self.seen_tags.insert(tag), "duplicate request tag {tag}");
+        self.next_tag = self.next_tag.max(tag + 1);
+        self.backlog.push_back((tag, from, target));
+        self.admit(net);
+    }
+
+    /// Runs the event loop up to and including `deadline`, then parks the
+    /// clock there. Apply churn between calls — never during one.
+    pub fn run_until(&mut self, net: &ChordNetwork, faults: &crate::FaultPlan, deadline: SimTime) {
+        self.admit(net);
+        while let Some((t, msg)) = self.queue.pop_due(deadline) {
+            self.now = t;
+            self.process(net, faults, msg);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Runs until every admitted *and backlogged* request has completed.
+    pub fn drain(&mut self, net: &ChordNetwork, faults: &crate::FaultPlan) {
+        self.admit(net);
+        while let Some((t, msg)) = self.queue.pop() {
+            self.now = t;
+            self.process(net, faults, msg);
+        }
+    }
+
+    /// FNV-1a digest of every completion, keyed by tag — independent of
+    /// completion order, so it is the byte-identity the determinism and
+    /// permutation-invariance tests compare. Covers outcomes, costs,
+    /// attempts/timeouts and simulated wall-clock stamps; excludes op
+    /// ordinals (global submission-order artifacts by design).
+    pub fn report_digest(&self) -> u64 {
+        let mut sorted: Vec<&Completion> = self.completions.iter().collect();
+        sorted.sort_by_key(|c| c.tag);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut put = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for c in sorted {
+            put(c.tag);
+            put(c.submitted_at.ticks());
+            put(c.started_at.ticks());
+            put(c.completed_at.ticks());
+            put(u64::from(c.attempts));
+            put(u64::from(c.timeouts));
+            match &c.result {
+                Ok(hit) => {
+                    put(1);
+                    put(hit.node.index() as u64);
+                    put(hit.point.get());
+                    put(u64::from(hit.hops));
+                    put(hit.cost.messages);
+                    put(hit.cost.latency);
+                }
+                Err(e) => {
+                    put(2);
+                    put(match e {
+                        LookupError::StartDead => 1,
+                        LookupError::HopLimitExceeded { .. } => 2,
+                        LookupError::SuccessorsAllDead => 3,
+                        LookupError::TimedOut { .. } => 4,
+                    });
+                }
+            }
+        }
+        h
+    }
+
+    /// Wall-clock delay of a delivery produced by a hop processed at
+    /// `at`: the accounted latency, stretched by the slow overlay when
+    /// `at` sits in the slow sector during its window.
+    fn wall_delay(&self, at: NodeId, latency: u64) -> SimDuration {
+        let factor = match &self.slow {
+            Some(o) if self.now >= o.from && self.now < o.until && o.nodes.contains(&at) => {
+                o.factor
+            }
+            _ => 1,
+        };
+        SimDuration::from_ticks(latency.saturating_mul(factor))
+    }
+
+    fn schedule_in(&mut self, delay: SimDuration, msg: Message) {
+        self.queue.schedule(self.now.saturating_add(delay), msg);
+    }
+
+    /// Admits backlogged requests while in-flight slots are free.
+    fn admit(&mut self, net: &ChordNetwork) {
+        while self.pending.len() < self.config.max_inflight {
+            let Some((tag, from, target)) = self.backlog.pop_front() else {
+                return;
+            };
+            self.start_request(net, tag, from, target);
+        }
+    }
+
+    fn start_request(&mut self, net: &ChordNetwork, tag: u64, from: NodeId, target: Point) {
+        let rng = StdRng::seed_from_u64(simnet::rng::derive_seed(self.config.seed, tag));
+        let p = Pending {
+            from,
+            target,
+            rng,
+            attempt: 1,
+            generation: 0,
+            resolved: false,
+            spent: Cost::FREE,
+            cost: Cost::FREE,
+            skip: 0,
+            hops: 0,
+            ordinal: 0,
+            trace: None,
+            submitted_at: self.now,
+            started_at: self.now,
+            current: from,
+            timeouts: 0,
+        };
+        self.pending.insert(tag, p);
+        self.start_attempt(net, tag);
+    }
+
+    /// Begins the current attempt of `tag`: the sync walk's per-attempt
+    /// preamble (backoff charge on retries, then the `route_attempt`
+    /// entry sequence — liveness check, ordinal draw, trace allocation)
+    /// in the same recorder order, then the first `FindSuccessor` and the
+    /// attempt's deadline go on the queue.
+    fn start_attempt(&mut self, net: &ChordNetwork, tag: u64) {
+        let counters = net.counters();
+        let recorder = net.metrics().recorder();
+        let p = self
+            .pending
+            .get_mut(&tag)
+            .expect("attempt for live request");
+        let mut start_delay = SimDuration::ZERO;
+        if p.attempt > 1 {
+            let policy = net.retry_policy().expect("retries imply a policy");
+            // Backoff is pure waiting: latency (and wall-clock), no
+            // messages — identical accounting to the sync retry loop.
+            let backoff = policy.backoff_ticks(p.attempt - 1);
+            p.spent.latency += backoff;
+            recorder.incr(counters.lookup_retries);
+            recorder
+                .profiler()
+                .add(counters.span_retry_backoff, backoff);
+            start_delay = SimDuration::from_ticks(backoff);
+        }
+        if !net.node(p.from).is_alive() {
+            // Mirrors `route_attempt`'s dead-origin exit, including the
+            // sync wrapper's (empty) finger-walk span close.
+            recorder.profiler().add(counters.span_finger_walk, 0);
+            let at = self.now.saturating_add(start_delay);
+            self.complete(net, tag, Err(LookupError::StartDead), at);
+            return;
+        }
+        // Drawn whether or not tracing is on, so exemplar ids agree
+        // between traced and untraced replays of the same seed.
+        p.ordinal = recorder.next_op_ordinal();
+        p.cost = Cost::FREE;
+        p.skip = 0;
+        p.hops = 0;
+        p.current = p.from;
+        p.trace = recorder.tracing_enabled().then(|| TraceBuilder {
+            from: net.node(p.from).point(),
+            target: p.target,
+            hops: Vec::new(),
+            seen_latency: 0,
+            attempt: p.attempt - 1,
+            ordinal: p.ordinal,
+        });
+        let gen = p.generation;
+        let at = u32::try_from(p.from.index()).expect("arena indexes fit u32");
+        self.schedule_in(
+            start_delay,
+            Message::FindSuccessor {
+                req: tag,
+                gen,
+                at,
+                hops: 0,
+            },
+        );
+        if let Some(ticks) = self.config.timeout_ticks {
+            let deadline = SimDuration::from_ticks(start_delay.ticks().saturating_add(ticks));
+            self.schedule_in(deadline, Message::Timeout { req: tag, gen });
+        }
+    }
+
+    fn process(&mut self, net: &ChordNetwork, faults: &crate::FaultPlan, msg: Message) {
+        match msg {
+            Message::FindSuccessor { req, gen, at, hops } => {
+                self.on_find(net, faults, req, gen, at, hops)
+            }
+            Message::NextHop { req, gen, next } => self.on_next(net, req, gen, next),
+            Message::Notify {
+                req,
+                gen,
+                owner,
+                hops,
+                captured,
+            } => self.on_notify(net, req, gen, owner, hops, captured),
+            Message::Timeout { req, gen } => self.on_timeout(net, req, gen),
+        }
+    }
+
+    /// A hop processes one step of the walk — the engine's only call
+    /// into the shared routing code.
+    fn on_find(
+        &mut self,
+        net: &ChordNetwork,
+        faults: &crate::FaultPlan,
+        req: u64,
+        gen: u32,
+        at: u32,
+        hops: u32,
+    ) {
+        let Some(p) = self.pending.get_mut(&req) else {
+            return;
+        };
+        if p.generation != gen || p.resolved {
+            return; // stale: the attempt was retried out from under it
+        }
+        let current = NodeId::from_index(at as usize);
+        p.current = current;
+        p.hops = hops;
+
+        // Hop-cap check, origin-side like the sync loop's.
+        if hops > net.config().max_hops() {
+            if let Some(t) = p.trace.take() {
+                t.finish(net, TraceOutcome::Unresolved, &p.cost);
+            }
+            let e = LookupError::HopLimitExceeded {
+                max_hops: net.config().max_hops(),
+            };
+            self.attempt_failed(net, req, e);
+            return;
+        }
+
+        // The hop died while the request was in flight (churn the sync
+        // walk cannot see): the probe costs one timed-out message and
+        // reports no progress; the policy tiers take it from there.
+        if !net.node(current).is_alive() {
+            p.cost.messages += 1;
+            let d = net.config().latency().sample(&mut p.rng).ticks();
+            p.cost.latency += d;
+            let delay = self.wall_delay(current, d);
+            self.schedule_in(
+                delay,
+                Message::NextHop {
+                    req,
+                    gen,
+                    next: NO_NEXT,
+                },
+            );
+            return;
+        }
+
+        let before = p.cost.latency;
+        let target = p.target;
+        let ordinal = p.ordinal;
+        let mut cost = p.cost;
+        let mut skip = p.skip;
+        let mut trace = p.trace.take();
+        let outcome = net.hop_step(
+            current, target, faults, hops, ordinal, &mut cost, &mut skip, &mut trace, &mut p.rng,
+        );
+        p.cost = cost;
+        p.skip = skip;
+        p.trace = trace;
+        let step_latency = p.cost.latency - before;
+        let attempt_latency = p.cost.latency;
+        let skip_total = p.skip;
+        let attempt = p.attempt;
+        if matches!(outcome, HopOutcome::Done(_)) {
+            p.resolved = true;
+        }
+        let delay = self.wall_delay(current, step_latency);
+        match outcome {
+            HopOutcome::Done(hit) => {
+                // Attempt resolved: close its spans and charge the
+                // policy bookkeeping now (sync order); the answer itself
+                // still has to travel back to the origin.
+                let profiler = net.metrics().recorder().profiler();
+                profiler.add(
+                    net.counters().span_finger_walk,
+                    attempt_latency - skip_total,
+                );
+                if skip_total > 0 {
+                    profiler.add(net.counters().span_demoted_skip, skip_total);
+                }
+                if attempt > 1 {
+                    net.metrics()
+                        .recorder()
+                        .add(net.counters().lookup_fallback_depth, 1);
+                }
+                let captured = hit.point != net.node(hit.node).point();
+                self.schedule_in(
+                    delay,
+                    Message::Notify {
+                        req,
+                        gen,
+                        owner: u32::try_from(hit.node.index()).expect("arena indexes fit u32"),
+                        hops: hit.hops,
+                        captured,
+                    },
+                );
+            }
+            HopOutcome::Forward(next) => {
+                self.schedule_in(
+                    delay,
+                    Message::NextHop {
+                        req,
+                        gen,
+                        next: u32::try_from(next.index()).expect("arena indexes fit u32"),
+                    },
+                );
+            }
+            HopOutcome::Failed(e) => {
+                debug_assert_eq!(e, LookupError::SuccessorsAllDead);
+                // The failure still travels back to the origin before the
+                // policy reacts (its probes' latency is already charged).
+                self.schedule_in(
+                    delay,
+                    Message::NextHop {
+                        req,
+                        gen,
+                        next: NO_NEXT,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The origin hears back from a hop: either forward the walk one
+    /// step (same tick — iterative routing charges nothing between
+    /// hops), or fail the attempt into the policy tiers.
+    fn on_next(&mut self, net: &ChordNetwork, req: u64, gen: u32, next: u32) {
+        let Some(p) = self.pending.get_mut(&req) else {
+            return;
+        };
+        if p.generation != gen || p.resolved {
+            return;
+        }
+        if next == NO_NEXT {
+            self.attempt_failed(net, req, LookupError::SuccessorsAllDead);
+            return;
+        }
+        let hops = p.hops + 1;
+        self.schedule_in(
+            SimDuration::ZERO,
+            Message::FindSuccessor {
+                req,
+                gen,
+                at: next,
+                hops,
+            },
+        );
+    }
+
+    /// The terminal answer lands at the origin: exactly-once completion.
+    fn on_notify(
+        &mut self,
+        net: &ChordNetwork,
+        req: u64,
+        gen: u32,
+        owner: u32,
+        hops: u32,
+        captured: bool,
+    ) {
+        let Some(p) = self.pending.get(&req) else {
+            return;
+        };
+        if p.generation != gen || !p.resolved {
+            return;
+        }
+        let node = NodeId::from_index(owner as usize);
+        let point = if captured {
+            p.target
+        } else {
+            net.node(node).point()
+        };
+        let cost = Cost {
+            messages: p.cost.messages + p.spent.messages,
+            latency: p.cost.latency + p.spent.latency,
+        };
+        let result = LookupResult {
+            node,
+            point,
+            hops,
+            cost,
+        };
+        self.complete(net, req, Ok(result), self.now);
+    }
+
+    /// A deadline fired. Stale generations and resolved attempts (the
+    /// answer is already on the wire) are no-ops; a live one counts,
+    /// penalizes the peer being waited on, and — with a policy armed —
+    /// preempts the attempt into retry/fallback. Without a policy it
+    /// merely re-arms: pure observation.
+    fn on_timeout(&mut self, net: &ChordNetwork, req: u64, gen: u32) {
+        let Some(p) = self.pending.get_mut(&req) else {
+            return;
+        };
+        if p.generation != gen || p.resolved {
+            return;
+        }
+        let timeout_ticks = self
+            .config
+            .timeout_ticks
+            .expect("a deadline fired, so deadlines are armed");
+        let recorder = net.metrics().recorder();
+        recorder.incr(net.counters().engine_timeouts);
+        p.timeouts += 1;
+        // A deadline is stronger evidence than one failed probe: record
+        // two strikes, enough to penalize a slow-but-alive peer on the
+        // spot, so the retry (and every concurrent lookup) routes around
+        // it while the overlay lasts.
+        if let Some(scores) = net.scores() {
+            let mut scores = scores.borrow_mut();
+            scores.record(p.current, false);
+            scores.record(p.current, false);
+        }
+        if net.retry_policy().is_none() {
+            let gen = p.generation;
+            let deadline = SimDuration::from_ticks(timeout_ticks);
+            self.schedule_in(deadline, Message::Timeout { req, gen });
+            return;
+        }
+        // Preempt: the attempt's probes were paid for even though it
+        // never failed outright.
+        if let Some(t) = p.trace.take() {
+            t.finish(net, TraceOutcome::Unresolved, &p.cost);
+        }
+        let e = LookupError::TimedOut { timeout_ticks };
+        self.attempt_failed(net, req, e);
+    }
+
+    /// Shared failure path: close the attempt's spans, fold its cost
+    /// into `spent`, then retry (next generation), degrade through
+    /// [`fallback_resolve`](ChordNetwork) or complete with the error —
+    /// the sync policy loop's control flow, replayed at event time.
+    fn attempt_failed(&mut self, net: &ChordNetwork, req: u64, e: LookupError) {
+        let counters = net.counters();
+        let recorder = net.metrics().recorder();
+        let p = self
+            .pending
+            .get_mut(&req)
+            .expect("failed attempt has state");
+        let profiler = recorder.profiler();
+        profiler.add(counters.span_finger_walk, p.cost.latency - p.skip);
+        if p.skip > 0 {
+            profiler.add(counters.span_demoted_skip, p.skip);
+        }
+        p.spent.messages += p.cost.messages;
+        p.spent.latency += p.cost.latency;
+        p.cost = Cost::FREE;
+        p.skip = 0;
+        let Some(policy) = net.retry_policy() else {
+            self.complete(net, req, Err(e), self.now);
+            return;
+        };
+        if p.attempt < policy.max_attempts.max(1) {
+            p.attempt += 1;
+            p.generation += 1;
+            self.start_attempt(net, req);
+            return;
+        }
+        // Attempts exhausted: degrade through the shared fallback tiers.
+        // They resolve synchronously (walk hops are successor-chain
+        // traversals from the origin, the quorum is an out-of-band
+        // directory round); the wall-clock charge is their latency delta.
+        let entry_latency = p.spent.latency;
+        let spent = p.spent;
+        let from = p.from;
+        let target = p.target;
+        let result = net.fallback_resolve(from, target, spent, e, &mut p.rng);
+        let completed_at = match &result {
+            Ok(hit) => self
+                .now
+                .saturating_add(SimDuration::from_ticks(hit.cost.latency - entry_latency)),
+            Err(_) => self.now,
+        };
+        self.complete(net, req, result, completed_at);
+    }
+
+    /// Removes the request, records the engine-level telemetry
+    /// (`engine.completions`, the `engine.inflight_age` tail the
+    /// watchdog gates), stores the [`Completion`] and admits backlog.
+    fn complete(
+        &mut self,
+        net: &ChordNetwork,
+        tag: u64,
+        result: Result<LookupResult, LookupError>,
+        completed_at: SimTime,
+    ) {
+        let p = self.pending.remove(&tag).expect("completion has state");
+        let recorder = net.metrics().recorder();
+        recorder.incr(net.counters().engine_completions);
+        let age = completed_at - p.submitted_at;
+        recorder.record_with_exemplar(net.counters().engine_age_hist, age.ticks(), p.ordinal);
+        self.completions.push(Completion {
+            tag,
+            submitted_at: p.submitted_at,
+            started_at: p.started_at,
+            completed_at,
+            attempts: p.attempt,
+            timeouts: p.timeouts,
+            result,
+        });
+        self.admit(net);
+    }
+}

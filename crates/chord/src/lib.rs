@@ -63,9 +63,11 @@ pub mod arena;
 mod churn_sim;
 mod config;
 mod dht_impl;
+pub mod engine;
 pub mod faults;
 mod lookup;
 mod maintenance;
+pub mod msg;
 mod multimap;
 mod network;
 pub mod score;
@@ -77,6 +79,7 @@ pub use arena::{Fingers, NodeRef, Successors};
 pub use churn_sim::{ChurnReport, ChurnSimulation};
 pub use config::ChordConfig;
 pub use dht_impl::ChordDht;
+pub use engine::{Completion, EngineConfig, LookupEngine, SlowOverlay};
 pub use faults::{FaultPlan, NodeFaults};
 pub use lookup::{LookupError, LookupResult};
 pub use maintenance::{MaintenanceBudget, MaintenanceWork};

@@ -9,22 +9,31 @@ use crate::network::{ChordNetwork, NodeId};
 
 /// Per-lookup trace state, allocated only when the recorder's tracing
 /// flag is on — the disabled hot path pays one relaxed atomic load.
-struct TraceBuilder {
-    from: Point,
-    target: Point,
-    hops: Vec<HopRecord>,
+/// Crate-visible so the async [`engine`](crate::engine) builds the same
+/// traces hop-for-hop.
+pub(crate) struct TraceBuilder {
+    pub(crate) from: Point,
+    pub(crate) target: Point,
+    pub(crate) hops: Vec<HopRecord>,
     /// Latency accounted so far, to attribute per-hop deltas (probe
     /// timeouts included in the hop that paid for them).
-    seen_latency: u64,
+    pub(crate) seen_latency: u64,
     /// Retry attempt stamped on every routed hop (0 = first try).
-    attempt: u8,
+    pub(crate) attempt: u8,
     /// Operation ordinal (from `Recorder::next_op_ordinal`) — the id
     /// histogram exemplars carry, so tail buckets join back to traces.
-    ordinal: u64,
+    pub(crate) ordinal: u64,
 }
 
 impl TraceBuilder {
-    fn hop(&mut self, net: &ChordNetwork, origin: Point, to: NodeId, forged: bool, cost: &Cost) {
+    pub(crate) fn hop(
+        &mut self,
+        net: &ChordNetwork,
+        origin: Point,
+        to: NodeId,
+        forged: bool,
+        cost: &Cost,
+    ) {
         let to_point = net.node(to).point();
         let distance = net.space().distance(origin, to_point).get();
         let finger_level = if distance == 0 {
@@ -45,7 +54,7 @@ impl TraceBuilder {
 
     /// A synthetic fallback-tier hop (successor-walk step or quorum
     /// round); `finger_level` is 0 — no finger resolved it.
-    fn fallback_hop(&mut self, node: Point, tier: FallbackTier, total_latency: u64) {
+    pub(crate) fn fallback_hop(&mut self, node: Point, tier: FallbackTier, total_latency: u64) {
         self.hops.push(HopRecord {
             node: node.get(),
             finger_level: 0,
@@ -57,7 +66,7 @@ impl TraceBuilder {
         self.seen_latency = total_latency;
     }
 
-    fn finish(self, net: &ChordNetwork, outcome: TraceOutcome, cost: &Cost) {
+    pub(crate) fn finish(self, net: &ChordNetwork, outcome: TraceOutcome, cost: &Cost) {
         net.metrics().recorder().push_trace(LookupTrace {
             from: self.from.get(),
             target: self.target.get(),
@@ -83,6 +92,14 @@ pub enum LookupError {
     /// A hop's entire successor list was dead — the ring is partitioned
     /// from this node's perspective.
     SuccessorsAllDead,
+    /// Every async-engine attempt ran past its deadline (the routed walk
+    /// never failed outright — it was simply too slow). Sync lookups
+    /// never return this; only the [`engine`](crate::engine) arms
+    /// deadlines.
+    TimedOut {
+        /// The per-attempt deadline that expired, in ticks.
+        timeout_ticks: u64,
+    },
 }
 
 impl fmt::Display for LookupError {
@@ -94,6 +111,12 @@ impl fmt::Display for LookupError {
             }
             LookupError::SuccessorsAllDead => {
                 write!(f, "every successor of a hop was dead (ring partition)")
+            }
+            LookupError::TimedOut { timeout_ticks } => {
+                write!(
+                    f,
+                    "every attempt ran past its {timeout_ticks}-tick deadline"
+                )
             }
         }
     }
@@ -113,6 +136,17 @@ pub struct LookupResult {
     /// Messages and latency spent, **including** probes of dead nodes
     /// (failure detection is not free).
     pub cost: Cost,
+}
+
+/// What one [`ChordNetwork::hop_step`] decided: the routed walk either
+/// resolved, must forward to a next hop, or cannot make progress.
+pub(crate) enum HopOutcome {
+    /// The lookup resolved (or was Byzantine-captured) at this hop.
+    Done(LookupResult),
+    /// Forward the lookup to this next node (one more hop).
+    Forward(NodeId),
+    /// The hop could not make progress; the walk fails with this error.
+    Failed(LookupError),
 }
 
 impl ChordNetwork {
@@ -210,17 +244,11 @@ impl ChordNetwork {
         if !self.node(from).is_alive() {
             return Err((LookupError::StartDead, Cost::FREE));
         }
-        let counters = self.counters();
         let recorder = self.metrics().recorder();
         // Drawn whether or not tracing is on, so exemplar ids agree
         // between traced and untraced replays of the same seed.
         let ordinal = recorder.next_op_ordinal();
-        let latency_model = self.config().latency();
         let mut cost = Cost::FREE;
-        let send = |cost: &mut Cost, rng: &mut R| {
-            cost.messages += 1;
-            cost.latency += latency_model.sample(rng).ticks();
-        };
         let mut trace = recorder.tracing_enabled().then(|| TraceBuilder {
             from: self.node(from).point(),
             target,
@@ -244,116 +272,150 @@ impl ChordNetwork {
                     cost,
                 ));
             }
-            let cur_point = self.node(current).point();
-
-            // Fault injection: a Byzantine hop answers the lookup with
-            // itself instead of routing on, *and* forges its reported ring
-            // position as the target itself — the most advantageous lie,
-            // since any interval check the caller runs (the sampler's
-            // `|I(s, l(h(s)))| < λ` test in particular) then passes. The
-            // origin never lies to itself, so `hops > 0` guards the first
-            // iteration.
-            if hops > 0 && faults.claims_ownership(current) {
-                recorder.incr(counters.lookup_byzantine_claim);
-                recorder.add(counters.lookup_hops, hops as u64);
-                recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
-                if let Some(t) = trace.take() {
-                    t.finish(self, TraceOutcome::Captured(cur_point.get()), &cost);
+            match self.hop_step(
+                current, target, faults, hops, ordinal, &mut cost, skip, &mut trace, rng,
+            ) {
+                HopOutcome::Done(hit) => return Ok(hit),
+                HopOutcome::Failed(e) => return Err((e, cost)),
+                HopOutcome::Forward(next) => {
+                    current = next;
+                    hops += 1;
                 }
-                return Ok(LookupResult {
-                    node: current,
-                    point: target,
-                    hops,
-                    cost,
-                });
             }
-
-            // Singleton special case: a node that is its own successor
-            // owns the whole ring.
-            let successors = self.node(current).successors();
-            if successors.len() == 1 && successors.first() == Some(current) {
-                recorder.add(counters.lookup_hops, hops as u64);
-                recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
-                if let Some(t) = trace.take() {
-                    t.finish(self, TraceOutcome::Resolved(cur_point.get()), &cost);
-                }
-                return Ok(LookupResult {
-                    node: current,
-                    point: cur_point,
-                    hops,
-                    cost,
-                });
-            }
-
-            // Case 1: the target falls between us and some successor-list
-            // entry. The first such entry is the locally-believed answer;
-            // if it turns out dead, the next live list entry is the true
-            // successor (list entries are consecutive ring nodes), at the
-            // price of one timed-out probe per dead entry.
-            if successors.is_empty() {
-                if let Some(t) = trace.take() {
-                    t.finish(self, TraceOutcome::Unresolved, &cost);
-                }
-                return Err((LookupError::SuccessorsAllDead, cost));
-            }
-            let answer_rank = successors
-                .iter()
-                .position(|e| self.between_open_closed(cur_point, target, self.node(e).point()));
-            if let Some(rank) = answer_rank {
-                let mut found = None;
-                for cand in successors.iter().skip(rank) {
-                    send(&mut cost, rng); // probe / handoff message
-                    let alive = self.node(cand).is_alive();
-                    if let Some(scores) = self.scores() {
-                        scores.borrow_mut().record(cand, alive);
-                    }
-                    if alive {
-                        found = Some(cand);
-                        break;
-                    }
-                    recorder.incr(counters.lookup_dead_probe);
-                }
-                if let Some(cand) = found {
-                    recorder.add(counters.lookup_hops, (hops + 1) as u64);
-                    recorder.record_with_exemplar(counters.hop_hist, (hops + 1) as u64, ordinal);
-                    let answer_point = self.node(cand).point();
-                    if let Some(mut t) = trace.take() {
-                        t.hop(self, cur_point, cand, faults.is_byzantine(cand), &cost);
-                        t.finish(self, TraceOutcome::Resolved(answer_point.get()), &cost);
-                    }
-                    return Ok(LookupResult {
-                        node: cand,
-                        point: answer_point,
-                        hops: hops + 1,
-                        cost,
-                    });
-                }
-                // The whole tail of the list was dead: fall through to
-                // finger routing, which forwards to a live node *before*
-                // the target; that node's (fresher) list resolves it.
-            }
-
-            // Case 2: forward to the closest preceding live candidate
-            // (fingers first, then the successor list).
-            let Some(next_hop) = self.closest_preceding(current, target, &mut cost, skip, rng)
-            else {
-                if let Some(t) = trace.take() {
-                    t.finish(self, TraceOutcome::Unresolved, &cost);
-                }
-                return Err((LookupError::SuccessorsAllDead, cost));
-            };
-            if let Some(t) = trace.as_mut() {
-                t.hop(
-                    self,
-                    cur_point,
-                    next_hop,
-                    faults.is_byzantine(next_hop),
-                    &cost,
-                );
-            }
-            current = next_hop;
-            hops += 1;
         }
+    }
+
+    /// One hop of the iterative walk, shared verbatim between the sync
+    /// loop above and the async [`engine`](crate::engine) (which runs
+    /// exactly one `hop_step` per delivered `FindSuccessor` message).
+    /// All recorder/score side effects happen here in a fixed order, so
+    /// the two drivers stay bit-identical; the hop-cap check stays with
+    /// the caller (the engine enforces it at the origin on `NextHop`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn hop_step<R: Rng + ?Sized>(
+        &self,
+        current: NodeId,
+        target: Point,
+        faults: &crate::FaultPlan,
+        hops: u32,
+        ordinal: u64,
+        cost: &mut Cost,
+        skip: &mut u64,
+        trace: &mut Option<TraceBuilder>,
+        rng: &mut R,
+    ) -> HopOutcome {
+        let counters = self.counters();
+        let recorder = self.metrics().recorder();
+        let latency_model = self.config().latency();
+        let cur_point = self.node(current).point();
+
+        // Fault injection: a Byzantine hop answers the lookup with
+        // itself instead of routing on, *and* forges its reported ring
+        // position as the target itself — the most advantageous lie,
+        // since any interval check the caller runs (the sampler's
+        // `|I(s, l(h(s)))| < λ` test in particular) then passes. The
+        // origin never lies to itself, so `hops > 0` guards the first
+        // iteration.
+        if hops > 0 && faults.claims_ownership(current) {
+            recorder.incr(counters.lookup_byzantine_claim);
+            recorder.add(counters.lookup_hops, hops as u64);
+            recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
+            if let Some(t) = trace.take() {
+                t.finish(self, TraceOutcome::Captured(cur_point.get()), cost);
+            }
+            return HopOutcome::Done(LookupResult {
+                node: current,
+                point: target,
+                hops,
+                cost: *cost,
+            });
+        }
+
+        // Singleton special case: a node that is its own successor
+        // owns the whole ring.
+        let successors = self.node(current).successors();
+        if successors.len() == 1 && successors.first() == Some(current) {
+            recorder.add(counters.lookup_hops, hops as u64);
+            recorder.record_with_exemplar(counters.hop_hist, hops as u64, ordinal);
+            if let Some(t) = trace.take() {
+                t.finish(self, TraceOutcome::Resolved(cur_point.get()), cost);
+            }
+            return HopOutcome::Done(LookupResult {
+                node: current,
+                point: cur_point,
+                hops,
+                cost: *cost,
+            });
+        }
+
+        // Case 1: the target falls between us and some successor-list
+        // entry. The first such entry is the locally-believed answer;
+        // if it turns out dead, the next live list entry is the true
+        // successor (list entries are consecutive ring nodes), at the
+        // price of one timed-out probe per dead entry.
+        if successors.is_empty() {
+            if let Some(t) = trace.take() {
+                t.finish(self, TraceOutcome::Unresolved, cost);
+            }
+            return HopOutcome::Failed(LookupError::SuccessorsAllDead);
+        }
+        let answer_rank = successors
+            .iter()
+            .position(|e| self.between_open_closed(cur_point, target, self.node(e).point()));
+        if let Some(rank) = answer_rank {
+            let mut found = None;
+            for cand in successors.iter().skip(rank) {
+                // Probe / handoff message.
+                cost.messages += 1;
+                cost.latency += latency_model.sample(rng).ticks();
+                let alive = self.node(cand).is_alive();
+                if let Some(scores) = self.scores() {
+                    scores.borrow_mut().record(cand, alive);
+                }
+                if alive {
+                    found = Some(cand);
+                    break;
+                }
+                recorder.incr(counters.lookup_dead_probe);
+            }
+            if let Some(cand) = found {
+                recorder.add(counters.lookup_hops, (hops + 1) as u64);
+                recorder.record_with_exemplar(counters.hop_hist, (hops + 1) as u64, ordinal);
+                let answer_point = self.node(cand).point();
+                if let Some(mut t) = trace.take() {
+                    t.hop(self, cur_point, cand, faults.is_byzantine(cand), cost);
+                    t.finish(self, TraceOutcome::Resolved(answer_point.get()), cost);
+                }
+                return HopOutcome::Done(LookupResult {
+                    node: cand,
+                    point: answer_point,
+                    hops: hops + 1,
+                    cost: *cost,
+                });
+            }
+            // The whole tail of the list was dead: fall through to
+            // finger routing, which forwards to a live node *before*
+            // the target; that node's (fresher) list resolves it.
+        }
+
+        // Case 2: forward to the closest preceding live candidate
+        // (fingers first, then the successor list).
+        let Some(next_hop) = self.closest_preceding(current, target, cost, skip, rng) else {
+            if let Some(t) = trace.take() {
+                t.finish(self, TraceOutcome::Unresolved, cost);
+            }
+            return HopOutcome::Failed(LookupError::SuccessorsAllDead);
+        };
+        if let Some(t) = trace.as_mut() {
+            t.hop(
+                self,
+                cur_point,
+                next_hop,
+                faults.is_byzantine(next_hop),
+                cost,
+            );
+        }
+        HopOutcome::Forward(next_hop)
     }
 
     /// The closest node preceding `target` among `at`'s fingers and
@@ -508,7 +570,28 @@ impl ChordNetwork {
                 }
             }
         }
+        self.fallback_resolve(from, target, spent, last_err, rng)
+    }
 
+    /// The degradation tail shared by the sync policy entry point above
+    /// and the async [`engine`](crate::engine): successor-walk, then
+    /// verified-quorum resolution. `spent` carries the cost of the failed
+    /// routed attempts (and any backoff) so the degraded answer arrives
+    /// fully attributed; `last_err` is returned when even the quorum tier
+    /// has nothing live to resolve against.
+    pub(crate) fn fallback_resolve<R: Rng + ?Sized>(
+        &self,
+        from: NodeId,
+        target: Point,
+        mut spent: Cost,
+        last_err: LookupError,
+        rng: &mut R,
+    ) -> Result<LookupResult, LookupError> {
+        let Some(policy) = self.retry_policy() else {
+            return Err(last_err);
+        };
+        let counters = self.counters();
+        let recorder = self.metrics().recorder();
         let latency_model = self.config().latency();
         // The fallback tiers are one logical operation: one ordinal
         // (drawn traced or not, keeping exemplar ids replay-stable) and

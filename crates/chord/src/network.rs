@@ -255,8 +255,16 @@ pub struct ChordCounters {
     pub lookup_fallback_depth: CounterId,
     /// `domain.events` — correlated domain crash/heal events applied.
     pub domain_events: CounterId,
+    /// `engine.timeouts` — async-engine attempt deadlines that fired.
+    pub engine_timeouts: CounterId,
+    /// `engine.completions` — async-engine lookups completed (either way).
+    pub engine_completions: CounterId,
     /// Per-lookup hop-count distribution (p50/p99/p999 in e16 records).
     pub hop_hist: HistogramId,
+    /// Submit-to-completion age of async-engine lookups in simulated
+    /// ticks — the latency tail (`engine.inflight_age` p999) the
+    /// watchdog's in-flight-age SLO gates.
+    pub engine_age_hist: HistogramId,
     /// `lookup;finger_walk` span — routed-walk latency net of demoted
     /// skips (ticks).
     pub span_finger_walk: SpanId,
@@ -297,7 +305,10 @@ impl ChordCounters {
             lookup_retries: recorder.counter("lookup.retries"),
             lookup_fallback_depth: recorder.counter("lookup.fallback_depth"),
             domain_events: recorder.counter("domain.events"),
+            engine_timeouts: recorder.counter("engine.timeouts"),
+            engine_completions: recorder.counter("engine.completions"),
             hop_hist: recorder.histogram("lookup.hops"),
+            engine_age_hist: recorder.histogram("engine.inflight_age"),
             span_finger_walk: recorder.profiler().span("lookup;finger_walk"),
             span_demoted_skip: recorder.profiler().span("lookup;demoted_skip"),
             span_retry_backoff: recorder.profiler().span("lookup;retry_backoff"),

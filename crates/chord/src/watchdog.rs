@@ -46,6 +46,14 @@ pub enum SloRule {
     /// [`Watchdog::observe_with_outcomes`]); breaches are attributed to
     /// the suspected offenders (e.g. a crashed failure domain's members).
     SuccessRatio,
+    /// Async-engine in-flight age: the window's `engine.inflight_age`
+    /// p99 (submission-to-completion in simulated ticks) must stay ≤
+    /// `factor · log2(live) · mean hop latency`. This is the
+    /// delay-fault gate: a slow-but-alive sector fails no lookup and
+    /// moves no success ratio — the *only* externally visible symptom is
+    /// requests aging on the wire, which this rule detects. Evaluated
+    /// only on windows where the engine recorded enough completions.
+    InflightAge,
 }
 
 impl SloRule {
@@ -56,6 +64,7 @@ impl SloRule {
             SloRule::Staleness => "staleness",
             SloRule::ChiDrift => "chi_drift",
             SloRule::SuccessRatio => "success_ratio",
+            SloRule::InflightAge => "inflight_age",
         }
     }
 
@@ -66,6 +75,7 @@ impl SloRule {
             SloRule::Staleness => "maintenance.round",
             SloRule::ChiDrift => "draw.defended",
             SloRule::SuccessRatio => "lookup",
+            SloRule::InflightAge => "engine",
         }
     }
 }
@@ -170,6 +180,15 @@ pub struct SloConfig {
     /// The success-ratio rule is only evaluated when the window tallied
     /// at least this many lookups (tiny windows have meaningless ratios).
     pub min_success_samples: u64,
+    /// In-flight age p99 bound is `engine_age_factor · log2(live) ·
+    /// mean-hop-latency ticks` — a lookup is expected to spend O(log n)
+    /// mean hop latencies on the wire; the factor is the tolerated tail
+    /// stretch over that. Sized so retries and queueing under load pass
+    /// while an order-of-magnitude slow sector breaches.
+    pub engine_age_factor: f64,
+    /// The in-flight-age rule is only evaluated when the window recorded
+    /// at least this many engine completions.
+    pub min_age_samples: u64,
     /// Retained windows in the watchdog's [`TimeSeries`] ring.
     pub series_capacity: usize,
 }
@@ -186,6 +205,8 @@ impl Default for SloConfig {
             chi_min_per_cell: 4.0,
             min_success_ratio: 0.99,
             min_success_samples: 16,
+            engine_age_factor: 6.0,
+            min_age_samples: 32,
             series_capacity: 256,
         }
     }
@@ -244,13 +265,17 @@ pub mod gauge {
     pub const DRAW_COST: &str = "draw_cost";
     /// Windowed lookup success ratio (outcome-fed windows only).
     pub const SUCCESS: &str = "success_ratio";
+    /// Window p99 of async-engine in-flight age in ticks (engine-fed
+    /// windows only).
+    pub const AGE_P99: &str = "engine_age_p99";
 }
 
-const RULES: [SloRule; 4] = [
+const RULES: [SloRule; 5] = [
     SloRule::HopTail,
     SloRule::Staleness,
     SloRule::ChiDrift,
     SloRule::SuccessRatio,
+    SloRule::InflightAge,
 ];
 
 /// Maximum offending nodes attached to one event.
@@ -377,6 +402,18 @@ impl Watchdog {
             window.set_gauge(gauge::SUCCESS, tally.ratio());
         }
 
+        // Engine in-flight age tail, from the per-window delta histogram
+        // the async engine feeds. Windows without engine activity stamp
+        // no gauge and leave the rule unevaluated, so sync-only
+        // harnesses stay byte-identical to the pre-rule watchdog.
+        let (age_samples, age_p99) = match window.hist("engine.inflight_age") {
+            Some(h) if !h.is_empty() => (h.count(), h.p99()),
+            _ => (0, 0),
+        };
+        if age_samples > 0 {
+            window.set_gauge(gauge::AGE_P99, age_p99 as f64);
+        }
+
         // Rule evaluation, fixed order. `None` = not evaluable this
         // window (state unchanged); `Some((violated, measured, bound,
         // nodes))` drives the breach/recover edge detector.
@@ -420,6 +457,12 @@ impl Watchdog {
                         self.config.min_success_ratio,
                         suspects,
                     ))
+                }),
+                SloRule::InflightAge => (age_samples >= self.config.min_age_samples).then(|| {
+                    let bound = self.config.engine_age_factor
+                        * (live.max(2) as f64).log2()
+                        * net.config().latency().mean_ticks();
+                    (age_p99 as f64 > bound, age_p99 as f64, bound, Vec::new())
                 }),
             };
             if let Some((violated, measured, bound, nodes)) = verdict {
@@ -699,6 +742,61 @@ mod tests {
                 .contains_key(gauge::SUCCESS),
             "no tally, no success gauge"
         );
+    }
+
+    #[test]
+    fn inflight_age_breaches_on_slow_windows_and_recovers() {
+        let net = tiny_net(64, 8);
+        let mut wd = Watchdog::new(SloConfig::default(), 19);
+        let hist = net.metrics().recorder().histogram("engine.inflight_age");
+        // Default UNIT latency, 64 live: bound = 6·log2(64)·1 = 36 ticks.
+        let feed = |age: u64| {
+            for _ in 0..40 {
+                net.metrics().recorder().record(hist, age);
+            }
+        };
+
+        // No engine activity: rule unevaluated, no gauge.
+        observe_once(&mut wd, &net, None);
+        assert!(wd.healthy());
+        assert!(
+            !wd.series()
+                .latest()
+                .unwrap()
+                .gauges
+                .contains_key(gauge::AGE_P99),
+            "no engine activity, no age gauge"
+        );
+
+        // Healthy engine window: ages well under the bound.
+        feed(10);
+        observe_once(&mut wd, &net, None);
+        assert!(wd.healthy());
+        assert_eq!(wd.series().latest().unwrap().gauge(gauge::AGE_P99), 10.0);
+
+        // Slow-sector window: requests age an order of magnitude past
+        // the bound; the rule breaches with the engine scope.
+        feed(500);
+        observe_once(&mut wd, &net, None);
+        assert!(!wd.healthy());
+        let breach = wd.events().last().unwrap();
+        assert_eq!(breach.rule, SloRule::InflightAge);
+        assert_eq!(breach.kind, HealthKind::Breach);
+        assert!((500.0..=512.0).contains(&breach.measured), "bucketed p99");
+        assert_eq!(breach.bound, 36.0);
+        assert!(breach.render().contains("breach inflight_age"));
+        assert!(breach.render().contains("scope=engine"));
+
+        // Ages come back down: edge-triggered recovery.
+        feed(12);
+        observe_once(&mut wd, &net, None);
+        assert!(wd.healthy());
+        assert_eq!(wd.events().last().unwrap().kind, HealthKind::Recover);
+
+        // Under-sampled window: unevaluated, breached state unchanged.
+        net.metrics().recorder().record(hist, 10_000);
+        observe_once(&mut wd, &net, None);
+        assert!(wd.healthy(), "1 sample is under the 32-sample floor");
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub use run::{
 };
 pub use spec::{
     AdaptiveRoutingSpec, AdversaryModel, Backend, ChordTuning, ChurnModel, ChurnPhaseSpec,
-    CoalitionStrategySpec, DefenseModel, FailureDomainSpec, MaintenanceSpec, PlacementModel,
-    SamplerTuning, ScenarioSpec, TelemetrySpec, WorkloadMix,
+    CoalitionStrategySpec, DefenseModel, EngineSpec, FailureDomainSpec, LatencySpec,
+    MaintenanceSpec, PlacementModel, SamplerTuning, ScenarioSpec, SlowDomainSpec, TelemetrySpec,
+    WorkloadMix,
 };
 pub use sweep::{BackendAggregate, ScenarioReport, Sweep, SweepReport};

@@ -44,6 +44,10 @@ mod stream {
     /// Post-outage repair: heal-time rejoins and the maintenance drain
     /// that re-converges the ring after a correlated domain crash.
     pub const REPAIR: u64 = 6;
+    /// The async lookup engine's per-request latency streams.
+    pub const ENGINE: u64 = 7;
+    /// The engine phase's workload (origin/target pairs).
+    pub const ENGINE_WORKLOAD: u64 = 8;
 }
 
 /// Target draws per watchdog observation window on chord arms. The
@@ -167,6 +171,37 @@ pub struct SeedRunRecord {
     /// `outage_ok / outage_draws` (1.0 when no draw ran under an
     /// outage) — the figure the domain-outage verdicts gate on.
     pub outage_success_ratio: f64,
+    /// Lookups submitted to the async engine phase (0 when the spec has
+    /// no `engine` structure, and on oracle backends).
+    pub engine_lookups: u64,
+    /// Engine lookups that completed (the phase drains, so this equals
+    /// `engine_lookups` unless the ring itself was unanswerable).
+    pub engine_completed: u64,
+    /// Engine deadlines that fired (each one preempted a late attempt
+    /// into the retry tiers, or — with retries off — re-armed and kept
+    /// waiting).
+    pub engine_timeouts: u64,
+    /// Median submit-to-completion age of an engine lookup in simulated
+    /// ticks (exact, computed over the completion set, not bucketed).
+    pub engine_age_p50: u64,
+    /// 99th-percentile engine completion age in ticks.
+    pub engine_age_p99: u64,
+    /// 99.9th-percentile engine completion age in ticks — the figure
+    /// the slow-domain verdicts gate on: a sector that answers late
+    /// fails nothing, so only this tail shows the fault.
+    pub engine_age_p999: u64,
+    /// Engine-phase windows until the watchdog's in-flight-age rule
+    /// first breached, counted from the slow-sector fault's onset window
+    /// (from the phase's first window when the spec has no slow sector).
+    /// −1 when it never breached (healthy arms, or no engine phase).
+    pub engine_ttd: i64,
+    /// Windows from that first breach to the rule's last recovery: 0
+    /// when nothing breached, −1 when still violated at phase end.
+    pub engine_ttr: i64,
+    /// FNV-1a digest (hex) over the engine's tag-sorted completion
+    /// report — byte-identical across replays of the same cell; empty
+    /// when the spec has no engine phase.
+    pub engine_digest: String,
     /// Every watchdog event, rendered one line each
     /// ([`chord::HealthEvent::render`]): attributed, byte-stable, in
     /// emission order.
@@ -488,6 +523,15 @@ fn run_oracle(
         outage_draws: 0,
         outage_ok: 0,
         outage_success_ratio: 1.0,
+        engine_lookups: 0,
+        engine_completed: 0,
+        engine_timeouts: 0,
+        engine_age_p50: 0,
+        engine_age_p99: 0,
+        engine_age_p999: 0,
+        engine_ttd: -1,
+        engine_ttr: 0,
+        engine_digest: String::new(),
         health_events: Vec::new(),
         series: BTreeMap::new(),
         tail_exemplars: Vec::new(),
@@ -708,11 +752,177 @@ fn outage_close_args(outage: &mut Option<OutageDriver>) -> (Option<LookupOutcome
     }
 }
 
+/// Everything the async engine phase contributes to the record.
+struct EnginePhase {
+    lookups: u64,
+    completed: u64,
+    timeouts: u64,
+    age_p50: u64,
+    age_p99: u64,
+    age_p999: u64,
+    ttd: i64,
+    ttr: i64,
+    digest: String,
+}
+
+/// Exact nearest-rank percentile over a sorted sample set (0 on empty).
+/// The engine tail is computed here, not off the log-bucketed window
+/// histograms: the e16 verdicts compare arms against each other, and
+/// bucket rounding at 1/16 relative error could mask a real delta.
+fn exact_percentile(sorted: &[u64], numer: usize, denom: usize) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * numer / denom]
+}
+
+/// Drives the spec's async engine phase: the whole workload is submitted
+/// up front and multiplexed through `chord::LookupEngine` — explicit
+/// find-successor messages over the simnet event queue with per-hop
+/// latency draws, per-request deadlines feeding the retry tiers — while
+/// the clock advances in observation windows, each closing a telemetry
+/// window into the watchdog (the in-flight-age SLO). An optional
+/// slow-sector overlay delays the fault sector's answers mid-phase:
+/// nothing dies and no lookup fails, so the only observable symptom is
+/// the completion-age tail.
+fn run_engine_phase(
+    engine_spec: &crate::EngineSpec,
+    net: &ChordNetwork,
+    faults: &FaultPlan,
+    watchdog: &mut Watchdog,
+    space: KeySpace,
+    seed: u64,
+) -> EnginePhase {
+    let mut engine = chord::LookupEngine::new(chord::EngineConfig {
+        timeout_ticks: Some(engine_spec.timeout_ticks),
+        max_inflight: engine_spec.inflight as usize,
+        seed: derive_seed(seed, stream::ENGINE),
+    });
+    let live = net.live_ids();
+    let total_ticks = u64::from(engine_spec.windows) * engine_spec.window_ticks;
+
+    // The slow sectors and the origin pool: origins are drawn outside
+    // the slow sectors (a slow *origin* cannot be routed around; the
+    // fault under test is slow transit hops and owners).
+    let slow_nodes: std::collections::BTreeSet<NodeId> = engine_spec
+        .slow
+        .map(|s| {
+            let map = simnet::DomainMap::sectors(s.domains, space.modulus());
+            live.iter()
+                .copied()
+                .filter(|&id| map.domain_of(net.node(id).point().get()) < s.slow)
+                .collect()
+        })
+        .unwrap_or_default();
+    if let Some(s) = engine_spec.slow {
+        engine.set_slow_overlay(Some(chord::SlowOverlay {
+            nodes: slow_nodes.clone(),
+            factor: s.factor,
+            from: simnet::SimTime::from_ticks((total_ticks as f64 * s.start_frac).floor() as u64),
+            until: simnet::SimTime::from_ticks((total_ticks as f64 * s.end_frac).floor() as u64),
+        }));
+    }
+    let origins: Vec<NodeId> = live
+        .iter()
+        .copied()
+        .filter(|id| !slow_nodes.contains(id))
+        .collect();
+    assert!(!origins.is_empty(), "slow sectors swallowed every origin");
+
+    // The workload is submitted in per-window batches (each batch enters
+    // the event loop at its window's opening tick), so traffic is in
+    // flight across the whole phase and a mid-phase slow window has
+    // requests to age — an up-front burst would drain before the fault
+    // starts. Tags are global and the RNG stream is one sequence, so the
+    // batching is part of the deterministic replay.
+    let mut workload_rng = StdRng::seed_from_u64(derive_seed(seed, stream::ENGINE_WORKLOAD));
+    let total_lookups = u64::from(engine_spec.lookups);
+    let windows = u64::from(engine_spec.windows);
+    let per_window = (total_lookups / windows).max(1);
+    let mut next_tag = 0u64;
+    let base_window = watchdog.windows_observed();
+    for w in 1..=windows {
+        let quota = if w == windows {
+            total_lookups - next_tag
+        } else {
+            per_window.min(total_lookups - next_tag)
+        };
+        for _ in 0..quota {
+            let origin = origins[workload_rng.gen_range(0..origins.len())];
+            let target = space.random_point(&mut workload_rng);
+            engine.submit_tagged(net, next_tag, origin, target);
+            next_tag += 1;
+        }
+        engine.run_until(
+            net,
+            faults,
+            simnet::SimTime::from_ticks(w * engine_spec.window_ticks),
+        );
+        let window = net.metrics().recorder().reset_window();
+        watchdog.observe_with_outcomes(net, window, None, None);
+    }
+    // Stragglers past the horizon (the backlog admits as slots free, so
+    // the tail of a capped run finishes here), then their final window.
+    engine.drain(net, faults);
+    let window = net.metrics().recorder().reset_window();
+    watchdog.observe_with_outcomes(net, window, None, None);
+
+    let mut ages: Vec<u64> = engine
+        .completions()
+        .iter()
+        .map(|c| (c.completed_at - c.submitted_at).ticks())
+        .collect();
+    ages.sort_unstable();
+    // Detection / recovery for the in-flight-age rule alone. Detection
+    // is counted from the *fault onset* window (the slow window's first
+    // tick) when the phase carries a slow sector, else from the phase's
+    // first window — so a "ttd ≤ k" gate reads as "windows from the
+    // fault starting to the watchdog flagging it". The record's
+    // run-level ttd/ttr span every rule over the whole run.
+    let onset_window = base_window
+        + engine_spec
+            .slow
+            .map_or(0, |s| (windows as f64 * s.start_frac).floor() as u64);
+    let age_events: Vec<&chord::HealthEvent> = watchdog
+        .events()
+        .iter()
+        .filter(|e| e.rule == chord::SloRule::InflightAge && e.window >= base_window)
+        .collect();
+    let first_breach = age_events
+        .iter()
+        .find(|e| e.kind == chord::HealthKind::Breach)
+        .map(|e| e.window);
+    let ttd = first_breach.map_or(-1, |w| w as i64 - onset_window as i64);
+    let ttr = match first_breach {
+        None => 0,
+        Some(b) => match age_events.last() {
+            Some(e) if e.kind == chord::HealthKind::Recover => (e.window - b) as i64,
+            _ => -1,
+        },
+    };
+    EnginePhase {
+        lookups: u64::from(engine_spec.lookups),
+        completed: engine.completions().len() as u64,
+        timeouts: net.metrics().get("engine.timeouts"),
+        age_p50: exact_percentile(&ages, 50, 100),
+        age_p99: exact_percentile(&ages, 99, 100),
+        age_p999: exact_percentile(&ages, 999, 1000),
+        ttd,
+        ttr,
+        digest: format!("{:016x}", engine.report_digest()),
+    }
+}
+
 /// The watchdog's gauge columns as named series, in window order. The
 /// success-ratio column only exists on runs that fed the watchdog
-/// outcome tallies (domain-outage arms) — elsewhere the gauge is never
-/// stamped and a column of implicit zeros would read as 0% success.
-fn watchdog_series(watchdog: &Watchdog, with_success: bool) -> BTreeMap<String, Vec<f64>> {
+/// outcome tallies (domain-outage arms), and the in-flight-age column
+/// only on runs with an engine phase — elsewhere those gauges are never
+/// stamped and a column of implicit zeros would misread as figures.
+fn watchdog_series(
+    watchdog: &Watchdog,
+    with_success: bool,
+    with_engine: bool,
+) -> BTreeMap<String, Vec<f64>> {
     use chord::watchdog::gauge;
     let mut names = vec![
         gauge::LIVE,
@@ -727,6 +937,9 @@ fn watchdog_series(watchdog: &Watchdog, with_success: bool) -> BTreeMap<String, 
     if with_success {
         names.push(gauge::SUCCESS);
     }
+    if with_engine {
+        names.push(gauge::AGE_P99);
+    }
     names
         .into_iter()
         .map(|name| (name.to_string(), watchdog.series().gauge_column(name)))
@@ -740,7 +953,14 @@ fn run_chord(
     members: RingIndex<u64>,
     force_trace: bool,
 ) -> (SeedRunRecord, Option<TraceDump>) {
-    let config = ChordConfig::default().with_successor_list_len(spec.chord.successor_list_len);
+    let mut config = ChordConfig::default().with_successor_list_len(spec.chord.successor_list_len);
+    // Compile the spec's latency model into the substrate (previously the
+    // spec had no latency knob and every chord arm silently ran at the
+    // unit-constant default). Every routed message — draws, maintenance,
+    // engine hops — samples from it.
+    if let Some(latency) = spec.chord.latency {
+        config = config.with_latency(latency.to_model());
+    }
 
     // A coalition adversary compiles *before* the overlay exists: it
     // observes the honest membership and chooses its own ring positions
@@ -1113,6 +1333,13 @@ fn run_chord(
             suppress,
         );
     }
+    // The async engine phase (specs with engine structure) runs after
+    // the draw loop, so draw windows and engine windows never interleave
+    // and the age-rule verdicts are attributable to the engine workload.
+    let engine_phase = spec
+        .engine
+        .as_ref()
+        .map(|e| run_engine_phase(e, &churned, &plan, &mut watchdog, space, seed));
     let net = &churned;
 
     let (tv, ratio, chi_p) = uniformity(&counts);
@@ -1200,12 +1427,23 @@ fn run_chord(
         outage_draws: outage.as_ref().map_or(0, |o| o.outage_draws),
         outage_ok: outage.as_ref().map_or(0, |o| o.outage_ok),
         outage_success_ratio: outage.as_ref().map_or(1.0, |o| o.success_ratio()),
+        engine_lookups: engine_phase.as_ref().map_or(0, |e| e.lookups),
+        engine_completed: engine_phase.as_ref().map_or(0, |e| e.completed),
+        engine_timeouts: engine_phase.as_ref().map_or(0, |e| e.timeouts),
+        engine_age_p50: engine_phase.as_ref().map_or(0, |e| e.age_p50),
+        engine_age_p99: engine_phase.as_ref().map_or(0, |e| e.age_p99),
+        engine_age_p999: engine_phase.as_ref().map_or(0, |e| e.age_p999),
+        engine_ttd: engine_phase.as_ref().map_or(-1, |e| e.ttd),
+        engine_ttr: engine_phase.as_ref().map_or(0, |e| e.ttr),
+        engine_digest: engine_phase
+            .as_ref()
+            .map_or_else(String::new, |e| e.digest.clone()),
         health_events: watchdog
             .events()
             .iter()
             .map(chord::HealthEvent::render)
             .collect(),
-        series: watchdog_series(&watchdog, outage.is_some()),
+        series: watchdog_series(&watchdog, outage.is_some(), engine_phase.is_some()),
         exemplar_count: tail_exemplars.len() as u64,
         tail_exemplars,
         span_costs,
@@ -1602,5 +1840,119 @@ mod tests {
         // mean: p99 must sit at or above the defended mean cost.
         assert!(r.draw_msgs_p99 as f64 >= r.mean_messages);
         assert!(r.counters.contains_key("lookup.hops"));
+    }
+
+    #[test]
+    fn chord_latency_spec_scales_accounted_latency_with_messages() {
+        // Regression for the silent no-op this PR fixes: before the
+        // `chord.latency` knob existed, run_chord never called
+        // `with_latency`, so every chord arm ran at the unit-constant
+        // model regardless of intent. Under `Constant{ticks}` every
+        // message costs exactly `ticks`, so the accounted draw latency
+        // must be exactly `ticks ×` the message count — and the unit arm
+        // must differ from the scaled arm in latency *only*.
+        let mut unit = ScenarioSpec::preset_honest_static();
+        quick(&mut unit);
+        unit.backends = vec![Backend::Chord];
+        let mut scaled = unit.clone();
+        scaled.chord.latency = Some(crate::LatencySpec::Constant { ticks: 7 });
+        let u = run_scenario_seed(&unit, Backend::Chord, 61);
+        let s = run_scenario_seed(&scaled, Backend::Chord, 61);
+        assert!(s.samples_ok > 0);
+        assert!(
+            (s.mean_latency - 7.0 * s.mean_messages).abs() < 1e-9,
+            "constant(7) must charge 7 ticks per message: latency {} messages {}",
+            s.mean_latency,
+            s.mean_messages
+        );
+        // Routing is latency-independent: same draws, same messages.
+        assert_eq!(s.samples_ok, u.samples_ok);
+        assert_eq!(s.mean_messages, u.mean_messages);
+        assert!((u.mean_latency - u.mean_messages).abs() < 1e-9);
+    }
+
+    fn quick_engine_arm(name: &str) -> ScenarioSpec {
+        let mut spec = ScenarioSpec::engine_battery()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("battery arm exists");
+        spec.n_initial = 128;
+        spec.workload.draws = 400;
+        spec
+    }
+
+    #[test]
+    fn engine_phase_detects_the_slow_sector_and_replays_byte_identically() {
+        let baseline = quick_engine_arm("engine-slowdomain-baseline");
+        let adaptive = quick_engine_arm("engine-slowdomain-adaptive");
+        let base = run_scenario_seed(&baseline, Backend::Chord, 71);
+        let resilient = run_scenario_seed(&adaptive, Backend::Chord, 71);
+
+        for (r, name) in [(&base, "baseline"), (&resilient, "adaptive")] {
+            // Exactly-once: every submitted lookup completed (the slow
+            // sector is alive, so nothing may fail).
+            assert_eq!(r.engine_lookups, 2_000, "{name}");
+            assert_eq!(r.engine_completed, r.engine_lookups, "{name}");
+            // The delay fault is *detected* by the in-flight-age rule —
+            // within two windows of the slowdown starting — and the
+            // rule recovers once the sector speeds back up.
+            assert!(
+                (0..=2).contains(&r.engine_ttd),
+                "{name} ttd {} events {:?}",
+                r.engine_ttd,
+                r.health_events
+            );
+            assert!(
+                r.engine_ttr >= 0,
+                "{name} must confirm recovery: {:?}",
+                r.health_events
+            );
+            assert!(
+                r.health_events
+                    .iter()
+                    .any(|e| e.contains("breach inflight_age")),
+                "{name}: {:?}",
+                r.health_events
+            );
+            // The age gauge rides the longitudinal series.
+            assert!(r.series.contains_key("engine_age_p99"), "{name}");
+            assert!(!r.engine_digest.is_empty(), "{name}");
+            assert!(r.engine_age_p999 >= r.engine_age_p99, "{name}");
+            assert!(r.engine_age_p99 >= r.engine_age_p50, "{name}");
+        }
+        // Deadlines fired on the adaptive arm (at this seed) and
+        // preempted late walks into the retry tiers — every preempted
+        // walk still completed exactly once (checked above). The tail
+        // itself is reported, not gated against the baseline: with a
+        // regional delay fault the slow owner probe is unavoidable, so
+        // preemption bounds *attempts*, not the worst-case age.
+        assert!(resilient.engine_timeouts > 0);
+        assert_eq!(
+            resilient.counters["engine.timeouts"],
+            resilient.engine_timeouts
+        );
+        // The fault is visible in both arms' tails: the p999 completion
+        // age carries at least one 32×-slowed 4-tick hop.
+        assert!(base.engine_age_p999 >= 128);
+        assert!(resilient.engine_age_p999 >= 128);
+        // Engine runs stay a pure function of (spec, backend, seed):
+        // the whole record — engine digest included — replays.
+        assert_eq!(run_scenario_seed(&adaptive, Backend::Chord, 71), resilient);
+        assert_eq!(run_scenario_seed(&baseline, Backend::Chord, 71), base);
+    }
+
+    #[test]
+    fn engine_free_specs_carry_no_engine_columns() {
+        let mut spec = ScenarioSpec::preset_honest_static();
+        quick(&mut spec);
+        for backend in [Backend::Oracle, Backend::Chord] {
+            let r = run_scenario_seed(&spec, backend, 73);
+            assert_eq!(r.engine_lookups, 0);
+            assert_eq!(r.engine_completed, 0);
+            assert_eq!(r.engine_ttd, -1);
+            assert_eq!(r.engine_ttr, 0);
+            assert!(r.engine_digest.is_empty());
+            assert!(!r.series.contains_key("engine_age_p99"));
+        }
     }
 }

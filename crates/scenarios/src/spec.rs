@@ -348,6 +348,102 @@ impl FailureDomainSpec {
     }
 }
 
+/// A serializable mirror of [`simnet::LatencyModel`]: per-message delay
+/// distributions for the chord substrate. Specs carry this (plain data)
+/// and compile it to the simnet model at run time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencySpec {
+    /// Every message takes exactly `ticks` ticks.
+    Constant {
+        /// Per-message delay in ticks (clamped to >= 1 by the model).
+        ticks: u64,
+    },
+    /// Uniform delay in `[lo, hi]` ticks.
+    Uniform {
+        /// Inclusive lower bound.
+        lo: u64,
+        /// Inclusive upper bound.
+        hi: u64,
+    },
+    /// Heavy-tailed log-normal delay around `median` ticks.
+    LogNormal {
+        /// Median delay in ticks.
+        median: u64,
+        /// Shape parameter sigma of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl LatencySpec {
+    /// Compile to the simnet model the chord substrate samples from.
+    pub fn to_model(self) -> simnet::LatencyModel {
+        match self {
+            LatencySpec::Constant { ticks } => simnet::LatencyModel::Constant(ticks),
+            LatencySpec::Uniform { lo, hi } => simnet::LatencyModel::Uniform { lo, hi },
+            LatencySpec::LogNormal { median, sigma } => {
+                simnet::LatencyModel::LogNormal { median, sigma }
+            }
+        }
+    }
+}
+
+/// A *delay* fault for the engine phase: `slow` of `domains` equal ring
+/// sectors answer `factor`× late for a window of the engine phase. The
+/// sector is alive — every lookup still succeeds — so crash-oriented
+/// SLOs see nothing; only latency-tail and in-flight-age monitoring can
+/// detect it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlowDomainSpec {
+    /// Number of equal ring sectors. Must be >= 2.
+    pub domains: u32,
+    /// How many sectors (domains `0..slow`) run slow. Must be >= 1 and
+    /// < `domains`, so requests have somewhere fast to route through.
+    pub slow: u32,
+    /// Wall-clock delay multiplier for messages answered by slow-sector
+    /// nodes. Must be >= 2 (1 would be a no-op arm).
+    pub factor: u64,
+    /// Engine-phase fraction in `[0, 1)` at which the slowdown starts.
+    pub start_frac: f64,
+    /// Engine-phase fraction in `(start_frac, 1]` at which it ends.
+    pub end_frac: f64,
+}
+
+/// The async lookup-engine phase (chord-only): after the draw loop, a
+/// batch of concurrent in-flight lookups is driven through
+/// `chord::LookupEngine` — explicit messages over the simnet event
+/// queue, per-request deadlines feeding the retry tiers — and the
+/// completion-age tail is recorded and watchdog-monitored.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineSpec {
+    /// Max concurrently in-flight lookups (excess queues in a backlog).
+    pub inflight: u32,
+    /// Per-attempt deadline in ticks; a request whose answer is later
+    /// than this re-enters the retry tiers.
+    pub timeout_ticks: u64,
+    /// Total lookups submitted to the engine phase.
+    pub lookups: u32,
+    /// Number of observation windows the engine phase is split into
+    /// (each closes a telemetry window and feeds the watchdog).
+    pub windows: u32,
+    /// Simulated ticks per observation window.
+    pub window_ticks: u64,
+    /// Optional slow-sector delay fault injected mid-phase.
+    pub slow: Option<SlowDomainSpec>,
+}
+
+impl Default for EngineSpec {
+    fn default() -> EngineSpec {
+        EngineSpec {
+            inflight: 256,
+            timeout_ticks: 512,
+            lookups: 2_000,
+            windows: 8,
+            window_ticks: 256,
+            slow: None,
+        }
+    }
+}
+
 /// Client/substrate resilience knobs for the chord backend: adaptive
 /// peer scoring and retry/fallback routing (see `chord::PeerScores` and
 /// `chord::RetryPolicy`). Chord-only — the oracle has no routing to
@@ -388,6 +484,11 @@ pub struct ChordTuning {
     /// What a maintenance tick does: classic full refresh, batched
     /// drain, or a budgeted batched round.
     pub maintenance: MaintenanceSpec,
+    /// Per-message latency model for the chord substrate. `None` (the
+    /// default, and what omitting the key in JSON reads as) keeps the
+    /// unit-constant model, under which accounted latency equals the
+    /// message count.
+    pub latency: Option<LatencySpec>,
 }
 
 impl Default for ChordTuning {
@@ -396,6 +497,7 @@ impl Default for ChordTuning {
             successor_list_len: 8,
             stabilize_every_ticks: 250,
             maintenance: MaintenanceSpec::FullRefresh,
+            latency: None,
         }
     }
 }
@@ -440,6 +542,9 @@ pub struct ScenarioSpec {
     pub domains: Option<FailureDomainSpec>,
     /// Adaptive routing / retry resilience knobs (chord-only).
     pub adaptive: AdaptiveRoutingSpec,
+    /// Async lookup-engine phase (chord-only). `None` (the default, and
+    /// what omitting the key in JSON reads as) skips the engine phase.
+    pub engine: Option<EngineSpec>,
     /// Backends to run the spec against.
     pub backends: Vec<Backend>,
 }
@@ -463,6 +568,7 @@ impl ScenarioSpec {
             telemetry: TelemetrySpec::default(),
             domains: None,
             adaptive: AdaptiveRoutingSpec::default(),
+            engine: None,
             backends: vec![Backend::Oracle, Backend::Chord],
         }
     }
@@ -683,6 +789,56 @@ impl ScenarioSpec {
             .collect()
     }
 
+    /// The async-engine delay-fault scenario: a constant-4-tick wire, a
+    /// concurrent in-flight lookup phase, and one of eight ring sectors
+    /// turning 32× slow — *alive*, answering late — for the middle half
+    /// of the phase. Chord-only and static-churn for the same
+    /// attribution reasons as
+    /// [`preset_domain_outage`](ScenarioSpec::preset_domain_outage):
+    /// the slowdown is the only dynamics, so the age-tail verdicts are
+    /// attributable to it.
+    pub fn preset_engine_slowdomain() -> ScenarioSpec {
+        ScenarioSpec {
+            chord: ChordTuning {
+                latency: Some(LatencySpec::Constant { ticks: 4 }),
+                ..ChordTuning::default()
+            },
+            engine: Some(EngineSpec {
+                timeout_ticks: 144,
+                slow: Some(SlowDomainSpec {
+                    domains: 8,
+                    slow: 1,
+                    factor: 32,
+                    start_frac: 0.25,
+                    end_frac: 0.75,
+                }),
+                ..EngineSpec::default()
+            }),
+            adaptive: AdaptiveRoutingSpec::full(),
+            backends: vec![Backend::Chord],
+            ..ScenarioSpec::baseline("engine-slowdomain")
+        }
+    }
+
+    /// The engine battery: the same slow-sector delay fault with the
+    /// resilience knobs off (`baseline`) and on (`adaptive`), so the
+    /// report isolates what deadline-driven retries + peer scoring buy
+    /// against a latency fault that kills no lookup.
+    pub fn engine_battery() -> Vec<ScenarioSpec> {
+        let arms = [
+            ("engine-slowdomain-baseline", AdaptiveRoutingSpec::default()),
+            ("engine-slowdomain-adaptive", AdaptiveRoutingSpec::full()),
+        ];
+        arms.into_iter()
+            .map(|(name, adaptive)| {
+                let mut spec = ScenarioSpec::preset_engine_slowdomain();
+                spec.name = name.to_string();
+                spec.adaptive = adaptive;
+                spec
+            })
+            .collect()
+    }
+
     /// The standard adversarial battery, one preset per model family.
     pub fn presets() -> Vec<ScenarioSpec> {
         vec![
@@ -840,6 +996,73 @@ impl ScenarioSpec {
                     .to_string(),
             );
         }
+        if let Some(LatencySpec::Uniform { lo, hi }) = &self.chord.latency {
+            if lo > hi {
+                problems.push(format!(
+                    "chord.latency uniform bounds inverted: {lo} > {hi}"
+                ));
+            }
+        }
+        if let Some(LatencySpec::LogNormal { sigma, .. }) = &self.chord.latency {
+            if !(*sigma >= 0.0 && sigma.is_finite()) {
+                problems.push(format!("chord.latency log-normal sigma {sigma} invalid"));
+            }
+        }
+        if let Some(engine) = &self.engine {
+            if engine.inflight == 0 {
+                problems.push("engine.inflight must be positive".to_string());
+            }
+            if engine.timeout_ticks == 0 {
+                problems.push("engine.timeout_ticks must be positive".to_string());
+            }
+            if engine.lookups == 0 {
+                problems.push("engine.lookups must be positive".to_string());
+            }
+            if engine.windows == 0 {
+                problems.push("engine.windows must be positive".to_string());
+            }
+            if engine.window_ticks == 0 {
+                problems.push("engine.window_ticks must be positive".to_string());
+            }
+            // The engine drives real find_successor walks; the oracle
+            // backends have no messages to put in flight.
+            if self.backends.iter().any(|b| *b != Backend::Chord) {
+                problems.push(
+                    "the engine phase is chord-only (the oracle has no messages to put in \
+                     flight)"
+                        .to_string(),
+                );
+            }
+            if let Some(slow) = &engine.slow {
+                if slow.domains < 2 {
+                    problems.push(format!("engine slow domains {} < 2", slow.domains));
+                }
+                if slow.slow == 0 {
+                    problems.push("engine slow sectors must be >= 1 (else no fault)".to_string());
+                }
+                if slow.slow >= slow.domains {
+                    problems.push(format!(
+                        "engine slow sectors {} must leave fast sectors (domains = {})",
+                        slow.slow, slow.domains
+                    ));
+                }
+                if slow.factor < 2 {
+                    problems.push(format!("engine slow factor {} < 2 is a no-op", slow.factor));
+                }
+                if !(slow.start_frac >= 0.0 && slow.start_frac < 1.0) {
+                    problems.push(format!(
+                        "engine slow start_frac {} outside [0, 1)",
+                        slow.start_frac
+                    ));
+                }
+                if !(slow.end_frac > slow.start_frac && slow.end_frac <= 1.0) {
+                    problems.push(format!(
+                        "engine slow end_frac {} outside ({}, 1]",
+                        slow.end_frac, slow.start_frac
+                    ));
+                }
+            }
+        }
         for backend in &self.backends {
             if matches!(backend, Backend::StaleOracle { lag_ticks: 0 }) {
                 problems.push("stale-oracle lag must be positive (use Oracle for lag 0)".into());
@@ -969,9 +1192,12 @@ mod tests {
         assert_eq!(spec.name, "tiny");
         assert_eq!(spec.placement, PlacementModel::Skewed { exponent: 3.0 });
         assert!(spec.workload.estimate_n);
-        // `domains` is omitted above: pre-domain spec files must keep
-        // parsing, with the missing key reading as "no domain structure".
+        // `domains`, `engine` and `chord.latency` are omitted above:
+        // pre-domain / pre-engine spec files must keep parsing, with the
+        // missing keys reading as "feature off".
         assert_eq!(spec.domains, None);
+        assert_eq!(spec.engine, None);
+        assert_eq!(spec.chord.latency, None);
         assert!(!spec.adaptive.is_active());
         assert_eq!(
             spec.chord.maintenance,
@@ -1249,6 +1475,131 @@ mod tests {
         assert!(mixed.validate().is_err());
         mixed.backends = vec![Backend::Chord];
         mixed.validate().unwrap();
+    }
+
+    #[test]
+    fn engine_preset_is_valid_chord_only_and_roundtrips() {
+        let spec = ScenarioSpec::preset_engine_slowdomain();
+        spec.validate().unwrap();
+        assert_eq!(spec.backends, vec![Backend::Chord]);
+        assert!(spec.churn.is_static());
+        let engine = spec.engine.expect("preset must carry an engine phase");
+        let slow = engine.slow.expect("preset must carry a slow sector");
+        assert!(slow.factor >= 2 && slow.slow < slow.domains);
+        // The deadline must be shorter than the slowed walk, else it
+        // never fires: a walk through the slow sector pays
+        // factor × wire ticks per hop.
+        let wire = match spec.chord.latency.unwrap() {
+            LatencySpec::Constant { ticks } => ticks,
+            other => panic!("preset wire must be constant, got {other:?}"),
+        };
+        assert!(engine.timeout_ticks < slow.factor * wire * 8);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: ScenarioSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn engine_battery_toggles_the_resilience_arm() {
+        let battery = ScenarioSpec::engine_battery();
+        assert_eq!(battery.len(), 2, "baseline vs adaptive");
+        let names: std::collections::HashSet<_> = battery.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names.len(), battery.len(), "names must be unique");
+        for spec in &battery {
+            spec.validate().unwrap_or_else(|problems| {
+                panic!("{} invalid: {problems:?}", spec.name);
+            });
+            // Every arm shares the same fault; only the knobs differ.
+            assert_eq!(spec.engine, ScenarioSpec::preset_engine_slowdomain().engine);
+            assert_eq!(
+                spec.chord.latency,
+                ScenarioSpec::preset_engine_slowdomain().chord.latency
+            );
+            assert_eq!(spec.backends, vec![Backend::Chord], "{}", spec.name);
+        }
+        assert!(!battery[0].adaptive.is_active(), "{}", battery[0].name);
+        assert!(
+            battery[1].adaptive.peer_scoring && battery[1].adaptive.retry,
+            "{}",
+            battery[1].name
+        );
+    }
+
+    #[test]
+    fn engine_validation_rejects_bad_shapes() {
+        // Degenerate knobs, all reported at once.
+        let mut spec = ScenarioSpec::preset_engine_slowdomain();
+        spec.engine = Some(EngineSpec {
+            inflight: 0,
+            timeout_ticks: 0,
+            lookups: 0,
+            windows: 0,
+            window_ticks: 0,
+            slow: Some(SlowDomainSpec {
+                domains: 1,
+                slow: 1,
+                factor: 1,
+                start_frac: 0.9,
+                end_frac: 0.1,
+            }),
+        });
+        let problems = spec.validate().unwrap_err();
+        assert!(problems.len() >= 8, "{problems:?}");
+        // An engine phase on an oracle backend never runs: rejected.
+        let mut oracle = ScenarioSpec::preset_engine_slowdomain();
+        oracle.adaptive = AdaptiveRoutingSpec::default();
+        oracle.backends = vec![Backend::Oracle, Backend::Chord];
+        assert!(oracle.validate().is_err());
+        // Slowing every sector leaves nothing fast to route through.
+        let mut all_slow = ScenarioSpec::preset_engine_slowdomain();
+        all_slow
+            .engine
+            .as_mut()
+            .unwrap()
+            .slow
+            .as_mut()
+            .unwrap()
+            .slow = 8;
+        assert!(all_slow.validate().is_err());
+        // Inverted / non-finite latency models are rejected.
+        let mut inverted = ScenarioSpec::preset_honest_static();
+        inverted.chord.latency = Some(LatencySpec::Uniform { lo: 9, hi: 2 });
+        assert!(inverted.validate().is_err());
+        let mut nan = ScenarioSpec::preset_honest_static();
+        nan.chord.latency = Some(LatencySpec::LogNormal {
+            median: 8,
+            sigma: f64::NAN,
+        });
+        assert!(nan.validate().is_err());
+        // A well-formed latency model on a mixed-backend spec is fine —
+        // the oracle ignores it; only the engine phase is chord-only.
+        let mut latency_only = ScenarioSpec::preset_honest_static();
+        latency_only.chord.latency = Some(LatencySpec::Constant { ticks: 7 });
+        latency_only.validate().unwrap();
+    }
+
+    #[test]
+    fn latency_specs_compile_to_the_simnet_models() {
+        use simnet::LatencyModel;
+        assert_eq!(
+            LatencySpec::Constant { ticks: 4 }.to_model(),
+            LatencyModel::Constant(4)
+        );
+        assert_eq!(
+            LatencySpec::Uniform { lo: 1, hi: 9 }.to_model(),
+            LatencyModel::Uniform { lo: 1, hi: 9 }
+        );
+        assert_eq!(
+            LatencySpec::LogNormal {
+                median: 10,
+                sigma: 0.5
+            }
+            .to_model(),
+            LatencyModel::LogNormal {
+                median: 10,
+                sigma: 0.5
+            }
+        );
     }
 
     #[test]

@@ -93,6 +93,26 @@ pub struct BackendAggregate {
     /// Worst during-outage success ratio across seeds — the figure the
     /// domain-outage verdicts gate (≥ 0.99 with the adaptive arm on).
     pub outage_success_ratio_min: f64,
+    /// Async-engine lookups submitted, summed across seeds (0 outside
+    /// engine-phase scenarios).
+    pub engine_lookups_sum: u64,
+    /// Async-engine lookups completed, summed across seeds — the
+    /// exactly-once gate compares this against `engine_lookups_sum`.
+    pub engine_completed_sum: u64,
+    /// Engine deadlines fired, summed across seeds.
+    pub engine_timeouts_sum: u64,
+    /// Mean 99.9th-percentile engine completion age across seeds.
+    pub engine_age_p999_mean: f64,
+    /// Worst 99.9th-percentile engine completion age across seeds — the
+    /// figure the slow-domain verdicts compare between arms.
+    pub engine_age_p999_max: u64,
+    /// Worst engine-phase time-to-detect for the in-flight-age rule
+    /// across seeds; −1 when any seed never detected (so a gate of
+    /// `0 ≤ ttd ≤ k` demands detection on every seed).
+    pub engine_ttd_max: i64,
+    /// Smallest engine-phase time-to-recover across seeds (−1, any seed
+    /// still breached at phase end, dominates the minimum).
+    pub engine_ttr_min: i64,
     /// Hop-histogram tail-exemplar slots claimed, summed across seeds (0
     /// on oracle arms) — every tail bucket that can be replayed by
     /// ordinal.
@@ -148,6 +168,14 @@ impl BackendAggregate {
         let mut outage_draws_sum = 0u64;
         let mut outage_ratio = Welford::new();
         let mut outage_ratio_min = 1.0f64;
+        let mut engine_lookups_sum = 0u64;
+        let mut engine_completed_sum = 0u64;
+        let mut engine_timeouts_sum = 0u64;
+        let mut engine_age_p999 = Welford::new();
+        let mut engine_age_p999_max = 0u64;
+        let mut engine_ttd_max = i64::MIN;
+        let mut engine_any_undetected = false;
+        let mut engine_ttr_min = i64::MAX;
         let mut exemplar_count_sum = 0u64;
         let mut span_costs: std::collections::BTreeMap<String, u64> =
             std::collections::BTreeMap::new();
@@ -197,6 +225,17 @@ impl BackendAggregate {
             outage_draws_sum += r.outage_draws;
             outage_ratio.push(r.outage_success_ratio);
             outage_ratio_min = outage_ratio_min.min(r.outage_success_ratio);
+            engine_lookups_sum += r.engine_lookups;
+            engine_completed_sum += r.engine_completed;
+            engine_timeouts_sum += r.engine_timeouts;
+            engine_age_p999.push(r.engine_age_p999 as f64);
+            engine_age_p999_max = engine_age_p999_max.max(r.engine_age_p999);
+            if r.engine_ttd < 0 {
+                engine_any_undetected = true;
+            } else {
+                engine_ttd_max = engine_ttd_max.max(r.engine_ttd);
+            }
+            engine_ttr_min = engine_ttr_min.min(r.engine_ttr);
             for (name, column) in &r.series {
                 let (sums, counts) = series_sum.entry(name.clone()).or_default();
                 if sums.len() < column.len() {
@@ -279,6 +318,21 @@ impl BackendAggregate {
                 outage_ratio.mean()
             },
             outage_success_ratio_min: outage_ratio_min,
+            engine_lookups_sum,
+            engine_completed_sum,
+            engine_timeouts_sum,
+            engine_age_p999_mean: engine_age_p999.mean(),
+            engine_age_p999_max,
+            engine_ttd_max: if engine_any_undetected || engine_ttd_max == i64::MIN {
+                -1
+            } else {
+                engine_ttd_max
+            },
+            engine_ttr_min: if engine_ttr_min == i64::MAX {
+                0
+            } else {
+                engine_ttr_min
+            },
             exemplar_count_sum,
             top_span,
             top_span_cost,

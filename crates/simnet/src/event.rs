@@ -119,6 +119,91 @@ impl<E> Extend<(SimTime, E)> for EventQueue<E> {
     }
 }
 
+/// A wakeup token: the proof a queued timeout event carries that it was
+/// armed by generation `generation` of slot `id` in a [`WakeupSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Wakeup {
+    /// Slot this token was armed from.
+    pub id: u32,
+    /// Slot generation at arm time; stale once the slot is cancelled.
+    pub generation: u32,
+}
+
+/// Generation-guarded cancellation for [`EventQueue`] wakeups.
+///
+/// The queue has no removal API — deleting from the middle of a binary
+/// heap would cost a linear scan, and most simulated timeouts are
+/// cancelled (the guarded operation usually completes first). Instead a
+/// scheduler allocates a slot per guarded operation, embeds the
+/// [`Wakeup`] token from [`arm`](WakeupSet::arm) in the queued event, and
+/// cancels by bumping the slot's generation: the event still pops, but
+/// [`fires`](WakeupSet::fires) reports it stale and the scheduler drops
+/// it. Arming again after a cancel issues a fresh token, so a timeout
+/// from a *previous* arming can never fire against a later one.
+///
+/// # Example
+///
+/// ```
+/// use simnet::{EventQueue, SimTime, WakeupSet};
+///
+/// let mut wakeups = WakeupSet::new();
+/// let mut q = EventQueue::new();
+/// let slot = wakeups.alloc();
+/// q.schedule(SimTime::from_ticks(10), wakeups.arm(slot));
+/// wakeups.cancel(slot); // the operation completed at t=4
+/// let (_, token) = q.pop().unwrap();
+/// assert!(!wakeups.fires(token), "a cancelled wakeup must not fire");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WakeupSet {
+    generations: Vec<u32>,
+}
+
+impl WakeupSet {
+    /// Creates an empty set.
+    pub fn new() -> WakeupSet {
+        WakeupSet::default()
+    }
+
+    /// Allocates a new slot (one per guarded operation); slots are never
+    /// freed, so ids stay valid for the set's lifetime.
+    pub fn alloc(&mut self) -> u32 {
+        let id = u32::try_from(self.generations.len()).expect("wakeup slots exhausted");
+        self.generations.push(0);
+        id
+    }
+
+    /// Arms slot `id`, returning the token the queued event must carry.
+    /// The token stays live until the slot's next [`cancel`](WakeupSet::cancel).
+    pub fn arm(&self, id: u32) -> Wakeup {
+        Wakeup {
+            id,
+            generation: self.generations[id as usize],
+        }
+    }
+
+    /// Cancels slot `id`: every token armed before this call goes stale.
+    pub fn cancel(&mut self, id: u32) {
+        self.generations[id as usize] += 1;
+    }
+
+    /// Whether `token` is still live (its slot has not been cancelled
+    /// since it was armed).
+    pub fn fires(&self, token: Wakeup) -> bool {
+        self.generations[token.id as usize] == token.generation
+    }
+
+    /// Number of allocated slots.
+    pub fn len(&self) -> usize {
+        self.generations.len()
+    }
+
+    /// Whether no slots have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.generations.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

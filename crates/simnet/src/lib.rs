@@ -44,7 +44,7 @@ pub mod rng;
 mod time;
 
 pub use domains::DomainMap;
-pub use event::EventQueue;
+pub use event::{EventQueue, Wakeup, WakeupSet};
 pub use latency::LatencyModel;
 pub use metrics::Metrics;
 pub use time::{SimDuration, SimTime};
